@@ -1,0 +1,78 @@
+"""Bench: the Section 4 DRAM-evolution narrative, regenerated.
+
+Two series the paper opens Section 4 with:
+
+* the interface-generation ladder — bandwidth +2 orders of magnitude
+  while random-access latency improved only ~10 %/yr, paid for with
+  growing burst granularity; and
+
+* the PC memory-system granularity mismatch — devices growing twice as
+  fast (in doublings) as installed systems, with the minimum upgrade
+  increment swelling relative to the system.
+"""
+
+import math
+
+from repro.apps.pcmemory import (
+    PC_GENERATIONS,
+    device_growth_rate,
+    system_growth_rate,
+)
+from repro.dram.generations import (
+    GENERATIONS,
+    bandwidth_growth,
+    burst_granularity_bits,
+    latency_improvement_per_year,
+)
+from repro.reporting.tables import Table
+
+
+def build_tables():
+    ladder = Table(
+        title="DRAM interface generations",
+        columns=["generation", "year", "peak/device", "tRAC",
+                 "burst bits", "banks"],
+    )
+    for entry in GENERATIONS:
+        ladder.add_row(
+            entry.name,
+            entry.year,
+            f"{entry.device_peak_bandwidth_bits_per_s / 1e6:.0f} Mbit/s",
+            f"{entry.random_access_ns:.0f} ns",
+            burst_granularity_bits(entry),
+            entry.banks,
+        )
+    pc = Table(
+        title="PC memory granularity",
+        columns=["year", "device", "bus", "rank increment",
+                 "typical system", "increment/system"],
+    )
+    for entry in PC_GENERATIONS:
+        pc.add_row(
+            entry.year,
+            f"{entry.device_capacity_mbit:g} Mbit x{entry.device_width_bits}",
+            f"{entry.bus_width_bits} b",
+            f"{entry.increment_mbit} Mbit",
+            f"{entry.typical_system_mbyte} MB",
+            f"{entry.increment_fraction_of_system:.1f}x",
+        )
+    return ladder, pc
+
+
+def test_dram_evolution_tables(benchmark):
+    ladder, pc = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    print()
+    print(ladder.render())
+    print()
+    print(pc.render())
+    # Shape assertions: the paper's three Section 4 statements.
+    assert bandwidth_growth(1985, 1999) >= 100
+    assert latency_improvement_per_year(1985, 1999) < 0.12
+    doubling_ratio = math.log(1 + device_growth_rate()) / math.log(
+        1 + system_growth_rate()
+    )
+    assert 1.6 < doubling_ratio < 2.4
+    fractions = [
+        entry.increment_fraction_of_system for entry in PC_GENERATIONS
+    ]
+    assert fractions[-1] > fractions[0]

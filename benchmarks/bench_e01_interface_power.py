@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E1 (interface_power).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e01_interface_power
+
+from conftest import run_report
+
+
+def test_e01_interface_power(benchmark):
+    report = run_report(benchmark, e01_interface_power)
+    assert report.all_hold, report.render()

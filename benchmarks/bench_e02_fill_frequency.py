@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E2 (fill_frequency).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e02_fill_frequency
+
+from conftest import run_report
+
+
+def test_e02_fill_frequency(benchmark):
+    report = run_report(benchmark, e02_fill_frequency)
+    assert report.all_hold, report.render()

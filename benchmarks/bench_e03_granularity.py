@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E3 (granularity).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e03_granularity
+
+from conftest import run_report
+
+
+def test_e03_granularity(benchmark):
+    report = run_report(benchmark, e03_granularity)
+    assert report.all_hold, report.render()

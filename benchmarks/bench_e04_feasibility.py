@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E4 (feasibility).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e04_feasibility
+
+from conftest import run_report
+
+
+def test_e04_feasibility(benchmark):
+    report = run_report(benchmark, e04_feasibility)
+    assert report.all_hold, report.render()

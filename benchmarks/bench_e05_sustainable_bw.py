@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E5 (sustainable_bw).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e05_sustainable_bw
+
+from conftest import run_report
+
+
+def test_e05_sustainable_bw(benchmark):
+    report = run_report(benchmark, e05_sustainable_bw)
+    assert report.all_hold, report.render()

@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E6 (mpeg2).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e06_mpeg2
+
+from conftest import run_report
+
+
+def test_e06_mpeg2(benchmark):
+    report = run_report(benchmark, e06_mpeg2)
+    assert report.all_hold, report.render()

@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E7 (gap_iram).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e07_gap_iram
+
+from conftest import run_report
+
+
+def test_e07_gap_iram(benchmark):
+    report = run_report(benchmark, e07_gap_iram)
+    assert report.all_hold, report.render()

@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E8 (siemens_concept).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e08_siemens_concept
+
+from conftest import run_report
+
+
+def test_e08_siemens_concept(benchmark):
+    report = run_report(benchmark, e08_siemens_concept)
+    assert report.all_hold, report.render()

@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E9 (test_cost).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e09_test_cost
+
+from conftest import run_report
+
+
+def test_e09_test_cost(benchmark):
+    report = run_report(benchmark, e09_test_cost)
+    assert report.all_hold, report.render()

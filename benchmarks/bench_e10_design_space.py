@@ -1,0 +1,14 @@
+"""Benchmark harness for experiment E10 (design_space).
+
+Runs the experiment end to end, prints the paper-vs-measured report and
+the regenerated table, and asserts every claim's shape holds.
+"""
+
+from repro.experiments import e10_design_space
+
+from conftest import run_report
+
+
+def test_e10_design_space(benchmark):
+    report = run_report(benchmark, e10_design_space)
+    assert report.all_hold, report.render()

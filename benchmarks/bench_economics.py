@@ -1,0 +1,95 @@
+"""Economics bench: the embedded-vs-discrete crossover volume.
+
+Section 2's first rule of thumb — "the product volume and product
+lifetime are usually high" — is a statement about NRE amortization:
+the merged die carries higher NRE (extra masks, eDRAM quali) and a
+costlier process, so it needs volume before its saved packages, pins,
+board space and commodity-memory over-provisioning pay it back.  This
+bench sweeps volume and locates the crossover for a graphics-class
+project, and shows how the crossover moves with memory content.
+"""
+
+from repro.cost.economics import ChipEconomics, SystemCostModel
+from repro.cost.wafer import WaferSpec
+from repro.reporting.tables import Table
+from repro.units import MBIT
+
+
+def build_model() -> SystemCostModel:
+    return SystemCostModel(
+        embedded=ChipEconomics(
+            wafer=WaferSpec(cost_multiplier=1.15), nre=3.0e6
+        ),
+        discrete_logic=ChipEconomics(
+            wafer=WaferSpec(cost_multiplier=1.0), nre=1.5e6
+        ),
+    )
+
+
+def crossover_for_memory(memory_mbit: float) -> tuple:
+    """(crossover volume, embedded cost @1M, discrete cost @1M)."""
+    model = build_model()
+    memory_area = memory_mbit * 1.07
+    kwargs = dict(
+        memory_area_mm2=memory_area,
+        logic_area_mm2=60.0,
+        embedded_pins=160,
+        embedded_power_w=1.0,
+        discrete_logic_pins=460,
+        discrete_logic_power_w=1.2,
+        # Commodity granularity: buy the next 16-Mbit multiple wide
+        # enough for the bus (simplified to 4x over-provisioning for
+        # small needs, 1.5x for large).
+        memory_mbit=max(4 * memory_mbit, 64.0)
+        if memory_mbit <= 16
+        else 1.5 * memory_mbit,
+        n_dram_chips=16,
+    )
+    crossover = model.crossover_volume(**kwargs)
+    embedded = model.embedded_unit_cost(
+        memory_area, 60.0, 160, 1.0, 1_000_000
+    )
+    discrete = model.discrete_unit_cost(
+        60.0, 460, 1.2, kwargs["memory_mbit"], 16, 1_000_000
+    )
+    return crossover, embedded, discrete
+
+
+def run_sweep():
+    rows = []
+    for memory_mbit in (4.0, 8.0, 16.0, 32.0, 64.0):
+        crossover, embedded, discrete = crossover_for_memory(memory_mbit)
+        rows.append((memory_mbit, crossover, embedded, discrete))
+    return rows
+
+
+def test_crossover_volume(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table(
+        title="Embedded-vs-discrete crossover volume by memory content",
+        columns=[
+            "memory",
+            "crossover volume",
+            "embedded @1M",
+            "discrete @1M",
+        ],
+    )
+    for memory_mbit, crossover, embedded, discrete in rows:
+        table.add_row(
+            f"{memory_mbit:.0f} Mbit",
+            f"{crossover:,}" if crossover else "never",
+            f"{embedded:.2f}",
+            f"{discrete:.2f}",
+        )
+    print()
+    print(table.render())
+    # Every configuration crosses over at some finite volume...
+    assert all(crossover is not None for _, crossover, _, _ in rows)
+    # ...and by 1M units/yr the embedded solution is already cheaper for
+    # high memory content (Section 2: "either the memory content is high
+    # enough to justify the higher DRAM process costs...").
+    high = rows[-1]
+    assert high[2] < high[3]
+    # Low volume favors discrete: the crossover is well above small-run
+    # territory for at least the small-memory case.
+    assert rows[0][1] > 10_000

@@ -1,0 +1,54 @@
+"""Bench: multi-module composition beyond one module's ~9 GB/s.
+
+Section 5 caps a single module at 512 bits x 143 MHz; Section 2's
+high-end switches and future graphics parts need more.  This bench
+sweeps aggregate bandwidth targets across the single/multi-module
+boundary and regenerates the composition table (modules, per-module
+width, capacity split, area).
+"""
+
+from repro.dram.multimodule import compose_for_bandwidth
+from repro.dram.edram import SIEMENS_CONCEPT
+from repro.reporting.tables import Table
+from repro.units import MBIT
+
+
+def run_sweep():
+    rows = []
+    for target_gbyte_per_s in (2, 6, 9, 12, 18, 27):
+        system = compose_for_bandwidth(
+            capacity_bits=64 * MBIT,
+            bandwidth_bits_per_s=target_gbyte_per_s * 8e9,
+        )
+        rows.append((target_gbyte_per_s, system))
+    return rows
+
+
+def test_multimodule_composition(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table(
+        title="Multi-module composition for 64 Mbit at rising bandwidth",
+        columns=["target", "modules", "per-module", "aggregate peak",
+                 "area"],
+    )
+    for target, system in rows:
+        module = system.modules[0]
+        table.add_row(
+            f"{target} GB/s",
+            system.n_modules,
+            f"{module.size_bits / MBIT:.0f} Mbit x{module.width}",
+            f"{system.peak_bandwidth_bits_per_s / 8e9:.1f} GB/s",
+            f"{system.area_mm2():.0f} mm^2",
+        )
+    print()
+    print(table.render())
+    single_limit = SIEMENS_CONCEPT.max_module_bandwidth_bits_per_s / 8e9
+    for target, system in rows:
+        assert system.peak_bandwidth_bits_per_s >= target * 8e9
+        if target <= single_limit:
+            assert system.n_modules == 1
+        else:
+            assert system.n_modules > 1
+    # Area grows with module count (periphery replicates).
+    areas = [system.area_mm2() for _, system in rows]
+    assert areas[-1] > areas[0]

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness."""
+
+import pytest
+
+
+def run_report(benchmark, module):
+    """Benchmark an experiment module's run() once and print its report.
+
+    Cycle-level experiments take seconds; one round keeps the harness
+    usable while still timing the full pipeline.
+    """
+    report = benchmark.pedantic(module.run, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    if hasattr(module, "render_table"):
+        print()
+        print(module.render_table())
+    return report
+
+
+@pytest.fixture
+def report_runner():
+    return run_report

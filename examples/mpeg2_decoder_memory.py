@@ -1,0 +1,123 @@
+"""The paper's MPEG2 case study (Section 4.1), end to end.
+
+Computes the decoder's memory budget for both output-buffer variants,
+verifies the 16-Mbit fit and the 3-Mbit-for-2x-bandwidth trade, then
+asks the design-space explorer for an embedded memory that serves the
+decoder — and simulates the winning organization under decoder-like
+traffic (display stream + motion-compensation blocks + bitstream).
+
+Run:  python examples/mpeg2_decoder_memory.py
+"""
+
+from repro.apps import MPEG2MemoryBudget, DecoderVariant, PAL, NTSC
+from repro.controller import MemoryController
+from repro.core import ApplicationRequirements, DesignSpaceExplorer, Quantizer
+from repro.dram import AddressMapping, EDRAMMacro, MappingScheme
+from repro.sim import MemorySystemSimulator, SimulationConfig
+from repro.traffic import (
+    MemoryClient,
+    MotionCompensationPattern,
+    SequentialPattern,
+)
+from repro.units import MBIT
+
+
+def print_budget(budget: MPEG2MemoryBudget, label: str) -> None:
+    print(f"{label}:")
+    print(f"  input (VBV) buffer : {budget.input_buffer_bits / MBIT:6.2f} Mbit")
+    print(f"  reference frames   : {budget.reference_frames_bits / MBIT:6.2f} Mbit")
+    print(f"  output buffer      : {budget.output_buffer_bits / MBIT:6.2f} Mbit")
+    print(f"  total              : {budget.total_mbit:6.2f} Mbit "
+          f"(fits 16 Mbit: {budget.fits_16_mbit})")
+    print(f"  total bandwidth    : "
+          f"{budget.total_bandwidth_bits_per_s() / 1e6:6.0f} Mbit/s "
+          f"(pipeline {budget.pipeline_throughput_factor():.0f}x)")
+
+
+def main() -> None:
+    print(f"PAL frame:  {PAL.frame_mbit:.3f} Mbit (paper: 4.75)")
+    print(f"NTSC frame: {NTSC.frame_mbit:.3f} Mbit (paper: 3.96)\n")
+
+    standard = MPEG2MemoryBudget()
+    reduced = MPEG2MemoryBudget(variant=DecoderVariant.REDUCED_OUTPUT)
+    print_budget(standard, "standard decoder")
+    print_budget(reduced, "reduced-output decoder")
+    print(
+        f"\nmemory saved: "
+        f"{(standard.total_bits - reduced.total_bits) / MBIT:.2f} Mbit "
+        f"(paper: ~3 Mbit) at 2x pipeline throughput"
+    )
+
+    # Design-space exploration for the standard decoder.
+    requirements = ApplicationRequirements(
+        name="MPEG2 decoder",
+        capacity_bits=standard.total_bits,
+        sustained_bandwidth_bits_per_s=standard.total_bandwidth_bits_per_s(),
+        max_latency_ns=400.0,
+        volume_per_year=10_000_000,
+        locality=0.6,
+    )
+    result = DesignSpaceExplorer().explore(requirements)
+    print(
+        f"\nexplored {result.n_explored} organizations, "
+        f"{len(result.feasible)} feasible, frontier of "
+        f"{len(result.frontier)}"
+    )
+    for solution in Quantizer().named_solutions(result):
+        metrics = solution.metrics
+        print(
+            f"  {solution.name:14s} {metrics.label:42s} "
+            f"{metrics.power_w * 1e3:5.0f} mW  {metrics.area_mm2:5.1f} mm^2"
+        )
+
+    # Simulate a decoder-like client mix on the balanced solution's
+    # organization family.
+    macro = EDRAMMacro.build(
+        size_bits=16 * MBIT, width=64, banks=4, page_bits=4096
+    )
+    device = macro.device()
+    controller = MemoryController(
+        device=device,
+        mapping=AddressMapping(device.organization, MappingScheme.ROW_BANK_COL),
+    )
+    words = device.organization.total_words
+    frame_words = PAL.frame_bits // 64
+    clients = [
+        MemoryClient(
+            name="display",
+            pattern=SequentialPattern(base=0, length=frame_words),
+            rate=0.05,
+        ),
+        MemoryClient(
+            name="motion-comp",
+            pattern=MotionCompensationPattern(
+                base=frame_words,
+                width=720 * 8 // 64,  # 720-pixel lines in 64-bit words
+                height=576,
+                block_w=2,
+                block_h=16,
+                max_displacement=8,
+                seed=5,
+            ),
+            rate=0.12,
+        ),
+        MemoryClient(
+            name="bitstream",
+            pattern=SequentialPattern(
+                base=3 * frame_words, length=words - 3 * frame_words
+            ),
+            rate=0.01,
+            read_fraction=0.5,
+        ),
+    ]
+    simulator = MemorySystemSimulator(
+        controller=controller,
+        clients=clients,
+        config=SimulationConfig(cycles=15_000, warmup_cycles=1_500),
+    )
+    result = simulator.run()
+    print(f"\ndecoder traffic simulation: {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

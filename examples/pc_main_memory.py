@@ -1,0 +1,82 @@
+"""Why eDRAM does NOT capture PC main memory (paper Section 2).
+
+"However, it is unlikely that edram will capture the PC market for main
+memory, as the need for flexibility and an upgrade path is too strong."
+
+This example runs the paper's own reasoning through the library: the
+advisability rules veto the project despite enormous volume, and the
+PC-granularity analysis shows the commodity path's actual pain (devices
+outgrowing systems) — a pain an embedded solution cannot fix, because
+it would freeze the memory size entirely.
+
+Run:  python examples/pc_main_memory.py
+"""
+
+from repro.apps import (
+    PC_GENERATIONS,
+    device_growth_rate,
+    forced_overprovision_mbit,
+    system_growth_rate,
+)
+from repro.core import Advisor, ApplicationRequirements
+from repro.reporting import Table
+from repro.units import MBIT
+
+
+def main() -> None:
+    # The project, as its enormous volume would argue for it:
+    requirements = ApplicationRequirements(
+        name="PC main memory",
+        capacity_bits=64 * MBIT,
+        sustained_bandwidth_bits_per_s=0.8e9 * 8,
+        volume_per_year=100_000_000,
+        portable=False,
+    )
+    # ...and as its upgrade requirement actually decides it:
+    advisor = Advisor(
+        product_lifetime_years=4.0,
+        needs_upgrade_path=True,  # the decisive fact
+    )
+    advice = advisor.advise(requirements)
+    print(
+        f"advisability of eDRAM PC main memory: {advice.score:.2f} "
+        f"({'recommended' if advice.recommended else 'vetoed'})"
+    )
+    for reason in advice.reasons:
+        print(f"  - {reason}")
+
+    # The commodity path's own structural problem, quantified:
+    print(
+        f"\ndevice capacity grows {device_growth_rate():.0%}/yr but "
+        f"systems only {system_growth_rate():.0%}/yr "
+        f"(the paper's 'half the rate'):"
+    )
+    table = Table(
+        title="PC memory granularity by platform generation",
+        columns=["year", "device", "rank increment", "typical system",
+                 "increment/system"],
+    )
+    for generation in PC_GENERATIONS:
+        table.add_row(
+            generation.year,
+            f"{generation.device_capacity_mbit:g} Mbit "
+            f"x{generation.device_width_bits}",
+            f"{generation.increment_mbit} Mbit",
+            f"{generation.typical_system_mbyte} MB",
+            f"{generation.increment_fraction_of_system:.1f}x",
+        )
+    print(table.render())
+
+    pc98 = PC_GENERATIONS[-1]
+    wanted = 320  # Mbit: a 40-MB working set
+    extra = forced_overprovision_mbit(wanted, pc98)
+    print(
+        f"\nwanting {wanted} Mbit in {pc98.year} forces buying "
+        f"{wanted + extra:.0f} Mbit ({extra:.0f} Mbit over) — yet the "
+        f"upgrade path that causes this waste is exactly what eDRAM "
+        f"cannot offer, so the commodity DIMM keeps the socket."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: the library in sixty seconds.
+
+Builds an embedded DRAM macro, checks the paper's headline power claim,
+and runs a short cycle-accurate simulation of two clients sharing it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.controller import MemoryController
+from repro.dram import EDRAMMacro, MappingScheme, AddressMapping
+from repro.power import discrete_vs_embedded_power
+from repro.sim import MemorySystemSimulator, SimulationConfig
+from repro.traffic import MemoryClient, RandomPattern, SequentialPattern
+from repro.units import MBIT
+
+
+def main() -> None:
+    # 1. Memory size, width, banks and page length are design
+    #    parameters (paper Section 3): build a 8-Mbit, 128-bit macro.
+    macro = EDRAMMacro.build(
+        size_bits=8 * MBIT, width=128, banks=4, page_bits=2048
+    )
+    print(f"macro: {macro.organization}")
+    print(
+        f"  peak {macro.peak_bandwidth_bits_per_s / 8e9:.2f} GB/s, "
+        f"area {macro.area_mm2():.1f} mm^2 "
+        f"({macro.area_efficiency_mbit_per_mm2():.2f} Mbit/mm^2), "
+        f"fill frequency {macro.fill_frequency_hz:.0f}/s"
+    )
+
+    # 2. The Section 1 power example: a 4 GB/s, 256-bit memory system.
+    discrete, embedded, ratio = discrete_vs_embedded_power()
+    print(
+        f"\n4 GB/s system power: discrete {discrete.total_w:.1f} W "
+        f"({discrete.n_chips} chips) vs embedded {embedded.total_w:.1f} W "
+        f"-> {ratio:.1f}x (paper: 'about ten times')"
+    )
+
+    # 3. Cycle-accurate simulation: a display stream plus a CPU-like
+    #    random client sharing the macro.
+    device = macro.device()
+    controller = MemoryController(
+        device=device,
+        mapping=AddressMapping(
+            device.organization, MappingScheme.ROW_BANK_COL
+        ),
+    )
+    words = device.organization.total_words
+    clients = [
+        MemoryClient(
+            name="display",
+            pattern=SequentialPattern(base=0, length=words // 2),
+            rate=0.12,
+        ),
+        MemoryClient(
+            name="cpu",
+            pattern=RandomPattern(base=0, length=words, seed=7),
+            rate=0.08,
+        ),
+    ]
+    simulator = MemorySystemSimulator(
+        controller=controller,
+        clients=clients,
+        config=SimulationConfig(cycles=10_000, warmup_cycles=1_000),
+    )
+    result = simulator.run()
+    print(f"\nsimulation: {result.summary()}")
+    for name, stats in result.latency_by_client.items():
+        print(
+            f"  {name}: mean {stats.mean:.1f} cyc, "
+            f"p99 {stats.percentile(99):.0f} cyc, FIFO high-water "
+            f"{result.fifo_high_water[name]}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to `setup.py develop` (via --no-use-pep517)
+when PEP 517 editable builds are unavailable; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

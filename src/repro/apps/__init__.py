@@ -1,0 +1,75 @@
+"""Application memory models: the paper's case studies and markets.
+
+* :mod:`repro.apps.video` — frame geometry (PAL/NTSC, chroma formats),
+* :mod:`repro.apps.mpeg2` — the MPEG2 decoder memory subsystem
+  (Section 4.1 case study),
+* :mod:`repro.apps.graphics` — 3D graphics frame stores (the laptop
+  accelerator market of Section 2),
+* :mod:`repro.apps.network` — network switch packet buffers (the high-end
+  market: up to 128 Mbit, 512-bit interfaces),
+* :mod:`repro.apps.storage` — disk / printer controller memory (embedded
+  processor + program/data storage),
+* :mod:`repro.apps.trends` — the processor-memory performance gap
+  (Section 4.2),
+* :mod:`repro.apps.iram` — merged processor+DRAM (IRAM) improvement
+  factors,
+* :mod:`repro.apps.markets` — Section 2's advisability rules of thumb and
+  market size data.
+"""
+
+from repro.apps.video import (
+    ChromaFormat,
+    VideoStandard,
+    FrameGeometry,
+    PAL,
+    NTSC,
+    frame_bits,
+)
+from repro.apps.mpeg2 import MPEG2MemoryBudget, DecoderVariant
+from repro.apps.graphics import GraphicsFrameStore
+from repro.apps.network import SwitchBuffer
+from repro.apps.storage import EmbeddedControllerMemory
+from repro.apps.trends import TrendModel, PROCESSOR_TREND, DRAM_CORE_TREND
+from repro.apps.iram import IRAMModel, AMATModel, CacheLevel
+from repro.apps.markets import (
+    MarketForecast,
+    MarketSegment,
+    SEGMENTS,
+    advisability_score,
+)
+from repro.apps.pcmemory import (
+    PC_GENERATIONS,
+    PCGeneration,
+    device_growth_rate,
+    forced_overprovision_mbit,
+    system_growth_rate,
+)
+
+__all__ = [
+    "ChromaFormat",
+    "VideoStandard",
+    "FrameGeometry",
+    "PAL",
+    "NTSC",
+    "frame_bits",
+    "MPEG2MemoryBudget",
+    "DecoderVariant",
+    "GraphicsFrameStore",
+    "SwitchBuffer",
+    "EmbeddedControllerMemory",
+    "TrendModel",
+    "PROCESSOR_TREND",
+    "DRAM_CORE_TREND",
+    "IRAMModel",
+    "AMATModel",
+    "CacheLevel",
+    "MarketForecast",
+    "MarketSegment",
+    "SEGMENTS",
+    "advisability_score",
+    "PC_GENERATIONS",
+    "PCGeneration",
+    "device_growth_rate",
+    "forced_overprovision_mbit",
+    "system_growth_rate",
+]

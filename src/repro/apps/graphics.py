@@ -1,0 +1,116 @@
+"""3D graphics accelerator frame store (paper Section 2).
+
+"Embedded DRAM has already conquered a large part of the market for 3D
+graphics accelerator chips for laptops ... Memory sizes of 8-32 Mbit are
+likely to be required, mainly for frame storage."
+
+The model sizes the frame store (color buffers, Z buffer, textures) and
+its bandwidth (pixel fill with Z read-modify-write, texturing, display
+refresh) for a resolution/depth/rate target — the numbers that decide
+between an eDRAM frame store and external memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+
+
+@dataclass(frozen=True)
+class GraphicsFrameStore:
+    """Memory requirements of a 3D accelerator.
+
+    Attributes:
+        width: Display width in pixels.
+        height: Display height in pixels.
+        color_bits: Bits per pixel of the color buffer.
+        z_bits: Bits per pixel of the depth buffer (0 = no Z).
+        double_buffered: Two color buffers for tear-free animation.
+        texture_bits: Dedicated texture storage in bits.
+        refresh_hz: Display refresh rate.
+        frame_rate_hz: 3D rendering frame rate.
+        depth_complexity: Average times each pixel is touched per frame
+            (overdraw).
+        texel_fetch_per_pixel: Texture bits fetched per rendered pixel
+            (bilinear filtering fetches 4 texels).
+    """
+
+    width: int = 800
+    height: int = 600
+    color_bits: int = 16
+    z_bits: int = 16
+    double_buffered: bool = True
+    texture_bits: int = 4 * MBIT
+    refresh_hz: float = 75.0
+    frame_rate_hz: float = 30.0
+    depth_complexity: float = 2.5
+    texel_fetch_per_pixel: int = 64
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("display dimensions must be positive")
+        if self.color_bits <= 0:
+            raise ConfigurationError("color depth must be positive")
+        if self.z_bits < 0 or self.texture_bits < 0:
+            raise ConfigurationError("buffer sizes must be non-negative")
+        if self.refresh_hz <= 0 or self.frame_rate_hz <= 0:
+            raise ConfigurationError("rates must be positive")
+        if self.depth_complexity < 1:
+            raise ConfigurationError("depth complexity must be >= 1")
+        if self.texel_fetch_per_pixel < 0:
+            raise ConfigurationError("texel fetch must be >= 0")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def color_buffer_bits(self) -> int:
+        buffers = 2 if self.double_buffered else 1
+        return buffers * self.pixels * self.color_bits
+
+    @property
+    def z_buffer_bits(self) -> int:
+        return self.pixels * self.z_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.color_buffer_bits + self.z_buffer_bits + self.texture_bits
+
+    @property
+    def total_mbit(self) -> float:
+        return self.total_bits / MBIT
+
+    # -- bandwidth --------------------------------------------------------
+
+    def fill_bandwidth_bits_per_s(self) -> float:
+        """Pixel fill: Z read + Z write + color write, times overdraw."""
+        per_pixel = 2 * self.z_bits + self.color_bits
+        return (
+            per_pixel
+            * self.pixels
+            * self.depth_complexity
+            * self.frame_rate_hz
+        )
+
+    def texture_bandwidth_bits_per_s(self) -> float:
+        """Texel fetches during rasterization."""
+        return (
+            self.texel_fetch_per_pixel
+            * self.pixels
+            * self.depth_complexity
+            * self.frame_rate_hz
+        )
+
+    def refresh_bandwidth_bits_per_s(self) -> float:
+        """Display controller scan-out of the front buffer."""
+        return self.pixels * self.color_bits * self.refresh_hz
+
+    def total_bandwidth_bits_per_s(self) -> float:
+        return (
+            self.fill_bandwidth_bits_per_s()
+            + self.texture_bandwidth_bits_per_s()
+            + self.refresh_bandwidth_bits_per_s()
+        )

@@ -1,0 +1,174 @@
+"""IRAM: merging a microprocessor with DRAM (paper Section 4.2).
+
+"Merging a microprocessor with DRAM can reduce the latency by a factor of
+5-10, increase the bandwidth by a factor of 50 to 100 and improve the
+energy efficiency by a factor of 2 to 4." (Citing Patterson et al.,
+ISSCC'97.)
+
+The module grounds those factors in a cache-hierarchy model: an
+:class:`AMATModel` computes average memory access time over cache levels,
+and :class:`IRAMModel` applies the merge — main-memory latency divided by
+the latency factor, bandwidth multiplied by the width factor, energy per
+access divided by the efficiency factor — and reports the end-to-end
+speedup for a workload's miss profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level in the hierarchy.
+
+    Attributes:
+        name: Level name (L1, L2, ...).
+        hit_time_ns: Access time on a hit.
+        miss_rate: Local miss rate (misses per access *to this level*).
+        energy_per_access_nj: Energy per access.
+    """
+
+    name: str
+    hit_time_ns: float
+    miss_rate: float
+    energy_per_access_nj: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.hit_time_ns <= 0:
+            raise ConfigurationError(f"{self.name}: hit time must be positive")
+        if not 0 <= self.miss_rate <= 1:
+            raise ConfigurationError(
+                f"{self.name}: miss rate must be in [0, 1]"
+            )
+        if self.energy_per_access_nj < 0:
+            raise ConfigurationError(f"{self.name}: energy must be >= 0")
+
+
+@dataclass(frozen=True)
+class AMATModel:
+    """Average memory access time over a cache hierarchy.
+
+    Attributes:
+        levels: Cache levels, fastest first.
+        memory_latency_ns: Main-memory access latency behind the last
+            level.
+        memory_energy_nj: Energy of one main-memory access.
+    """
+
+    levels: tuple
+    memory_latency_ns: float
+    memory_energy_nj: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("need at least one cache level")
+        if self.memory_latency_ns <= 0:
+            raise ConfigurationError("memory latency must be positive")
+        if self.memory_energy_nj < 0:
+            raise ConfigurationError("memory energy must be >= 0")
+
+    def amat_ns(self) -> float:
+        """Average memory access time per CPU reference."""
+        total = 0.0
+        reach = 1.0  # fraction of references reaching this level
+        for level in self.levels:
+            total += reach * level.hit_time_ns
+            reach *= level.miss_rate
+        return total + reach * self.memory_latency_ns
+
+    def memory_reference_fraction(self) -> float:
+        """Fraction of references that reach main memory."""
+        reach = 1.0
+        for level in self.levels:
+            reach *= level.miss_rate
+        return reach
+
+    def energy_per_reference_nj(self) -> float:
+        total = 0.0
+        reach = 1.0
+        for level in self.levels:
+            total += reach * level.energy_per_access_nj
+            reach *= level.miss_rate
+        return total + reach * self.memory_energy_nj
+
+    def with_memory(
+        self, latency_ns: float, energy_nj: float
+    ) -> "AMATModel":
+        """Same hierarchy over a different main memory."""
+        return AMATModel(
+            levels=self.levels,
+            memory_latency_ns=latency_ns,
+            memory_energy_nj=energy_nj,
+        )
+
+
+#: A late-90s desktop hierarchy: 2-level cache over 60 ns page-miss DRAM.
+DESKTOP_HIERARCHY = AMATModel(
+    levels=(
+        CacheLevel(name="L1", hit_time_ns=2.0, miss_rate=0.05,
+                   energy_per_access_nj=0.5),
+        CacheLevel(name="L2", hit_time_ns=10.0, miss_rate=0.30,
+                   energy_per_access_nj=5.0),
+    ),
+    memory_latency_ns=120.0,
+    memory_energy_nj=60.0,
+)
+
+
+@dataclass(frozen=True)
+class IRAMModel:
+    """The processor-in-DRAM merge, as improvement factors.
+
+    Attributes:
+        latency_factor: Main-memory latency reduction (paper: 5-10).
+        bandwidth_factor: Bandwidth increase (paper: 50-100).
+        energy_factor: Energy-efficiency improvement (paper: 2-4).
+    """
+
+    latency_factor: float = 7.5
+    bandwidth_factor: float = 75.0
+    energy_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("latency_factor", "bandwidth_factor", "energy_factor"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+    def within_paper_ranges(self) -> bool:
+        """Whether the factors sit inside the paper's quoted ranges."""
+        return (
+            5 <= self.latency_factor <= 10
+            and 50 <= self.bandwidth_factor <= 100
+            and 2 <= self.energy_factor <= 4
+        )
+
+    def merged_hierarchy(self, base: AMATModel) -> AMATModel:
+        """Apply the merge to a hierarchy's main memory."""
+        return base.with_memory(
+            latency_ns=base.memory_latency_ns / self.latency_factor,
+            energy_nj=base.memory_energy_nj / self.energy_factor,
+        )
+
+    def amat_speedup(self, base: AMATModel) -> float:
+        """End-to-end AMAT improvement for the workload the hierarchy
+        encodes.  Cache hits are unaffected, so the speedup is diluted by
+        the hit fraction — large for memory-bound workloads, modest for
+        cache-friendly ones."""
+        merged = self.merged_hierarchy(base)
+        return base.amat_ns() / merged.amat_ns()
+
+    def energy_improvement(self, base: AMATModel) -> float:
+        """Per-reference energy improvement."""
+        merged = self.merged_hierarchy(base)
+        return base.energy_per_reference_nj() / merged.energy_per_reference_nj()
+
+    def bandwidth_bits_per_s(
+        self, base_bandwidth_bits_per_s: float
+    ) -> float:
+        """Deliverable memory bandwidth after the merge."""
+        if base_bandwidth_bits_per_s <= 0:
+            raise ConfigurationError("base bandwidth must be positive")
+        return base_bandwidth_bits_per_s * self.bandwidth_factor

@@ -1,0 +1,227 @@
+"""MPEG2 video decoder memory subsystem (paper Section 4.1).
+
+"An MPEG2 video decoding pipeline contains three large memory blocks: an
+input buffer for storing the incoming compressed data stream, two full
+frame buffers for bidirectional picture reconstruction, and an output
+buffer for progressive-to-interlaced conversion.  Memory can be saved
+only in the output buffer.  Specifically, about 3 Mbit can be saved at
+the expense of doubling the throughput of the decoding pipeline as well
+as the memory bandwidth of the motion compensation module."
+
+The model computes, for a given frame geometry and decoder variant:
+
+* the memory budget per block (input/VBV, two reference frames, output),
+* whether it fits the 16-Mbit commodity size the standard was bent to
+  accommodate,
+* the sustained memory bandwidth by traffic component (reconstruction
+  writes, motion-compensation reads, display reads, bitstream),
+* and the 2x motion-compensation/pipeline penalty of the reduced-output
+  variant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+from repro.apps.video import FrameGeometry, PAL
+
+
+class DecoderVariant(enum.Enum):
+    """Output-buffer sizing strategies."""
+
+    #: Full output buffer: B-pictures reconstructed once into memory,
+    #: display conversion reads from there.
+    STANDARD = "standard"
+    #: Reduced output buffer: B-pictures are decoded twice (once per
+    #: field), trading ~3 Mbit of memory for 2x decode throughput and 2x
+    #: motion-compensation bandwidth.
+    REDUCED_OUTPUT = "reduced-output"
+
+
+#: MP@ML video buffering verifier (VBV) size: 1,835,008 bits.
+VBV_BITS_MP_ML = 1_835_008
+
+
+@dataclass(frozen=True)
+class GOPStructure:
+    """Group-of-pictures composition.
+
+    Attributes:
+        i_fraction: Share of I pictures.
+        p_fraction: Share of P pictures.
+        b_fraction: Share of B pictures.
+    """
+
+    i_fraction: float = 1.0 / 12.0
+    p_fraction: float = 3.0 / 12.0
+    b_fraction: float = 8.0 / 12.0
+
+    def __post_init__(self) -> None:
+        total = self.i_fraction + self.p_fraction + self.b_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"GOP fractions must sum to 1, got {total}"
+            )
+        if min(self.i_fraction, self.p_fraction, self.b_fraction) < 0:
+            raise ConfigurationError("GOP fractions must be non-negative")
+
+
+@dataclass(frozen=True)
+class MPEG2MemoryBudget:
+    """Memory and bandwidth budget of an MPEG2 decoder.
+
+    Attributes:
+        frame: Decoded frame geometry (PAL or NTSC, 4:2:0 for MP@ML).
+        variant: Output-buffer strategy.
+        bitrate_bits_per_s: Compressed stream rate (MP@ML max 15 Mbit/s).
+        gop: Picture-type mix.
+        mc_overfetch: Motion-compensation read amplification: half-pel
+            interpolation needs (16+1)^2/16^2 per block, and burst/page
+            granularity adds more.  1.6 is a representative planning
+            figure.
+        input_buffer_margin: Extra system buffering on top of the VBV
+            (1.0 = exactly the VBV, which is what squeezing into 16 Mbit
+            demands).
+    """
+
+    frame: FrameGeometry = PAL
+    variant: DecoderVariant = DecoderVariant.STANDARD
+    bitrate_bits_per_s: float = 15e6
+    gop: GOPStructure = GOPStructure()
+    mc_overfetch: float = 1.6
+    input_buffer_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bits_per_s <= 0:
+            raise ConfigurationError("bitrate must be positive")
+        if self.mc_overfetch < 1.0:
+            raise ConfigurationError(
+                f"MC overfetch must be >= 1, got {self.mc_overfetch}"
+            )
+        if self.input_buffer_margin < 1.0:
+            raise ConfigurationError("input margin must be >= 1")
+
+    # -- memory blocks -------------------------------------------------------
+
+    @property
+    def input_buffer_bits(self) -> int:
+        """Compressed-stream buffer: VBV plus system margin."""
+        return int(round(VBV_BITS_MP_ML * self.input_buffer_margin))
+
+    @property
+    def reference_frames_bits(self) -> int:
+        """Two full frame stores for bidirectional prediction."""
+        return 2 * self.frame.frame_bits
+
+    @property
+    def output_buffer_bits(self) -> int:
+        """Progressive-to-interlaced conversion buffer.
+
+        Standard variant: a reconstructed B-picture store plus display
+        working space — about one frame (the B picture is written once
+        and displayed field by field).  Reduced variant: the B picture is
+        re-decoded per field, so only a small line/field working buffer
+        remains (about 0.35 frame), saving about 3 Mbit on a PAL frame.
+        """
+        if self.variant is DecoderVariant.STANDARD:
+            return self.frame.frame_bits
+        return int(round(0.35 * self.frame.frame_bits))
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.input_buffer_bits
+            + self.reference_frames_bits
+            + self.output_buffer_bits
+        )
+
+    @property
+    def total_mbit(self) -> float:
+        return self.total_bits / MBIT
+
+    @property
+    def saved_vs_standard_bits(self) -> int:
+        """Memory saved relative to the standard variant."""
+        standard = MPEG2MemoryBudget(
+            frame=self.frame,
+            variant=DecoderVariant.STANDARD,
+            bitrate_bits_per_s=self.bitrate_bits_per_s,
+            gop=self.gop,
+            mc_overfetch=self.mc_overfetch,
+            input_buffer_margin=self.input_buffer_margin,
+        )
+        return standard.total_bits - self.total_bits
+
+    def fits_bits(self, capacity_bits: int) -> bool:
+        """Whether the budget fits a given memory capacity."""
+        if capacity_bits <= 0:
+            raise ConfigurationError("capacity must be positive")
+        return self.total_bits <= capacity_bits
+
+    @property
+    def fits_16_mbit(self) -> bool:
+        """The commodity size the MPEG group bent the standard around."""
+        return self.fits_bits(16 * MBIT)
+
+    # -- bandwidth components --------------------------------------------------
+
+    @property
+    def decode_passes(self) -> float:
+        """Average decode passes per displayed B picture."""
+        return 2.0 if self.variant is DecoderVariant.REDUCED_OUTPUT else 1.0
+
+    def reconstruction_write_bandwidth(self) -> float:
+        """Writing reconstructed pictures to memory (bits/s).
+
+        Reference (I/P) pictures are written once; B pictures are written
+        ``decode_passes`` times (the reduced variant re-decodes them but
+        writes only the current field, so the write volume stays one
+        frame per displayed frame).
+        """
+        return self.frame.frame_bits * self.frame.frame_rate_hz
+
+    def motion_compensation_read_bandwidth(self) -> float:
+        """Prediction reads from the reference stores (bits/s).
+
+        P pictures read one prediction, B pictures two, both amplified by
+        the overfetch factor; the reduced variant multiplies the B share
+        by the number of decode passes.
+        """
+        per_frame = self.frame.frame_bits
+        predictions = (
+            self.gop.p_fraction * 1.0
+            + self.gop.b_fraction * 2.0 * self.decode_passes
+        )
+        return (
+            predictions
+            * per_frame
+            * self.mc_overfetch
+            * self.frame.frame_rate_hz
+        )
+
+    def display_read_bandwidth(self) -> float:
+        """Scanning pictures out for display (bits/s)."""
+        return self.frame.frame_bits * self.frame.frame_rate_hz
+
+    def bitstream_bandwidth(self) -> float:
+        """Writing then reading the compressed stream (bits/s)."""
+        return 2.0 * self.bitrate_bits_per_s
+
+    def total_bandwidth_bits_per_s(self) -> float:
+        return (
+            self.reconstruction_write_bandwidth()
+            + self.motion_compensation_read_bandwidth()
+            + self.display_read_bandwidth()
+            + self.bitstream_bandwidth()
+        )
+
+    def pipeline_throughput_factor(self) -> float:
+        """Decode-pipeline throughput relative to the standard variant.
+
+        The reduced-output variant must decode B pictures twice within
+        the same display interval: 2x, the paper's stated cost.
+        """
+        return self.decode_passes

@@ -1,0 +1,93 @@
+"""Network switch packet buffer (paper Section 2).
+
+"Network switching is the high-end market for edram: memory sizes of up
+to 128 Mbit and interface widths up to 512 [bits] are required for
+reading and writing data packets out of large buffers."
+
+A shared-memory switch must write every arriving packet and read every
+departing one: the buffer bandwidth is 2x the aggregate line rate, and
+the buffer size is set by line rate times the worst tolerated congestion
+delay.  Both scale with port count, which is why switches hit the top of
+the eDRAM range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT, ceil_div
+
+
+@dataclass(frozen=True)
+class SwitchBuffer:
+    """Shared-memory switch buffering requirements.
+
+    Attributes:
+        n_ports: Switch ports.
+        line_rate_bits_per_s: Rate of each port.
+        buffering_s: Worst-case congestion delay to absorb (rule of thumb:
+            one round-trip time of buffering per port).
+        cell_bits: Internal cell/segment size (ATM cell = 424 bits;
+            Ethernet switches segment frames similarly).
+        speedup: Internal bandwidth overprovisioning factor over the
+            strict 2x line rate (to cover segmentation waste and control
+            traffic).
+    """
+
+    n_ports: int = 16
+    line_rate_bits_per_s: float = 622e6  # OC-12
+    buffering_s: float = 1e-3
+    cell_bits: int = 424
+    speedup: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.n_ports < 1:
+            raise ConfigurationError("switch needs at least one port")
+        if self.line_rate_bits_per_s <= 0:
+            raise ConfigurationError("line rate must be positive")
+        if self.buffering_s <= 0:
+            raise ConfigurationError("buffering time must be positive")
+        if self.cell_bits <= 0:
+            raise ConfigurationError("cell size must be positive")
+        if self.speedup < 1:
+            raise ConfigurationError("speedup must be >= 1")
+
+    @property
+    def aggregate_rate_bits_per_s(self) -> float:
+        return self.n_ports * self.line_rate_bits_per_s
+
+    @property
+    def buffer_bits(self) -> int:
+        """Shared buffer size: aggregate rate times the congestion delay."""
+        return int(round(self.aggregate_rate_bits_per_s * self.buffering_s))
+
+    @property
+    def buffer_mbit(self) -> float:
+        return self.buffer_bits / MBIT
+
+    def memory_bandwidth_bits_per_s(self) -> float:
+        """Write + read every packet, with internal speedup."""
+        return 2.0 * self.aggregate_rate_bits_per_s * self.speedup
+
+    def interface_width_bits(self, clock_hz: float) -> int:
+        """Memory interface width needed at a given clock.
+
+        This is how the 512-bit figure arises: a 16-port OC-12 switch at
+        143 MHz needs 2 * 16 * 622 Mb/s * 1.2 / 143 MHz = 167 bits, and a
+        16-port gigabit or 4-port OC-48 box pushes past 256-512.
+        """
+        if clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+        width = ceil_div(
+            int(self.memory_bandwidth_bits_per_s()), int(clock_hz)
+        )
+        # Round up to the next power of two, the constructible widths.
+        rounded = 1
+        while rounded < width:
+            rounded *= 2
+        return rounded
+
+    def cells_buffered(self) -> int:
+        """Buffer capacity in cells."""
+        return self.buffer_bits // self.cell_bits

@@ -1,0 +1,84 @@
+"""Disk / printer controller memory (paper Section 2).
+
+"The three other main markets for edram are likely to be controllers for
+hard-disk drives, controllers for printers, and network switches.  The
+first two of these markets are driven mainly by system cost; the products
+contain embedded processors, and the memory is used for storage of
+programs as well as data.  Memory requirements are more modest than for
+graphics controllers, both in terms of size and bandwidth."
+
+The model splits the memory into program store, data structures, and a
+media buffer (disk track cache or printer band buffer), and computes the
+modest bandwidth that results — the point being that these applications
+choose eDRAM for *cost* (package/pin/board savings), not bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT, MBYTE
+
+
+@dataclass(frozen=True)
+class EmbeddedControllerMemory:
+    """Memory requirements of an embedded (disk/printer) controller.
+
+    Attributes:
+        program_bits: Firmware image size.
+        data_bits: Working data structures (cache directories, queues).
+        media_buffer_bits: Track cache / band buffer.
+        media_rate_bits_per_s: Media transfer rate (disk head rate or
+            print engine consumption).
+        host_rate_bits_per_s: Host interface rate.
+        cpu_fetch_bits_per_s: Embedded-CPU instruction/data traffic that
+            misses its caches.
+    """
+
+    program_bits: int = 2 * MBIT
+    data_bits: int = 1 * MBIT
+    media_buffer_bits: int = 4 * MBIT
+    media_rate_bits_per_s: float = 160e6
+    host_rate_bits_per_s: float = 264e6  # Ultra ATA/33
+    cpu_fetch_bits_per_s: float = 40e6
+
+    def __post_init__(self) -> None:
+        for name in ("program_bits", "data_bits", "media_buffer_bits"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        for name in (
+            "media_rate_bits_per_s",
+            "host_rate_bits_per_s",
+            "cpu_fetch_bits_per_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        return self.program_bits + self.data_bits + self.media_buffer_bits
+
+    @property
+    def total_mbit(self) -> float:
+        return self.total_bits / MBIT
+
+    def total_bandwidth_bits_per_s(self) -> float:
+        """Buffer traffic: media in + host out (each write+read) + CPU."""
+        return (
+            2.0 * self.media_rate_bits_per_s
+            + 2.0 * self.host_rate_bits_per_s
+            + self.cpu_fetch_bits_per_s
+        )
+
+    def interface_width_bits(self, clock_hz: float, efficiency: float = 0.6) -> int:
+        """Interface width at a clock, derated by sustained efficiency."""
+        if clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+        if not 0 < efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        needed = self.total_bandwidth_bits_per_s() / (clock_hz * efficiency)
+        width = 1
+        while width < needed:
+            width *= 2
+        return max(16, width)

@@ -1,0 +1,119 @@
+"""Technology trend engine: the processor-memory performance gap.
+
+Paper, Section 4.2: "There is an increasing gap between processor and
+DRAM speed: processor performance increases by 60% per year in contrast
+to only a 10% improvement in the DRAM core."  And Section 4: "the row and
+column access times in a DRAM core have declined by roughly only 10%/year
+whereas the peak device memory bandwidth has increased over the last
+couple of years by two orders of magnitude."
+
+A :class:`TrendModel` is a compound-growth curve anchored at a base year;
+the module provides the canonical processor / DRAM-core / DRAM-bandwidth
+trends, gap computation, and doubling-time analytics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrendModel:
+    """Compound annual growth from a base year.
+
+    Attributes:
+        name: What is growing.
+        base_year: Anchor year.
+        base_value: Value at the anchor.
+        annual_growth: Fractional growth per year (0.60 = +60 %/yr).
+            Negative values model decline (access *times* shrinking).
+    """
+
+    name: str
+    base_year: int
+    base_value: float
+    annual_growth: float
+
+    def __post_init__(self) -> None:
+        if self.base_value <= 0:
+            raise ConfigurationError(
+                f"{self.name}: base value must be positive"
+            )
+        if self.annual_growth <= -1:
+            raise ConfigurationError(
+                f"{self.name}: growth must be > -100 %/yr"
+            )
+
+    def value(self, year: float) -> float:
+        """Value of the metric at ``year``."""
+        return self.base_value * (1 + self.annual_growth) ** (
+            year - self.base_year
+        )
+
+    def ratio(self, year: float) -> float:
+        """Growth factor since the base year."""
+        return self.value(year) / self.base_value
+
+    def doubling_time_years(self) -> float:
+        """Years to double (or halve, for negative growth)."""
+        if self.annual_growth == 0:
+            return math.inf
+        return math.log(2) / abs(math.log(1 + self.annual_growth))
+
+    def years_to_factor(self, factor: float) -> float:
+        """Years until the metric grows by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive")
+        if self.annual_growth == 0:
+            return math.inf if factor != 1 else 0.0
+        return math.log(factor) / math.log(1 + self.annual_growth)
+
+
+#: CPU performance: +60 %/yr (Hennessy-Patterson, as cited by the paper).
+PROCESSOR_TREND = TrendModel(
+    name="processor performance",
+    base_year=1980,
+    base_value=1.0,
+    annual_growth=0.60,
+)
+
+#: DRAM core speed: +10 %/yr (row/column access times -10 %/yr).
+DRAM_CORE_TREND = TrendModel(
+    name="DRAM core performance",
+    base_year=1980,
+    base_value=1.0,
+    annual_growth=0.10,
+)
+
+#: DRAM peak device bandwidth: interface tricks (synchronous protocols,
+#: prefetch, banking) delivered two orders of magnitude over roughly a
+#: decade, i.e. about +60 %/yr at the device interface.
+DRAM_BANDWIDTH_TREND = TrendModel(
+    name="DRAM device peak bandwidth",
+    base_year=1988,
+    base_value=1.0,
+    annual_growth=0.60,
+)
+
+
+def performance_gap(
+    year: float,
+    cpu: TrendModel = PROCESSOR_TREND,
+    dram: TrendModel = DRAM_CORE_TREND,
+) -> float:
+    """Processor/DRAM-core performance ratio at ``year``.
+
+    With the default trends the gap grows by 1.60/1.10 ≈ 1.45x per year.
+    """
+    return cpu.value(year) / dram.value(year)
+
+
+def gap_growth_per_year(
+    cpu: TrendModel = PROCESSOR_TREND,
+    dram: TrendModel = DRAM_CORE_TREND,
+) -> float:
+    """Annual growth factor of the gap itself."""
+    return (1 + cpu.annual_growth) / (1 + dram.annual_growth)

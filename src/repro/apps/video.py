@@ -1,0 +1,133 @@
+"""Video frame geometry.
+
+The paper's calibration identities (Section 4.1): "a PAL frame, for
+example, in 4:2:0 format needs 4.75 Mbit, whereas an NTSC frame requires
+3.96 Mbit" — both exact with 720-pixel active lines, 8-bit samples and
+binary Mbit:
+
+    PAL  720 x 576 x 12 bpp = 4,976,640 bits = 4.746 Mbit
+    NTSC 720 x 480 x 12 bpp = 4,147,200 bits = 3.955 Mbit
+
+"Standard commodity sizes are usually not a multiple of the frame memory
+size", which is the granularity argument in its video form.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+
+
+class ChromaFormat(enum.Enum):
+    """Chroma subsampling: value = average bits per pixel at 8-bit depth."""
+
+    YUV420 = 12
+    YUV422 = 16
+    YUV444 = 24
+
+    @property
+    def bits_per_pixel(self) -> int:
+        return self.value
+
+
+class VideoStandard(enum.Enum):
+    """Broadcast scanning standards."""
+
+    PAL = "PAL"
+    NTSC = "NTSC"
+
+
+@dataclass(frozen=True)
+class FrameGeometry:
+    """One video frame format.
+
+    Attributes:
+        standard: Scanning standard.
+        width: Active pixels per line.
+        height: Active lines per frame.
+        frame_rate_hz: Frames per second.
+        chroma: Chroma subsampling format.
+    """
+
+    standard: VideoStandard
+    width: int
+    height: int
+    frame_rate_hz: float
+    chroma: ChromaFormat = ChromaFormat.YUV420
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"frame dimensions must be positive: {self.width}x{self.height}"
+            )
+        if self.frame_rate_hz <= 0:
+            raise ConfigurationError("frame rate must be positive")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def frame_bits(self) -> int:
+        """Bits to store one frame."""
+        return self.pixels * self.chroma.bits_per_pixel
+
+    @property
+    def frame_mbit(self) -> float:
+        """Frame size in binary Mbit (the paper's unit)."""
+        return self.frame_bits / MBIT
+
+    @property
+    def luma_bits(self) -> int:
+        return self.pixels * 8
+
+    @property
+    def chroma_bits(self) -> int:
+        return self.frame_bits - self.luma_bits
+
+    @property
+    def pixel_rate_hz(self) -> float:
+        """Active pixels per second."""
+        return self.pixels * self.frame_rate_hz
+
+    def display_bandwidth_bits_per_s(self) -> float:
+        """Bandwidth to scan the frame out once per frame period."""
+        return self.frame_bits * self.frame_rate_hz
+
+    def with_chroma(self, chroma: ChromaFormat) -> "FrameGeometry":
+        """Same geometry at a different chroma format."""
+        return FrameGeometry(
+            standard=self.standard,
+            width=self.width,
+            height=self.height,
+            frame_rate_hz=self.frame_rate_hz,
+            chroma=chroma,
+        )
+
+
+#: PAL: 720 x 576 at 25 frames/s (50 fields/s interlaced).
+PAL = FrameGeometry(
+    standard=VideoStandard.PAL,
+    width=720,
+    height=576,
+    frame_rate_hz=25.0,
+)
+
+#: NTSC: 720 x 480 at ~29.97 frames/s (59.94 fields/s interlaced).
+NTSC = FrameGeometry(
+    standard=VideoStandard.NTSC,
+    width=720,
+    height=480,
+    frame_rate_hz=30000.0 / 1001.0,
+)
+
+
+def frame_bits(
+    standard: VideoStandard, chroma: ChromaFormat = ChromaFormat.YUV420
+) -> int:
+    """Frame size in bits for a standard and chroma format."""
+    base = PAL if standard is VideoStandard.PAL else NTSC
+    return base.with_chroma(chroma).frame_bits

@@ -1,0 +1,38 @@
+"""Silicon area models for merged DRAM/logic dies.
+
+This package models the area side of the paper's Section 1 and Section 3
+trade-offs: memory cell technologies, the choice of a DRAM-based versus
+logic-based versus merged base process, memory macro area (array plus
+periphery), logic gate density, and whole-die composition including
+pad-limitation effects.
+"""
+
+from repro.area.cell import CellTechnology, DRAM_1T1C, SRAM_6T, EDRAM_CELLS
+from repro.area.process import (
+    BaseProcess,
+    ProcessKind,
+    DRAM_BASED_025,
+    LOGIC_BASED_025,
+    MERGED_025,
+)
+from repro.area.macro import MacroAreaModel, MacroArea
+from repro.area.logic import LogicAreaModel
+from repro.area.die import DieComposition, DieAreaModel, PadRing
+
+__all__ = [
+    "CellTechnology",
+    "DRAM_1T1C",
+    "SRAM_6T",
+    "EDRAM_CELLS",
+    "BaseProcess",
+    "ProcessKind",
+    "DRAM_BASED_025",
+    "LOGIC_BASED_025",
+    "MERGED_025",
+    "MacroAreaModel",
+    "MacroArea",
+    "LogicAreaModel",
+    "DieComposition",
+    "DieAreaModel",
+    "PadRing",
+]

@@ -1,0 +1,131 @@
+"""Memory cell technologies.
+
+Section 3 of the paper: "The designer has to choose from a wide variety of
+memory cell technologies which differ in the number of transistors and in
+performance."  This module captures that choice as data: each
+:class:`CellTechnology` carries its cell area (in squared feature sizes,
+F^2), transistor count, and relative access-speed figure, so area and
+performance models can be driven from the same record.
+
+Cell areas in F^2 are process-portable: the physical cell area is
+``area_f2 * F**2`` for feature size ``F``.  Typical values: a 1T1C DRAM cell
+is 6-12 F^2 depending on process generation and trench/stack capacitor
+choice; a 6T SRAM cell is 120-150 F^2.  This ~15x density gap is exactly why
+the paper's large embedded memories "have to be implemented as DRAMs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CellTechnology:
+    """A memory cell technology option.
+
+    Attributes:
+        name: Human-readable identifier.
+        transistors: Transistors per cell (the "number of transistors"
+            dimension of the paper's design space).
+        area_f2: Cell area in squared feature sizes (F^2).
+        relative_speed: Random-access speed relative to a 6T SRAM cell
+            (1.0 = SRAM-class).  DRAM cells are slower due to sensing.
+        needs_refresh: Whether the cell loses state and requires refresh.
+        retention_time_s: Nominal data retention time at 85 C for dynamic
+            cells (refresh interval must be below this); ``None`` for
+            static cells.
+    """
+
+    name: str
+    transistors: int
+    area_f2: float
+    relative_speed: float
+    needs_refresh: bool
+    retention_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.transistors < 1:
+            raise ConfigurationError(
+                f"cell {self.name!r}: transistors must be >= 1, got {self.transistors}"
+            )
+        if self.area_f2 <= 0:
+            raise ConfigurationError(
+                f"cell {self.name!r}: area_f2 must be positive, got {self.area_f2}"
+            )
+        if not 0 < self.relative_speed <= 2.0:
+            raise ConfigurationError(
+                f"cell {self.name!r}: relative_speed must be in (0, 2], got {self.relative_speed}"
+            )
+        if self.needs_refresh and self.retention_time_s is None:
+            raise ConfigurationError(
+                f"cell {self.name!r}: dynamic cells must declare a retention time"
+            )
+
+    def cell_area_um2(self, feature_size_um: float) -> float:
+        """Physical cell area in um^2 at the given feature size."""
+        if feature_size_um <= 0:
+            raise ConfigurationError(
+                f"feature size must be positive, got {feature_size_um}"
+            )
+        return self.area_f2 * feature_size_um**2
+
+    def array_area_mm2(self, bits: int, feature_size_um: float) -> float:
+        """Raw cell-array area (no periphery) for ``bits`` cells, in mm^2."""
+        if bits < 0:
+            raise ConfigurationError(f"bits must be non-negative, got {bits}")
+        return bits * self.cell_area_um2(feature_size_um) * 1e-6
+
+    def density_ratio_vs(self, other: "CellTechnology") -> float:
+        """How many times denser this cell is than ``other`` (area ratio)."""
+        return other.area_f2 / self.area_f2
+
+
+#: Stacked/trench-capacitor 1T1C DRAM cell, quarter-micron generation.
+DRAM_1T1C = CellTechnology(
+    name="1T1C DRAM",
+    transistors=1,
+    area_f2=8.0,
+    relative_speed=0.35,
+    needs_refresh=True,
+    retention_time_s=64e-3,
+)
+
+#: Planar-capacitor 1T1C cell as achievable in a logic-based process
+#: (no deep trench / tall stack): much larger cell, same behaviour.
+DRAM_1T1C_PLANAR = CellTechnology(
+    name="1T1C DRAM (planar, logic process)",
+    transistors=1,
+    area_f2=19.0,
+    relative_speed=0.45,
+    needs_refresh=True,
+    retention_time_s=16e-3,
+)
+
+#: Three-transistor gain cell: a historical middle ground.
+DRAM_3T = CellTechnology(
+    name="3T gain cell",
+    transistors=3,
+    area_f2=24.0,
+    relative_speed=0.6,
+    needs_refresh=True,
+    retention_time_s=4e-3,
+)
+
+#: Standard six-transistor SRAM cell.
+SRAM_6T = CellTechnology(
+    name="6T SRAM",
+    transistors=6,
+    area_f2=135.0,
+    relative_speed=1.0,
+    needs_refresh=False,
+)
+
+#: The cell technologies an eDRAM designer chooses among (Section 3).
+EDRAM_CELLS: tuple[CellTechnology, ...] = (
+    DRAM_1T1C,
+    DRAM_1T1C_PLANAR,
+    DRAM_3T,
+    SRAM_6T,
+)

@@ -1,0 +1,64 @@
+"""Logic area and speed model.
+
+Thin wrapper around :class:`repro.area.process.BaseProcess` that adds the
+utilization and speed adjustments a chip architect actually budgets with:
+synthesized logic never packs at 100% of raw density, and logic built on a
+DRAM master process runs slower because the transistors are tuned for low
+leakage rather than drive strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.area.process import BaseProcess
+
+
+@dataclass(frozen=True)
+class LogicAreaModel:
+    """Area/speed model for random logic on a given base process.
+
+    Attributes:
+        process: The base process the logic is built on.
+        utilization: Placement utilization achieved after routing,
+            in (0, 1].  Fewer metal layers force lower utilization; the
+            default 0.85 assumes the process's density figure already
+            reflects its routability.
+    """
+
+    process: BaseProcess
+    utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization <= 1:
+            raise ConfigurationError(
+                f"utilization must be in (0, 1], got {self.utilization}"
+            )
+
+    def area_mm2(self, gates: float) -> float:
+        """Silicon area for ``gates`` NAND2-equivalents, after utilization."""
+        return self.process.logic_area_mm2(gates) / self.utilization
+
+    def gates_fitting(self, area_mm2: float) -> float:
+        """How many gates fit in ``area_mm2`` of this process."""
+        if area_mm2 < 0:
+            raise ConfigurationError(f"area must be non-negative, got {area_mm2}")
+        return (
+            area_mm2
+            * self.utilization
+            * self.process.logic_density_kgates_per_mm2
+            * 1e3
+        )
+
+    def max_clock_mhz(self, reference_mhz: float) -> float:
+        """Achievable clock given a target on a pure logic process.
+
+        A design closing timing at ``reference_mhz`` on the reference logic
+        process closes at ``reference_mhz * logic_speed_factor`` here.
+        """
+        if reference_mhz <= 0:
+            raise ConfigurationError(
+                f"reference clock must be positive, got {reference_mhz}"
+            )
+        return reference_mhz * self.process.logic_speed_factor

@@ -1,0 +1,124 @@
+"""Memory macro area model: cell array plus periphery.
+
+The Siemens concept (paper Section 5) quotes "large memory modules, from
+8-16 Mbit upwards, achieving an area efficiency of about 1 Mbit/mm^2".
+Smaller modules are less efficient because sense amplifiers, row/column
+decoders, the interface datapath, BIST logic and redundancy fuses amortize
+over fewer bits.  This module makes that size-dependent efficiency explicit:
+
+    area(module) = array_area / array_efficiency_large
+                 + fixed_overhead_per_block * n_blocks
+                 + interface_overhead(width)
+
+calibrated so large modules converge to the process's quoted macro density
+while a lone 256-Kbit block pays a visible premium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT, KBIT, ceil_div
+from repro.area.process import BaseProcess
+
+
+@dataclass(frozen=True)
+class MacroArea:
+    """Area breakdown of one memory macro, in mm^2.
+
+    Attributes:
+        array_mm2: Cell array including pitch-matched sense amps/decoders.
+        block_overhead_mm2: Per-building-block fixed periphery (local
+            control, fuses, spares).
+        interface_mm2: Datapath and drivers for the module interface.
+        total_mm2: Sum of the above.
+    """
+
+    array_mm2: float
+    block_overhead_mm2: float
+    interface_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.array_mm2 + self.block_overhead_mm2 + self.interface_mm2
+
+    def efficiency_mbit_per_mm2(self, bits: int) -> float:
+        """Achieved macro density for a module of ``bits``."""
+        if self.total_mm2 <= 0:
+            raise ConfigurationError("macro area must be positive")
+        return (bits / MBIT) / self.total_mm2
+
+
+@dataclass(frozen=True)
+class MacroAreaModel:
+    """Size- and width-dependent area model for eDRAM macros.
+
+    Attributes:
+        process: Base process supplying the asymptotic macro density.
+        block_bits: Building-block size in bits (256 Kbit or 1 Mbit in the
+            Siemens concept).
+        block_overhead_mm2: Fixed periphery area charged per block.
+        interface_mm2_per_bit: Datapath area per interface data bit.
+        redundancy_area_fraction: Extra array fraction spent on spare rows
+            and columns (a "redundancy level" knob; see Section 5:
+            "different redundancy levels, in order to optimize the yield").
+    """
+
+    process: BaseProcess
+    block_bits: int = MBIT
+    block_overhead_mm2: float = 0.04
+    interface_mm2_per_bit: float = 0.0015
+    redundancy_area_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.block_bits < 64 * KBIT:
+            raise ConfigurationError(
+                f"building block implausibly small: {self.block_bits} bits"
+            )
+        if self.block_overhead_mm2 < 0:
+            raise ConfigurationError("block overhead must be non-negative")
+        if self.interface_mm2_per_bit < 0:
+            raise ConfigurationError("interface area must be non-negative")
+        if not 0 <= self.redundancy_area_fraction < 0.5:
+            raise ConfigurationError(
+                f"redundancy fraction out of range: {self.redundancy_area_fraction}"
+            )
+
+    def n_blocks(self, bits: int) -> int:
+        """Number of building blocks needed for a module of ``bits``."""
+        if bits <= 0:
+            raise ConfigurationError(f"module size must be positive, got {bits}")
+        return ceil_div(bits, self.block_bits)
+
+    def area(self, bits: int, interface_width: int) -> MacroArea:
+        """Area breakdown for a module of ``bits`` with a data interface
+        ``interface_width`` bits wide.
+
+        The array is rounded up to whole building blocks, then inflated by
+        the redundancy fraction; large modules therefore converge to
+        slightly below the process's asymptotic density, which is how the
+        Siemens "about 1 Mbit/mm^2" figure behaves.
+        """
+        if interface_width <= 0:
+            raise ConfigurationError(
+                f"interface width must be positive, got {interface_width}"
+            )
+        blocks = self.n_blocks(bits)
+        built_bits = blocks * self.block_bits
+        array = self.process.memory_area_mm2(built_bits) * (
+            1.0 + self.redundancy_area_fraction
+        )
+        return MacroArea(
+            array_mm2=array,
+            block_overhead_mm2=blocks * self.block_overhead_mm2,
+            interface_mm2=interface_width * self.interface_mm2_per_bit,
+        )
+
+    def total_area_mm2(self, bits: int, interface_width: int) -> float:
+        """Convenience: total macro area in mm^2."""
+        return self.area(bits, interface_width).total_mm2
+
+    def efficiency(self, bits: int, interface_width: int) -> float:
+        """Achieved Mbit/mm^2 for the given module."""
+        return self.area(bits, interface_width).efficiency_mbit_per_mm2(bits)

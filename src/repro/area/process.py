@@ -1,0 +1,179 @@
+"""Base process technology choices for merged DRAM/logic dies.
+
+Section 3: "both a DRAM technology and a logic technology can serve as a
+starting point for embedding DRAM.  Choosing a DRAM technology as the base
+technology will result in high memory densities but suboptimal logic
+performance.  On the other hand, starting from a logic technology will
+result in poor memory densities, but fast logic. ... it is also possible to
+develop a process that gives the best of both worlds, most likely at higher
+expense."
+
+Each :class:`BaseProcess` bundles the knobs the rest of the library needs:
+memory density, logic density and speed, metal layers, mask count (which
+drives wafer cost in :mod:`repro.cost`), and leakage class.  The three
+quarter-micron instances are calibrated so that the paper's feasibility
+claim (128 Mbit + 500 kgates, or 64 Mbit + 1 Mgates) holds exactly on the
+DRAM-based process — see DESIGN.md Section 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.area.cell import CellTechnology, DRAM_1T1C, DRAM_1T1C_PLANAR
+
+
+class ProcessKind(enum.Enum):
+    """Which technology serves as the master process."""
+
+    DRAM_BASED = "dram-based"
+    LOGIC_BASED = "logic-based"
+    MERGED = "merged"
+
+
+@dataclass(frozen=True)
+class BaseProcess:
+    """A fabrication process option for an embedded DRAM project.
+
+    Attributes:
+        name: Identifier, e.g. ``"0.25um DRAM-based"``.
+        kind: Master-process family.
+        feature_size_um: Drawn feature size in micrometres.
+        dram_cell: The DRAM cell this process can build.
+        memory_density_mbit_per_mm2: Achievable *macro* density including
+            periphery, for large modules (the Siemens concept quotes about
+            1 Mbit/mm^2 in 0.24 um).
+        logic_density_kgates_per_mm2: Routable logic density.  DRAM
+            processes have fewer metal layers, so logic is much less dense.
+        logic_speed_factor: Logic switching speed relative to a pure logic
+            process (1.0).  DRAM transistors are optimized for low leakage,
+            hence slower.
+        metal_layers: Interconnect layers available.
+        mask_count: Total mask steps; extra steps for merged processes make
+            wafers more expensive.
+        leakage_class: Qualitative leakage (``"low"`` for DRAM-optimized
+            transistors, ``"high"`` for logic-optimized).
+        relative_wafer_cost: Processed-wafer cost relative to the plain
+            logic process (1.0).
+    """
+
+    name: str
+    kind: ProcessKind
+    feature_size_um: float
+    dram_cell: CellTechnology
+    memory_density_mbit_per_mm2: float
+    logic_density_kgates_per_mm2: float
+    logic_speed_factor: float
+    metal_layers: int
+    mask_count: int
+    leakage_class: str
+    relative_wafer_cost: float
+
+    def __post_init__(self) -> None:
+        if self.feature_size_um <= 0:
+            raise ConfigurationError(
+                f"{self.name}: feature size must be positive, got {self.feature_size_um}"
+            )
+        if self.memory_density_mbit_per_mm2 <= 0:
+            raise ConfigurationError(
+                f"{self.name}: memory density must be positive"
+            )
+        if self.logic_density_kgates_per_mm2 <= 0:
+            raise ConfigurationError(
+                f"{self.name}: logic density must be positive"
+            )
+        if not 0 < self.logic_speed_factor <= 1.5:
+            raise ConfigurationError(
+                f"{self.name}: logic_speed_factor out of range: {self.logic_speed_factor}"
+            )
+        if self.metal_layers < 1:
+            raise ConfigurationError(
+                f"{self.name}: metal_layers must be >= 1, got {self.metal_layers}"
+            )
+        if self.mask_count < 10:
+            raise ConfigurationError(
+                f"{self.name}: mask_count implausibly low: {self.mask_count}"
+            )
+        if self.relative_wafer_cost <= 0:
+            raise ConfigurationError(
+                f"{self.name}: relative_wafer_cost must be positive"
+            )
+        if self.leakage_class not in ("low", "medium", "high"):
+            raise ConfigurationError(
+                f"{self.name}: leakage_class must be low/medium/high, "
+                f"got {self.leakage_class!r}"
+            )
+
+    def memory_area_mm2(self, bits: int) -> float:
+        """Macro-level memory area (array + periphery) for ``bits``."""
+        if bits < 0:
+            raise ConfigurationError(f"bits must be non-negative, got {bits}")
+        from repro.units import MBIT
+
+        return (bits / MBIT) / self.memory_density_mbit_per_mm2
+
+    def logic_area_mm2(self, gates: float) -> float:
+        """Logic area for a gate count (2-input NAND equivalents)."""
+        if gates < 0:
+            raise ConfigurationError(f"gates must be non-negative, got {gates}")
+        return (gates / 1e3) / self.logic_density_kgates_per_mm2
+
+
+#: Quarter-micron DRAM-based process (the paper's feasibility numbers).
+#: The logic density is calibrated so that 500 kgates occupy the same
+#: area as 64 Mbit of macro (including periphery overheads): then
+#: 128 Mbit + 500 kG and 64 Mbit + 1 MG both fill the same ~204 mm^2
+#: die, which is the paper's Section 1 feasibility claim.
+DRAM_BASED_025 = BaseProcess(
+    name="0.25um DRAM-based",
+    kind=ProcessKind.DRAM_BASED,
+    feature_size_um=0.25,
+    dram_cell=DRAM_1T1C,
+    memory_density_mbit_per_mm2=1.0,
+    logic_density_kgates_per_mm2=8.68,
+    logic_speed_factor=0.6,
+    metal_layers=2,
+    mask_count=22,
+    leakage_class="low",
+    relative_wafer_cost=1.15,
+)
+
+#: Quarter-micron logic-based process: fast dense logic, poor DRAM cell.
+LOGIC_BASED_025 = BaseProcess(
+    name="0.25um logic-based",
+    kind=ProcessKind.LOGIC_BASED,
+    feature_size_um=0.25,
+    dram_cell=DRAM_1T1C_PLANAR,
+    memory_density_mbit_per_mm2=0.42,
+    logic_density_kgates_per_mm2=40.0,
+    logic_speed_factor=1.0,
+    metal_layers=5,
+    mask_count=20,
+    leakage_class="high",
+    relative_wafer_cost=1.0,
+)
+
+#: Merged process: best of both worlds at extra mask steps and cost
+#: ("most likely at higher expense").
+MERGED_025 = BaseProcess(
+    name="0.25um merged DRAM+logic",
+    kind=ProcessKind.MERGED,
+    feature_size_um=0.25,
+    dram_cell=DRAM_1T1C,
+    memory_density_mbit_per_mm2=0.95,
+    logic_density_kgates_per_mm2=36.0,
+    logic_speed_factor=0.95,
+    metal_layers=4,
+    mask_count=27,
+    leakage_class="medium",
+    relative_wafer_cost=1.35,
+)
+
+#: All quarter-micron base-process options, for sweeps.
+ALL_PROCESSES_025: tuple[BaseProcess, ...] = (
+    DRAM_BASED_025,
+    LOGIC_BASED_025,
+    MERGED_025,
+)

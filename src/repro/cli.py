@@ -1,0 +1,238 @@
+"""Command-line interface to the trade-off framework.
+
+Usage::
+
+    python -m repro.cli power
+    python -m repro.cli mpeg2 [--ntsc] [--reduced]
+    python -m repro.cli explore --capacity-mbit 16 --bandwidth-gbs 0.6
+    python -m repro.cli feasibility [--die-budget-mm2 203.7]
+    python -m repro.cli testcost [--mbit 64]
+    python -m repro.cli experiments
+
+Each subcommand prints the corresponding reproduction table; `explore`
+runs a live design-space sweep for the given requirements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import MBIT
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.experiments import e01_interface_power
+
+    print(e01_interface_power.render_table())
+    return 0
+
+
+def _cmd_mpeg2(args: argparse.Namespace) -> int:
+    from repro.apps.mpeg2 import DecoderVariant, MPEG2MemoryBudget
+    from repro.apps.video import NTSC, PAL
+    from repro.experiments import e06_mpeg2
+
+    frame = NTSC if args.ntsc else PAL
+    variant = (
+        DecoderVariant.REDUCED_OUTPUT
+        if args.reduced
+        else DecoderVariant.STANDARD
+    )
+    budget = MPEG2MemoryBudget(frame=frame, variant=variant)
+    print(
+        f"{frame.standard.value} {variant.value} decoder: "
+        f"{budget.total_mbit:.2f} Mbit, "
+        f"{budget.total_bandwidth_bits_per_s() / 1e6:.0f} Mbit/s, "
+        f"fits 16 Mbit: {budget.fits_16_mbit}"
+    )
+    print()
+    print(e06_mpeg2.render_table())
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core import (
+        ApplicationRequirements,
+        DesignSpaceExplorer,
+        Quantizer,
+    )
+    from repro.errors import InfeasibleError
+    from repro.reporting.tables import Table
+
+    requirements = ApplicationRequirements(
+        name="cli",
+        capacity_bits=int(args.capacity_mbit * MBIT),
+        sustained_bandwidth_bits_per_s=args.bandwidth_gbs * 8e9,
+        locality=args.locality,
+    )
+    result = DesignSpaceExplorer().explore(requirements)
+    print(
+        f"explored {result.n_explored} organizations, "
+        f"{len(result.feasible)} feasible, frontier "
+        f"{len(result.frontier)}"
+    )
+    if not result.feasible:
+        print("no feasible embedded configuration", file=sys.stderr)
+        return 1
+    table = Table(
+        title="quantized solutions",
+        columns=["name", "configuration", "power", "area", "BW", "cost"],
+    )
+    try:
+        named = Quantizer().named_solutions(result)
+    except InfeasibleError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    for solution in named:
+        metrics = solution.metrics
+        table.add_row(
+            solution.name,
+            metrics.label,
+            f"{metrics.power_w * 1e3:.0f} mW",
+            f"{metrics.area_mm2:.1f} mm^2",
+            f"{metrics.sustained_bandwidth_bits_per_s / 8e9:.2f} GB/s",
+            f"{metrics.unit_cost:.2f}",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    from repro.core.tradeoffs import LogicMemoryTrade
+    from repro.reporting.tables import Table
+
+    trade = LogicMemoryTrade(die_budget_mm2=args.die_budget_mm2)
+    table = Table(
+        title=f"logic/memory frontier on {args.die_budget_mm2:.0f} mm^2",
+        columns=["logic gates", "max memory"],
+    )
+    for gates in (100e3, 250e3, 500e3, 750e3, 1e6, 1.5e6):
+        bits = trade.max_memory_for_logic(gates)
+        table.add_row(f"{gates / 1e3:.0f}k", f"{bits / MBIT:.0f} Mbit")
+    print(table.render())
+    return 0
+
+
+def _cmd_testcost(args: argparse.Namespace) -> int:
+    from repro.experiments import e09_test_cost
+
+    print(e09_test_cost.render_table())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all
+
+    failures = 0
+    for report in run_all():
+        print(report.render())
+        print()
+        if not report.all_hold:
+            failures += 1
+    if failures:
+        print(f"{failures} experiments have failing claims",
+              file=sys.stderr)
+        return 1
+    print("all experiments reproduce the paper's claims")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Embedded DRAM architectural trade-offs (Wehn & Hein, "
+            "DATE 1998) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    power = sub.add_parser("power", help="E1 power comparison table")
+    power.set_defaults(func=_cmd_power)
+
+    mpeg2 = sub.add_parser("mpeg2", help="MPEG2 decoder memory budget")
+    mpeg2.add_argument("--ntsc", action="store_true",
+                       help="NTSC instead of PAL")
+    mpeg2.add_argument("--reduced", action="store_true",
+                       help="reduced-output variant")
+    mpeg2.set_defaults(func=_cmd_mpeg2)
+
+    explore = sub.add_parser("explore", help="design-space sweep")
+    explore.add_argument("--capacity-mbit", type=float, required=True)
+    explore.add_argument("--bandwidth-gbs", type=float, required=True,
+                         help="sustained bandwidth in GB/s")
+    explore.add_argument("--locality", type=float, default=0.7)
+    explore.set_defaults(func=_cmd_explore)
+
+    feasibility = sub.add_parser(
+        "feasibility", help="logic/memory die frontier"
+    )
+    feasibility.add_argument(
+        "--die-budget-mm2", type=float, default=203.7
+    )
+    feasibility.set_defaults(func=_cmd_feasibility)
+
+    testcost = sub.add_parser("testcost", help="E9 test economics table")
+    testcost.add_argument("--mbit", type=float, default=64.0)
+    testcost.set_defaults(func=_cmd_testcost)
+
+    experiments = sub.add_parser(
+        "experiments", help="run all E1-E10 reproduction reports"
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    partition = sub.add_parser(
+        "partition",
+        help="SRAM/eDRAM/off-chip partitioning demo (MPEG2 blocks)",
+    )
+    partition.add_argument("--area-budget-mm2", type=float, default=25.0)
+    partition.set_defaults(func=_cmd_partition)
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.core.partition import MemoryBlock, Partitioner
+    from repro.errors import InfeasibleError
+    from repro.reporting.tables import Table
+
+    blocks = [
+        MemoryBlock("bitstream buffer", int(1.75 * MBIT), 0.03e9),
+        MemoryBlock("frame stores", int(9.5 * MBIT), 0.45e9, 60.0),
+        MemoryBlock("display buffer", int(4.75 * MBIT), 0.25e9, 60.0),
+        MemoryBlock("mb line buffer", int(0.04 * MBIT), 1.5e9, 12.0),
+    ]
+    try:
+        plan = Partitioner(
+            area_budget_mm2=args.area_budget_mm2
+        ).partition(blocks)
+    except InfeasibleError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    table = Table(
+        title=f"partition at {args.area_budget_mm2:.0f} mm^2 budget",
+        columns=["block", "size", "technology"],
+    )
+    for block in blocks:
+        table.add_row(
+            block.name,
+            f"{block.size_mbit:.2f} Mbit",
+            plan.assignment[block.name].value,
+        )
+    print(table.render())
+    print(
+        f"area {plan.area_mm2:.1f} mm^2, power {plan.power_w * 1e3:.0f} mW, "
+        f"cost {plan.unit_cost:.2f}, on-chip "
+        f"{plan.on_chip_fraction():.0%}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

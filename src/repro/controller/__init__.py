@@ -1,0 +1,45 @@
+"""Memory controller: queues, arbitration, scheduling, page policies.
+
+Implements the system-level problems the paper lists in Section 3:
+"optimizing the access scheme to minimize the latency for the memory
+clients and thus minimize the necessary FIFO depth", and approaching peak
+bandwidth through scheduling and mapping.  The controller issues one DRAM
+command per cycle, chosen by a scheduler (FCFS or FR-FCFS) under a page
+policy (open / closed / adaptive), with client requests arbitrated out of
+per-client FIFOs (round-robin, priority, or TDM).
+"""
+
+from repro.controller.request import Request, RequestState
+from repro.controller.fifo import ClientFifo
+from repro.controller.arbiter import (
+    Arbiter,
+    RoundRobinArbiter,
+    PriorityArbiter,
+    TDMArbiter,
+)
+from repro.controller.page_policy import PagePolicy, OpenPagePolicy, ClosedPagePolicy, AdaptivePagePolicy
+from repro.controller.scheduler import Scheduler, FCFSScheduler, FRFCFSScheduler
+from repro.controller.controller import MemoryController, ControllerConfig
+from repro.controller.prefetch import PrefetchingMemoryController
+from repro.controller.rowcache import RowCacheController
+
+__all__ = [
+    "Request",
+    "RequestState",
+    "ClientFifo",
+    "Arbiter",
+    "RoundRobinArbiter",
+    "PriorityArbiter",
+    "TDMArbiter",
+    "PagePolicy",
+    "OpenPagePolicy",
+    "ClosedPagePolicy",
+    "AdaptivePagePolicy",
+    "Scheduler",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "MemoryController",
+    "ControllerConfig",
+    "PrefetchingMemoryController",
+    "RowCacheController",
+]

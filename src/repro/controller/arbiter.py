@@ -1,0 +1,107 @@
+"""Multi-client arbitration policies.
+
+The arbiter decides, each cycle, which client FIFO hands its head request
+to the controller's scheduling window.  Three classic policies:
+
+* round-robin — fair, work-conserving;
+* static priority — latency-critical clients (e.g. display refresh, which
+  must never starve) go first;
+* TDM — fixed time slots, giving hard bandwidth guarantees at the cost of
+  work conservation (an empty slot is wasted).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.controller.fifo import ClientFifo
+
+
+class Arbiter(abc.ABC):
+    """Chooses which non-empty FIFO to serve this cycle."""
+
+    @abc.abstractmethod
+    def select(self, fifos: list[ClientFifo], cycle: int) -> ClientFifo | None:
+        """Return the FIFO to pop from, or None if nothing eligible."""
+        raise NotImplementedError
+
+
+@dataclass
+class RoundRobinArbiter(Arbiter):
+    """Rotating fair arbitration among non-empty FIFOs."""
+
+    _next: int = field(default=0, init=False)
+
+    def select(self, fifos: list[ClientFifo], cycle: int) -> ClientFifo | None:
+        del cycle
+        if not fifos:
+            return None
+        n = len(fifos)
+        for offset in range(n):
+            fifo = fifos[(self._next + offset) % n]
+            if not fifo.empty:
+                self._next = (self._next + offset + 1) % n
+                return fifo
+        return None
+
+
+@dataclass
+class PriorityArbiter(Arbiter):
+    """Static priority by client priority value (lower = more urgent).
+
+    Attributes:
+        priorities: Client name -> priority.  Unknown clients default to
+            the lowest urgency.
+    """
+
+    priorities: dict[str, int]
+
+    def __post_init__(self) -> None:
+        if any(p < 0 for p in self.priorities.values()):
+            raise ConfigurationError("priorities must be >= 0")
+
+    def select(self, fifos: list[ClientFifo], cycle: int) -> ClientFifo | None:
+        del cycle
+        best: ClientFifo | None = None
+        best_priority = 1 << 30
+        for fifo in fifos:
+            if fifo.empty:
+                continue
+            priority = self.priorities.get(fifo.client, 1 << 29)
+            if priority < best_priority:
+                best, best_priority = fifo, priority
+        return best
+
+
+@dataclass
+class TDMArbiter(Arbiter):
+    """Time-division multiplexing over a fixed slot schedule.
+
+    Attributes:
+        schedule: Client names, one per slot, repeated cyclically.
+        work_conserving: If True, an idle slot is granted to any other
+            non-empty FIFO (round-robin among them); if False the slot is
+            wasted, preserving hard isolation.
+    """
+
+    schedule: list[str]
+    work_conserving: bool = False
+
+    _fallback: RoundRobinArbiter = field(
+        default_factory=RoundRobinArbiter, init=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.schedule:
+            raise ConfigurationError("TDM schedule must be non-empty")
+
+    def select(self, fifos: list[ClientFifo], cycle: int) -> ClientFifo | None:
+        owner = self.schedule[cycle % len(self.schedule)]
+        for fifo in fifos:
+            if fifo.client == owner and not fifo.empty:
+                return fifo
+        if self.work_conserving:
+            return self._fallback.select(fifos, cycle)
+        return None

@@ -1,0 +1,317 @@
+"""The memory controller: ties FIFOs, arbiter, scheduler and device.
+
+Each cycle the controller:
+
+1. accepts up to one request from the client FIFOs (arbiter's choice)
+   into its scheduling window,
+2. services refresh when due (draining open banks first),
+3. issues at most one DRAM command — a column command for a ready
+   request, or a precharge/activate preparing the highest-ranked
+   request's bank, or a page-policy precharge,
+4. retires requests whose data burst completed.
+
+The one-command-per-cycle limit models the single command bus; the
+device model enforces all electrical/timing legality underneath, so a
+controller bug surfaces as a :class:`~repro.errors.ProtocolError` rather
+than silently optimistic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DRAMDevice
+from repro.dram.organizations import AddressMapping
+from repro.dram.refresh import RefreshScheduler
+from repro.controller.arbiter import Arbiter, RoundRobinArbiter
+from repro.controller.fifo import ClientFifo
+from repro.controller.page_policy import PagePolicy, OpenPagePolicy
+from repro.controller.request import Request, RequestState
+from repro.controller.scheduler import Scheduler, FRFCFSScheduler
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Static controller configuration.
+
+    Attributes:
+        window_size: Scheduling window (reorder depth).
+        fifo_capacity: Per-client FIFO depth.
+        refresh_enabled: Whether refresh is modeled.
+        record_commands: Keep every issued command in
+            ``MemoryController.command_log`` (for replay through
+            :class:`~repro.dram.tracecheck.TraceChecker` or offline
+            analysis).
+    """
+
+    window_size: int = 16
+    fifo_capacity: int = 8
+    refresh_enabled: bool = True
+    record_commands: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ConfigurationError("window size must be >= 1")
+        if self.fifo_capacity < 1:
+            raise ConfigurationError("FIFO capacity must be >= 1")
+
+
+@dataclass
+class MemoryController:
+    """Cycle-driven memory controller.
+
+    Attributes:
+        device: The DRAM device/macro being controlled.
+        mapping: Linear-address-to-physical mapping.
+        scheduler: Request scheduler.
+        arbiter: Client arbiter.
+        page_policy: Row-buffer management policy.
+        config: Static sizes and toggles.
+    """
+
+    device: DRAMDevice
+    mapping: AddressMapping
+    scheduler: Scheduler = field(default_factory=FRFCFSScheduler)
+    arbiter: Arbiter = field(default_factory=RoundRobinArbiter)
+    page_policy: PagePolicy = field(default_factory=OpenPagePolicy)
+    config: ControllerConfig = ControllerConfig()
+
+    fifos: dict[str, ClientFifo] = field(default_factory=dict, init=False)
+    window: list[Request] = field(default_factory=list, init=False)
+    completed: list[Request] = field(default_factory=list, init=False)
+    _inflight: list[tuple[int, Request]] = field(default_factory=list, init=False)
+    _close_wanted: set = field(default_factory=set, init=False)
+    _refresh: RefreshScheduler | None = field(default=None, init=False)
+    _refresh_draining: bool = field(default=False, init=False)
+    refreshes_issued: int = field(default=0, init=False)
+    commands: dict = field(default_factory=dict, init=False)
+    data_beats: int = field(default=0, init=False)
+    command_log: list = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.mapping.organization != self.device.organization:
+            raise ConfigurationError(
+                "mapping organization does not match device organization"
+            )
+        if self.config.refresh_enabled:
+            org = self.device.organization
+            self._refresh = RefreshScheduler(
+                timing=self.device.timing,
+                n_rows_total=org.n_rows,
+                rows_per_command=1,
+            )
+        self.commands = {kind: 0 for kind in CommandType}
+
+    # -- client side --------------------------------------------------------
+
+    def register_client(self, name: str) -> ClientFifo:
+        """Create (or return) the FIFO for a client."""
+        if name not in self.fifos:
+            self.fifos[name] = ClientFifo(
+                client=name, capacity=self.config.fifo_capacity
+            )
+        return self.fifos[name]
+
+    def offer(self, request: Request) -> bool:
+        """Client offers a request; False means back-pressure (FIFO full)."""
+        fifo = self.register_client(request.client)
+        if fifo.full:
+            fifo.record_stall()
+            return False
+        fifo.push(request)
+        return True
+
+    # -- main loop ----------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """Advance the controller by one cycle."""
+        self._retire(cycle)
+        self._accept(cycle)
+        if self._service_refresh(cycle):
+            self._observe(cycle)
+            return
+        if self._issue_policy_precharge(cycle):
+            self._observe(cycle)
+            return
+        self._issue_request_command(cycle)
+        self._observe(cycle)
+
+    def _observe(self, cycle: int) -> None:
+        del cycle
+        for fifo in self.fifos.values():
+            fifo.observe_cycle()
+
+    def _retire(self, cycle: int) -> None:
+        still: list[tuple[int, Request]] = []
+        for end_cycle, request in self._inflight:
+            if end_cycle <= cycle:
+                request.state = RequestState.COMPLETED
+                request.completed_cycle = end_cycle
+                self.completed.append(request)
+            else:
+                still.append((end_cycle, request))
+        self._inflight = still
+
+    def _accept(self, cycle: int) -> None:
+        if len(self.window) >= self.config.window_size:
+            return
+        fifo = self.arbiter.select(list(self.fifos.values()), cycle)
+        if fifo is None:
+            return
+        request = fifo.pop()
+        request.state = RequestState.ACCEPTED
+        request.accepted_cycle = cycle
+        request.decoded = self.mapping.decode(request.address)
+        self.window.append(request)
+
+    # -- refresh ------------------------------------------------------------
+
+    def _service_refresh(self, cycle: int) -> bool:
+        """Handle refresh; True when a command slot was consumed."""
+        if self._refresh is None:
+            return False
+        if not self._refresh_draining and self._refresh.due(cycle):
+            self._refresh_draining = True
+        if not self._refresh_draining:
+            return False
+        # Drain: precharge open banks one per cycle, then refresh.
+        for bank in self.device.banks:
+            if bank.open_row(cycle) is not None:
+                command = Command(
+                    kind=CommandType.PRECHARGE, cycle=cycle, bank=bank.index
+                )
+                if self.device.can_issue(command):
+                    self._issue(command)
+                    self._close_wanted.discard(bank.index)
+                return True  # slot consumed (or waiting on legality)
+        refresh = Command(kind=CommandType.REFRESH, cycle=cycle)
+        if self.device.can_issue(refresh):
+            self._issue(refresh)
+            self._refresh.mark_issued(cycle)
+            self.refreshes_issued += 1
+            self._refresh_draining = False
+        return True
+
+    # -- page policy precharges ----------------------------------------------
+
+    def _issue_policy_precharge(self, cycle: int) -> bool:
+        for bank_index in sorted(self._close_wanted):
+            bank = self.device.bank(bank_index)
+            if bank.open_row(cycle) is None:
+                self._close_wanted.discard(bank_index)
+                continue
+            command = Command(
+                kind=CommandType.PRECHARGE, cycle=cycle, bank=bank_index
+            )
+            if self.device.can_issue(command):
+                self._issue(command)
+                self._close_wanted.discard(bank_index)
+                return True
+        return False
+
+    # -- request commands ------------------------------------------------------
+
+    def _candidate_order(self, cycle: int) -> list:
+        """Requests in issue-preference order (overridable hook)."""
+        return self.scheduler.candidates(self.window, self.device, cycle)
+
+    def _issue_request_command(self, cycle: int) -> None:
+        for request in self._candidate_order(cycle):
+            command = self._next_command(request, cycle)
+            if command is None:
+                continue
+            if not self.device.can_issue(command):
+                continue
+            end = self._issue(command)
+            if command.kind in (CommandType.READ, CommandType.WRITE):
+                self._commit_access(request, cycle, end)
+            return
+
+    def _next_command(self, request: Request, cycle: int) -> Command | None:
+        assert request.decoded is not None
+        decoded = request.decoded
+        bank = self.device.bank(decoded.bank)
+        open_row = bank.open_row(cycle)
+        if decoded.bank in self._close_wanted:
+            # The page policy committed to precharging this bank
+            # (auto-precharge semantics): no new column commands may
+            # reuse the dying row; wait for the precharge to land.
+            return None
+        if open_row == decoded.row:
+            kind = CommandType.READ if request.is_read else CommandType.WRITE
+            return Command(
+                kind=kind,
+                cycle=cycle,
+                bank=decoded.bank,
+                column=decoded.column,
+                request_id=request.request_id,
+            )
+        if open_row is not None:
+            # Bank holds another row: only precharge if no younger row-hit
+            # request still wants the open row (the scheduler's candidate
+            # ordering already preferred hits, so reaching here means the
+            # open row has no ready customer).
+            if decoded.bank in self._close_wanted:
+                return None  # policy precharge will handle it
+            return Command(
+                kind=CommandType.PRECHARGE, cycle=cycle, bank=decoded.bank
+            )
+        return Command(
+            kind=CommandType.ACTIVATE,
+            cycle=cycle,
+            bank=decoded.bank,
+            row=decoded.row,
+            request_id=request.request_id,
+        )
+
+    def _commit_access(self, request: Request, cycle: int, end: int) -> None:
+        assert request.decoded is not None
+        decoded = request.decoded
+        bank = self.device.bank(decoded.bank)
+        # Row-hit bookkeeping: a request that never needed an ACTIVATE of
+        # its own (row already open when it was first considered) counts
+        # as a hit; we approximate by whether the request's issued
+        # ACTIVATE happened (tracked via was_row_hit set at ACT issue).
+        if request.was_row_hit is None:
+            request.was_row_hit = True
+        bank.record_access_outcome(request.was_row_hit)
+        request.state = RequestState.ISSUED
+        request.issued_cycle = cycle
+        self._inflight.append((end, request))
+        self.window.remove(request)
+        self.data_beats += self.device.timing.burst_length
+        if self.page_policy.close_after_access(
+            decoded.bank, decoded.row, self.window
+        ):
+            self._close_wanted.add(decoded.bank)
+
+    def _issue(self, command: Command) -> int:
+        end = self.device.issue(command)
+        self.commands[command.kind] += 1
+        if self.config.record_commands:
+            self.command_log.append(command)
+        if (
+            command.kind is CommandType.ACTIVATE
+            and command.request_id is not None
+        ):
+            for request in self.window:
+                if request.request_id == command.request_id:
+                    request.was_row_hit = False
+                    break
+        return end
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests accepted but not yet completed."""
+        return len(self.window) + len(self._inflight)
+
+    def queued_total(self) -> int:
+        return sum(len(fifo) for fifo in self.fifos.values())
+
+    def drained(self) -> bool:
+        """True when no request is anywhere in the pipeline."""
+        return self.outstanding == 0 and self.queued_total() == 0

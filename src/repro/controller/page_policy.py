@@ -1,0 +1,84 @@
+"""Row-buffer (page) management policies.
+
+"Exploiting the fact that an active row can act as a cache" (Section 4)
+is a policy decision:
+
+* **open-page** keeps the row active after an access, betting the next
+  access hits the same page (wins on streaming/locality-rich traffic);
+* **closed-page** precharges immediately, betting it will not (wins on
+  random traffic, where it hides tRP off the critical path);
+* **adaptive** closes the row only when no queued request wants it — an
+  oracle-ish middle ground realizable with a small amount of lookahead.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.controller.request import Request
+
+
+class PagePolicy(abc.ABC):
+    """Decides whether to precharge a bank after an access completes."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def close_after_access(
+        self,
+        bank: int,
+        row: int,
+        pending: list[Request],
+    ) -> bool:
+        """True if the bank should be precharged right after the burst.
+
+        Args:
+            bank: Bank just accessed.
+            row: Row just accessed.
+            pending: Requests currently visible to the scheduler (decoded).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OpenPagePolicy(PagePolicy):
+    """Always leave the row open."""
+
+    name: str = "open-page"
+
+    def close_after_access(
+        self, bank: int, row: int, pending: list[Request]
+    ) -> bool:
+        del bank, row, pending
+        return False
+
+
+@dataclass(frozen=True)
+class ClosedPagePolicy(PagePolicy):
+    """Always precharge after the access (auto-precharge semantics)."""
+
+    name: str = "closed-page"
+
+    def close_after_access(
+        self, bank: int, row: int, pending: list[Request]
+    ) -> bool:
+        del bank, row, pending
+        return True
+
+
+@dataclass(frozen=True)
+class AdaptivePagePolicy(PagePolicy):
+    """Close unless a visible pending request targets the same page."""
+
+    name: str = "adaptive"
+
+    def close_after_access(
+        self, bank: int, row: int, pending: list[Request]
+    ) -> bool:
+        for request in pending:
+            if request.decoded is None:
+                continue
+            if request.decoded.bank == bank and request.decoded.row == row:
+                return False
+        return True

@@ -1,0 +1,106 @@
+"""Device-side row caches.
+
+Paper Section 4: "exploiting the fact that an active row can act as a
+cache.  In some memory structures additional row caches are even
+implemented on the memory device."  (Enhanced/Virtual-Channel SDRAM did
+exactly this.)
+
+The :class:`RowCacheController` keeps SRAM copies of the last N rows
+*independently of the banks' open rows*: a request whose row is cached
+is served from SRAM without touching the bank, even if the bank has
+since activated a different row.  This decouples "row reuse" from "row
+still open" — the win over a plain open-page policy shows up exactly
+when interleaved clients would otherwise thrash each other's rows.
+
+Writes write through to the array (and update the cached copy), so the
+cache never holds dirty data and precharge/refresh need no flushes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.controller.controller import MemoryController
+from repro.controller.request import RequestState
+
+
+@dataclass
+class RowCacheController(MemoryController):
+    """Memory controller fronted by a device row cache.
+
+    Attributes:
+        row_cache_entries: Rows held in the cache (LRU replacement).
+        cache_hit_latency: Cycles to serve a cached access.
+    """
+
+    row_cache_entries: int = 4
+    cache_hit_latency: int = 2
+
+    _cache: OrderedDict = field(default_factory=OrderedDict, init=False)
+    row_cache_hits: int = field(default=0, init=False)
+    row_cache_fills: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.row_cache_entries < 1:
+            raise ConfigurationError("row cache needs >= 1 entry")
+        if self.cache_hit_latency < 1:
+            raise ConfigurationError("cache hit latency must be >= 1")
+
+    def _cache_key(self, bank: int, row: int) -> tuple:
+        return (bank, row)
+
+    def _cache_touch(self, key: tuple) -> None:
+        self._cache.move_to_end(key)
+
+    def _cache_fill(self, key: tuple) -> None:
+        if key in self._cache:
+            self._cache_touch(key)
+            return
+        while len(self._cache) >= self.row_cache_entries:
+            self._cache.popitem(last=False)
+        self._cache[key] = True
+        self.row_cache_fills += 1
+
+    def _accept(self, cycle: int) -> None:
+        if len(self.window) >= self.config.window_size:
+            return
+        fifo = self.arbiter.select(list(self.fifos.values()), cycle)
+        if fifo is None:
+            return
+        request = fifo.pop()
+        decoded = self.mapping.decode(request.address)
+        request.decoded = decoded
+        key = self._cache_key(decoded.bank, decoded.row)
+        if request.is_read and key in self._cache:
+            # Served from the device row cache: no bank traffic at all.
+            self._cache_touch(key)
+            self.row_cache_hits += 1
+            request.state = RequestState.COMPLETED
+            request.accepted_cycle = cycle
+            request.issued_cycle = cycle
+            request.completed_cycle = cycle + self.cache_hit_latency
+            request.was_row_hit = True
+            self.completed.append(request)
+            return
+        request.state = RequestState.ACCEPTED
+        request.accepted_cycle = cycle
+        self.window.append(request)
+
+    def _commit_access(self, request, cycle: int, end: int) -> None:
+        super()._commit_access(request, cycle, end)
+        assert request.decoded is not None
+        # Any array access (read fill or write-through) caches its row.
+        self._cache_fill(
+            self._cache_key(request.decoded.bank, request.decoded.row)
+        )
+
+    def row_cache_hit_rate(self) -> float:
+        """Hits as a fraction of all row-cache lookfor opportunities
+        (hits + array accesses that filled the cache)."""
+        total = self.row_cache_hits + self.row_cache_fills
+        if total == 0:
+            return 0.0
+        return self.row_cache_hits / total

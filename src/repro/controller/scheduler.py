@@ -1,0 +1,95 @@
+"""Command schedulers: FCFS and FR-FCFS.
+
+The scheduler ranks queued requests; the controller walks the ranking and
+issues the first legal command.  FCFS serves strictly in arrival order —
+simple, fair, and terrible for row locality under interleaved clients.
+FR-FCFS (first-ready, first-come first-served) prefers requests whose row
+is already open, which is the single biggest lever for pushing sustainable
+bandwidth toward peak — the mechanism behind the paper's Section 4
+discussion of why modern devices get away with slow cores.
+
+To avoid bank thrashing (two requests alternately precharging each
+other's rows), bank-preparation commands are only granted to the *oldest*
+request targeting each bank; the rankings below respect that.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.controller.request import Request
+from repro.dram.device import DRAMDevice
+
+
+class Scheduler(abc.ABC):
+    """Ranks the scheduling window each cycle."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def candidates(
+        self,
+        window: list[Request],
+        device: DRAMDevice,
+        cycle: int,
+    ) -> list[Request]:
+        """Requests in the order the controller should try them.
+
+        ``window`` is ordered by acceptance (oldest first) and every
+        request in it has been decoded.  The controller issues the first
+        candidate whose next command is legal this cycle.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _is_row_hit(request: Request, device: DRAMDevice, cycle: int) -> bool:
+        assert request.decoded is not None
+        bank = device.bank(request.decoded.bank)
+        return bank.is_row_open(request.decoded.row, cycle)
+
+    @staticmethod
+    def _oldest_per_bank(window: list[Request]) -> list[Request]:
+        seen: set[int] = set()
+        oldest: list[Request] = []
+        for request in window:
+            assert request.decoded is not None
+            if request.decoded.bank not in seen:
+                seen.add(request.decoded.bank)
+                oldest.append(request)
+        return oldest
+
+
+@dataclass(frozen=True)
+class FCFSScheduler(Scheduler):
+    """Strict arrival order: only the head request may advance."""
+
+    name: str = "fcfs"
+
+    def candidates(
+        self, window: list[Request], device: DRAMDevice, cycle: int
+    ) -> list[Request]:
+        return window[:1]
+
+
+@dataclass(frozen=True)
+class FRFCFSScheduler(Scheduler):
+    """First-ready FCFS: open-row hits (by age), then oldest-per-bank."""
+
+    name: str = "fr-fcfs"
+
+    def candidates(
+        self, window: list[Request], device: DRAMDevice, cycle: int
+    ) -> list[Request]:
+        hits = [
+            request
+            for request in window
+            if self._is_row_hit(request, device, cycle)
+        ]
+        hit_ids = {request.request_id for request in hits}
+        preps = [
+            request
+            for request in self._oldest_per_bank(window)
+            if request.request_id not in hit_ids
+        ]
+        return hits + preps

@@ -1,0 +1,73 @@
+"""Core contribution: the embedded-DRAM design-space explorer.
+
+The paper's thesis (Sections 3, 5, 7): parameters designers "have been
+forced to take for given, including size, interface width, and
+organization, are now available as design parameters", and "it is
+incumbent upon edram suppliers to make the trade-offs transparent and to
+quantize the design space into a set of understandable if slightly
+sub-optimal solutions".
+
+This package is that machinery:
+
+* :mod:`repro.core.requirements` — what the application needs,
+* :mod:`repro.core.metrics` — what a candidate solution delivers,
+* :mod:`repro.core.evaluator` — analytic + simulation-backed evaluation,
+* :mod:`repro.core.explorer` — enumerate and filter the configuration
+  space (size x width x banks x page length),
+* :mod:`repro.core.pareto` — multi-objective frontier extraction,
+* :mod:`repro.core.quantizer` — snap the frontier to the building-block
+  granularity and name a handful of understandable solutions,
+* :mod:`repro.core.advisor` — the Section 2 advisability rules,
+* :mod:`repro.core.tradeoffs` — logic <-> memory die-area trading.
+"""
+
+from repro.core.requirements import ApplicationRequirements
+from repro.core.metrics import SolutionMetrics
+from repro.core.evaluator import Evaluator
+from repro.core.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.core.pareto import pareto_frontier, dominates
+from repro.core.quantizer import Quantizer, NamedSolution
+from repro.core.advisor import Advisor, Advice
+from repro.core.tradeoffs import LogicMemoryTrade, TradePoint
+from repro.core.partition import (
+    MemoryBlock,
+    MemoryTech,
+    Partitioner,
+    PartitionPlan,
+    TechProfile,
+)
+from repro.core.allocation import (
+    AllocationPlan,
+    BankAllocator,
+    BufferSpec,
+    Placement,
+)
+from repro.core.sweep import Sweep, SweepPoint, SweepResult
+
+__all__ = [
+    "ApplicationRequirements",
+    "SolutionMetrics",
+    "Evaluator",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "pareto_frontier",
+    "dominates",
+    "Quantizer",
+    "NamedSolution",
+    "Advisor",
+    "Advice",
+    "LogicMemoryTrade",
+    "TradePoint",
+    "MemoryBlock",
+    "MemoryTech",
+    "Partitioner",
+    "PartitionPlan",
+    "TechProfile",
+    "AllocationPlan",
+    "BankAllocator",
+    "BufferSpec",
+    "Placement",
+    "Sweep",
+    "SweepPoint",
+    "SweepResult",
+]

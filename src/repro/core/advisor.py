@@ -1,0 +1,92 @@
+"""Project advisability: the Section 2 rules of thumb as a service.
+
+Wraps :func:`repro.apps.markets.advisability_score` around
+:class:`~repro.core.requirements.ApplicationRequirements` and attaches
+human-readable reasons, mirroring how the paper argues each market
+segment rather than just scoring it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.apps.markets import advisability_score
+from repro.core.requirements import ApplicationRequirements
+
+
+@dataclass(frozen=True)
+class Advice:
+    """Advisability verdict for one project.
+
+    Attributes:
+        score: Advisability in [0, 1].
+        recommended: Convenience threshold at 0.5.
+        reasons: Rule-by-rule explanations that fired.
+    """
+
+    score: float
+    reasons: tuple
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.score <= 1:
+            raise ConfigurationError("score must be in [0, 1]")
+
+    @property
+    def recommended(self) -> bool:
+        return self.score >= 0.5
+
+
+@dataclass(frozen=True)
+class Advisor:
+    """Applies the Section 2 rules of thumb to a project.
+
+    Attributes:
+        product_lifetime_years: Expected market lifetime.
+        needs_upgrade_path: Field memory expansion required (vetoes).
+        memory_known_at_design_time: Exact requirement known (a veto when
+            False: "the system designer must know the exact memory
+            requirement at the time of design").
+    """
+
+    product_lifetime_years: float = 2.0
+    needs_upgrade_path: bool = False
+    memory_known_at_design_time: bool = True
+
+    def advise(self, requirements: ApplicationRequirements) -> Advice:
+        """Score a project and explain the verdict."""
+        score = advisability_score(
+            volume_per_year=requirements.volume_per_year,
+            product_lifetime_years=self.product_lifetime_years,
+            memory_mbit=requirements.capacity_mbit,
+            required_bandwidth_gbyte_per_s=requirements.bandwidth_gbyte_per_s,
+            portable=requirements.portable,
+            needs_upgrade_path=self.needs_upgrade_path,
+            memory_known_at_design_time=self.memory_known_at_design_time,
+        )
+        reasons = []
+        if self.needs_upgrade_path:
+            reasons.append(
+                "veto: an upgrade path is required and eDRAM has no "
+                "external memory interface"
+            )
+        if not self.memory_known_at_design_time:
+            reasons.append(
+                "veto: the exact memory requirement must be known at "
+                "design time"
+            )
+        if requirements.volume_per_year >= 10_000_000:
+            reasons.append("high product volume amortizes NRE")
+        if requirements.capacity_mbit >= 16:
+            reasons.append(
+                "memory content high enough to justify DRAM process costs"
+            )
+        if requirements.bandwidth_gbyte_per_s >= 1.0:
+            reasons.append("bandwidth requires a wide on-chip interface")
+        if requirements.portable:
+            reasons.append(
+                "portable application: power savings weigh heaviest"
+            )
+        if self.product_lifetime_years >= 3:
+            reasons.append("long product lifetime reduces requalification risk")
+        return Advice(score=score, reasons=tuple(reasons))

@@ -1,0 +1,195 @@
+"""Design-space exploration: enumerate, evaluate, filter, rank.
+
+Section 3's free parameters — module size, interface width, number of
+banks, page length — define the space; the explorer enumerates every
+constructible combination (per the Siemens concept rules), evaluates each
+against the application requirements, and splits the result into feasible
+solutions and the Pareto frontier.  The discrete commodity alternative is
+evaluated alongside, so every exploration answers the embedded-vs-
+discrete question too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT, ceil_div
+from repro.core.evaluator import Evaluator
+from repro.core.metrics import SolutionMetrics
+from repro.core.pareto import pareto_frontier
+from repro.core.requirements import ApplicationRequirements
+from repro.dram.catalog import COMMODITY_PARTS, smallest_system
+from repro.dram.edram import EDRAMMacro, SIEMENS_CONCEPT, SiemensConceptRules
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of a design-space sweep.
+
+    Attributes:
+        requirements: The application explored for.
+        evaluated: Every evaluated configuration's metrics.
+        feasible: Metrics meeting all hard requirements.
+        frontier: Pareto-optimal subset of the feasible set.
+        discrete_baseline: The commodity alternative, for comparison.
+    """
+
+    requirements: ApplicationRequirements
+    evaluated: list
+    feasible: list
+    frontier: list
+    discrete_baseline: SolutionMetrics | None
+
+    @property
+    def n_explored(self) -> int:
+        return len(self.evaluated)
+
+    def best_by(self, key) -> SolutionMetrics:
+        """Best feasible solution under a key function (minimized)."""
+        if not self.feasible:
+            raise InfeasibleError(
+                f"no feasible configuration for {self.requirements.name}"
+            )
+        return min(self.feasible, key=key)
+
+    @property
+    def min_power(self) -> SolutionMetrics:
+        return self.best_by(lambda m: m.power_w)
+
+    @property
+    def min_area(self) -> SolutionMetrics:
+        return self.best_by(lambda m: m.area_mm2)
+
+    @property
+    def min_cost(self) -> SolutionMetrics:
+        return self.best_by(lambda m: m.unit_cost)
+
+    @property
+    def max_bandwidth(self) -> SolutionMetrics:
+        return self.best_by(lambda m: -m.sustained_bandwidth_bits_per_s)
+
+
+@dataclass
+class DesignSpaceExplorer:
+    """Enumerates and evaluates the eDRAM configuration space.
+
+    Attributes:
+        rules: Constructibility rules (Siemens concept by default).
+        evaluator: Analytic evaluator.
+        widths: Interface widths to consider (None = all powers of two in
+            the concept's range).
+        bank_options: Bank counts to consider.
+        size_headroom: Capacity slack factors to consider beyond the
+            minimum constructible size (exploring slightly larger modules
+            sometimes buys organization freedom).
+    """
+
+    rules: SiemensConceptRules = SIEMENS_CONCEPT
+    evaluator: Evaluator = field(default_factory=Evaluator)
+    widths: tuple | None = None
+    bank_options: tuple = (1, 2, 4, 8, 16)
+    size_headroom: tuple = (1.0, 1.25)
+
+    def candidate_widths(self) -> list:
+        if self.widths is not None:
+            return list(self.widths)
+        widths = []
+        w = self.rules.min_width
+        while w <= self.rules.max_width:
+            widths.append(w)
+            w *= 2
+        return widths
+
+    def candidate_sizes(self, required_bits: int) -> list:
+        """Constructible sizes covering the requirement (with headroom)."""
+        if required_bits <= 0:
+            raise ConfigurationError("required capacity must be positive")
+        step = min(self.rules.block_sizes_bits)
+        sizes = []
+        for headroom in self.size_headroom:
+            target = int(required_bits * headroom)
+            size = max(
+                self.rules.min_module_bits,
+                ceil_div(target, step) * step,
+            )
+            if size <= self.rules.max_module_bits and size not in sizes:
+                sizes.append(size)
+        if not sizes:
+            raise InfeasibleError(
+                f"requirement of {required_bits / MBIT:.1f} Mbit exceeds the "
+                f"concept's {self.rules.max_module_bits / MBIT:.0f} Mbit limit"
+            )
+        return sizes
+
+    def enumerate(self, requirements: ApplicationRequirements) -> list:
+        """All constructible macros covering the capacity requirement."""
+        macros = []
+        for size in self.candidate_sizes(requirements.capacity_bits):
+            for width in self.candidate_widths():
+                for banks in self.bank_options:
+                    for page in self.rules.allowed_page_bits:
+                        try:
+                            macro = EDRAMMacro(
+                                size_bits=size,
+                                width=width,
+                                banks=banks,
+                                page_bits=page,
+                            )
+                        except ConfigurationError:
+                            continue
+                        macros.append(macro)
+        return macros
+
+    def explore(
+        self, requirements: ApplicationRequirements
+    ) -> ExplorationResult:
+        """Run the full sweep for one application."""
+        evaluated = [
+            self.evaluator.evaluate_macro(macro, requirements)
+            for macro in self.enumerate(requirements)
+        ]
+        feasible = [
+            metrics
+            for metrics in evaluated
+            if self.evaluator.meets(metrics, requirements)
+        ]
+        frontier = pareto_frontier(
+            feasible, lambda metrics: metrics.objective_tuple()
+        )
+        try:
+            discrete = smallest_system(
+                requirements.capacity_bits,
+                self._discrete_width(requirements),
+                COMMODITY_PARTS,
+            )
+            baseline = self.evaluator.evaluate_discrete(
+                discrete, requirements
+            )
+        except (ConfigurationError, InfeasibleError):
+            baseline = None
+        return ExplorationResult(
+            requirements=requirements,
+            evaluated=evaluated,
+            feasible=feasible,
+            frontier=frontier,
+            discrete_baseline=baseline,
+        )
+
+    @staticmethod
+    def _discrete_width(requirements: ApplicationRequirements) -> int:
+        """Bus width a commodity system needs for the bandwidth.
+
+        Derates the PC100 interface to ~60% sustained efficiency, the
+        same ballpark the analytic model produces for mixed traffic.
+        """
+        from repro.dram.timing import PC100_TIMING
+
+        effective = PC100_TIMING.clock_hz * 0.6
+        width = ceil_div(
+            int(requirements.sustained_bandwidth_bits_per_s), int(effective)
+        )
+        rounded = 16
+        while rounded < width:
+            rounded *= 2
+        return rounded

@@ -1,0 +1,90 @@
+"""Metrics of one evaluated memory solution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT, fill_frequency
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """What one candidate configuration delivers.
+
+    Attributes:
+        label: Configuration description.
+        capacity_bits: Installed capacity.
+        peak_bandwidth_bits_per_s: Interface peak.
+        sustained_bandwidth_bits_per_s: Estimated/simulated sustainable
+            bandwidth under the application's traffic.
+        mean_latency_ns: Mean access latency under that traffic.
+        power_w: Memory-subsystem power at the operating point.
+        area_mm2: Silicon area of the memory (embedded) or 0 for
+            off-chip solutions.
+        n_chips: Discrete devices (1 for embedded).
+        unit_cost: Memory unit cost at the requirement's volume.
+        embedded: Whether this is an embedded (eDRAM) solution.
+    """
+
+    label: str
+    capacity_bits: int
+    peak_bandwidth_bits_per_s: float
+    sustained_bandwidth_bits_per_s: float
+    mean_latency_ns: float
+    power_w: float
+    area_mm2: float
+    n_chips: int
+    unit_cost: float
+    embedded: bool
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.peak_bandwidth_bits_per_s <= 0:
+            raise ConfigurationError("peak bandwidth must be positive")
+        if self.sustained_bandwidth_bits_per_s < 0:
+            raise ConfigurationError("sustained bandwidth must be >= 0")
+        if self.mean_latency_ns < 0:
+            raise ConfigurationError("latency must be >= 0")
+        if self.power_w < 0 or self.area_mm2 < 0 or self.unit_cost < 0:
+            raise ConfigurationError("power/area/cost must be >= 0")
+        if self.n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
+
+    @property
+    def capacity_mbit(self) -> float:
+        return self.capacity_bits / MBIT
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        return (
+            self.sustained_bandwidth_bits_per_s
+            / self.peak_bandwidth_bits_per_s
+        )
+
+    @property
+    def fill_frequency_hz(self) -> float:
+        """Fill frequency at the sustained bandwidth (Section 1)."""
+        return fill_frequency(
+            self.sustained_bandwidth_bits_per_s, self.capacity_bits
+        )
+
+    def overhead_bits(self, required_bits: int) -> int:
+        """Capacity installed beyond the requirement."""
+        if required_bits <= 0:
+            raise ConfigurationError("required capacity must be positive")
+        return max(0, self.capacity_bits - required_bits)
+
+    def objective_tuple(self) -> tuple:
+        """(power, area, cost, -sustained_bw, latency): all minimized.
+
+        The canonical objective vector used for Pareto extraction.
+        """
+        return (
+            self.power_w,
+            self.area_mm2,
+            self.unit_cost,
+            -self.sustained_bandwidth_bits_per_s,
+            self.mean_latency_ns,
+        )

@@ -1,0 +1,58 @@
+"""Pareto-frontier extraction over solution metrics.
+
+All objectives are *minimized*; callers encode maximize-objectives by
+negation (as :meth:`SolutionMetrics.objective_tuple` does for bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if objective vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when it is no worse in every objective and
+    strictly better in at least one (all objectives minimized).
+    """
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise ConfigurationError("objective vectors must be non-empty")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Non-dominated subset of ``items`` under ``objectives``.
+
+    Duplicates (identical objective vectors) are kept once, preserving
+    the first occurrence.  O(n^2) — fine for the few thousand
+    configurations a design-space sweep produces.
+    """
+    vectors = [tuple(objectives(item)) for item in items]
+    frontier: list[T] = []
+    seen: set = set()
+    for i, item in enumerate(items):
+        vi = vectors[i]
+        if vi in seen:
+            continue
+        dominated = False
+        for j, vj in enumerate(vectors):
+            if i != j and dominates(vj, vi):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(item)
+            seen.add(vi)
+    return frontier

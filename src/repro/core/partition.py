@@ -1,0 +1,333 @@
+"""SRAM/DRAM and on/off-chip memory partitioning.
+
+Paper Section 3: "Since edram allows to integrate SRAMs and DRAMs,
+decisions on the on/off-chip DRAM- and SRAM/DRAM-partitioning have to be
+made."
+
+The partitioner assigns each application memory block to one of three
+implementation technologies — on-chip SRAM (fast, hungry for area),
+on-chip eDRAM (dense, medium latency), off-chip commodity DRAM (no die
+area, slow, pin- and power-expensive) — minimizing a composite cost
+under a die-area budget and per-block latency/bandwidth constraints.
+
+With the handful of blocks real systems partition (an MPEG2 decoder has
+three or four), exhaustive enumeration of the 3^n assignments is exact
+and instant; a greedy fallback covers larger inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT
+
+
+class MemoryTech(enum.Enum):
+    """Implementation technology for one memory block."""
+
+    ON_CHIP_SRAM = "sram"
+    ON_CHIP_EDRAM = "edram"
+    OFF_CHIP_DRAM = "off-chip"
+
+
+@dataclass(frozen=True)
+class TechProfile:
+    """Per-technology implementation characteristics.
+
+    Attributes:
+        tech: Technology tag.
+        area_mm2_per_mbit: Die area per Mbit (0 for off-chip).
+        latency_ns: Typical random-access latency.
+        max_bandwidth_bits_per_s: Sustainable bandwidth per block placed
+            in this technology (off-chip is interface-limited).
+        energy_pj_per_bit: Access energy per bit.
+        cost_per_mbit: Incremental unit cost per Mbit (silicon or
+            commodity price).
+    """
+
+    tech: MemoryTech
+    area_mm2_per_mbit: float
+    latency_ns: float
+    max_bandwidth_bits_per_s: float
+    energy_pj_per_bit: float
+    cost_per_mbit: float
+
+    def __post_init__(self) -> None:
+        if self.area_mm2_per_mbit < 0:
+            raise ConfigurationError("area per Mbit must be >= 0")
+        if self.latency_ns <= 0:
+            raise ConfigurationError("latency must be positive")
+        if self.max_bandwidth_bits_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.energy_pj_per_bit < 0 or self.cost_per_mbit < 0:
+            raise ConfigurationError("energy/cost must be >= 0")
+
+
+#: Quarter-micron-era profiles, consistent with the rest of the library:
+#: SRAM ~15x the area of eDRAM (cell ratio), off-chip pays the Section 1
+#: interface-energy premium and the PC100 interface bandwidth ceiling.
+SRAM_PROFILE = TechProfile(
+    tech=MemoryTech.ON_CHIP_SRAM,
+    area_mm2_per_mbit=15.0,
+    latency_ns=6.0,
+    max_bandwidth_bits_per_s=40e9,
+    energy_pj_per_bit=2.0,
+    cost_per_mbit=8.0,
+)
+EDRAM_PROFILE = TechProfile(
+    tech=MemoryTech.ON_CHIP_EDRAM,
+    area_mm2_per_mbit=1.07,
+    latency_ns=35.0,
+    max_bandwidth_bits_per_s=9.15e9,
+    energy_pj_per_bit=6.0,
+    cost_per_mbit=0.6,
+)
+OFF_CHIP_PROFILE = TechProfile(
+    tech=MemoryTech.OFF_CHIP_DRAM,
+    area_mm2_per_mbit=0.0,
+    latency_ns=90.0,
+    max_bandwidth_bits_per_s=1.0e9,
+    energy_pj_per_bit=130.0,
+    cost_per_mbit=0.25,
+)
+
+DEFAULT_PROFILES: dict = {
+    profile.tech: profile
+    for profile in (SRAM_PROFILE, EDRAM_PROFILE, OFF_CHIP_PROFILE)
+}
+
+
+@dataclass(frozen=True)
+class MemoryBlock:
+    """One application memory block to place.
+
+    Attributes:
+        name: Block name ("frame store", "line buffer", ...).
+        size_bits: Capacity required.
+        bandwidth_bits_per_s: Sustained traffic the block carries.
+        max_latency_ns: Worst acceptable access latency, or None.
+    """
+
+    name: str
+    size_bits: int
+    bandwidth_bits_per_s: float
+    max_latency_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ConfigurationError(f"{self.name}: size must be positive")
+        if self.bandwidth_bits_per_s < 0:
+            raise ConfigurationError(
+                f"{self.name}: bandwidth must be >= 0"
+            )
+        if self.max_latency_ns is not None and self.max_latency_ns <= 0:
+            raise ConfigurationError(
+                f"{self.name}: latency bound must be positive"
+            )
+
+    @property
+    def size_mbit(self) -> float:
+        return self.size_bits / MBIT
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A complete assignment of blocks to technologies.
+
+    Attributes:
+        assignment: Block name -> technology.
+        area_mm2: On-chip area consumed.
+        power_w: Access power over all blocks.
+        unit_cost: Memory unit cost.
+        blocks: The partitioned blocks (for reporting).
+    """
+
+    assignment: dict
+    area_mm2: float
+    power_w: float
+    unit_cost: float
+    blocks: tuple
+
+    def tech_of(self, block_name: str) -> MemoryTech:
+        if block_name not in self.assignment:
+            raise ConfigurationError(f"unknown block {block_name!r}")
+        return self.assignment[block_name]
+
+    def on_chip_fraction(self) -> float:
+        """Share of total bits placed on-chip."""
+        total = sum(block.size_bits for block in self.blocks)
+        on_chip = sum(
+            block.size_bits
+            for block in self.blocks
+            if self.assignment[block.name] is not MemoryTech.OFF_CHIP_DRAM
+        )
+        return on_chip / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Assigns memory blocks to technologies at minimum weighted cost.
+
+    Attributes:
+        profiles: Technology profiles to choose among.
+        area_budget_mm2: On-chip area available for memories.
+        power_weight: Composite-objective weight on watts (cost units
+            per watt — e.g. what a watt costs in battery/cooling terms).
+        exhaustive_limit: Maximum block count for exact enumeration.
+    """
+
+    profiles: dict = field(
+        default_factory=lambda: dict(DEFAULT_PROFILES)
+    )
+    area_budget_mm2: float = 60.0
+    power_weight: float = 5.0
+    exhaustive_limit: int = 10
+
+    def __post_init__(self) -> None:
+        if self.area_budget_mm2 < 0:
+            raise ConfigurationError("area budget must be >= 0")
+        if self.power_weight < 0:
+            raise ConfigurationError("power weight must be >= 0")
+
+    # -- per-block figures -------------------------------------------------
+
+    def _feasible(self, block: MemoryBlock, profile: TechProfile) -> bool:
+        if (
+            block.max_latency_ns is not None
+            and profile.latency_ns > block.max_latency_ns
+        ):
+            return False
+        if block.bandwidth_bits_per_s > profile.max_bandwidth_bits_per_s:
+            return False
+        return True
+
+    def _block_area(self, block: MemoryBlock, profile: TechProfile) -> float:
+        return block.size_mbit * profile.area_mm2_per_mbit
+
+    def _block_power(self, block: MemoryBlock, profile: TechProfile) -> float:
+        return (
+            block.bandwidth_bits_per_s * profile.energy_pj_per_bit * 1e-12
+        )
+
+    def _block_cost(self, block: MemoryBlock, profile: TechProfile) -> float:
+        return block.size_mbit * profile.cost_per_mbit
+
+    def _objective(self, blocks, assignment) -> float:
+        cost = sum(
+            self._block_cost(block, self.profiles[tech])
+            for block, tech in zip(blocks, assignment)
+        )
+        power = sum(
+            self._block_power(block, self.profiles[tech])
+            for block, tech in zip(blocks, assignment)
+        )
+        return cost + self.power_weight * power
+
+    # -- solving ------------------------------------------------------------
+
+    def partition(self, blocks) -> PartitionPlan:
+        """Find the minimum-objective feasible assignment.
+
+        Raises:
+            InfeasibleError: If no assignment satisfies every block's
+                constraints within the area budget.
+        """
+        blocks = tuple(blocks)
+        if not blocks:
+            raise ConfigurationError("nothing to partition")
+        names = [block.name for block in blocks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate block names: {names}")
+        options: list = []
+        for block in blocks:
+            feasible = [
+                tech
+                for tech, profile in self.profiles.items()
+                if self._feasible(block, profile)
+            ]
+            if not feasible:
+                raise InfeasibleError(
+                    f"block {block.name!r} fits no technology "
+                    f"(bandwidth {block.bandwidth_bits_per_s / 1e9:.1f} "
+                    f"Gbit/s, latency bound {block.max_latency_ns})"
+                )
+            options.append(feasible)
+        if len(blocks) <= self.exhaustive_limit:
+            best = self._solve_exhaustive(blocks, options)
+        else:
+            best = self._solve_greedy(blocks, options)
+        if best is None:
+            raise InfeasibleError(
+                f"no assignment fits the {self.area_budget_mm2:.0f} mm^2 "
+                f"on-chip budget"
+            )
+        assignment = dict(zip(names, best))
+        return PartitionPlan(
+            assignment=assignment,
+            area_mm2=sum(
+                self._block_area(block, self.profiles[tech])
+                for block, tech in zip(blocks, best)
+            ),
+            power_w=sum(
+                self._block_power(block, self.profiles[tech])
+                for block, tech in zip(blocks, best)
+            ),
+            unit_cost=sum(
+                self._block_cost(block, self.profiles[tech])
+                for block, tech in zip(blocks, best)
+            ),
+            blocks=blocks,
+        )
+
+    def _solve_exhaustive(self, blocks, options):
+        best = None
+        best_objective = float("inf")
+        for assignment in itertools.product(*options):
+            area = sum(
+                self._block_area(block, self.profiles[tech])
+                for block, tech in zip(blocks, assignment)
+            )
+            if area > self.area_budget_mm2:
+                continue
+            objective = self._objective(blocks, assignment)
+            if objective < best_objective:
+                best, best_objective = assignment, objective
+        return best
+
+    def _solve_greedy(self, blocks, options):
+        """Greedy: cheapest feasible tech per block, then fix the area
+        budget by pushing the least-bandwidth blocks off-chip."""
+        assignment = []
+        for block, feasible in zip(blocks, options):
+            assignment.append(
+                min(
+                    feasible,
+                    key=lambda tech: self._block_cost(
+                        block, self.profiles[tech]
+                    )
+                    + self.power_weight
+                    * self._block_power(block, self.profiles[tech]),
+                )
+            )
+
+        def total_area():
+            return sum(
+                self._block_area(block, self.profiles[tech])
+                for block, tech in zip(blocks, assignment)
+            )
+
+        spill_order = sorted(
+            range(len(blocks)),
+            key=lambda i: blocks[i].bandwidth_bits_per_s,
+        )
+        for index in spill_order:
+            if total_area() <= self.area_budget_mm2:
+                break
+            if MemoryTech.OFF_CHIP_DRAM in options[index]:
+                assignment[index] = MemoryTech.OFF_CHIP_DRAM
+        if total_area() > self.area_budget_mm2:
+            return None
+        return tuple(assignment)

@@ -1,0 +1,63 @@
+"""Application requirements: what the system needs from its memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+
+
+@dataclass(frozen=True)
+class ApplicationRequirements:
+    """Memory requirements of one application.
+
+    Attributes:
+        name: Application name for reports.
+        capacity_bits: Required storage.
+        sustained_bandwidth_bits_per_s: Bandwidth that must be delivered
+            under real traffic (not peak).
+        max_latency_ns: Worst acceptable mean access latency, or None.
+        power_budget_w: Memory-subsystem power budget, or None.
+        volume_per_year: Production volume (drives economics).
+        portable: Battery-powered product.
+        read_fraction: Read share of the traffic.
+        locality: Qualitative traffic locality in [0, 1]; 1.0 = fully
+            sequential streams, 0.0 = uniformly random.  Used to derate
+            peak to sustainable bandwidth analytically and to pick
+            simulation traffic mixes.
+    """
+
+    name: str
+    capacity_bits: int
+    sustained_bandwidth_bits_per_s: float
+    max_latency_ns: float | None = None
+    power_budget_w: float | None = None
+    volume_per_year: int = 1_000_000
+    portable: bool = False
+    read_fraction: float = 0.67
+    locality: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.sustained_bandwidth_bits_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.max_latency_ns is not None and self.max_latency_ns <= 0:
+            raise ConfigurationError("latency bound must be positive")
+        if self.power_budget_w is not None and self.power_budget_w <= 0:
+            raise ConfigurationError("power budget must be positive")
+        if self.volume_per_year < 0:
+            raise ConfigurationError("volume must be >= 0")
+        if not 0 <= self.read_fraction <= 1:
+            raise ConfigurationError("read fraction must be in [0, 1]")
+        if not 0 <= self.locality <= 1:
+            raise ConfigurationError("locality must be in [0, 1]")
+
+    @property
+    def capacity_mbit(self) -> float:
+        return self.capacity_bits / MBIT
+
+    @property
+    def bandwidth_gbyte_per_s(self) -> float:
+        return self.sustained_bandwidth_bits_per_s / 8e9

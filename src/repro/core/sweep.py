@@ -1,0 +1,146 @@
+"""Parameter-sweep utilities for design-space studies.
+
+The ablation benches and E5/E10 all share one shape: vary a few
+organization knobs, run an evaluation per point, tabulate.  This module
+factors that shape out: a :class:`Sweep` is a named cartesian product of
+axes plus an evaluation function; the result supports filtering,
+best-point queries and direct rendering through
+:class:`~repro.reporting.tables.Table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import Table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep.
+
+    Attributes:
+        parameters: Axis name -> value for this point.
+        result: Whatever the evaluation function returned.
+    """
+
+    parameters: dict
+    result: object
+
+    def __getitem__(self, key: str):
+        if key not in self.parameters:
+            raise ConfigurationError(f"unknown axis {key!r}")
+        return self.parameters[key]
+
+
+@dataclass
+class SweepResult:
+    """All evaluated points of one sweep."""
+
+    points: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def where(self, **conditions) -> "SweepResult":
+        """Points matching all axis=value conditions."""
+        matched = [
+            point
+            for point in self.points
+            if all(
+                point.parameters.get(axis) == value
+                for axis, value in conditions.items()
+            )
+        ]
+        return SweepResult(points=matched)
+
+    def best(self, key) -> SweepPoint:
+        """Point minimizing ``key(result)``."""
+        if not self.points:
+            raise ConfigurationError("sweep produced no points")
+        return min(self.points, key=lambda point: key(point.result))
+
+    def series(self, axis: str, metric) -> list:
+        """(axis value, metric(result)) pairs, sorted by axis value."""
+        pairs = [
+            (point[axis], metric(point.result)) for point in self.points
+        ]
+        return sorted(pairs, key=lambda pair: pair[0])
+
+    def to_table(self, title: str, columns: dict) -> Table:
+        """Render the sweep as a table.
+
+        Args:
+            title: Table caption.
+            columns: Column header -> extractor; an extractor is either
+                an axis name (string) or a callable on the result.
+        """
+        table = Table(title=title, columns=list(columns))
+        for point in self.points:
+            cells = []
+            for extractor in columns.values():
+                if isinstance(extractor, str):
+                    cells.append(point[extractor])
+                else:
+                    cells.append(extractor(point.result))
+            table.add_row(*cells)
+        return table
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A cartesian parameter sweep.
+
+    Attributes:
+        axes: Axis name -> list of values.
+    """
+
+    axes: dict
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ConfigurationError("sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {name!r} has no values")
+
+    @property
+    def n_points(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def run(self, evaluate, skip_errors: bool = False) -> SweepResult:
+        """Evaluate every axis combination.
+
+        Args:
+            evaluate: Callable taking the axis values as keyword
+                arguments and returning the point's result.
+            skip_errors: Silently drop combinations whose evaluation
+                raises :class:`~repro.errors.ReproError` (useful when
+                parts of the grid are unconstructible).
+        """
+        from repro.errors import ReproError
+
+        names = list(self.axes)
+        result = SweepResult()
+        for values in itertools.product(
+            *(self.axes[name] for name in names)
+        ):
+            parameters = dict(zip(names, values))
+            try:
+                outcome = evaluate(**parameters)
+            except ReproError:
+                if skip_errors:
+                    continue
+                raise
+            result.points.append(
+                SweepPoint(parameters=parameters, result=outcome)
+            )
+        return result

@@ -1,0 +1,44 @@
+"""Cost and yield models for embedded DRAM economics.
+
+The paper's advisability rules (Section 2) and testing discussion
+(Section 6) are ultimately economic: eDRAM trades higher wafer cost (extra
+mask steps), specialized testing, and second-sourcing risk against saved
+packages, pins, board space and power.  This package provides the cost side
+of those trades: wafer cost and dies-per-wafer, defect-limited yield with
+and without redundancy repair, packaging cost as a function of pin count,
+and per-unit economics including NRE amortization over product volume.
+"""
+
+from repro.cost.wafer import WaferSpec, dies_per_wafer, die_cost_before_test
+from repro.cost.yield_model import (
+    YieldModel,
+    poisson_yield,
+    negative_binomial_yield,
+    redundancy_repair_yield,
+)
+from repro.cost.packaging import PackageCostModel
+from repro.cost.economics import ChipEconomics, CostBreakdown, SystemCostModel
+from repro.cost.nre import (
+    EDRAM_CONCEPT_NRE,
+    EDRAM_FIRST_PRODUCT_NRE,
+    LOGIC_ASIC_NRE,
+    NREBreakdown,
+)
+
+__all__ = [
+    "WaferSpec",
+    "dies_per_wafer",
+    "die_cost_before_test",
+    "YieldModel",
+    "poisson_yield",
+    "negative_binomial_yield",
+    "redundancy_repair_yield",
+    "PackageCostModel",
+    "ChipEconomics",
+    "CostBreakdown",
+    "SystemCostModel",
+    "EDRAM_CONCEPT_NRE",
+    "EDRAM_FIRST_PRODUCT_NRE",
+    "LOGIC_ASIC_NRE",
+    "NREBreakdown",
+]

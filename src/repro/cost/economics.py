@@ -1,0 +1,191 @@
+"""Per-chip and per-system economics.
+
+Composes wafer, yield, test and packaging costs into a unit cost, amortizes
+NRE over product volume, and compares an embedded (single merged die)
+solution against a discrete one (logic die + N commodity DRAM packages).
+This is the quantitative backing for Section 2's rules of thumb: "the
+product volume and product lifetime are usually high" and "either the
+memory content is high enough to justify the higher DRAM process costs, or
+eDRAM is required for bandwidth or other reasons".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.cost.wafer import WaferSpec, die_cost_before_test
+from repro.cost.yield_model import YieldModel
+from repro.cost.packaging import PackageCostModel
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Unit-cost breakdown for one packaged chip.
+
+    Attributes:
+        die: Cost of the good die (wafer cost / good dies).
+        test: Test cost per good die.
+        package: Package cost.
+        nre_share: NRE amortized over the production volume.
+    """
+
+    die: float
+    test: float
+    package: float
+    nre_share: float
+
+    @property
+    def total(self) -> float:
+        return self.die + self.test + self.package + self.nre_share
+
+
+@dataclass(frozen=True)
+class ChipEconomics:
+    """Unit economics of one chip design.
+
+    Attributes:
+        wafer: Wafer spec (process cost multiplier included).
+        yield_model: Defect/repair yield model.
+        package_model: Package cost model.
+        nre: Non-recurring engineering cost (masks, design, quali).
+        test_cost_per_unit: Per-die test cost; use
+            :mod:`repro.dft.test_cost` to derive it from test time.
+    """
+
+    wafer: WaferSpec = WaferSpec()
+    yield_model: YieldModel = field(default_factory=YieldModel)
+    package_model: PackageCostModel = PackageCostModel()
+    nre: float = 2.0e6
+    test_cost_per_unit: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.nre < 0:
+            raise ConfigurationError(f"NRE must be >= 0, got {self.nre}")
+        if self.test_cost_per_unit < 0:
+            raise ConfigurationError("test cost must be >= 0")
+
+    def unit_cost(
+        self,
+        memory_area_mm2: float,
+        logic_area_mm2: float,
+        pins: int,
+        power_w: float,
+        volume: int,
+    ) -> CostBreakdown:
+        """Unit cost of the packaged chip at a given production volume."""
+        if volume <= 0:
+            raise ConfigurationError(f"volume must be positive, got {volume}")
+        die_area = memory_area_mm2 + logic_area_mm2
+        y = self.yield_model.die_yield(memory_area_mm2, logic_area_mm2)
+        die = die_cost_before_test(self.wafer, die_area, y)
+        return CostBreakdown(
+            die=die,
+            test=self.test_cost_per_unit,
+            package=self.package_model.cost(pins, power_w),
+            nre_share=self.nre / volume,
+        )
+
+
+@dataclass(frozen=True)
+class SystemCostModel:
+    """Embedded-vs-discrete system cost comparison.
+
+    The discrete system is a logic ASIC plus ``n_dram_chips`` commodity
+    DRAM packages; the embedded system is one merged die.  Commodity DRAM
+    is priced per Mbit (it is a commodity), while the embedded memory is
+    carried at silicon cost — capturing the paper's observation that "the
+    memory component goes from a commodity to a highly specialized part
+    which may command premium pricing".
+
+    Attributes:
+        embedded: Economics of the merged chip.
+        discrete_logic: Economics of the logic-only ASIC.
+        commodity_price_per_mbit: Street price per Mbit of commodity DRAM.
+        board_cost_per_chip: Board area/assembly cost attributed to each
+            extra package.
+    """
+
+    embedded: ChipEconomics
+    discrete_logic: ChipEconomics
+    commodity_price_per_mbit: float = 0.25
+    board_cost_per_chip: float = 0.35
+
+    def embedded_unit_cost(
+        self,
+        memory_area_mm2: float,
+        logic_area_mm2: float,
+        pins: int,
+        power_w: float,
+        volume: int,
+    ) -> float:
+        """Total unit cost of the embedded solution."""
+        return self.embedded.unit_cost(
+            memory_area_mm2, logic_area_mm2, pins, power_w, volume
+        ).total
+
+    def discrete_unit_cost(
+        self,
+        logic_area_mm2: float,
+        logic_pins: int,
+        logic_power_w: float,
+        memory_mbit: float,
+        n_dram_chips: int,
+        volume: int,
+    ) -> float:
+        """Total unit cost of the discrete solution.
+
+        Commodity memory is bought at market price for the *granularity-
+        rounded* capacity (``memory_mbit`` should already include any
+        over-provisioning forced by commodity sizes).
+        """
+        if memory_mbit < 0:
+            raise ConfigurationError("memory size must be >= 0")
+        if n_dram_chips < 0:
+            raise ConfigurationError("chip count must be >= 0")
+        logic = self.discrete_logic.unit_cost(
+            0.0, logic_area_mm2, logic_pins, logic_power_w, volume
+        ).total
+        memory = memory_mbit * self.commodity_price_per_mbit
+        board = self.board_cost_per_chip * (1 + n_dram_chips)
+        return logic + memory + board
+
+    def crossover_volume(
+        self,
+        memory_area_mm2: float,
+        logic_area_mm2: float,
+        embedded_pins: int,
+        embedded_power_w: float,
+        discrete_logic_pins: int,
+        discrete_logic_power_w: float,
+        memory_mbit: float,
+        n_dram_chips: int,
+        max_volume: int = 100_000_000,
+    ) -> int | None:
+        """Smallest volume at which the embedded solution is cheaper.
+
+        Scans volume decades (the embedded NRE is higher, so it needs
+        volume to amortize).  Returns ``None`` if the embedded solution
+        never wins up to ``max_volume``.
+        """
+        volume = 1000
+        while volume <= max_volume:
+            emb = self.embedded_unit_cost(
+                memory_area_mm2,
+                logic_area_mm2,
+                embedded_pins,
+                embedded_power_w,
+                volume,
+            )
+            dis = self.discrete_unit_cost(
+                logic_area_mm2,
+                discrete_logic_pins,
+                discrete_logic_power_w,
+                memory_mbit,
+                n_dram_chips,
+                volume,
+            )
+            if emb <= dis:
+                return volume
+            volume *= 2
+        return None

@@ -1,0 +1,114 @@
+"""Non-recurring engineering breakdown for an eDRAM project.
+
+Paper Section 1: "The edram process adds another technology for which
+libraries must be developed and characterized, macros must be ported,
+and design flows must be tuned."  And Section 6 adds test-program
+development.  These are the NRE line items that the advisability rules'
+volume threshold has to amortize; the breakdown makes the lump sum the
+economics model uses auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NREBreakdown:
+    """NRE line items, in currency units.
+
+    Attributes:
+        mask_set: Mask tooling (scales with mask count).
+        library_development: Standard-cell/IO library characterization
+            on the new process.
+        macro_porting: Porting existing IP macros.
+        design_flow: CAD flow tuning and sign-off setup.
+        memory_design: The eDRAM module work itself (or zero when a
+            generator delivers it "first-time-right" — the Section 5
+            concept's selling point).
+        test_program: Memory test program and BIST integration.
+        qualification: Process/product qualification.
+    """
+
+    mask_set: float = 0.6e6
+    library_development: float = 0.8e6
+    macro_porting: float = 0.4e6
+    design_flow: float = 0.3e6
+    memory_design: float = 0.5e6
+    test_program: float = 0.25e6
+    qualification: float = 0.35e6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mask_set",
+            "library_development",
+            "macro_porting",
+            "design_flow",
+            "memory_design",
+            "test_program",
+            "qualification",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    @property
+    def total(self) -> float:
+        return (
+            self.mask_set
+            + self.library_development
+            + self.macro_porting
+            + self.design_flow
+            + self.memory_design
+            + self.test_program
+            + self.qualification
+        )
+
+    @property
+    def process_entry_cost(self) -> float:
+        """The one-time cost of *entering* the eDRAM process (libraries,
+        porting, flow) — shared across the first products, not per
+        design."""
+        return (
+            self.library_development + self.macro_porting + self.design_flow
+        )
+
+    def with_flexible_concept(self) -> "NREBreakdown":
+        """The Section 5 concept's effect: the memory module comes from
+        a generator with "first-time-right designs accompanied by all
+        views, test programs, etc." — memory design and test program
+        costs collapse."""
+        return NREBreakdown(
+            mask_set=self.mask_set,
+            library_development=self.library_development,
+            macro_porting=self.macro_porting,
+            design_flow=self.design_flow,
+            memory_design=self.memory_design * 0.15,
+            test_program=self.test_program * 0.2,
+            qualification=self.qualification,
+        )
+
+    def amortized_per_unit(self, volume: int) -> float:
+        """NRE per unit at a production volume."""
+        if volume <= 0:
+            raise ConfigurationError("volume must be positive")
+        return self.total / volume
+
+
+#: A logic-only ASIC on an established process, for comparison.
+LOGIC_ASIC_NRE = NREBreakdown(
+    mask_set=0.45e6,
+    library_development=0.0,
+    macro_porting=0.0,
+    design_flow=0.05e6,
+    memory_design=0.0,
+    test_program=0.08e6,
+    qualification=0.2e6,
+)
+
+#: A first eDRAM product, hand-built memory.
+EDRAM_FIRST_PRODUCT_NRE = NREBreakdown()
+
+#: The same product using the flexible memory concept.
+EDRAM_CONCEPT_NRE = EDRAM_FIRST_PRODUCT_NRE.with_flexible_concept()

@@ -1,0 +1,66 @@
+"""Package cost as a function of pin count and thermal class.
+
+Two Section 1 claims live here: "higher system integration saves board
+space, packages, and pins" (an embedded solution needs one package instead
+of logic + N memory packages) and "more expensive packages may be needed"
+(the merged die may dissipate more per package and need more pins than the
+logic die alone, pushing it into a costlier package class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PackageCostModel:
+    """Piecewise-linear package cost model.
+
+    Cost = base + per_pin * pins, multiplied by a thermal premium when the
+    dissipated power exceeds ``cheap_power_limit_w`` (forced move from a
+    plastic QFP-class package to an enhanced thermal package).
+
+    Attributes:
+        base_cost: Fixed cost of the cheapest package.
+        cost_per_pin: Incremental cost per pin.
+        cheap_power_limit_w: Power above which the thermal premium applies.
+        thermal_premium: Multiplier for high-power packages.
+    """
+
+    base_cost: float = 0.30
+    cost_per_pin: float = 0.008
+    cheap_power_limit_w: float = 2.0
+    thermal_premium: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.base_cost < 0 or self.cost_per_pin < 0:
+            raise ConfigurationError("package costs must be non-negative")
+        if self.cheap_power_limit_w <= 0:
+            raise ConfigurationError("power limit must be positive")
+        if self.thermal_premium < 1:
+            raise ConfigurationError(
+                f"thermal premium must be >= 1, got {self.thermal_premium}"
+            )
+
+    def cost(self, pins: int, power_w: float = 0.0) -> float:
+        """Cost of one package with ``pins`` pins dissipating ``power_w``."""
+        if pins < 0:
+            raise ConfigurationError(f"pins must be >= 0, got {pins}")
+        if power_w < 0:
+            raise ConfigurationError(f"power must be >= 0, got {power_w}")
+        base = self.base_cost + self.cost_per_pin * pins
+        if power_w > self.cheap_power_limit_w:
+            return base * self.thermal_premium
+        return base
+
+    def system_package_cost(
+        self, packages: list[tuple[int, float]]
+    ) -> float:
+        """Total package cost of a multi-chip system.
+
+        Args:
+            packages: ``(pins, power_w)`` per package.
+        """
+        return sum(self.cost(pins, power) for pins, power in packages)

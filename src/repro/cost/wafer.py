@@ -1,0 +1,104 @@
+"""Wafer cost and gross-die models.
+
+Uses the standard dies-per-wafer approximation (wafer area over die area
+minus an edge-loss term proportional to wafer circumference over die
+diagonal) found in Hennessy & Patterson, which is also how late-90s cost
+studies of merged DRAM/logic were framed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WaferSpec:
+    """A processed wafer.
+
+    Attributes:
+        diameter_mm: Wafer diameter (200 mm was the late-90s volume
+            standard).
+        base_cost: Cost of a processed wafer on the reference logic
+            process, in currency units.
+        cost_multiplier: Relative processing cost of the actual process
+            (e.g. a merged DRAM+logic process with extra mask steps is
+            1.3-1.4x).
+    """
+
+    diameter_mm: float = 200.0
+    base_cost: float = 3000.0
+    cost_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.diameter_mm <= 0:
+            raise ConfigurationError(
+                f"wafer diameter must be positive, got {self.diameter_mm}"
+            )
+        if self.base_cost <= 0:
+            raise ConfigurationError(
+                f"wafer cost must be positive, got {self.base_cost}"
+            )
+        if self.cost_multiplier <= 0:
+            raise ConfigurationError(
+                f"cost multiplier must be positive, got {self.cost_multiplier}"
+            )
+
+    @property
+    def cost(self) -> float:
+        """Cost of one processed wafer on this process."""
+        return self.base_cost * self.cost_multiplier
+
+    @property
+    def area_mm2(self) -> float:
+        return math.pi * (self.diameter_mm / 2) ** 2
+
+
+def dies_per_wafer(wafer: WaferSpec, die_area_mm2: float) -> int:
+    """Gross dies per wafer (before yield).
+
+    Standard approximation::
+
+        N = pi * (d/2)^2 / A  -  pi * d / sqrt(2 * A)
+
+    where ``d`` is the wafer diameter and ``A`` the die area.  The second
+    term accounts for partial dies at the wafer edge.
+
+    Raises:
+        ConfigurationError: If the die area is not positive.
+    """
+    if die_area_mm2 <= 0:
+        raise ConfigurationError(
+            f"die area must be positive, got {die_area_mm2}"
+        )
+    d = wafer.diameter_mm
+    gross = wafer.area_mm2 / die_area_mm2 - math.pi * d / math.sqrt(
+        2.0 * die_area_mm2
+    )
+    return max(0, int(gross))
+
+
+def die_cost_before_test(
+    wafer: WaferSpec, die_area_mm2: float, die_yield: float
+) -> float:
+    """Cost per *good* die, before test and packaging.
+
+    Args:
+        wafer: Wafer specification.
+        die_area_mm2: Die area.
+        die_yield: Fraction of gross dies that are good, in (0, 1].
+
+    Raises:
+        ConfigurationError: If the yield is outside (0, 1] or no die fits.
+    """
+    if not 0 < die_yield <= 1:
+        raise ConfigurationError(f"yield must be in (0, 1], got {die_yield}")
+    gross = dies_per_wafer(wafer, die_area_mm2)
+    if gross == 0:
+        raise ConfigurationError(
+            f"die of {die_area_mm2:.0f} mm^2 does not fit on a "
+            f"{wafer.diameter_mm:.0f} mm wafer"
+        )
+    return wafer.cost / (gross * die_yield)

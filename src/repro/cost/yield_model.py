@@ -1,0 +1,150 @@
+"""Defect-limited yield models, with and without redundancy repair.
+
+DRAM arrays ship with spare rows and columns ("different redundancy levels,
+in order to optimize the yield of the memory module to the specific chip" —
+paper Section 5).  This module provides:
+
+* classic Poisson and negative-binomial (Murphy/Stapper) die yield,
+* a redundancy-repair yield: the probability that the number of defects
+  landing in an array does not exceed what its spares can absorb, and
+* a composite model for a merged die whose memory part is repairable but
+  whose logic part is not.
+
+The analytical repair model here treats each defect as repairable by one
+spare (row or column); the detailed allocation problem — which defects a
+given spare set can actually cover — is solved combinatorially in
+:mod:`repro.dft.redundancy` and validated against this bound in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def poisson_yield(area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Poisson die yield: ``Y = exp(-A * D0)``.
+
+    Args:
+        area_mm2: Critical area in mm^2.
+        defect_density_per_cm2: Defect density D0 in defects/cm^2.
+    """
+    _check(area_mm2, defect_density_per_cm2)
+    lam = area_mm2 * 1e-2 * defect_density_per_cm2
+    return math.exp(-lam)
+
+
+def negative_binomial_yield(
+    area_mm2: float, defect_density_per_cm2: float, alpha: float = 2.0
+) -> float:
+    """Negative-binomial (clustered-defect) yield.
+
+    ``Y = (1 + A*D0/alpha)^(-alpha)`` — the Stapper model; ``alpha`` is the
+    clustering parameter (alpha -> inf recovers Poisson).
+    """
+    _check(area_mm2, defect_density_per_cm2)
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    lam = area_mm2 * 1e-2 * defect_density_per_cm2
+    return (1.0 + lam / alpha) ** (-alpha)
+
+
+def redundancy_repair_yield(
+    area_mm2: float,
+    defect_density_per_cm2: float,
+    repairable_defects: int,
+) -> float:
+    """Yield of a repairable array under Poisson defects.
+
+    The array is good when at most ``repairable_defects`` defects land in
+    it (each absorbed by one spare row or column)::
+
+        Y = sum_{k=0}^{R} exp(-lam) lam^k / k!
+
+    ``repairable_defects = 0`` recovers the plain Poisson yield.
+    """
+    _check(area_mm2, defect_density_per_cm2)
+    if repairable_defects < 0:
+        raise ConfigurationError(
+            f"repairable defect count must be >= 0, got {repairable_defects}"
+        )
+    lam = area_mm2 * 1e-2 * defect_density_per_cm2
+    total = 0.0
+    term = math.exp(-lam)
+    for k in range(repairable_defects + 1):
+        total += term
+        term *= lam / (k + 1)
+    return min(1.0, total)
+
+
+def _check(area_mm2: float, defect_density: float) -> None:
+    if area_mm2 < 0:
+        raise ConfigurationError(f"area must be non-negative, got {area_mm2}")
+    if defect_density < 0:
+        raise ConfigurationError(
+            f"defect density must be non-negative, got {defect_density}"
+        )
+
+
+@dataclass(frozen=True)
+class YieldModel:
+    """Composite yield model for a merged memory/logic die.
+
+    Attributes:
+        defect_density_per_cm2: Process defect density D0.
+        clustering_alpha: Negative-binomial clustering parameter used for
+            the (unrepairable) logic portion.
+        memory_spares: Number of defects the memory redundancy can absorb
+            (total spare rows + columns across the module).
+    """
+
+    defect_density_per_cm2: float = 0.8
+    clustering_alpha: float = 2.0
+    memory_spares: int = 4
+
+    def __post_init__(self) -> None:
+        _check(1.0, self.defect_density_per_cm2)
+        if self.clustering_alpha <= 0:
+            raise ConfigurationError(
+                f"alpha must be positive, got {self.clustering_alpha}"
+            )
+        if self.memory_spares < 0:
+            raise ConfigurationError(
+                f"memory_spares must be >= 0, got {self.memory_spares}"
+            )
+
+    def logic_yield(self, logic_area_mm2: float) -> float:
+        """Yield of the unrepairable logic portion."""
+        return negative_binomial_yield(
+            logic_area_mm2, self.defect_density_per_cm2, self.clustering_alpha
+        )
+
+    def memory_yield(self, memory_area_mm2: float) -> float:
+        """Yield of the repairable memory portion (post-repair)."""
+        return redundancy_repair_yield(
+            memory_area_mm2, self.defect_density_per_cm2, self.memory_spares
+        )
+
+    def memory_yield_unrepaired(self, memory_area_mm2: float) -> float:
+        """Pre-fuse memory yield: no repair credited."""
+        return poisson_yield(memory_area_mm2, self.defect_density_per_cm2)
+
+    def die_yield(
+        self, memory_area_mm2: float, logic_area_mm2: float
+    ) -> float:
+        """Composite die yield: both portions must be good."""
+        return self.memory_yield(memory_area_mm2) * self.logic_yield(
+            logic_area_mm2
+        )
+
+    def repair_gain(self, memory_area_mm2: float) -> float:
+        """Yield ratio repaired/unrepaired for the memory portion.
+
+        Quantifies what the redundancy level buys — always >= 1.
+        """
+        unrepaired = self.memory_yield_unrepaired(memory_area_mm2)
+        if unrepaired == 0.0:
+            return float("inf")
+        return self.memory_yield(memory_area_mm2) / unrepaired

@@ -1,0 +1,55 @@
+"""Design-for-test: the paper's Section 6 modeled end to end.
+
+"Testing DRAMs is very different from testing logic": rich fault models
+(bit-line/word-line failures, cross-talk, retention), long test times
+dominated by waiting, redundancy forcing a pre-fuse / fuse / post-fuse
+flow, and the economic conclusion that embedded DRAM needs on-chip
+parallelism (BIST) to keep test cost sane.
+
+* :mod:`repro.dft.faults` — fault models and a fault-injectable array,
+* :mod:`repro.dft.march` — march test algorithms (MATS+, March C-,
+  March B) plus retention testing, run against the faulty array,
+* :mod:`repro.dft.redundancy` — spare row/column repair allocation
+  (must-repair analysis + greedy cover),
+* :mod:`repro.dft.bist` — BIST controller model (area vs. parallelism),
+* :mod:`repro.dft.test_cost` — test time and tester-economics model,
+* :mod:`repro.dft.flow` — the pre-fuse/fuse/post-fuse production flow.
+"""
+
+from repro.dft.faults import FaultKind, Fault, FaultyArray, inject_random_faults
+from repro.dft.march import (
+    MarchElement,
+    MarchTest,
+    MATS_PLUS,
+    MARCH_C_MINUS,
+    MARCH_B,
+    retention_test_time_s,
+)
+from repro.dft.redundancy import RepairPlan, allocate_spares
+from repro.dft.bist import BISTController
+from repro.dft.test_cost import TesterSpec, TestCostModel, MEMORY_TESTER, LOGIC_TESTER
+from repro.dft.flow import TestFlow, FlowResult
+from repro.dft.compression import SignatureCompressor
+
+__all__ = [
+    "FaultKind",
+    "Fault",
+    "FaultyArray",
+    "inject_random_faults",
+    "MarchElement",
+    "MarchTest",
+    "MATS_PLUS",
+    "MARCH_C_MINUS",
+    "MARCH_B",
+    "retention_test_time_s",
+    "RepairPlan",
+    "allocate_spares",
+    "BISTController",
+    "TesterSpec",
+    "TestCostModel",
+    "MEMORY_TESTER",
+    "LOGIC_TESTER",
+    "TestFlow",
+    "FlowResult",
+    "SignatureCompressor",
+]

@@ -1,0 +1,78 @@
+"""BIST controller model.
+
+"The implication on edrams is that a high degree of parallelism is
+required in order to reduce test costs.  This necessitates on-chip
+manipulation and compression of test data in order to reduce the
+off-chip interface width.  For instance, Siemens offers a synthesizable
+test controller supporting algorithmic test pattern generation (ATPG)
+and expected-value comparison (partial BIST)." (Section 6.)
+
+The model captures the trade: the BIST engine costs logic gates (area)
+but applies march operations at the *internal* interface width and
+memory clock, instead of squeezing test data through the narrow external
+interface of a slow logic tester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ceil_div
+from repro.dft.march import MarchTest
+
+
+@dataclass(frozen=True)
+class BISTController:
+    """A synthesizable memory BIST engine.
+
+    Attributes:
+        internal_width_bits: Data bits applied per BIST operation (the
+            macro's internal interface width).
+        clock_hz: BIST/memory clock.
+        base_gates: Controller logic (address generators, comparators,
+            sequencer) before per-bit costs.
+        gates_per_data_bit: Comparator/mask gates per data bit.
+        supports_retention: Whether the sequencer can insert pauses.
+    """
+
+    internal_width_bits: int = 256
+    clock_hz: float = 143e6
+    base_gates: float = 8_000.0
+    gates_per_data_bit: float = 25.0
+    supports_retention: bool = True
+
+    def __post_init__(self) -> None:
+        if self.internal_width_bits < 1:
+            raise ConfigurationError("BIST width must be >= 1")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("BIST clock must be positive")
+        if self.base_gates < 0 or self.gates_per_data_bit < 0:
+            raise ConfigurationError("gate costs must be >= 0")
+
+    @property
+    def gate_count(self) -> float:
+        """Logic cost of the controller."""
+        return self.base_gates + self.gates_per_data_bit * self.internal_width_bits
+
+    def march_time_s(self, test: MarchTest, memory_bits: int) -> float:
+        """Wall-clock time to apply a march test to ``memory_bits``.
+
+        One BIST operation covers ``internal_width_bits`` cells, one
+        operation per clock.
+        """
+        if memory_bits < 1:
+            raise ConfigurationError("memory size must be positive")
+        words = ceil_div(memory_bits, self.internal_width_bits)
+        operations = test.ops_per_cell * words
+        return operations / self.clock_hz
+
+    def speedup_vs_external(
+        self, external_width_bits: int, external_rate_hz: float
+    ) -> float:
+        """Test-application speedup over an external tester interface."""
+        if external_width_bits < 1 or external_rate_hz <= 0:
+            raise ConfigurationError("external interface must be positive")
+        internal = self.internal_width_bits * self.clock_hz
+        external = external_width_bits * external_rate_hz
+        return internal / external

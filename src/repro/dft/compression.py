@@ -1,0 +1,90 @@
+"""On-chip test-response compression (signature analysis).
+
+Paper Section 6: embedded DRAM testing "necessitates on-chip
+manipulation and compression of test data in order to reduce the
+off-chip interface width".  The standard mechanism is a multiple-input
+signature register (MISR): the wide internal read data folds into a
+k-bit signature on-chip, and only the signature crosses the narrow
+external interface.
+
+The model quantifies the trade: off-chip data volume shrinks by the
+compression ratio, at an aliasing risk of ~2^-k (a faulty response
+mapping to the good signature), plus the loss of direct fail-bitmap
+visibility — which the pre-fuse flow needs for repair allocation, so
+production flows compress the *post-fuse* pass and keep bitmaps
+pre-fuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ceil_div
+from repro.dft.march import MarchTest
+
+
+@dataclass(frozen=True)
+class SignatureCompressor:
+    """A MISR-based response compactor.
+
+    Attributes:
+        signature_bits: MISR width (k).
+        internal_width_bits: Data bits folded per cycle.
+        readout_width_bits: External pins used to shift the signature
+            out.
+    """
+
+    signature_bits: int = 32
+    internal_width_bits: int = 256
+    readout_width_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.signature_bits < 4:
+            raise ConfigurationError("signature must be >= 4 bits")
+        if self.internal_width_bits < 1:
+            raise ConfigurationError("internal width must be >= 1")
+        if self.readout_width_bits < 1:
+            raise ConfigurationError("readout width must be >= 1")
+
+    def aliasing_probability(self) -> float:
+        """Probability a faulty response aliases to the good signature."""
+        return 2.0 ** (-self.signature_bits)
+
+    def offchip_bits(self, test: MarchTest, memory_bits: int) -> int:
+        """Bits crossing the chip boundary with compression: one
+        signature per march element (each element's reads fold into the
+        running MISR, read out at element boundaries)."""
+        if memory_bits < 1:
+            raise ConfigurationError("memory size must be positive")
+        return len(test.elements) * self.signature_bits
+
+    def offchip_bits_uncompressed(
+        self, test: MarchTest, memory_bits: int
+    ) -> int:
+        """Bits crossing the boundary without compression: every read's
+        expected-value comparison data."""
+        reads_per_cell = sum(
+            1
+            for element in test.elements
+            for op in element.operations
+            if op.startswith("r")
+        )
+        return reads_per_cell * memory_bits
+
+    def compression_ratio(self, test: MarchTest, memory_bits: int) -> float:
+        """Uncompressed / compressed off-chip data volume."""
+        compressed = self.offchip_bits(test, memory_bits)
+        return self.offchip_bits_uncompressed(test, memory_bits) / compressed
+
+    def readout_cycles(self, test: MarchTest) -> int:
+        """Cycles to shift the signatures off-chip."""
+        per_signature = ceil_div(
+            self.signature_bits, self.readout_width_bits
+        )
+        return len(test.elements) * per_signature
+
+    def preserves_fail_bitmap(self) -> bool:
+        """Signatures destroy per-cell fail data — repair allocation
+        (pre-fuse) cannot run from a compressed response."""
+        return False

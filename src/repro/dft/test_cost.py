@@ -1,0 +1,134 @@
+"""Test time and tester economics.
+
+"DRAM test times are quite high, and test costs are a significant
+fraction of total cost" and "the test concept should thus support testing
+the memory either from a logic tester or a memory tester" (Section 6).
+
+Cost = (march time + retention waits) x tester rate, with march time set
+by whichever interface applies the patterns: a memory tester driving the
+external pins, a logic tester driving a narrow test port, or the on-chip
+BIST.  Waiting time is width-independent, which caps what parallelism
+can buy — the model exposes exactly that saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ceil_div
+from repro.dft.march import MarchTest, retention_test_time_s
+from repro.dft.bist import BISTController
+
+
+@dataclass(frozen=True)
+class TesterSpec:
+    """One class of production tester.
+
+    Attributes:
+        name: Tester class.
+        cost_per_hour: Operating cost (depreciation + floor).
+        interface_width_bits: Pins usable as memory data channels.
+        rate_hz: Pattern rate per pin.
+        parallel_sites: Dies tested simultaneously.
+    """
+
+    name: str
+    cost_per_hour: float
+    interface_width_bits: int
+    rate_hz: float
+    parallel_sites: int = 1
+
+    #: Not a pytest test class despite the Test* name.
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        if self.cost_per_hour <= 0:
+            raise ConfigurationError("tester cost must be positive")
+        if self.interface_width_bits < 1:
+            raise ConfigurationError("tester width must be >= 1")
+        if self.rate_hz <= 0:
+            raise ConfigurationError("tester rate must be positive")
+        if self.parallel_sites < 1:
+            raise ConfigurationError("sites must be >= 1")
+
+    def cost_per_second(self) -> float:
+        return self.cost_per_hour / 3600.0
+
+
+#: A specialized memory tester: wide, fast, expensive, multi-site.
+MEMORY_TESTER = TesterSpec(
+    name="memory tester",
+    cost_per_hour=280.0,
+    interface_width_bits=64,
+    rate_hz=100e6,
+    parallel_sites=16,
+)
+
+#: A logic tester pressed into memory duty: narrow memory port, single site.
+LOGIC_TESTER = TesterSpec(
+    name="logic tester",
+    cost_per_hour=400.0,
+    interface_width_bits=16,
+    rate_hz=50e6,
+    parallel_sites=1,
+)
+
+
+@dataclass(frozen=True)
+class TestCostModel:
+    """Per-die memory test time and cost.
+
+    Attributes:
+        tester: The tester applying (or supervising) the test.
+        bist: On-chip BIST engine, or None for external pattern
+            application.
+        retention_pauses: Retention waits in the program.
+        pause_s: Duration of each retention wait.
+    """
+
+    tester: TesterSpec
+    bist: BISTController | None = None
+    retention_pauses: int = 2
+    pause_s: float = 0.2
+
+    #: Not a pytest test class despite the Test* name.
+    __test__ = False
+
+    def march_time_s(self, test: MarchTest, memory_bits: int) -> float:
+        """Pattern-application time for one die."""
+        if memory_bits < 1:
+            raise ConfigurationError("memory size must be positive")
+        if self.bist is not None:
+            return self.bist.march_time_s(test, memory_bits)
+        words = ceil_div(memory_bits, self.tester.interface_width_bits)
+        return test.ops_per_cell * words / self.tester.rate_hz
+
+    def total_time_s(self, test: MarchTest, memory_bits: int) -> float:
+        """March time plus retention waiting."""
+        return self.march_time_s(test, memory_bits) + retention_test_time_s(
+            self.retention_pauses, self.pause_s
+        )
+
+    def cost_per_die(self, test: MarchTest, memory_bits: int) -> float:
+        """Tester cost attributed to one die.
+
+        Multi-site testing divides the tester seconds across sites;
+        retention waits are shared across sites too (all sites wait
+        together).
+        """
+        seconds = self.total_time_s(test, memory_bits)
+        return (
+            seconds
+            * self.tester.cost_per_second()
+            / self.tester.parallel_sites
+        )
+
+    def waiting_fraction(self, test: MarchTest, memory_bits: int) -> float:
+        """Share of the test spent waiting (retention) rather than
+        applying patterns — approaches 1 as parallelism grows, the
+        saturation limit of the Section 6 argument."""
+        total = self.total_time_s(test, memory_bits)
+        if total == 0:
+            return 0.0
+        return retention_test_time_s(self.retention_pauses, self.pause_s) / total

@@ -1,0 +1,49 @@
+"""DRAM device models: timing, bank state machines, parts and macros.
+
+This package is the simulator substrate for the paper's Section 4
+("DRAM Performance") claims.  It models synchronous DRAM at the command
+level: per-bank state machines with row-activate / read / write /
+precharge / refresh commands, timing constraints (tRCD, tCAS/CL, tRP,
+tRAS, tRC, tRRD, tRFC), a catalog of late-90s commodity SDRAM parts, and
+an eDRAM macro generator implementing the Siemens flexible concept of
+Section 5 (256 Kbit / 1 Mbit building blocks, 16-512 bit interfaces,
+configurable banks and page length, 7 ns cycle).
+"""
+
+from repro.dram.timing import TimingParameters, PC100_TIMING, EDRAM_TIMING
+from repro.dram.commands import CommandType, Command
+from repro.dram.bank import Bank, BankState
+from repro.dram.device import DRAMDevice
+from repro.dram.organizations import Organization, AddressMapping, MappingScheme
+from repro.dram.catalog import SDRAMPart, COMMODITY_PARTS, smallest_system
+from repro.dram.edram import EDRAMMacro, SiemensConceptRules, SIEMENS_CONCEPT
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.tracecheck import TraceChecker, TraceReport, Violation, streaming_read_trace
+from repro.dram.multimodule import MultiModuleSystem, compose_for_bandwidth
+
+__all__ = [
+    "TimingParameters",
+    "PC100_TIMING",
+    "EDRAM_TIMING",
+    "CommandType",
+    "Command",
+    "Bank",
+    "BankState",
+    "DRAMDevice",
+    "Organization",
+    "AddressMapping",
+    "MappingScheme",
+    "SDRAMPart",
+    "COMMODITY_PARTS",
+    "smallest_system",
+    "EDRAMMacro",
+    "SiemensConceptRules",
+    "SIEMENS_CONCEPT",
+    "RefreshScheduler",
+    "TraceChecker",
+    "TraceReport",
+    "Violation",
+    "streaming_read_trace",
+    "MultiModuleSystem",
+    "compose_for_bandwidth",
+]

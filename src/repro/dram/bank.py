@@ -1,0 +1,181 @@
+"""Per-bank state machine with timing enforcement.
+
+Each DRAM bank is an independent array with one row buffer ("an active row
+can act as a cache" — Section 4).  The bank tracks its state (idle /
+activating / active / precharging) and the earliest cycle at which each
+command type becomes legal, derived from the timing parameters.  Illegal
+commands raise :class:`~repro.errors.ProtocolError`, which is how the
+simulator catches controller bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.dram.timing import TimingParameters
+from repro.dram.commands import Command, CommandType
+
+
+class BankState(enum.Enum):
+    """Observable state of one bank."""
+
+    IDLE = "idle"  # precharged, no open row
+    ACTIVATING = "activating"  # row being opened (tRCD running)
+    ACTIVE = "active"  # row open, column commands legal
+    PRECHARGING = "precharging"  # tRP running
+
+
+@dataclass
+class Bank:
+    """One DRAM bank.
+
+    Attributes:
+        index: Bank number.
+        timing: Timing parameters of the device.
+        n_rows: Number of rows in the bank.
+    """
+
+    index: int
+    timing: TimingParameters
+    n_rows: int
+
+    _state: BankState = field(default=BankState.IDLE, init=False)
+    _open_row: int | None = field(default=None, init=False)
+    # Earliest cycles at which each command class is legal.
+    _ready_activate: int = field(default=0, init=False)
+    _ready_column: int = field(default=0, init=False)
+    _ready_precharge: int = field(default=0, init=False)
+    # Statistics.
+    activations: int = field(default=0, init=False)
+    row_hits: int = field(default=0, init=False)
+    row_misses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"bank index must be >= 0: {self.index}")
+        if self.n_rows < 1:
+            raise ConfigurationError(f"bank needs rows, got {self.n_rows}")
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def state(self) -> BankState:
+        return self._state
+
+    def open_row(self, cycle: int) -> int | None:
+        """The currently open row, or None.  A row counts as open from the
+        moment ACTIVATE is issued (the controller may pipeline column
+        commands behind it subject to tRCD)."""
+        self._settle(cycle)
+        return self._open_row
+
+    def is_row_open(self, row: int, cycle: int) -> bool:
+        return self.open_row(cycle) == row
+
+    def _settle(self, cycle: int) -> None:
+        """Advance the observable state to ``cycle``."""
+        if self._state is BankState.ACTIVATING and cycle >= self._ready_column:
+            self._state = BankState.ACTIVE
+        if self._state is BankState.PRECHARGING and cycle >= self._ready_activate:
+            self._state = BankState.IDLE
+
+    # -- command legality ---------------------------------------------------
+
+    def earliest_activate(self) -> int:
+        return self._ready_activate
+
+    def earliest_column(self) -> int:
+        return self._ready_column
+
+    def earliest_precharge(self) -> int:
+        return self._ready_precharge
+
+    def can_issue(self, command: Command) -> bool:
+        """Whether ``command`` is legal at its own cycle."""
+        self._settle(command.cycle)
+        kind, cycle = command.kind, command.cycle
+        if kind is CommandType.ACTIVATE:
+            return (
+                self._open_row is None and cycle >= self._ready_activate
+            )
+        if kind in (CommandType.READ, CommandType.WRITE):
+            return self._open_row is not None and cycle >= self._ready_column
+        if kind is CommandType.PRECHARGE:
+            return cycle >= self._ready_precharge
+        if kind is CommandType.REFRESH:
+            return self._open_row is None and cycle >= self._ready_activate
+        return True  # NOP always legal
+
+    # -- command application ------------------------------------------------
+
+    def issue(self, command: Command) -> int:
+        """Apply a command; returns the cycle its data phase completes.
+
+        For ACTIVATE/PRECHARGE/REFRESH the return value is the cycle the
+        bank becomes ready again; for READ/WRITE it is the cycle of the
+        last data beat.
+
+        Raises:
+            ProtocolError: If the command is illegal in the current state.
+        """
+        if command.bank != self.index:
+            raise ProtocolError(
+                f"command {command} routed to bank {self.index}"
+            )
+        if not self.can_issue(command):
+            raise ProtocolError(
+                f"illegal {command} in state {self._state.value} "
+                f"(open row {self._open_row}, ready: act>={self._ready_activate} "
+                f"col>={self._ready_column} pre>={self._ready_precharge})"
+            )
+        t, cycle = self.timing, command.cycle
+        if command.kind is CommandType.ACTIVATE:
+            if command.row is None or not 0 <= command.row < self.n_rows:
+                raise ProtocolError(
+                    f"row {command.row} out of range [0, {self.n_rows})"
+                )
+            self._state = BankState.ACTIVATING
+            self._open_row = command.row
+            self.activations += 1
+            self._ready_column = cycle + t.t_rcd
+            self._ready_precharge = cycle + t.t_ras
+            self._ready_activate = cycle + t.t_rc
+            return self._ready_column
+        if command.kind in (CommandType.READ, CommandType.WRITE):
+            burst_end = cycle + t.t_cas + t.burst_length - 1
+            if command.kind is CommandType.WRITE:
+                self._ready_precharge = max(
+                    self._ready_precharge, burst_end + t.t_wr
+                )
+            else:
+                self._ready_precharge = max(self._ready_precharge, burst_end)
+            # Column commands can be pipelined back-to-back at burst pace.
+            self._ready_column = max(
+                self._ready_column, cycle + t.burst_length
+            )
+            return burst_end
+        if command.kind is CommandType.PRECHARGE:
+            self._state = BankState.PRECHARGING
+            self._open_row = None
+            self._ready_activate = max(
+                self._ready_activate, cycle + t.t_rp
+            )
+            self._ready_column = 1 << 62  # no column commands until ACT
+            return self._ready_activate
+        if command.kind is CommandType.REFRESH:
+            self._state = BankState.PRECHARGING
+            self._open_row = None
+            self._ready_activate = cycle + t.t_rfc
+            self._ready_column = 1 << 62
+            self._ready_precharge = cycle + t.t_rfc
+            return self._ready_activate
+        return cycle  # NOP
+
+    def record_access_outcome(self, row_hit: bool) -> None:
+        """Bookkeeping hook for the controller's hit/miss statistics."""
+        if row_hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1

@@ -1,0 +1,209 @@
+"""Commodity SDRAM part catalog and discrete-system composition.
+
+The paper's granularity argument (Sections 1 and 4): discrete memories
+come in fixed sizes and narrow widths, so composing a system that meets a
+*width* (bandwidth) requirement over-provisions *capacity* — "it would
+take 16 discrete 4-Mbit chips (organized as 256K x 16) to achieve the same
+width, so the granularity of such a discrete system is 64 Mbit.  But the
+application may only call for, say, 8 Mbit of memory."
+
+:func:`smallest_system` performs exactly that composition: given required
+capacity and bus width, pick the catalog part and replication count that
+minimize total capacity (then chip count), and report the overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT, ceil_div
+from repro.dram.organizations import Organization
+from repro.dram.timing import TimingParameters, PC100_TIMING
+
+
+@dataclass(frozen=True)
+class SDRAMPart:
+    """One commodity SDRAM product.
+
+    Attributes:
+        name: Market name, e.g. ``"4Mb x16 SDRAM"``.
+        capacity_bits: Device capacity.
+        organization: Banks/rows/pages/width layout.
+        timing: Interface timing.
+        pins: Package pin count (drives packaging cost and board area).
+        unit_price: Street price per device.
+    """
+
+    name: str
+    capacity_bits: int
+    organization: Organization
+    timing: TimingParameters = PC100_TIMING
+    pins: int = 54
+    unit_price: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits != self.organization.capacity_bits:
+            raise ConfigurationError(
+                f"{self.name}: capacity {self.capacity_bits} does not match "
+                f"organization ({self.organization.capacity_bits})"
+            )
+        if self.pins < 2:
+            raise ConfigurationError(f"{self.name}: implausible pin count")
+        if self.unit_price < 0:
+            raise ConfigurationError(f"{self.name}: price must be >= 0")
+
+    @property
+    def width_bits(self) -> int:
+        return self.organization.word_bits
+
+    @property
+    def peak_bandwidth_bits_per_s(self) -> float:
+        return self.width_bits * self.timing.clock_hz
+
+
+def _org(capacity_bits: int, width: int, banks: int, page_bits: int) -> Organization:
+    rows = capacity_bits // (banks * page_bits)
+    return Organization(
+        n_banks=banks, n_rows=rows, page_bits=page_bits, word_bits=width
+    )
+
+
+#: Late-90s commodity parts: 4/16/64 Mbit in x4/x8/x16.  Sizes are binary
+#: Mbit; page sizes follow typical datasheets (wider parts, shorter pages).
+COMMODITY_PARTS: tuple[SDRAMPart, ...] = (
+    SDRAMPart(
+        name="4Mb x16 SDRAM (256K x 16)",
+        capacity_bits=4 * MBIT,
+        organization=_org(4 * MBIT, 16, 2, 8192),
+        pins=50,
+        unit_price=2.0,
+    ),
+    SDRAMPart(
+        name="16Mb x4 SDRAM (4M x 4)",
+        capacity_bits=16 * MBIT,
+        organization=_org(16 * MBIT, 4, 2, 4096),
+        pins=44,
+        unit_price=3.0,
+    ),
+    SDRAMPart(
+        name="16Mb x8 SDRAM (2M x 8)",
+        capacity_bits=16 * MBIT,
+        organization=_org(16 * MBIT, 8, 2, 8192),
+        pins=44,
+        unit_price=3.2,
+    ),
+    SDRAMPart(
+        name="16Mb x16 SDRAM (1M x 16)",
+        capacity_bits=16 * MBIT,
+        organization=_org(16 * MBIT, 16, 2, 16384),
+        pins=50,
+        unit_price=3.5,
+    ),
+    SDRAMPart(
+        name="64Mb x4 SDRAM (16M x 4)",
+        capacity_bits=64 * MBIT,
+        organization=_org(64 * MBIT, 4, 4, 4096),
+        pins=54,
+        unit_price=8.0,
+    ),
+    SDRAMPart(
+        name="64Mb x8 SDRAM (8M x 8)",
+        capacity_bits=64 * MBIT,
+        organization=_org(64 * MBIT, 8, 4, 8192),
+        pins=54,
+        unit_price=8.5,
+    ),
+    SDRAMPart(
+        name="64Mb x16 SDRAM (4M x 16)",
+        capacity_bits=64 * MBIT,
+        organization=_org(64 * MBIT, 16, 4, 16384),
+        pins=54,
+        unit_price=9.0,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class DiscreteSystem:
+    """A memory system composed of replicated commodity parts.
+
+    Attributes:
+        part: The part used.
+        n_chips: Devices in parallel (composing the bus width).
+        required_bits: The application's capacity requirement.
+        required_width: The application's bus-width requirement.
+    """
+
+    part: SDRAMPart
+    n_chips: int
+    required_bits: int
+    required_width: int
+
+    @property
+    def total_bits(self) -> int:
+        """Installed capacity (the system granularity)."""
+        return self.n_chips * self.part.capacity_bits
+
+    @property
+    def total_width_bits(self) -> int:
+        return self.n_chips * self.part.width_bits
+
+    @property
+    def overhead_bits(self) -> int:
+        """Capacity installed beyond the requirement."""
+        return max(0, self.total_bits - self.required_bits)
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.required_bits <= 0:
+            return 0.0
+        return self.overhead_bits / self.required_bits
+
+    @property
+    def peak_bandwidth_bits_per_s(self) -> float:
+        return self.total_width_bits * self.part.timing.clock_hz
+
+    @property
+    def total_price(self) -> float:
+        return self.n_chips * self.part.unit_price
+
+
+def smallest_system(
+    required_bits: int,
+    required_width_bits: int,
+    parts: tuple[SDRAMPart, ...] = COMMODITY_PARTS,
+) -> DiscreteSystem:
+    """Cheapest-granularity discrete system meeting capacity and width.
+
+    For each part, the chip count is the maximum of what the width needs
+    and what the capacity needs; among parts, minimize installed capacity,
+    then chip count, then price.
+
+    Raises:
+        InfeasibleError: If the catalog is empty.
+        ConfigurationError: If requirements are not positive.
+    """
+    if required_bits <= 0:
+        raise ConfigurationError("required capacity must be positive")
+    if required_width_bits <= 0:
+        raise ConfigurationError("required width must be positive")
+    if not parts:
+        raise InfeasibleError("empty part catalog")
+    candidates: list[DiscreteSystem] = []
+    for part in parts:
+        chips_for_width = ceil_div(required_width_bits, part.width_bits)
+        chips_for_capacity = ceil_div(required_bits, part.capacity_bits)
+        n = max(chips_for_width, chips_for_capacity)
+        candidates.append(
+            DiscreteSystem(
+                part=part,
+                n_chips=n,
+                required_bits=required_bits,
+                required_width=required_width_bits,
+            )
+        )
+    return min(
+        candidates,
+        key=lambda s: (s.total_bits, s.n_chips, s.total_price),
+    )

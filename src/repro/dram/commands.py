@@ -1,0 +1,72 @@
+"""DRAM command vocabulary.
+
+The synchronous interface the paper credits for the bandwidth explosion
+("intelligent synchronous interfacing and protocols", Section 4) reduces
+to five command types issued on clock edges.  A :class:`Command` records
+what was issued, where, and when, so traces can be checked for protocol
+legality and replayed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class CommandType(enum.Enum):
+    """SDRAM command types."""
+
+    ACTIVATE = "ACT"
+    READ = "RD"
+    WRITE = "WR"
+    PRECHARGE = "PRE"
+    REFRESH = "REF"
+    NOP = "NOP"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command on the DRAM command bus.
+
+    Attributes:
+        kind: Command type.
+        cycle: Issue cycle (interface clock domain).
+        bank: Target bank index; refresh is all-bank and ignores it.
+        row: Row address for ACTIVATE; None otherwise.
+        column: Column address for READ/WRITE; None otherwise.
+        request_id: Identifier of the client request this command serves,
+            if any (used by the controller for bookkeeping).
+    """
+
+    kind: CommandType
+    cycle: int
+    bank: int = 0
+    row: int | None = None
+    column: int | None = None
+    request_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ConfigurationError(
+                f"command cycle must be >= 0, got {self.cycle}"
+            )
+        if self.bank < 0:
+            raise ConfigurationError(
+                f"bank index must be >= 0, got {self.bank}"
+            )
+        if self.kind is CommandType.ACTIVATE and self.row is None:
+            raise ConfigurationError("ACTIVATE requires a row address")
+        if self.kind in (CommandType.READ, CommandType.WRITE) and (
+            self.column is None
+        ):
+            raise ConfigurationError(f"{self.kind.value} requires a column")
+
+    def __str__(self) -> str:
+        parts = [f"@{self.cycle}", self.kind.value, f"b{self.bank}"]
+        if self.row is not None:
+            parts.append(f"r{self.row}")
+        if self.column is not None:
+            parts.append(f"c{self.column}")
+        return " ".join(parts)

@@ -1,0 +1,161 @@
+"""A complete DRAM device or macro: banks behind one command interface.
+
+The device enforces the inter-bank constraints the per-bank machines
+cannot see (tRRD between activates to different banks, a single shared
+data bus) and owns the refresh obligation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.dram.bank import Bank
+from repro.dram.commands import Command, CommandType
+from repro.dram.organizations import Organization
+from repro.dram.timing import TimingParameters
+
+
+@dataclass
+class DRAMDevice:
+    """One SDRAM device or eDRAM macro.
+
+    Attributes:
+        organization: Physical organization (banks, rows, pages, width).
+        timing: Command timing parameters.
+        name: Identifier for reports.
+    """
+
+    organization: Organization
+    timing: TimingParameters
+    name: str = "dram"
+
+    banks: list[Bank] = field(init=False)
+    _last_activate_cycle: int = field(default=-(1 << 30), init=False)
+    _data_bus_free: int = field(default=0, init=False)
+    _last_data_was_read: bool | None = field(default=None, init=False)
+    commands_issued: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.banks = [
+            Bank(index=i, timing=self.timing, n_rows=self.organization.n_rows)
+            for i in range(self.organization.n_banks)
+        ]
+
+    # -- peak figures ---------------------------------------------------------
+
+    @property
+    def peak_bandwidth_bits_per_s(self) -> float:
+        """Peak data rate: one word per clock."""
+        return self.organization.word_bits * self.timing.clock_hz
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.organization.capacity_bits
+
+    # -- command interface ------------------------------------------------
+
+    def bank(self, index: int) -> Bank:
+        if not 0 <= index < len(self.banks):
+            raise ConfigurationError(
+                f"bank {index} out of range [0, {len(self.banks)})"
+            )
+        return self.banks[index]
+
+    def can_issue(self, command: Command) -> bool:
+        """Device-level legality: bank legality plus shared constraints."""
+        if command.kind is CommandType.NOP:
+            return True
+        if command.kind is CommandType.REFRESH:
+            return all(
+                bank.can_issue(
+                    Command(
+                        kind=CommandType.REFRESH,
+                        cycle=command.cycle,
+                        bank=bank.index,
+                    )
+                )
+                for bank in self.banks
+            )
+        bank = self.bank(command.bank)
+        if not bank.can_issue(command):
+            return False
+        if command.kind is CommandType.ACTIVATE:
+            return (
+                command.cycle
+                >= self._last_activate_cycle + self.timing.t_rrd
+            )
+        if command.kind in (CommandType.READ, CommandType.WRITE):
+            # The shared data bus must be free for the whole burst, plus
+            # a turnaround gap when the transfer direction reverses.
+            data_start = command.cycle + (
+                self.timing.t_cas
+                if command.kind is CommandType.READ
+                else 1
+            )
+            earliest = self._data_bus_free
+            is_read = command.kind is CommandType.READ
+            if (
+                self._last_data_was_read is not None
+                and self._last_data_was_read != is_read
+            ):
+                earliest += self.timing.t_turnaround
+            return data_start >= earliest
+        return True
+
+    def issue(self, command: Command) -> int:
+        """Issue a command; returns the completion cycle (last data beat
+        for column commands, ready-again cycle otherwise).
+
+        Raises:
+            ProtocolError: On any timing or state violation.
+        """
+        if not self.can_issue(command):
+            raise ProtocolError(f"device {self.name}: illegal {command}")
+        self.commands_issued += 1
+        if command.kind is CommandType.NOP:
+            return command.cycle
+        if command.kind is CommandType.REFRESH:
+            done = command.cycle
+            for bank in self.banks:
+                done = max(
+                    done,
+                    bank.issue(
+                        Command(
+                            kind=CommandType.REFRESH,
+                            cycle=command.cycle,
+                            bank=bank.index,
+                        )
+                    ),
+                )
+            return done
+        if command.kind is CommandType.ACTIVATE:
+            self._last_activate_cycle = command.cycle
+            return self.bank(command.bank).issue(command)
+        if command.kind in (CommandType.READ, CommandType.WRITE):
+            end = self.bank(command.bank).issue(command)
+            self._data_bus_free = end + 1
+            self._last_data_was_read = command.kind is CommandType.READ
+            return end
+        return self.bank(command.bank).issue(command)
+
+    # -- aggregate statistics ----------------------------------------------
+
+    @property
+    def total_activations(self) -> int:
+        return sum(bank.activations for bank in self.banks)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(bank.row_hits for bank in self.banks)
+
+    @property
+    def total_row_misses(self) -> int:
+        return sum(bank.row_misses for bank in self.banks)
+
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that found their row open."""
+        total = self.total_row_hits + self.total_row_misses
+        if total == 0:
+            return 0.0
+        return self.total_row_hits / total

@@ -1,0 +1,183 @@
+"""Commodity DRAM interface generations.
+
+Paper Section 4: "In the past the row and column access times in a DRAM
+core have declined by roughly only 10%/year whereas the peak device
+memory bandwidth has increased over the last couple of years by two
+orders of magnitude.  This was achieved by: intelligent synchronous
+interfacing and protocols; exploiting the fact that an active row can
+act as a cache ...; using prefetching and pipelining techniques; and
+using multiple internal memory banks."
+
+And: "The increased bandwidth must be paid with increased latencies and
+burst lengths."
+
+This module records the interface generations as data — page-mode DRAM
+through FPM, EDO, SDRAM and Direct RDRAM — so both statements can be
+*computed*: the bandwidth trajectory, the nearly flat random-access
+latency, and the growing burst granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceGeneration:
+    """One commodity DRAM interface generation.
+
+    Attributes:
+        name: Generation name.
+        year: Volume-introduction year.
+        peak_bandwidth_mbit_per_s_per_pin: Peak transfer rate per data
+            pin, in Mbit/s.
+        random_access_ns: Row-miss random access time (tRAC-class).
+        typical_width_bits: Typical device data width.
+        burst_words: Transfer granularity (words per access at full
+            rate; 1 = true random access at peak).
+        banks: Internal banks.
+        synchronous: Clocked interface.
+    """
+
+    name: str
+    year: int
+    peak_bandwidth_mbit_per_s_per_pin: float
+    random_access_ns: float
+    typical_width_bits: int
+    burst_words: int
+    banks: int
+    synchronous: bool
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_mbit_per_s_per_pin <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be > 0")
+        if self.random_access_ns <= 0:
+            raise ConfigurationError(f"{self.name}: latency must be > 0")
+        if self.typical_width_bits < 1 or self.burst_words < 1:
+            raise ConfigurationError(f"{self.name}: width/burst must be >= 1")
+        if self.banks < 1:
+            raise ConfigurationError(f"{self.name}: banks must be >= 1")
+
+    @property
+    def device_peak_bandwidth_bits_per_s(self) -> float:
+        return (
+            self.peak_bandwidth_mbit_per_s_per_pin
+            * 1e6
+            * self.typical_width_bits
+        )
+
+
+#: The interface-generation ladder the paper's Section 4 narrates.
+GENERATIONS: tuple = (
+    DeviceGeneration(
+        name="page-mode DRAM",
+        year=1985,
+        peak_bandwidth_mbit_per_s_per_pin=8.0,
+        random_access_ns=120.0,
+        typical_width_bits=1,
+        burst_words=1,
+        banks=1,
+        synchronous=False,
+    ),
+    DeviceGeneration(
+        name="FPM DRAM",
+        year=1990,
+        peak_bandwidth_mbit_per_s_per_pin=22.0,
+        random_access_ns=80.0,
+        typical_width_bits=4,
+        burst_words=1,
+        banks=1,
+        synchronous=False,
+    ),
+    DeviceGeneration(
+        name="EDO DRAM",
+        year=1994,
+        peak_bandwidth_mbit_per_s_per_pin=40.0,
+        random_access_ns=70.0,
+        typical_width_bits=8,
+        burst_words=2,
+        banks=1,
+        synchronous=False,
+    ),
+    DeviceGeneration(
+        name="SDRAM-66",
+        year=1996,
+        peak_bandwidth_mbit_per_s_per_pin=66.0,
+        random_access_ns=65.0,
+        typical_width_bits=16,
+        burst_words=4,
+        banks=2,
+        synchronous=True,
+    ),
+    DeviceGeneration(
+        name="SDRAM-100 (PC100)",
+        year=1998,
+        peak_bandwidth_mbit_per_s_per_pin=100.0,
+        random_access_ns=60.0,
+        typical_width_bits=16,
+        burst_words=8,
+        banks=4,
+        synchronous=True,
+    ),
+    DeviceGeneration(
+        name="Direct RDRAM",
+        year=1999,
+        peak_bandwidth_mbit_per_s_per_pin=800.0,
+        random_access_ns=55.0,
+        typical_width_bits=16,
+        burst_words=16,
+        banks=16,
+        synchronous=True,
+    ),
+)
+
+
+def generation(name: str) -> DeviceGeneration:
+    """Look a generation up by name."""
+    for entry in GENERATIONS:
+        if entry.name == name:
+            return entry
+    raise ConfigurationError(f"unknown generation {name!r}")
+
+
+def bandwidth_growth(from_year: int, to_year: int) -> float:
+    """Device peak-bandwidth growth factor between two years.
+
+    Uses the latest generation introduced by each year.
+    """
+    early = _latest_by(from_year)
+    late = _latest_by(to_year)
+    return (
+        late.device_peak_bandwidth_bits_per_s
+        / early.device_peak_bandwidth_bits_per_s
+    )
+
+
+def latency_improvement_per_year(from_year: int, to_year: int) -> float:
+    """Compound annual improvement of random access time.
+
+    The paper says roughly 10 %/yr — i.e. access times shrink by a
+    factor of ~0.9 per year.
+    """
+    early = _latest_by(from_year)
+    late = _latest_by(to_year)
+    if to_year <= from_year:
+        raise ConfigurationError("need to_year > from_year")
+    years = to_year - from_year
+    ratio = late.random_access_ns / early.random_access_ns
+    return 1.0 - ratio ** (1.0 / years)
+
+
+def _latest_by(year: int) -> DeviceGeneration:
+    candidates = [entry for entry in GENERATIONS if entry.year <= year]
+    if not candidates:
+        raise ConfigurationError(f"no generation introduced by {year}")
+    return max(candidates, key=lambda entry: entry.year)
+
+
+def burst_granularity_bits(entry: DeviceGeneration) -> int:
+    """Bits moved per full-rate access — the paper's 'increased burst
+    lengths' price of bandwidth."""
+    return entry.typical_width_bits * entry.burst_words

@@ -1,0 +1,143 @@
+"""Multi-module embedded memory systems.
+
+One module of the flexible concept tops out at 512 bits and ~9 GB/s
+(Section 5).  Systems that need more — or that want independent
+concurrent ports for decoupled clients — instantiate several modules
+side by side.  This module composes macros into a system, checks the
+composition against a chip-level budget, and reports the aggregate
+figures (bandwidth adds across modules; area adds with a small
+chip-level routing overhead; each module keeps its own controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT, ceil_div
+from repro.dram.edram import EDRAMMacro, SIEMENS_CONCEPT, SiemensConceptRules
+
+
+@dataclass(frozen=True)
+class MultiModuleSystem:
+    """Several eDRAM modules on one die.
+
+    Attributes:
+        modules: The instantiated macros.
+        routing_overhead: Chip-level area fraction added for the
+            inter-module interconnect and per-module controllers.
+    """
+
+    modules: tuple
+    routing_overhead: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.modules:
+            raise ConfigurationError("system needs at least one module")
+        if not 0 <= self.routing_overhead < 1:
+            raise ConfigurationError(
+                f"routing overhead must be in [0, 1): {self.routing_overhead}"
+            )
+
+    @property
+    def n_modules(self) -> int:
+        return len(self.modules)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(module.size_bits for module in self.modules)
+
+    @property
+    def total_width_bits(self) -> int:
+        return sum(module.width for module in self.modules)
+
+    @property
+    def peak_bandwidth_bits_per_s(self) -> float:
+        """Aggregate peak: modules run concurrently."""
+        return sum(
+            module.peak_bandwidth_bits_per_s for module in self.modules
+        )
+
+    def area_mm2(self) -> float:
+        raw = sum(module.area_mm2() for module in self.modules)
+        return raw * (1.0 + self.routing_overhead)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{module.size_bits / MBIT:.1f} Mbit x{module.width}"
+            for module in self.modules
+        )
+        return (
+            f"{self.n_modules} modules ({parts}): "
+            f"{self.total_bits / MBIT:.1f} Mbit, "
+            f"{self.peak_bandwidth_bits_per_s / 8e9:.2f} GB/s peak, "
+            f"{self.area_mm2():.1f} mm^2"
+        )
+
+
+def compose_for_bandwidth(
+    capacity_bits: int,
+    bandwidth_bits_per_s: float,
+    rules: SiemensConceptRules = SIEMENS_CONCEPT,
+    banks: int = 4,
+    page_bits: int = 2048,
+    max_modules: int = 8,
+) -> MultiModuleSystem:
+    """Smallest multi-module system meeting capacity and bandwidth.
+
+    Chooses the module count from the bandwidth requirement (each module
+    contributes up to max_width x clock), splits the capacity evenly
+    (rounded up to building blocks), and picks the narrowest per-module
+    width that still meets the aggregate bandwidth.
+
+    Raises:
+        InfeasibleError: If the requirement exceeds ``max_modules``
+            full-width modules or a module would exceed the concept's
+            size limit.
+    """
+    if capacity_bits <= 0:
+        raise ConfigurationError("capacity must be positive")
+    if bandwidth_bits_per_s <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    per_module_peak = rules.max_module_bandwidth_bits_per_s
+    n_modules = max(
+        1, ceil_div(int(bandwidth_bits_per_s), int(per_module_peak))
+    )
+    if n_modules > max_modules:
+        raise InfeasibleError(
+            f"{bandwidth_bits_per_s / 8e9:.1f} GB/s needs "
+            f"{n_modules} modules, more than the {max_modules} allowed"
+        )
+    step = min(rules.block_sizes_bits)
+    per_module_bits = ceil_div(
+        ceil_div(capacity_bits, n_modules), step
+    ) * step
+    per_module_bits = max(per_module_bits, rules.min_module_bits)
+    if per_module_bits > rules.max_module_bits:
+        raise InfeasibleError(
+            f"each module would need "
+            f"{per_module_bits / MBIT:.0f} Mbit, above the concept's "
+            f"{rules.max_module_bits / MBIT:.0f} Mbit limit"
+        )
+    # Narrowest width meeting the aggregate bandwidth.
+    clock = rules.max_clock_hz
+    needed_per_module = bandwidth_bits_per_s / n_modules
+    width = rules.min_width
+    while width < rules.max_width and width * clock < needed_per_module:
+        width *= 2
+    if width * clock * n_modules < bandwidth_bits_per_s:
+        raise InfeasibleError(
+            f"even {n_modules} x {width}-bit modules cannot reach "
+            f"{bandwidth_bits_per_s / 8e9:.1f} GB/s"
+        )
+    width = min(width, min(page_bits, rules.max_width))
+    modules = tuple(
+        EDRAMMacro.build(
+            size_bits=per_module_bits,
+            width=width,
+            banks=banks,
+            page_bits=page_bits,
+        )
+        for _ in range(n_modules)
+    )
+    return MultiModuleSystem(modules=modules)

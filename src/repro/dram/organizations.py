@@ -1,0 +1,160 @@
+"""Memory organizations and address mappings.
+
+Section 3: "Large memories can be organized in very different ways.  Free
+parameters are number of memory banks, which allow the opening of
+different pages at the same time, the length of a single page, the word
+width and the interface organization."  And: "Optimizing the mapping of
+the data into memory such that the sustainable memory bandwidth approaches
+the peak bandwidth."
+
+An :class:`Organization` fixes banks x rows x columns x word width; an
+:class:`AddressMapping` decides which word-address bits select the bank,
+row and column.  The two bundled schemes are the classic extremes:
+
+* ``ROW_BANK_COL`` — consecutive addresses fill a page, then move to the
+  next bank ("bank-interleaved pages"): sequential streams hit open rows
+  and spread page misses across banks.
+* ``BANK_ROW_COL`` — the bank is selected by high address bits: clients in
+  disjoint address regions get private banks (good isolation, no
+  interleaving within a stream).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import is_power_of_two, log2_int
+
+
+class MappingScheme(enum.Enum):
+    """Which address bits select the bank."""
+
+    ROW_BANK_COL = "row:bank:col"  # bank bits just above the column bits
+    BANK_ROW_COL = "bank:row:col"  # bank bits at the top of the address
+
+
+@dataclass(frozen=True)
+class Organization:
+    """Physical organization of a memory (device or macro).
+
+    Attributes:
+        n_banks: Independent banks (power of two).
+        n_rows: Rows per bank (power of two).
+        page_bits: Bits per page (row buffer size); the paper's "length of
+            a single page".
+        word_bits: Interface word width — bits transferred per data beat.
+    """
+
+    n_banks: int
+    n_rows: int
+    page_bits: int
+    word_bits: int
+
+    def __post_init__(self) -> None:
+        # Banks, page and word sizes decode with bit masks, so they must
+        # be powers of two; the row count may be arbitrary — embedded
+        # modules are built from building blocks and can have "odd" sizes
+        # (that size freedom is the whole point of eDRAM).
+        for name in ("n_banks", "page_bits", "word_bits"):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"{name} must be a power of two, got {value}"
+                )
+        if self.n_rows < 1:
+            raise ConfigurationError(
+                f"n_rows must be >= 1, got {self.n_rows}"
+            )
+        if self.word_bits > self.page_bits:
+            raise ConfigurationError(
+                f"word width ({self.word_bits}) cannot exceed page size "
+                f"({self.page_bits})"
+            )
+
+    @property
+    def columns_per_page(self) -> int:
+        """Words per page."""
+        return self.page_bits // self.word_bits
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.n_banks * self.n_rows * self.page_bits
+
+    @property
+    def total_words(self) -> int:
+        return self.capacity_bits // self.word_bits
+
+    def __str__(self) -> str:
+        from repro.units import mbit
+
+        return (
+            f"{mbit(self.capacity_bits):.2f} Mbit: {self.n_banks} banks x "
+            f"{self.n_rows} rows x {self.page_bits} b pages, "
+            f"{self.word_bits}-bit words"
+        )
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A word address split into its physical coordinates."""
+
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Maps linear word addresses to (bank, row, column).
+
+    Attributes:
+        organization: The physical organization being addressed.
+        scheme: Bit layout of the mapping.
+    """
+
+    organization: Organization
+    scheme: MappingScheme = MappingScheme.ROW_BANK_COL
+
+    def decode(self, word_address: int) -> DecodedAddress:
+        """Split a linear word address into physical coordinates.
+
+        Raises:
+            CapacityError: If the address exceeds the capacity.
+        """
+        org = self.organization
+        if not 0 <= word_address < org.total_words:
+            raise CapacityError(
+                f"word address {word_address} outside capacity "
+                f"({org.total_words} words)"
+            )
+        col_bits = log2_int(org.columns_per_page)
+        bank_bits = log2_int(org.n_banks)
+        column = word_address & (org.columns_per_page - 1)
+        rest = word_address >> col_bits
+        if self.scheme is MappingScheme.ROW_BANK_COL:
+            bank = rest & (org.n_banks - 1)
+            row = rest >> bank_bits
+        else:
+            # Row count may be arbitrary, so decode with div/mod.
+            row = rest % org.n_rows
+            bank = rest // org.n_rows
+        return DecodedAddress(bank=bank, row=row, column=column)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode`."""
+        org = self.organization
+        if not 0 <= decoded.bank < org.n_banks:
+            raise CapacityError(f"bank {decoded.bank} out of range")
+        if not 0 <= decoded.row < org.n_rows:
+            raise CapacityError(f"row {decoded.row} out of range")
+        if not 0 <= decoded.column < org.columns_per_page:
+            raise CapacityError(f"column {decoded.column} out of range")
+        col_bits = log2_int(org.columns_per_page)
+        bank_bits = log2_int(org.n_banks)
+        if self.scheme is MappingScheme.ROW_BANK_COL:
+            rest = (decoded.row << bank_bits) | decoded.bank
+        else:
+            rest = decoded.bank * org.n_rows + decoded.row
+        return (rest << col_bits) | decoded.column

@@ -1,0 +1,76 @@
+"""Refresh scheduling.
+
+Every row must be refreshed within the retention period; refresh commands
+steal cycles from the clients ("the peak bandwidth is a theoretical
+quantity", Section 4 — refresh is one of the overheads).  The scheduler
+here is the standard distributed one: refresh commands are spread evenly
+over the retention period rather than bursted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.dram.timing import TimingParameters
+
+
+@dataclass
+class RefreshScheduler:
+    """Evenly distributed auto-refresh.
+
+    Attributes:
+        timing: Device timing (supplies tRFC and the clock).
+        n_rows_total: Rows to refresh per retention period.  With a
+            rows-per-refresh-command factor of 1 this equals the number of
+            refresh commands per period.
+        retention_s: Retention period (refresh interval for the array).
+        rows_per_command: Rows refreshed by one REFRESH command (devices
+            with internal refresh counters often do several).
+    """
+
+    timing: TimingParameters
+    n_rows_total: int
+    retention_s: float = 64e-3
+    rows_per_command: int = 1
+
+    _next_due_cycle: float = field(default=0.0, init=False)
+    refreshes_issued: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_rows_total < 1:
+            raise ConfigurationError("need at least one row to refresh")
+        if self.retention_s <= 0:
+            raise ConfigurationError("retention must be positive")
+        if self.rows_per_command < 1:
+            raise ConfigurationError("rows_per_command must be >= 1")
+
+    @property
+    def commands_per_period(self) -> int:
+        from repro.units import ceil_div
+
+        return ceil_div(self.n_rows_total, self.rows_per_command)
+
+    @property
+    def interval_cycles(self) -> float:
+        """Cycles between consecutive refresh commands."""
+        period_cycles = self.retention_s * self.timing.clock_hz
+        return period_cycles / self.commands_per_period
+
+    def due(self, cycle: int) -> bool:
+        """Whether a refresh command is due at ``cycle``."""
+        return cycle >= self._next_due_cycle
+
+    def mark_issued(self, cycle: int) -> None:
+        """Record that a refresh was issued at ``cycle``."""
+        if cycle < 0:
+            raise ConfigurationError(f"cycle must be >= 0, got {cycle}")
+        self.refreshes_issued += 1
+        self._next_due_cycle = max(
+            self._next_due_cycle + self.interval_cycles,
+            cycle + 1.0,
+        )
+
+    def bandwidth_overhead(self) -> float:
+        """Fraction of cycles consumed by refresh in steady state."""
+        return min(1.0, self.timing.t_rfc / self.interval_cycles)

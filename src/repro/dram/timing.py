@@ -1,0 +1,203 @@
+"""SDRAM timing parameters.
+
+All constraints are stored in integer clock cycles (the natural unit of a
+synchronous interface) together with the clock period, so nanosecond
+figures can be recovered exactly.  Construction from a nanosecond spec
+rounds each constraint *up* to whole cycles, as a real controller must.
+
+The two bundled instances are the calibration points from DESIGN.md:
+
+* :data:`PC100_TIMING` — a PC100-class commodity SDRAM (10 ns clock, CL2,
+  tRCD/tRP 20 ns, tRAS 50 ns),
+* :data:`EDRAM_TIMING` — the Siemens-concept eDRAM macro (7 ns cycle,
+  "cycle times better than 7 ns, corresponding to clock frequencies
+  better than 143 MHz").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Command-level timing constraints of a synchronous DRAM.
+
+    Attributes:
+        clock_period_ns: Interface clock period.
+        t_rcd: ACTIVATE to READ/WRITE delay, cycles.
+        t_cas: READ to first data (CAS latency), cycles.
+        t_rp: PRECHARGE to ACTIVATE delay, cycles.
+        t_ras: ACTIVATE to PRECHARGE minimum, cycles.
+        t_rc: ACTIVATE to ACTIVATE (same bank) minimum, cycles.
+        t_rrd: ACTIVATE to ACTIVATE (different bank) minimum, cycles.
+        t_wr: Write recovery (last write data to PRECHARGE), cycles.
+        t_rfc: REFRESH command duration, cycles.
+        burst_length: Data beats per READ/WRITE command.
+        t_turnaround: Dead cycles on the shared data bus when the
+            transfer direction reverses (read<->write).
+    """
+
+    clock_period_ns: float
+    t_rcd: int
+    t_cas: int
+    t_rp: int
+    t_ras: int
+    t_rc: int
+    t_rrd: int
+    t_wr: int
+    t_rfc: int
+    burst_length: int
+    t_turnaround: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clock_period_ns <= 0:
+            raise ConfigurationError(
+                f"clock period must be positive, got {self.clock_period_ns}"
+            )
+        for name in (
+            "t_rcd",
+            "t_cas",
+            "t_rp",
+            "t_ras",
+            "t_rc",
+            "t_rrd",
+            "t_wr",
+            "t_rfc",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(
+                    f"{name} must be at least 1 cycle, got {value}"
+                )
+        if self.burst_length < 1:
+            raise ConfigurationError(
+                f"burst length must be >= 1, got {self.burst_length}"
+            )
+        if self.t_turnaround < 0:
+            raise ConfigurationError(
+                f"t_turnaround must be >= 0, got {self.t_turnaround}"
+            )
+        if self.t_rc < self.t_ras + 1:
+            raise ConfigurationError(
+                f"t_rc ({self.t_rc}) must cover t_ras ({self.t_ras}) plus "
+                f"at least one precharge cycle"
+            )
+
+    @property
+    def clock_hz(self) -> float:
+        """Interface clock frequency in hertz."""
+        return 1e9 / self.clock_period_ns
+
+    @property
+    def row_miss_latency_cycles(self) -> int:
+        """Worst-case access latency: precharge + activate + CAS."""
+        return self.t_rp + self.t_rcd + self.t_cas
+
+    @property
+    def row_hit_latency_cycles(self) -> int:
+        """Access latency when the row is already open."""
+        return self.t_cas
+
+    @property
+    def row_miss_latency_ns(self) -> float:
+        return self.row_miss_latency_cycles * self.clock_period_ns
+
+    @property
+    def row_hit_latency_ns(self) -> float:
+        return self.row_hit_latency_cycles * self.clock_period_ns
+
+    @classmethod
+    def from_nanoseconds(
+        cls,
+        clock_period_ns: float,
+        t_rcd_ns: float,
+        t_cas_cycles: int,
+        t_rp_ns: float,
+        t_ras_ns: float,
+        t_rrd_ns: float,
+        t_wr_ns: float,
+        t_rfc_ns: float,
+        burst_length: int,
+    ) -> "TimingParameters":
+        """Build cycle-domain timings from a nanosecond datasheet spec.
+
+        Each analog constraint is rounded up to whole clock cycles; CAS
+        latency is already specified in cycles by datasheets.
+        """
+
+        def cyc(value_ns: float) -> int:
+            if value_ns <= 0:
+                raise ConfigurationError(
+                    f"timing values must be positive, got {value_ns}"
+                )
+            return max(1, math.ceil(value_ns / clock_period_ns - 1e-9))
+
+        t_rp = cyc(t_rp_ns)
+        t_ras = cyc(t_ras_ns)
+        return cls(
+            clock_period_ns=clock_period_ns,
+            t_rcd=cyc(t_rcd_ns),
+            t_cas=t_cas_cycles,
+            t_rp=t_rp,
+            t_ras=t_ras,
+            t_rc=t_ras + t_rp,
+            t_rrd=cyc(t_rrd_ns),
+            t_wr=cyc(t_wr_ns),
+            t_rfc=cyc(t_rfc_ns),
+            burst_length=burst_length,
+        )
+
+    def scaled_to_clock(self, clock_period_ns: float) -> "TimingParameters":
+        """Re-derive the cycle counts for a different clock period,
+        keeping the underlying analog delays constant."""
+        return TimingParameters.from_nanoseconds(
+            clock_period_ns=clock_period_ns,
+            t_rcd_ns=self.t_rcd * self.clock_period_ns,
+            t_cas_cycles=max(
+                1,
+                math.ceil(
+                    self.t_cas * self.clock_period_ns / clock_period_ns - 1e-9
+                ),
+            ),
+            t_rp_ns=self.t_rp * self.clock_period_ns,
+            t_ras_ns=self.t_ras * self.clock_period_ns,
+            t_rrd_ns=self.t_rrd * self.clock_period_ns,
+            t_wr_ns=self.t_wr * self.clock_period_ns,
+            t_rfc_ns=self.t_rfc * self.clock_period_ns,
+            burst_length=self.burst_length,
+        )
+
+
+#: PC100-class commodity SDRAM: 100 MHz, CL2, 20 ns tRCD/tRP, 50 ns tRAS.
+PC100_TIMING = TimingParameters(
+    clock_period_ns=10.0,
+    t_rcd=2,
+    t_cas=2,
+    t_rp=2,
+    t_ras=5,
+    t_rc=7,
+    t_rrd=2,
+    t_wr=2,
+    t_rfc=8,
+    burst_length=8,
+)
+
+#: Siemens-concept eDRAM macro: 7 ns cycle (143 MHz).  The analog row
+#: delays match the commodity core (same cell physics), so they cost more
+#: cycles at the faster clock.
+EDRAM_TIMING = TimingParameters(
+    clock_period_ns=7.0,
+    t_rcd=3,
+    t_cas=2,
+    t_rp=3,
+    t_ras=7,
+    t_rc=10,
+    t_rrd=2,
+    t_wr=2,
+    t_rfc=11,
+    burst_length=4,
+)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses separate configuration
+mistakes (bad user input) from protocol violations detected inside the
+cycle-level simulator (bugs or illegal command sequences).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with inconsistent or out-of-range parameters."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM command was issued in a state where it is illegal.
+
+    The cycle-level simulator checks command legality against the bank state
+    machine and timing constraints; violations indicate either a controller
+    bug or an invalid hand-built command sequence.
+    """
+
+
+class CapacityError(ReproError, ValueError):
+    """A request addressed memory beyond the configured capacity."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class RepairError(ReproError):
+    """Redundancy repair allocation failed or was given invalid inputs."""
+
+
+class InfeasibleError(ReproError):
+    """A design-space query has no feasible solution under the constraints."""

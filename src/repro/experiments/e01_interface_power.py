@@ -1,0 +1,84 @@
+"""E1: discrete vs. embedded memory-system power (paper Section 1).
+
+Claim: "consider a system which needs a 4Gbyte/s bandwidth and a bus
+width of 256 bits.  A memory system built with discrete SDRAMs (16-bit
+interface at 100 MHz) would require about ten times the power of an
+edram with an internal 256-bit interface."
+"""
+
+from __future__ import annotations
+
+from repro.power.system import discrete_vs_embedded_power
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E1",
+        title="Discrete vs. embedded interface power at 4 GB/s",
+        paper_section="Section 1",
+    )
+    discrete, embedded, ratio = discrete_vs_embedded_power(
+        bandwidth_bytes_per_s=4e9,
+        bus_width_bits=256,
+        sdram_width_bits=16,
+        sdram_clock_hz=100e6,
+    )
+    report.check(
+        claim="discrete system needs about 10x the power",
+        paper_value="~10x",
+        measured=f"{ratio:.1f}x",
+        holds=8.0 <= ratio <= 13.0,
+        note=(
+            f"discrete {discrete.total_w:.2f} W "
+            f"(core {discrete.core_w:.2f} + IO {discrete.interface_w:.2f}) "
+            f"vs embedded {embedded.total_w:.2f} W "
+            f"(core {embedded.core_w:.2f} + IO {embedded.interface_w:.2f})"
+        ),
+    )
+    report.check(
+        claim="256-bit bus from 16-bit parts needs 16 devices",
+        paper_value="16 chips",
+        measured=f"{discrete.n_chips} chips",
+        holds=discrete.n_chips == 16,
+    )
+    report.check(
+        claim="off-chip IO dominates the discrete system's power",
+        paper_value="board wire capacitive loads dominate",
+        measured=(
+            f"IO is {discrete.interface_w / discrete.total_w:.0%} of the "
+            f"discrete total, {embedded.interface_w / embedded.total_w:.0%} "
+            f"of the embedded total"
+        ),
+        holds=(
+            discrete.interface_w / discrete.total_w
+            > 2 * embedded.interface_w / embedded.total_w
+        ),
+    )
+    return report
+
+
+def render_table() -> str:
+    """The power breakdown as the paper's example would tabulate it."""
+    discrete, embedded, ratio = discrete_vs_embedded_power()
+    table = Table(
+        title="E1: 4 GB/s, 256-bit memory system power (W)",
+        columns=["system", "chips", "core W", "interface W", "total W"],
+    )
+    table.add_row(
+        "discrete 16x SDRAM x16 @100MHz",
+        discrete.n_chips,
+        f"{discrete.core_w:.2f}",
+        f"{discrete.interface_w:.2f}",
+        f"{discrete.total_w:.2f}",
+    )
+    table.add_row(
+        "embedded 256-bit macro",
+        embedded.n_chips,
+        f"{embedded.core_w:.2f}",
+        f"{embedded.interface_w:.2f}",
+        f"{embedded.total_w:.2f}",
+    )
+    table.add_row("ratio", "", "", "", f"{ratio:.1f}x")
+    return table.render()

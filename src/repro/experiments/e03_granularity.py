@@ -1,0 +1,99 @@
+"""E3: commodity granularity overhead vs. eDRAM size customization.
+
+Claims (Sections 1 and 4): composing a discrete system to a width
+requirement over-provisions capacity ("the application may only call
+for, say, 8 Mbit"); eDRAM "enables implementations with minimum
+overhead" because sizes snap to 256-Kbit building blocks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.video import NTSC, PAL
+from repro.core.quantizer import Quantizer
+from repro.dram.catalog import smallest_system
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table
+from repro.units import MBIT
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E3",
+        title="Granularity: commodity over-provisioning vs. eDRAM",
+        paper_section="Sections 1 and 4.1",
+    )
+    quantizer = Quantizer()
+    # The 8-Mbit application behind a 256-bit bus.
+    discrete = smallest_system(8 * MBIT, 256)
+    report.check(
+        claim="8-Mbit need behind a 256-bit bus installs 64 Mbit",
+        paper_value="64 Mbit (8x overhead)",
+        measured=(
+            f"{discrete.total_bits / MBIT:.0f} Mbit installed, "
+            f"{discrete.overhead_fraction:.0%} overhead"
+        ),
+        holds=discrete.total_bits == 64 * MBIT,
+    )
+    snapped = quantizer.snap_size(8 * MBIT)
+    report.check(
+        claim="eDRAM snaps the same need to block granularity",
+        paper_value="minimum overhead",
+        measured=(
+            f"{snapped / MBIT:.2f} Mbit "
+            f"({quantizer.quantization_overhead(8 * MBIT):.1%} overhead)"
+        ),
+        holds=quantizer.quantization_overhead(8 * MBIT) < 0.05,
+    )
+    # Frame stores: commodity sizes are not frame multiples.
+    for frame in (PAL, NTSC):
+        over = quantizer.quantization_overhead(frame.frame_bits)
+        commodity_over = (4 * MBIT - frame.frame_bits % (4 * MBIT)) / (
+            frame.frame_bits
+        )
+        report.check(
+            claim=(
+                f"{frame.standard.value} frame store "
+                f"({frame.frame_mbit:.2f} Mbit) has minimal eDRAM overhead"
+            ),
+            paper_value="commodity sizes not a multiple of frame size",
+            measured=(
+                f"eDRAM overhead {over:.1%} vs next-4-Mbit-chip "
+                f"overhead {commodity_over:.1%}"
+            ),
+            holds=over < 0.06,
+        )
+    return report
+
+
+def render_table() -> str:
+    table = Table(
+        title="E3: installed capacity for capacity/width requirements",
+        columns=[
+            "requirement",
+            "width",
+            "discrete install",
+            "overhead",
+            "eDRAM install",
+            "overhead",
+        ],
+    )
+    quantizer = Quantizer()
+    cases = [
+        (8 * MBIT, 256),
+        (PAL.frame_bits, 64),
+        (2 * PAL.frame_bits, 128),
+        (16 * MBIT, 512),
+        (40 * MBIT, 256),
+    ]
+    for bits, width in cases:
+        discrete = smallest_system(bits, width)
+        snapped = quantizer.snap_size(bits)
+        table.add_row(
+            f"{bits / MBIT:.2f} Mbit",
+            width,
+            f"{discrete.total_bits / MBIT:.0f} Mbit",
+            f"{discrete.overhead_fraction:.0%}",
+            f"{snapped / MBIT:.2f} Mbit",
+            f"{(snapped - bits) / bits:.1%}",
+        )
+    return table.render()

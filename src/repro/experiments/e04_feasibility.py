@@ -1,0 +1,64 @@
+"""E4: the quarter-micron feasibility frontier (Section 1).
+
+Claim: "In quarter-micron technology, chips with up to 128 Mbit of DRAM
+and 500 kgates of logic, or 64 Mbit of DRAM and 1 Mgates of logic are
+feasible."
+"""
+
+from __future__ import annotations
+
+from repro.core.tradeoffs import (
+    LogicMemoryTrade,
+    QUARTER_MICRON_DIE_BUDGET_MM2,
+)
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table
+from repro.units import MBIT
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E4",
+        title="Quarter-micron logic/memory feasibility frontier",
+        paper_section="Section 1",
+    )
+    trade = LogicMemoryTrade(die_budget_mm2=QUARTER_MICRON_DIE_BUDGET_MM2)
+    at_500k = trade.max_memory_for_logic(500e3)
+    at_1m = trade.max_memory_for_logic(1e6)
+    report.check(
+        claim="128 Mbit + 500 kgates feasible on one die",
+        paper_value="128 Mbit",
+        measured=f"{at_500k / MBIT:.0f} Mbit beside 500 kgates",
+        holds=abs(at_500k - 128 * MBIT) <= 4 * MBIT,
+    )
+    report.check(
+        claim="64 Mbit + 1 Mgates feasible on the same die",
+        paper_value="64 Mbit",
+        measured=f"{at_1m / MBIT:.0f} Mbit beside 1 Mgates",
+        holds=abs(at_1m - 64 * MBIT) <= 3 * MBIT,
+    )
+    report.check(
+        claim="logic trades for memory at a fixed exchange rate",
+        paper_value="500 kgates <-> 64 Mbit",
+        measured=(
+            f"{trade.exchange_rate_gates_per_mbit():.0f} gates/Mbit "
+            f"marginal rate"
+        ),
+        holds=6000 < trade.exchange_rate_gates_per_mbit() < 11000,
+    )
+    return report
+
+
+def render_table() -> str:
+    trade = LogicMemoryTrade(die_budget_mm2=QUARTER_MICRON_DIE_BUDGET_MM2)
+    table = Table(
+        title=(
+            f"E4: feasibility frontier on a "
+            f"{QUARTER_MICRON_DIE_BUDGET_MM2:.0f} mm^2 die (0.25 um)"
+        ),
+        columns=["logic gates", "max memory"],
+    )
+    for gates in [100e3, 250e3, 500e3, 750e3, 1e6, 1.25e6, 1.5e6]:
+        point = trade.max_memory_for_logic(gates)
+        table.add_row(f"{gates / 1e3:.0f}k", f"{point / MBIT:.0f} Mbit")
+    return table.render()

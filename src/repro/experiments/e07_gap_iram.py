@@ -1,0 +1,91 @@
+"""E7: the processor-memory performance gap and IRAM (Section 4.2).
+
+Claims: CPU +60 %/yr vs. DRAM core +10 %/yr; DRAM access times improve
+only ~10 %/yr while peak device bandwidth grew two orders of magnitude;
+merging a microprocessor with DRAM reduces latency 5-10x, increases
+bandwidth 50-100x, and improves energy efficiency 2-4x.
+"""
+
+from __future__ import annotations
+
+from repro.apps.iram import DESKTOP_HIERARCHY, IRAMModel
+from repro.apps.trends import (
+    DRAM_BANDWIDTH_TREND,
+    DRAM_CORE_TREND,
+    PROCESSOR_TREND,
+    gap_growth_per_year,
+    performance_gap,
+)
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E7",
+        title="Processor-memory gap and the IRAM merge",
+        paper_section="Section 4.2",
+    )
+    report.check(
+        claim="CPU +60%/yr vs DRAM core +10%/yr",
+        paper_value="60% vs 10%",
+        measured=(
+            f"{PROCESSOR_TREND.annual_growth:.0%} vs "
+            f"{DRAM_CORE_TREND.annual_growth:.0%}, gap x"
+            f"{gap_growth_per_year():.2f}/yr"
+        ),
+        holds=abs(gap_growth_per_year() - 1.4545) < 0.01,
+    )
+    report.check(
+        claim="peak device bandwidth grew two orders of magnitude",
+        paper_value="100x over ~a decade",
+        measured=(
+            f"{DRAM_BANDWIDTH_TREND.ratio(1998):.0f}x from "
+            f"{DRAM_BANDWIDTH_TREND.base_year} to 1998"
+        ),
+        holds=DRAM_BANDWIDTH_TREND.ratio(1998) >= 100,
+    )
+    iram = IRAMModel()
+    report.check(
+        claim="IRAM factors within the cited ranges",
+        paper_value="latency /5-10, bandwidth x50-100, energy x2-4",
+        measured=(
+            f"latency /{iram.latency_factor:.1f}, bandwidth x"
+            f"{iram.bandwidth_factor:.0f}, energy x{iram.energy_factor:.1f}"
+        ),
+        holds=iram.within_paper_ranges(),
+    )
+    speedup = iram.amat_speedup(DESKTOP_HIERARCHY)
+    report.check(
+        claim="end-to-end speedup diluted by cache hits",
+        paper_value="(implied: raw factors are memory-side)",
+        measured=(
+            f"AMAT speedup {speedup:.2f}x on a desktop hierarchy with "
+            f"{DESKTOP_HIERARCHY.memory_reference_fraction():.1%} of "
+            f"references reaching memory"
+        ),
+        holds=1.0 < speedup < iram.latency_factor,
+    )
+    energy = iram.energy_improvement(DESKTOP_HIERARCHY)
+    report.check(
+        claim="energy efficiency improves",
+        paper_value="2-4x at the memory; diluted per-reference",
+        measured=f"{energy:.2f}x per-reference energy improvement",
+        holds=energy > 1.0,
+    )
+    return report
+
+
+def render_table() -> str:
+    table = Table(
+        title="E7: processor/DRAM performance (1980 = 1.0)",
+        columns=["year", "CPU", "DRAM core", "gap"],
+    )
+    for year in range(1980, 2001, 4):
+        table.add_row(
+            year,
+            f"{PROCESSOR_TREND.value(year):.0f}",
+            f"{DRAM_CORE_TREND.value(year):.1f}",
+            f"{performance_gap(year):.0f}x",
+        )
+    return table.render()

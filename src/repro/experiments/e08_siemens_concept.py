@@ -1,0 +1,137 @@
+"""E8: the Siemens flexible eDRAM concept (Section 5).
+
+Claims: 256-Kbit / 1-Mbit building blocks; modules from 8-16 Mbit at
+about 1 Mbit/mm^2; up to 128 Mbit; 16-512-bit interfaces; flexible banks
+and page length; cycle times better than 7 ns (>143 MHz); about
+9 Gbyte/s per module; a small synthesizable BIST controller.
+"""
+
+from __future__ import annotations
+
+from repro.dft.bist import BISTController
+from repro.dram.edram import EDRAMMacro, SIEMENS_CONCEPT
+from repro.errors import ConfigurationError
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table
+from repro.units import KBIT, MBIT
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E8",
+        title="The flexible eDRAM concept's headline figures",
+        paper_section="Section 5",
+    )
+    report.check(
+        claim="two building blocks: 256 Kbit and 1 Mbit",
+        paper_value="256 Kbit, 1 Mbit",
+        measured=", ".join(
+            f"{size // KBIT} Kbit" for size in SIEMENS_CONCEPT.block_sizes_bits
+        ),
+        holds=set(SIEMENS_CONCEPT.block_sizes_bits) == {256 * KBIT, MBIT},
+    )
+    efficiencies = {
+        mbits: EDRAMMacro.build(
+            size_bits=mbits * MBIT, width=256
+        ).area_efficiency_mbit_per_mm2()
+        for mbits in (8, 16, 64, 128)
+    }
+    report.check(
+        claim="modules from 8-16 Mbit at about 1 Mbit/mm^2",
+        paper_value="~1 Mbit/mm^2",
+        measured=", ".join(
+            f"{m} Mbit: {e:.2f}" for m, e in efficiencies.items()
+        ),
+        holds=all(0.85 <= e <= 1.1 for e in efficiencies.values()),
+    )
+    report.check(
+        claim="embedded memory sizes up to at least 128 Mbit",
+        paper_value="<= 128 Mbit",
+        measured=f"{SIEMENS_CONCEPT.max_module_bits / MBIT:.0f} Mbit max",
+        holds=SIEMENS_CONCEPT.max_module_bits == 128 * MBIT,
+    )
+    widths_ok = True
+    for width in (16, 32, 64, 128, 256, 512):
+        try:
+            EDRAMMacro.build(size_bits=16 * MBIT, width=width)
+        except ConfigurationError:
+            widths_ok = False
+    report.check(
+        claim="interface widths from 16 to 512 bits",
+        paper_value="16-512",
+        measured="all powers of two in [16, 512] constructible",
+        holds=widths_ok,
+    )
+    banks_pages = True
+    for banks in (1, 2, 4, 8, 16):
+        for page in SIEMENS_CONCEPT.allowed_page_bits:
+            try:
+                EDRAMMacro.build(
+                    size_bits=16 * MBIT, width=16, banks=banks,
+                    page_bits=page,
+                )
+            except ConfigurationError:
+                banks_pages = False
+    report.check(
+        claim="flexibility in banks and page length",
+        paper_value="flexible",
+        measured=(
+            f"banks 1-16 x pages {SIEMENS_CONCEPT.allowed_page_bits} all "
+            f"constructible at 16 Mbit"
+        ),
+        holds=banks_pages,
+    )
+    report.check(
+        claim="cycle time better than 7 ns (143 MHz)",
+        paper_value="<7 ns / >143 MHz",
+        measured=(
+            f"{SIEMENS_CONCEPT.cycle_time_ns:.0f} ns, "
+            f"{SIEMENS_CONCEPT.max_clock_hz / 1e6:.0f} MHz"
+        ),
+        holds=SIEMENS_CONCEPT.max_clock_hz >= 142.8e6,
+    )
+    bandwidth = SIEMENS_CONCEPT.max_module_bandwidth_bits_per_s / 8e9
+    report.check(
+        claim="maximum bandwidth per module about 9 GB/s",
+        paper_value="~9 Gbyte/s",
+        measured=f"{bandwidth:.2f} GB/s (512 bit x 143 MHz)",
+        holds=8.5 <= bandwidth <= 9.5,
+    )
+    bist = BISTController(internal_width_bits=256)
+    report.check(
+        claim="small, synthesizable BIST controller",
+        paper_value="small",
+        measured=f"{bist.gate_count / 1e3:.1f} kgates at 256-bit width",
+        holds=bist.gate_count < 30e3,
+    )
+    return report
+
+
+def render_table() -> str:
+    table = Table(
+        title="E8: constructible module examples (Siemens concept)",
+        columns=["size", "width", "banks", "page", "peak BW",
+                 "area", "Mbit/mm^2"],
+    )
+    examples = [
+        (2 * MBIT, 32, 2, 2048),
+        (19 * 256 * KBIT, 64, 4, 2048),  # PAL-frame-sized: 4.75 Mbit
+        (8 * MBIT, 128, 4, 2048),
+        (16 * MBIT, 256, 8, 4096),
+        (64 * MBIT, 512, 16, 8192),
+        (128 * MBIT, 512, 16, 8192),
+    ]
+    for size, width, banks, page in examples:
+        macro = EDRAMMacro.build(
+            size_bits=size, width=width, banks=banks, page_bits=page
+        )
+        table.add_row(
+            f"{size / MBIT:.2f} Mbit",
+            width,
+            banks,
+            f"{page} b",
+            f"{macro.peak_bandwidth_bits_per_s / 8e9:.2f} GB/s",
+            f"{macro.area_mm2():.1f} mm^2",
+            f"{macro.area_efficiency_mbit_per_mm2():.2f}",
+        )
+    return table.render()

@@ -1,0 +1,163 @@
+"""E9: testing economics (Section 6).
+
+Claims: DRAM test times are high and dominated by waiting; a high degree
+of parallelism (wide on-chip interfaces + BIST) is required to reduce
+test costs; the flow is pre-fuse test -> fuse -> post-fuse test;
+redundancy levels trade area for yield; relaxed quality targets
+(graphics) allow shipping retention-marginal parts; the concept must
+support memory-on-logic-tester business models.
+"""
+
+from __future__ import annotations
+
+from repro.cost.yield_model import YieldModel
+from repro.dft.bist import BISTController
+from repro.dft.flow import TestFlow
+from repro.dft.march import MARCH_C_MINUS
+from repro.dft.test_cost import LOGIC_TESTER, MEMORY_TESTER, TestCostModel
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table
+from repro.units import MBIT
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E9",
+        title="Test time, BIST parallelism, and repair yield",
+        paper_section="Section 6",
+    )
+    memory_bits = 64 * MBIT
+    raw = TestCostModel(tester=LOGIC_TESTER)
+    bist = TestCostModel(tester=LOGIC_TESTER, bist=BISTController())
+    raw_time = raw.total_time_s(MARCH_C_MINUS, memory_bits)
+    bist_time = bist.total_time_s(MARCH_C_MINUS, memory_bits)
+    report.check(
+        claim="DRAM test times are quite high",
+        paper_value="high (seconds per die)",
+        measured=(
+            f"{raw_time:.2f} s/die for March C- on 64 Mbit over a 16-bit "
+            f"tester port"
+        ),
+        holds=raw_time > 1.0,
+    )
+    report.check(
+        claim="on-chip parallelism (BIST) reduces test cost",
+        paper_value="high degree of parallelism required",
+        measured=(
+            f"BIST at 256 bits cuts test time {raw_time / bist_time:.1f}x "
+            f"({raw_time:.2f} s -> {bist_time:.2f} s)"
+        ),
+        holds=raw_time / bist_time > 2.5,
+    )
+    report.check(
+        claim="waiting dominates once patterns are parallel",
+        paper_value="test programs include a lot of waiting",
+        measured=(
+            f"{bist.waiting_fraction(MARCH_C_MINUS, memory_bits):.0%} of "
+            f"the BIST-assisted test is retention waiting"
+        ),
+        holds=bist.waiting_fraction(MARCH_C_MINUS, memory_bits) > 0.5,
+    )
+    flow = TestFlow(mean_faults_per_die=1.2)
+    lot = flow.run_lot(400, seed=42)
+    report.check(
+        claim="pre-fuse/fuse/post-fuse flow with redundancy repair",
+        paper_value="two wafer-level tests, repair between",
+        measured=(
+            f"lot of {lot.dies}: pre-repair yield "
+            f"{lot.yield_pre_repair:.0%}, post-repair "
+            f"{lot.yield_post_repair:.0%} ({lot.repaired} repaired, "
+            f"{lot.scrap} scrap)"
+        ),
+        holds=lot.yield_post_repair > lot.yield_pre_repair,
+    )
+    relaxed = TestFlow(
+        mean_faults_per_die=1.2, waive_retention_only=True
+    ).run_lot(400, seed=42)
+    report.check(
+        claim="relaxed quality targets raise effective yield",
+        paper_value="soft problems acceptable for graphics",
+        measured=(
+            f"waiving retention-only fallout: "
+            f"{lot.yield_post_repair:.0%} -> "
+            f"{relaxed.yield_post_repair:.0%} ({relaxed.waived} waived)"
+        ),
+        holds=relaxed.yield_post_repair >= lot.yield_post_repair,
+    )
+    model = YieldModel()
+    report.check(
+        claim="redundancy level tunes yield",
+        paper_value="different redundancy levels",
+        measured=(
+            "130 mm^2 module yield: "
+            + ", ".join(
+                f"{k} spares: "
+                f"{YieldModel(memory_spares=k).memory_yield(130.0):.0%}"
+                for k in (0, 2, 4, 8)
+            )
+        ),
+        holds=model.repair_gain(130.0) > 1.5,
+    )
+    memory_tester = TestCostModel(tester=MEMORY_TESTER)
+    logic_with_bist = TestCostModel(
+        tester=LOGIC_TESTER, bist=BISTController()
+    )
+    logic_raw = raw.cost_per_die(MARCH_C_MINUS, memory_bits)
+    logic_bist = logic_with_bist.cost_per_die(MARCH_C_MINUS, memory_bits)
+    report.check(
+        claim="BIST lets a logic tester test the memory economically",
+        paper_value="customer can do memory testing on his logic tester",
+        measured=(
+            f"cost/die on a logic tester: {logic_raw:.3f} raw -> "
+            f"{logic_bist:.3f} with BIST (multi-site memory tester: "
+            f"{memory_tester.cost_per_die(MARCH_C_MINUS, memory_bits):.3f})"
+        ),
+        holds=logic_bist < 0.5 * logic_raw and logic_bist < 0.10,
+        note="the multi-site memory tester stays cheapest per die; BIST "
+        "makes the logic-tester business model viable, not dominant",
+    )
+    return report
+
+
+def render_table() -> str:
+    table = Table(
+        title="E9: March C- test seconds/die on 64 Mbit",
+        columns=["method", "pattern s", "waiting s", "total s", "cost/die"],
+    )
+    memory_bits = 64 * MBIT
+    methods = [
+        ("memory tester (64b, 16 sites)", TestCostModel(tester=MEMORY_TESTER)),
+        ("logic tester (16b)", TestCostModel(tester=LOGIC_TESTER)),
+        (
+            "logic tester + BIST 64b",
+            TestCostModel(
+                tester=LOGIC_TESTER,
+                bist=BISTController(internal_width_bits=64),
+            ),
+        ),
+        (
+            "logic tester + BIST 256b",
+            TestCostModel(
+                tester=LOGIC_TESTER,
+                bist=BISTController(internal_width_bits=256),
+            ),
+        ),
+        (
+            "logic tester + BIST 512b",
+            TestCostModel(
+                tester=LOGIC_TESTER,
+                bist=BISTController(internal_width_bits=512),
+            ),
+        ),
+    ]
+    for label, model in methods:
+        pattern = model.march_time_s(MARCH_C_MINUS, memory_bits)
+        total = model.total_time_s(MARCH_C_MINUS, memory_bits)
+        table.add_row(
+            label,
+            f"{pattern:.3f}",
+            f"{total - pattern:.2f}",
+            f"{total:.2f}",
+            f"{model.cost_per_die(MARCH_C_MINUS, memory_bits):.3f}",
+        )
+    return table.render()

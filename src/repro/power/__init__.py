@@ -1,0 +1,68 @@
+"""Power and energy models.
+
+The paper's single most quantitative claim (Section 1) is electrical: a
+4 Gbyte/s, 256-bit-wide memory system built from discrete 16-bit SDRAMs
+needs about ten times the power of an eDRAM with an internal 256-bit
+interface, because off-chip drivers charge large board-wire capacitances.
+This package provides:
+
+* :mod:`repro.power.interface` — CV^2 f switching power of a data/address
+  interface, parameterized by per-line capacitance and swing,
+* :mod:`repro.power.idd` — datasheet-style IDD operating-current model of
+  the DRAM core (activate/precharge, read/write burst, background,
+  refresh),
+* :mod:`repro.power.energy` — per-access and per-bit energy figures,
+* :mod:`repro.power.system` — system-level roll-up over N chips and the
+  embedded-vs-discrete comparison,
+* :mod:`repro.power.thermal` — junction temperature and its effect on
+  retention time / refresh rate (the paper's noted downside: per-chip
+  power may *increase* when memory moves on-die).
+"""
+
+from repro.power.interface import InterfaceSpec, InterfacePowerModel, ON_CHIP_BUS, OFF_CHIP_BUS
+from repro.power.idd import IddParameters, CorePowerModel, PC100_IDD, EDRAM_IDD
+from repro.power.energy import AccessEnergyModel, EnergyBreakdown
+from repro.power.system import MemorySystemPower, SystemPowerModel, discrete_vs_embedded_power
+from repro.power.thermal import ThermalModel, retention_time_at
+from repro.power.battery import Battery, PortableSystemPower, battery_life_gain_hours
+from repro.power.signal import (
+    InterconnectModel,
+    OFF_CHIP_TRACE,
+    ON_CHIP_WIRE,
+    speed_advantage,
+)
+from repro.power.supplies import (
+    SupplyDomain,
+    SupplyPlan,
+    projected_plan,
+    reversal_year,
+)
+
+__all__ = [
+    "InterfaceSpec",
+    "InterfacePowerModel",
+    "ON_CHIP_BUS",
+    "OFF_CHIP_BUS",
+    "IddParameters",
+    "CorePowerModel",
+    "PC100_IDD",
+    "EDRAM_IDD",
+    "AccessEnergyModel",
+    "EnergyBreakdown",
+    "MemorySystemPower",
+    "SystemPowerModel",
+    "discrete_vs_embedded_power",
+    "ThermalModel",
+    "retention_time_at",
+    "Battery",
+    "PortableSystemPower",
+    "battery_life_gain_hours",
+    "InterconnectModel",
+    "OFF_CHIP_TRACE",
+    "ON_CHIP_WIRE",
+    "speed_advantage",
+    "SupplyDomain",
+    "SupplyPlan",
+    "projected_plan",
+    "reversal_year",
+]

@@ -1,0 +1,94 @@
+"""Battery-life impact of the memory subsystem.
+
+Section 2: "Other things being equal, edram will find its way first into
+portable applications."  This module turns the power models into the
+number a portable-product architect actually argues with: hours of
+battery life, and how many of them the memory interface choice buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A battery pack.
+
+    Attributes:
+        capacity_wh: Usable energy in watt-hours.
+        derating: Fraction of nominal capacity deliverable at the load
+            (conversion losses, aging headroom).
+    """
+
+    capacity_wh: float = 40.0
+    derating: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0 < self.derating <= 1:
+            raise ConfigurationError("derating must be in (0, 1]")
+
+    @property
+    def usable_wh(self) -> float:
+        return self.capacity_wh * self.derating
+
+    def runtime_hours(self, load_w: float) -> float:
+        """Hours of runtime at a constant load."""
+        if load_w <= 0:
+            raise ConfigurationError("load must be positive")
+        return self.usable_wh / load_w
+
+
+@dataclass(frozen=True)
+class PortableSystemPower:
+    """A portable product's power budget.
+
+    Attributes:
+        base_power_w: Everything except the memory subsystem (CPU,
+            display, radios).
+        memory_power_w: The memory subsystem under evaluation.
+    """
+
+    base_power_w: float
+    memory_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.base_power_w < 0 or self.memory_power_w < 0:
+            raise ConfigurationError("power must be >= 0")
+
+    @property
+    def total_w(self) -> float:
+        return self.base_power_w + self.memory_power_w
+
+    def memory_share(self) -> float:
+        if self.total_w == 0:
+            return 0.0
+        return self.memory_power_w / self.total_w
+
+
+def battery_life_gain_hours(
+    battery: Battery,
+    base_power_w: float,
+    memory_power_before_w: float,
+    memory_power_after_w: float,
+) -> float:
+    """Runtime hours gained by a memory-subsystem power reduction.
+
+    Args:
+        battery: The battery pack.
+        base_power_w: Non-memory system power.
+        memory_power_before_w: Memory power of the discrete solution.
+        memory_power_after_w: Memory power of the embedded solution.
+
+    Returns:
+        Additional hours of runtime (positive when 'after' is lower).
+    """
+    before = PortableSystemPower(base_power_w, memory_power_before_w)
+    after = PortableSystemPower(base_power_w, memory_power_after_w)
+    return battery.runtime_hours(after.total_w) - battery.runtime_hours(
+        before.total_w
+    )

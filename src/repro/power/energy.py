@@ -1,0 +1,123 @@
+"""Per-access and per-bit energy figures.
+
+Combines the core (IDD) and interface (CV^2 f) models into the energies a
+system architect budgets with: energy per row activation, per byte
+transferred, per complete frame written.  These also back the IRAM energy-
+efficiency comparison (Section 4.2: "improve the energy efficiency by a
+factor of 2 to 4").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.idd import CorePowerModel, IddParameters
+from repro.power.interface import InterfacePowerModel
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one memory access, split by mechanism (joules).
+
+    Attributes:
+        activation: Row activate + precharge energy share.
+        core_transfer: Array/datapath energy of the burst itself.
+        interface: IO switching energy of moving the data over the bus.
+    """
+
+    activation: float
+    core_transfer: float
+    interface: float
+
+    @property
+    def total(self) -> float:
+        return self.activation + self.core_transfer + self.interface
+
+    def per_bit(self, bits: int) -> float:
+        """Total energy divided over the access's data bits."""
+        if bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {bits}")
+        return self.total / bits
+
+
+@dataclass(frozen=True)
+class AccessEnergyModel:
+    """Energy model of a (row-activate + burst) access.
+
+    Attributes:
+        idd: Core current parameters of the device/macro.
+        interface: Interface power model for the data movement.
+        row_cycle_time_s: tRC — duration charged to one activate/precharge.
+        transfer_clock_hz: Data clock during the burst.
+    """
+
+    idd: IddParameters
+    interface: InterfacePowerModel
+    row_cycle_time_s: float
+    transfer_clock_hz: float
+
+    def __post_init__(self) -> None:
+        if self.row_cycle_time_s <= 0:
+            raise ConfigurationError("row cycle time must be positive")
+        if self.transfer_clock_hz <= 0:
+            raise ConfigurationError("transfer clock must be positive")
+
+    def activation_energy_j(self) -> float:
+        """Energy of one activate/precharge pair (IDD0 over tRC)."""
+        extra = max(0.0, self.idd.idd0 - self.idd.idd2)
+        return extra * self.idd.vdd * self.row_cycle_time_s
+
+    def burst_core_energy_j(self, burst_bits: int, read: bool = True) -> float:
+        """Core energy of transferring ``burst_bits`` at the data clock."""
+        if burst_bits <= 0:
+            raise ConfigurationError("burst must carry at least one bit")
+        current = self.idd.idd4r if read else self.idd.idd4w
+        extra = max(0.0, current - self.idd.idd3)
+        beats = burst_bits / self.interface.width_bits
+        return extra * self.idd.vdd * beats / self.transfer_clock_hz
+
+    def interface_energy_j(self, burst_bits: int) -> float:
+        """IO energy of moving ``burst_bits`` over the bus."""
+        if burst_bits <= 0:
+            raise ConfigurationError("burst must carry at least one bit")
+        return self.interface.energy_per_bit_j() * burst_bits
+
+    def access(
+        self, burst_bits: int, read: bool = True, row_hit: bool = False
+    ) -> EnergyBreakdown:
+        """Energy breakdown of one access.
+
+        Args:
+            burst_bits: Data bits moved by the access.
+            read: Read (True) or write (False).
+            row_hit: If True, the row was already open and no activation
+                energy is charged — the "active row acts as a cache"
+                effect the paper highlights in Section 4.
+        """
+        return EnergyBreakdown(
+            activation=0.0 if row_hit else self.activation_energy_j(),
+            core_transfer=self.burst_core_energy_j(burst_bits, read),
+            interface=self.interface_energy_j(burst_bits),
+        )
+
+    def energy_per_useful_bit(
+        self, burst_bits: int, useful_bits: int, row_hit_rate: float
+    ) -> float:
+        """Average energy per *useful* bit for a traffic mix.
+
+        Over-fetch (useful < burst) and page misses both inflate this;
+        organization choices (page length, banks, mapping) move it.
+        """
+        if not 0 <= row_hit_rate <= 1:
+            raise ConfigurationError(
+                f"row hit rate must be in [0, 1], got {row_hit_rate}"
+            )
+        if useful_bits <= 0 or useful_bits > burst_bits:
+            raise ConfigurationError(
+                "useful bits must be in [1, burst_bits]"
+            )
+        miss = self.access(burst_bits, row_hit=False).total
+        hit = self.access(burst_bits, row_hit=True).total
+        avg = row_hit_rate * hit + (1 - row_hit_rate) * miss
+        return avg / useful_bits

@@ -1,0 +1,216 @@
+"""Datasheet-style DRAM core power model (IDD currents).
+
+Commodity SDRAM datasheets specify operating currents per state: active-
+precharge cycling (IDD0), burst read/write (IDD4R/IDD4W), precharge standby
+(IDD2), active standby (IDD3), and refresh (IDD5).  Average core power is a
+weighted mix of these by the fraction of time spent in each state — the
+approach Micron later formalized in its power calculators and that memory-
+system simulators (DRAMPower, DRAMSim) adopted.
+
+The eDRAM core uses the same structure with core-supply values; the array
+physics are the same, so core power is comparable on both sides of the
+embedded/discrete divide.  What differs by ~an order of magnitude is the
+*interface* power (:mod:`repro.power.interface`), which is the paper's
+point: core power does not go away on-chip, so the total-system ratio
+lands near 10x rather than the raw 25x+ of the IO alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IddParameters:
+    """Operating currents of one DRAM device or macro.
+
+    All currents in amperes, voltage in volts.  Names follow JEDEC
+    conventions for single-data-rate SDRAM.
+
+    Attributes:
+        vdd: Core supply voltage.
+        idd0: Average current of continuous activate-precharge cycling.
+        idd2: Precharge (idle, all banks closed) standby current.
+        idd3: Active (row open) standby current.
+        idd4r: Burst read current.
+        idd4w: Burst write current.
+        idd5: Auto-refresh burst current.
+        refresh_period_s: Interval in which all rows must be refreshed.
+        refresh_cycles: Refresh commands per refresh period.
+        refresh_cycle_time_s: Duration of one refresh command (tRFC).
+    """
+
+    vdd: float
+    idd0: float
+    idd2: float
+    idd3: float
+    idd4r: float
+    idd4w: float
+    idd5: float
+    refresh_period_s: float = 64e-3
+    refresh_cycles: int = 4096
+    refresh_cycle_time_s: float = 80e-9
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigurationError(f"vdd must be positive, got {self.vdd}")
+        for name in ("idd0", "idd2", "idd3", "idd4r", "idd4w", "idd5"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.idd2 > self.idd3:
+            raise ConfigurationError(
+                "precharge standby current cannot exceed active standby"
+            )
+        if self.refresh_period_s <= 0 or self.refresh_cycle_time_s <= 0:
+            raise ConfigurationError("refresh timings must be positive")
+        if self.refresh_cycles <= 0:
+            raise ConfigurationError("refresh cycle count must be positive")
+
+    def scaled_for_width(
+        self, width_bits: int, reference_width_bits: int = 256
+    ) -> "IddParameters":
+        """Scale the datapath (burst) currents to a different data width.
+
+        Row activation, standby and refresh currents are per-row/per-array
+        quantities and do not scale with interface width; the burst
+        read/write currents scale roughly linearly with the number of data
+        lines being driven through the internal datapath.
+        """
+        if width_bits <= 0 or reference_width_bits <= 0:
+            raise ConfigurationError("widths must be positive")
+        scale = width_bits / reference_width_bits
+        return IddParameters(
+            vdd=self.vdd,
+            idd0=self.idd0,
+            idd2=self.idd2,
+            idd3=self.idd3,
+            idd4r=self.idd4r * scale,
+            idd4w=self.idd4w * scale,
+            idd5=self.idd5,
+            refresh_period_s=self.refresh_period_s,
+            refresh_cycles=self.refresh_cycles,
+            refresh_cycle_time_s=self.refresh_cycle_time_s,
+        )
+
+
+#: A PC100-class 64-Mbit x16 SDRAM (datasheet-typical values).
+PC100_IDD = IddParameters(
+    vdd=3.3,
+    idd0=0.090,
+    idd2=0.003,
+    idd3=0.030,
+    idd4r=0.120,
+    idd4w=0.115,
+    idd5=0.150,
+)
+
+#: A 256-bit-wide eDRAM macro on the 2.5 V DRAM core supply.  The burst
+#: currents cover the full 256-bit internal datapath (use
+#: :meth:`IddParameters.scaled_for_width` for other widths); there is no
+#: off-chip output stage — IO power is accounted in the interface model.
+EDRAM_IDD = IddParameters(
+    vdd=2.5,
+    idd0=0.120,
+    idd2=0.008,
+    idd3=0.050,
+    idd4r=0.360,
+    idd4w=0.340,
+    idd5=0.150,
+    refresh_cycles=1024,
+)
+
+
+@dataclass(frozen=True)
+class StateWeights:
+    """Fractions of time the device spends in each power state.
+
+    Must be non-negative and sum to <= 1; the remainder is precharge
+    standby.
+    """
+
+    activating: float = 0.0
+    reading: float = 0.0
+    writing: float = 0.0
+    active_standby: float = 0.0
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.activating,
+            self.reading,
+            self.writing,
+            self.active_standby,
+        )
+        if any(f < 0 for f in fractions):
+            raise ConfigurationError("state fractions must be non-negative")
+        if sum(fractions) > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"state fractions sum to {sum(fractions):.3f} > 1"
+            )
+
+    @property
+    def precharge_standby(self) -> float:
+        return max(
+            0.0,
+            1.0
+            - (
+                self.activating
+                + self.reading
+                + self.writing
+                + self.active_standby
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Average core power of one DRAM device from IDD currents."""
+
+    idd: IddParameters
+
+    def refresh_power_w(self) -> float:
+        """Average refresh power (duty-cycled IDD5 above standby)."""
+        duty = (
+            self.idd.refresh_cycles * self.idd.refresh_cycle_time_s
+        ) / self.idd.refresh_period_s
+        extra = max(0.0, self.idd.idd5 - self.idd.idd2)
+        return duty * extra * self.idd.vdd
+
+    def average_power_w(self, weights: StateWeights) -> float:
+        """Average core power for a usage mix.
+
+        The refresh contribution is added on top since refresh interleaves
+        with normal operation.
+        """
+        idd = self.idd
+        current = (
+            weights.activating * idd.idd0
+            + weights.reading * idd.idd4r
+            + weights.writing * idd.idd4w
+            + weights.active_standby * idd.idd3
+            + weights.precharge_standby * idd.idd2
+        )
+        return current * idd.vdd + self.refresh_power_w()
+
+    def busy_power_w(self, read_fraction: float = 0.5) -> float:
+        """Power of a device streaming data continuously.
+
+        Args:
+            read_fraction: Share of transfers that are reads (rest writes).
+        """
+        if not 0 <= read_fraction <= 1:
+            raise ConfigurationError(
+                f"read fraction must be in [0, 1], got {read_fraction}"
+            )
+        return self.average_power_w(
+            StateWeights(
+                activating=0.15,
+                reading=0.85 * read_fraction,
+                writing=0.85 * (1 - read_fraction),
+            )
+        )
+
+    def idle_power_w(self) -> float:
+        """Power of a device sitting in precharge standby with refresh."""
+        return self.average_power_w(StateWeights())

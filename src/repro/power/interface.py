@@ -1,0 +1,149 @@
+"""Interface (IO) switching power: the heart of the paper's 10x claim.
+
+"Replacing off-chip drivers with smaller on-chip drivers can reduce power
+consumption significantly, as large board wire capacitive loads are
+avoided."  (Section 1.)
+
+The model is plain dynamic CMOS switching power per signal line::
+
+    P_line = activity * C_load * V_swing^2 * f_toggle
+
+An off-chip SDRAM data line sees the board trace, the connector/module
+parasitics, the driver's own output capacitance and every input it fans
+out to — tens of picofarads at full supply swing.  An on-chip bus line of a
+few millimetres is one to two picofarads at (lower) core supply.  The
+interface width and toggle rate are fixed by the bandwidth requirement, so
+the power ratio reduces to a ``C * V^2`` ratio per line — which is how the
+paper's factor arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import PF
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """Electrical description of one memory interface class.
+
+    Attributes:
+        name: Identifier, e.g. ``"off-chip SDRAM bus"``.
+        capacitance_per_line_f: Total switched capacitance per signal
+            line, in farads.
+        swing_v: Voltage swing (full-rail for LVTTL-era SDRAM signalling).
+        activity: Average toggle probability per line per data transfer
+            (0.5 = random data).
+        control_overhead: Additional power fraction for clock, address and
+            control lines, relative to the data-line power (address and
+            command buses toggle too, and the clock toggles every cycle).
+    """
+
+    name: str
+    capacitance_per_line_f: float
+    swing_v: float
+    activity: float = 0.5
+    control_overhead: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.capacitance_per_line_f <= 0:
+            raise ConfigurationError(
+                f"{self.name}: capacitance must be positive"
+            )
+        if self.swing_v <= 0:
+            raise ConfigurationError(f"{self.name}: swing must be positive")
+        if not 0 < self.activity <= 1:
+            raise ConfigurationError(
+                f"{self.name}: activity must be in (0, 1], got {self.activity}"
+            )
+        if self.control_overhead < 0:
+            raise ConfigurationError(
+                f"{self.name}: control overhead must be >= 0"
+            )
+
+    def energy_per_line_toggle_j(self) -> float:
+        """Energy of one full-swing toggle of one line, in joules."""
+        return self.capacitance_per_line_f * self.swing_v**2
+
+
+#: On-chip eDRAM bus: a few mm of metal, small repeated drivers, core swing.
+ON_CHIP_BUS = InterfaceSpec(
+    name="on-chip eDRAM bus",
+    capacitance_per_line_f=1.5 * PF,
+    swing_v=2.5,
+    activity=0.5,
+    control_overhead=0.25,
+)
+
+#: Off-chip SDRAM bus: board trace + pins + fanout, LVTTL 3.3 V swing.
+OFF_CHIP_BUS = InterfaceSpec(
+    name="off-chip SDRAM bus",
+    capacitance_per_line_f=25.0 * PF,
+    swing_v=3.3,
+    activity=0.5,
+    control_overhead=0.25,
+)
+
+
+@dataclass(frozen=True)
+class InterfacePowerModel:
+    """Switching power of a memory interface.
+
+    Attributes:
+        spec: Electrical interface class.
+        width_bits: Data-bus width of the interface.
+        frequency_hz: Data transfer rate per line (transfers/second; for
+            single-data-rate SDRAM this equals the clock frequency).
+    """
+
+    spec: InterfaceSpec
+    width_bits: int
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise ConfigurationError(
+                f"interface width must be positive, got {self.width_bits}"
+            )
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {self.frequency_hz}"
+            )
+
+    @property
+    def peak_bandwidth_bits_per_s(self) -> float:
+        """Peak transfer rate of the interface in bits/second."""
+        return self.width_bits * self.frequency_hz
+
+    def power_w(self, utilization: float = 1.0) -> float:
+        """Average interface power at the given bus utilization.
+
+        Args:
+            utilization: Fraction of cycles carrying data, in [0, 1].
+        """
+        if not 0 <= utilization <= 1:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        data = (
+            self.spec.activity
+            * self.spec.energy_per_line_toggle_j()
+            * self.width_bits
+            * self.frequency_hz
+            * utilization
+        )
+        return data * (1.0 + self.spec.control_overhead)
+
+    def energy_per_bit_j(self) -> float:
+        """Average energy to move one data bit across this interface."""
+        return self.power_w(1.0) / self.peak_bandwidth_bits_per_s
+
+    def width_for_bandwidth(self, bandwidth_bits_per_s: float) -> int:
+        """Minimum bus width delivering the requested peak bandwidth."""
+        if bandwidth_bits_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        from repro.units import ceil_div
+
+        return ceil_div(int(bandwidth_bits_per_s), int(self.frequency_hz))

@@ -1,0 +1,144 @@
+"""Interconnect delay and noise: the speed side of going on-chip.
+
+Paper Section 1: "As interface wire lengths can be optimized for the
+application in edrams, lower propagation times and thus higher speeds
+are possible.  In addition, noise immunity is enhanced."
+
+The model is a lumped-RC + time-of-flight estimate per interconnect
+class: an off-chip memory bus crosses centimetres of board trace through
+package parasitics into multiple receiver loads; an on-chip bus crosses
+millimetres of metal.  The achievable toggle rate is limited by the
+settling time (a few RC plus flight time), and the noise margin differs
+because board-level returns, connector discontinuities and simultaneous
+switching eat into the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """One interconnect class between memory and logic.
+
+    Attributes:
+        name: Class name.
+        length_m: Physical signal length.
+        resistance_ohm_per_m: Series resistance per metre.
+        capacitance_f_per_m: Capacitance per metre (plus lumped loads
+            folded in via ``lumped_capacitance_f``).
+        lumped_capacitance_f: Driver/receiver/package capacitance.
+        velocity_m_per_s: Propagation velocity (~c/2 on FR4, slower on
+            resistive on-chip wires where RC dominates anyway).
+        noise_budget_fraction: Fraction of the swing available as noise
+            margin after crosstalk/SSO/reflection allocations.
+        settle_time_constants: RC time constants demanded for settling.
+    """
+
+    name: str
+    length_m: float
+    resistance_ohm_per_m: float
+    capacitance_f_per_m: float
+    lumped_capacitance_f: float
+    velocity_m_per_s: float
+    noise_budget_fraction: float
+    settle_time_constants: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ConfigurationError(f"{self.name}: length must be > 0")
+        if self.resistance_ohm_per_m < 0 or self.capacitance_f_per_m <= 0:
+            raise ConfigurationError(f"{self.name}: bad RC parameters")
+        if self.lumped_capacitance_f < 0:
+            raise ConfigurationError(f"{self.name}: bad lumped C")
+        if self.velocity_m_per_s <= 0:
+            raise ConfigurationError(f"{self.name}: bad velocity")
+        if not 0 < self.noise_budget_fraction <= 1:
+            raise ConfigurationError(f"{self.name}: bad noise budget")
+        if self.settle_time_constants <= 0:
+            raise ConfigurationError(f"{self.name}: bad settle factor")
+
+    @property
+    def total_capacitance_f(self) -> float:
+        return (
+            self.capacitance_f_per_m * self.length_m
+            + self.lumped_capacitance_f
+        )
+
+    @property
+    def total_resistance_ohm(self) -> float:
+        return self.resistance_ohm_per_m * self.length_m
+
+    def flight_time_s(self) -> float:
+        """Time-of-flight over the interconnect."""
+        return self.length_m / self.velocity_m_per_s
+
+    def rc_time_s(self, driver_resistance_ohm: float = 25.0) -> float:
+        """Lumped RC time constant including the driver."""
+        if driver_resistance_ohm < 0:
+            raise ConfigurationError("driver resistance must be >= 0")
+        # Distributed-wire Elmore term (R*C/2) plus driver charging the
+        # full load.
+        distributed = (
+            self.total_resistance_ohm
+            * self.capacitance_f_per_m
+            * self.length_m
+            / 2.0
+        )
+        lumped = driver_resistance_ohm * self.total_capacitance_f
+        return distributed + lumped
+
+    def propagation_delay_s(
+        self, driver_resistance_ohm: float = 25.0
+    ) -> float:
+        """Signal delay: flight time plus settling."""
+        return self.flight_time_s() + self.settle_time_constants * (
+            self.rc_time_s(driver_resistance_ohm)
+        )
+
+    def max_toggle_rate_hz(
+        self, driver_resistance_ohm: float = 25.0
+    ) -> float:
+        """Highest data rate the line settles at (one bit per delay)."""
+        return 1.0 / self.propagation_delay_s(driver_resistance_ohm)
+
+    def noise_margin_v(self, swing_v: float) -> float:
+        """Absolute noise margin at a given swing."""
+        if swing_v <= 0:
+            raise ConfigurationError("swing must be positive")
+        return swing_v * self.noise_budget_fraction
+
+
+#: Off-chip SDRAM bus: ~8 cm of board trace, connector/package
+#: parasitics, multiple receiver loads; heavy SSO/reflection allocation.
+OFF_CHIP_TRACE = InterconnectModel(
+    name="off-chip board trace",
+    length_m=0.08,
+    resistance_ohm_per_m=10.0,
+    capacitance_f_per_m=130e-12,
+    lumped_capacitance_f=14e-12,
+    velocity_m_per_s=1.5e8,
+    noise_budget_fraction=0.25,
+)
+
+#: On-chip bus: ~3 mm of metal, repeatered; quiet returns.
+ON_CHIP_WIRE = InterconnectModel(
+    name="on-chip bus wire",
+    length_m=0.003,
+    resistance_ohm_per_m=40e3,
+    capacitance_f_per_m=250e-12,
+    lumped_capacitance_f=0.6e-12,
+    velocity_m_per_s=0.7e8,
+    noise_budget_fraction=0.45,
+)
+
+
+def speed_advantage(
+    on_chip: InterconnectModel = ON_CHIP_WIRE,
+    off_chip: InterconnectModel = OFF_CHIP_TRACE,
+) -> float:
+    """Toggle-rate ratio on-chip/off-chip — the 'higher speeds' claim."""
+    return on_chip.max_toggle_rate_hz() / off_chip.max_toggle_rate_hz()

@@ -1,0 +1,132 @@
+"""Power-supply domains on a merged DRAM/logic die.
+
+Paper Section 1: "DRAMs and logic require different power supplies;
+currently the DRAM power supply (2.5V) is less than the logic power
+supply (3.3V), but this situation will reverse in the future due to the
+back-biasing problem in DRAMs."
+
+A merged die therefore carries at least two supply domains plus the
+DRAM's internally generated voltages (boosted word-line VPP, back-bias
+VBB).  The model counts domains, prices the regulators/pumps and the
+level shifters on domain-crossing signals, and captures the paper's
+noted *reversal*: as logic supplies scale down faster than DRAM
+supplies, which side needs the higher rail flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SupplyDomain:
+    """One supply domain on the die.
+
+    Attributes:
+        name: Domain name.
+        voltage: Nominal rail voltage.
+        on_chip_generated: Produced by an on-chip pump/regulator (VPP,
+            VBB) rather than a package pin.
+    """
+
+    name: str
+    voltage: float
+    on_chip_generated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.voltage == 0:
+            raise ConfigurationError(f"{self.name}: voltage must be nonzero")
+
+
+@dataclass(frozen=True)
+class SupplyPlan:
+    """The supply architecture of a merged die.
+
+    Attributes:
+        logic_vdd: Logic core supply.
+        dram_vdd: DRAM array supply.
+        year: Technology year (drives the scaling trends below).
+        crossing_signals: Signals crossing the logic/DRAM boundary
+            (address + data + control of the internal interface).
+    """
+
+    logic_vdd: float = 3.3
+    dram_vdd: float = 2.5
+    year: int = 1998
+    crossing_signals: int = 300
+
+    #: Pump/regulator area per on-chip-generated rail (mm^2).
+    PUMP_AREA_MM2 = 0.4
+    #: Level-shifter area per crossing signal (mm^2).
+    SHIFTER_AREA_MM2 = 0.0006
+
+    def __post_init__(self) -> None:
+        if self.logic_vdd <= 0 or self.dram_vdd <= 0:
+            raise ConfigurationError("supplies must be positive")
+        if self.crossing_signals < 0:
+            raise ConfigurationError("crossing signals must be >= 0")
+
+    def domains(self) -> tuple:
+        """All supply domains: two external rails plus the DRAM's
+        internally generated word-line boost and back-bias."""
+        return (
+            SupplyDomain(name="logic VDD", voltage=self.logic_vdd),
+            SupplyDomain(name="DRAM VDD", voltage=self.dram_vdd),
+            SupplyDomain(
+                name="VPP (word-line boost)",
+                voltage=self.dram_vdd + 1.5,
+                on_chip_generated=True,
+            ),
+            SupplyDomain(
+                name="VBB (back bias)",
+                voltage=-1.0,
+                on_chip_generated=True,
+            ),
+        )
+
+    def needs_level_shifters(self) -> bool:
+        """Signals crossing unequal rails need shifting."""
+        return abs(self.logic_vdd - self.dram_vdd) > 0.2
+
+    def overhead_area_mm2(self) -> float:
+        """Silicon overhead of the supply architecture."""
+        pumps = sum(
+            1 for domain in self.domains() if domain.on_chip_generated
+        )
+        area = pumps * self.PUMP_AREA_MM2
+        if self.needs_level_shifters():
+            area += self.crossing_signals * self.SHIFTER_AREA_MM2
+        return area
+
+    def dram_rail_is_higher(self) -> bool:
+        """The paper's predicted reversal: True once the DRAM rail
+        exceeds the logic rail."""
+        return self.dram_vdd > self.logic_vdd
+
+
+def projected_plan(year: int) -> SupplyPlan:
+    """Supply plan under the era's scaling trends.
+
+    Logic supplies scaled aggressively with feature size (3.3 V in 1998
+    heading to ~1.2 V by 2004); DRAM array supplies scaled slowly
+    because cell signal margin and the back-bias scheme resist it
+    (2.5 V heading to ~1.8 V).  The crossover the paper predicts falls
+    out around the turn of the millennium.
+    """
+    if year < 1995 or year > 2010:
+        raise ConfigurationError(f"model calibrated for 1995-2010: {year}")
+    logic = 3.3 * (0.85 ** (year - 1998))
+    dram = 2.5 * (0.95 ** (year - 1998))
+    return SupplyPlan(
+        logic_vdd=round(logic, 2), dram_vdd=round(dram, 2), year=year
+    )
+
+
+def reversal_year(start: int = 1998, end: int = 2010) -> int | None:
+    """First year the DRAM rail exceeds the logic rail."""
+    for year in range(start, end + 1):
+        if projected_plan(year).dram_rail_is_higher():
+            return year
+    return None

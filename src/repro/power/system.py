@@ -1,0 +1,148 @@
+"""System-level memory power: the embedded-vs-discrete comparison.
+
+Reproduces the paper's Section 1 example: "consider a system which needs a
+4 Gbyte/s bandwidth and a bus width of 256 bits.  A memory system built
+with discrete SDRAMs (16-bit interface at 100 MHz) would require about ten
+times the power of an eDRAM with an internal 256-bit interface."
+
+The discrete system replicates a 16-bit part until the bus is 256 bits
+wide; every chip burns core power and drives off-chip lines.  The embedded
+system has one macro with a 256-bit on-chip bus.  Core power is comparable;
+IO power differs by the C*V^2 ratio; the sum lands near 10x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ceil_div
+from repro.power.idd import CorePowerModel, IddParameters, PC100_IDD, EDRAM_IDD
+from repro.power.interface import (
+    InterfacePowerModel,
+    InterfaceSpec,
+    OFF_CHIP_BUS,
+    ON_CHIP_BUS,
+)
+
+
+@dataclass(frozen=True)
+class MemorySystemPower:
+    """Power breakdown of one memory system (watts).
+
+    Attributes:
+        core_w: Sum of DRAM core power over all devices/macros.
+        interface_w: IO switching power of the data/control interface.
+        n_chips: Number of discrete devices (1 for embedded).
+    """
+
+    core_w: float
+    interface_w: float
+    n_chips: int
+
+    @property
+    def total_w(self) -> float:
+        return self.core_w + self.interface_w
+
+
+@dataclass(frozen=True)
+class SystemPowerModel:
+    """Builds a memory system to a bandwidth target and reports its power.
+
+    Attributes:
+        interface: Electrical interface class (on-chip or off-chip).
+        idd: Core current parameters of each device/macro.
+        device_width_bits: Data width of one device (16 for the paper's
+            discrete SDRAM; the full bus width for an eDRAM macro).
+        frequency_hz: Interface clock (data rate per line).
+        read_fraction: Read share of the traffic.
+    """
+
+    interface: InterfaceSpec
+    idd: IddParameters
+    device_width_bits: int
+    frequency_hz: float
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.device_width_bits <= 0:
+            raise ConfigurationError("device width must be positive")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if not 0 <= self.read_fraction <= 1:
+            raise ConfigurationError("read fraction must be in [0, 1]")
+
+    def chips_for_bus(self, bus_width_bits: int) -> int:
+        """Devices needed to compose the requested bus width."""
+        if bus_width_bits <= 0:
+            raise ConfigurationError("bus width must be positive")
+        return ceil_div(bus_width_bits, self.device_width_bits)
+
+    def power(
+        self, bus_width_bits: int, utilization: float = 1.0
+    ) -> MemorySystemPower:
+        """Power of a system with the given total bus width.
+
+        Args:
+            bus_width_bits: Total data-bus width of the memory system.
+            utilization: Fraction of peak bandwidth actually carried.
+        """
+        n = self.chips_for_bus(bus_width_bits)
+        core_model = CorePowerModel(self.idd)
+        busy = core_model.busy_power_w(self.read_fraction)
+        idle = core_model.idle_power_w()
+        core = n * (utilization * busy + (1 - utilization) * idle)
+        io = InterfacePowerModel(
+            spec=self.interface,
+            width_bits=bus_width_bits,
+            frequency_hz=self.frequency_hz,
+        ).power_w(utilization)
+        return MemorySystemPower(core_w=core, interface_w=io, n_chips=n)
+
+    def peak_bandwidth_bits_per_s(self, bus_width_bits: int) -> float:
+        """Peak bandwidth of the composed system."""
+        return bus_width_bits * self.frequency_hz
+
+
+def discrete_vs_embedded_power(
+    bandwidth_bytes_per_s: float = 4e9,
+    bus_width_bits: int = 256,
+    sdram_width_bits: int = 16,
+    sdram_clock_hz: float = 100e6,
+    edram_clock_hz: float | None = None,
+) -> tuple[MemorySystemPower, MemorySystemPower, float]:
+    """The paper's Section 1 power example, end to end.
+
+    Builds the discrete system (replicated narrow SDRAMs on an off-chip
+    bus) and the embedded system (one wide on-chip macro) at the same
+    delivered bandwidth, and returns ``(discrete, embedded, ratio)``.
+
+    The discrete bus is clocked at ``sdram_clock_hz``; the embedded bus
+    runs at whatever clock delivers the same bandwidth on the same width
+    (unless overridden), so both systems carry identical traffic.
+    """
+    if bandwidth_bytes_per_s <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    required_rate = bandwidth_bytes_per_s * 8 / bus_width_bits
+    discrete = SystemPowerModel(
+        interface=OFF_CHIP_BUS,
+        idd=PC100_IDD,
+        device_width_bits=sdram_width_bits,
+        frequency_hz=sdram_clock_hz,
+    )
+    # Utilization: the off-chip bus may be clocked faster than strictly
+    # needed; scale to the delivered bandwidth.
+    discrete_util = min(1.0, required_rate / sdram_clock_hz)
+    embedded_clock = edram_clock_hz if edram_clock_hz else required_rate
+    embedded = SystemPowerModel(
+        interface=ON_CHIP_BUS,
+        idd=EDRAM_IDD,
+        device_width_bits=bus_width_bits,
+        frequency_hz=embedded_clock,
+    )
+    embedded_util = min(1.0, required_rate / embedded_clock)
+    d = discrete.power(bus_width_bits, discrete_util)
+    e = embedded.power(bus_width_bits, embedded_util)
+    if e.total_w <= 0:
+        raise ConfigurationError("embedded system power must be positive")
+    return d, e, d.total_w / e.total_w

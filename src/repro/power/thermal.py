@@ -1,0 +1,116 @@
+"""Junction temperature and DRAM retention interaction.
+
+Paper, Section 1: "Although the power consumption per system decreases,
+the power consumption per chip may increase.  Therefore junction
+temperature may increase and DRAM retention time may decrease."
+
+Cell leakage grows exponentially with temperature; the standard rule of
+thumb is that DRAM retention halves roughly every 10 C.  This module
+closes the loop: chip power -> junction temperature (via the package's
+thermal resistance) -> retention time -> required refresh rate -> refresh
+power.  The fixed point is computed by simple iteration (the feedback is
+weak, so it converges in a few steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+def retention_time_at(
+    junction_c: float,
+    nominal_retention_s: float = 64e-3,
+    nominal_junction_c: float = 85.0,
+    halving_interval_c: float = 10.0,
+) -> float:
+    """Retention time at a junction temperature.
+
+    Retention halves every ``halving_interval_c`` degrees above the
+    nominal point (and doubles below it).
+    """
+    if nominal_retention_s <= 0:
+        raise ConfigurationError("nominal retention must be positive")
+    if halving_interval_c <= 0:
+        raise ConfigurationError("halving interval must be positive")
+    exponent = (junction_c - nominal_junction_c) / halving_interval_c
+    return nominal_retention_s * 2.0 ** (-exponent)
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Package thermal model with retention feedback.
+
+    Attributes:
+        theta_ja_c_per_w: Junction-to-ambient thermal resistance.
+        ambient_c: Ambient temperature.
+        nominal_retention_s: Cell retention at ``nominal_junction_c``.
+        nominal_junction_c: Temperature at which retention is nominal.
+        refresh_energy_per_pass_j: Energy to refresh the whole array once.
+    """
+
+    theta_ja_c_per_w: float = 15.0
+    ambient_c: float = 45.0
+    nominal_retention_s: float = 64e-3
+    nominal_junction_c: float = 85.0
+    refresh_energy_per_pass_j: float = 2e-4
+
+    def __post_init__(self) -> None:
+        if self.theta_ja_c_per_w <= 0:
+            raise ConfigurationError("theta_ja must be positive")
+        if self.refresh_energy_per_pass_j < 0:
+            raise ConfigurationError("refresh energy must be >= 0")
+
+    def junction_c(self, power_w: float) -> float:
+        """Junction temperature at a chip power."""
+        if power_w < 0:
+            raise ConfigurationError(f"power must be >= 0, got {power_w}")
+        return self.ambient_c + self.theta_ja_c_per_w * power_w
+
+    def refresh_power_w(self, retention_s: float, margin: float = 2.0) -> float:
+        """Refresh power needed to refresh ``margin``x faster than retention."""
+        if retention_s <= 0:
+            raise ConfigurationError("retention must be positive")
+        if margin < 1:
+            raise ConfigurationError(f"margin must be >= 1, got {margin}")
+        interval = retention_s / margin
+        return self.refresh_energy_per_pass_j / interval
+
+    def solve(
+        self, base_power_w: float, max_iterations: int = 50
+    ) -> tuple[float, float, float]:
+        """Fixed point of the power/temperature/refresh feedback loop.
+
+        Args:
+            base_power_w: Chip power excluding refresh.
+
+        Returns:
+            ``(junction_c, retention_s, total_power_w)`` at the fixed
+            point.
+
+        Raises:
+            SimulationError: If the loop fails to converge (thermal
+                runaway: refresh power raises temperature faster than the
+                loop can settle).
+        """
+        refresh = 0.0
+        for _ in range(max_iterations):
+            total = base_power_w + refresh
+            tj = self.junction_c(total)
+            retention = retention_time_at(
+                tj, self.nominal_retention_s, self.nominal_junction_c
+            )
+            if retention < 1e-9:
+                raise SimulationError(
+                    f"thermal runaway: junction at {tj:.0f} C leaves no "
+                    f"usable retention time"
+                )
+            new_refresh = self.refresh_power_w(retention)
+            if abs(new_refresh - refresh) < 1e-9:
+                return tj, retention, total
+            refresh = new_refresh
+        raise SimulationError(
+            f"thermal loop did not converge from {base_power_w} W "
+            f"(thermal runaway: refresh power {refresh:.2f} W and rising)"
+        )

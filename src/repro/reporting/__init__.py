@@ -1,0 +1,12 @@
+"""Reporting: ASCII tables and experiment records for the bench harness."""
+
+from repro.reporting.tables import Table, format_si, format_bits
+from repro.reporting.report import ExperimentReport, ClaimCheck
+
+__all__ = [
+    "Table",
+    "format_si",
+    "format_bits",
+    "ExperimentReport",
+    "ClaimCheck",
+]

@@ -1,0 +1,93 @@
+"""Experiment reports: paper claim vs. measured value, with tolerance.
+
+Every benchmark builds an :class:`ExperimentReport` whose
+:class:`ClaimCheck` rows record what the paper says, what the model
+measured, and whether the shape holds — the artifact EXPERIMENTS.md is
+generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One paper-claim-versus-measurement row.
+
+    Attributes:
+        claim: What the paper states (verbatim-ish).
+        paper_value: The paper's number, as text (ranges allowed).
+        measured: What the model produced, as text.
+        holds: Whether the claim's shape is reproduced.
+        note: Optional commentary (calibration, substitution, caveat).
+    """
+
+    claim: str
+    paper_value: str
+    measured: str
+    holds: bool
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment (E1..E10) of the reproduction.
+
+    Attributes:
+        experiment_id: "E1".."E10".
+        title: Short experiment title.
+        paper_section: Where the claim lives in the paper.
+    """
+
+    experiment_id: str
+    title: str
+    paper_section: str
+    checks: list = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ConfigurationError("experiment id required")
+
+    def check(
+        self,
+        claim: str,
+        paper_value: str,
+        measured: str,
+        holds: bool,
+        note: str = "",
+    ) -> ClaimCheck:
+        """Record one claim check and return it."""
+        entry = ClaimCheck(
+            claim=claim,
+            paper_value=paper_value,
+            measured=measured,
+            holds=holds,
+            note=note,
+        )
+        self.checks.append(entry)
+        return entry
+
+    @property
+    def all_hold(self) -> bool:
+        return all(check.holds for check in self.checks)
+
+    def render(self) -> str:
+        """Render the report as plain text."""
+        lines = [
+            f"{self.experiment_id}: {self.title} (paper {self.paper_section})"
+        ]
+        for check in self.checks:
+            status = "OK " if check.holds else "FAIL"
+            lines.append(
+                f"  [{status}] {check.claim}\n"
+                f"         paper: {check.paper_value}\n"
+                f"         measured: {check.measured}"
+                + (f"\n         note: {check.note}" if check.note else "")
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

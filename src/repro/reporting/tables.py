@@ -1,0 +1,98 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper reports; a small
+dependency-free table renderer keeps that output readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Format a value with an SI prefix (1.25e9, 'B/s' -> '1.25 GB/s')."""
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+    ]
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}f} {prefix}{unit}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}f} {prefix}{unit}".strip()
+
+
+def format_bits(bits: float, digits: int = 2) -> str:
+    """Format a bit count in the paper's binary Mbit convention."""
+    from repro.units import KBIT, MBIT, GBIT
+
+    if abs(bits) >= GBIT:
+        return f"{bits / GBIT:.{digits}f} Gbit"
+    if abs(bits) >= MBIT:
+        return f"{bits / MBIT:.{digits}f} Mbit"
+    if abs(bits) >= KBIT:
+        return f"{bits / KBIT:.{digits}f} Kbit"
+    return f"{bits:.0f} bit"
+
+
+@dataclass
+class Table:
+    """A fixed-column ASCII table.
+
+    Attributes:
+        title: Table caption.
+        columns: Column headers.
+    """
+
+    title: str
+    columns: list
+    _rows: list = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ConfigurationError("table needs columns")
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cell count must match the header."""
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self._rows.append([str(cell) for cell in cells])
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        headers = [str(column) for column in self.columns]
+        widths = [len(header) for header in headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        separator = "  ".join("-" * width for width in widths)
+        out = [self.title, line(headers), separator]
+        out.extend(line(row) for row in self._rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

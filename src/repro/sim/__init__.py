@@ -1,0 +1,18 @@
+"""Cycle-level simulation driver and statistics.
+
+Couples :mod:`repro.traffic` clients to a :mod:`repro.controller`
+controller over a :mod:`repro.dram` device and measures what the paper's
+Section 4 is about: sustainable bandwidth versus peak, client-observed
+latency distributions, row-hit rates, and the FIFO depths the access
+scheme implies.
+"""
+
+from repro.sim.stats import LatencyStats, SimulationResult
+from repro.sim.simulator import MemorySystemSimulator, SimulationConfig
+
+__all__ = [
+    "LatencyStats",
+    "SimulationResult",
+    "MemorySystemSimulator",
+    "SimulationConfig",
+]

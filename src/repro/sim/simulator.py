@@ -1,0 +1,173 @@
+"""The memory-system simulator: clients -> controller -> device.
+
+Drives the whole stack cycle by cycle.  Client address streams are
+burst-aligned (one request = one burst), pacing is token-bucket per
+client, and a warm-up period is excluded from the statistics so steady-
+state sustainable bandwidth is measured rather than cold-start behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.dram.device import DRAMDevice
+from repro.dram.organizations import AddressMapping
+from repro.controller.controller import ControllerConfig, MemoryController
+from repro.controller.request import Request
+from repro.traffic.client import MemoryClient
+from repro.sim.stats import LatencyStats, SimulationResult
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-length and measurement settings.
+
+    Attributes:
+        cycles: Measured cycles.
+        warmup_cycles: Cycles simulated before measurement starts.
+        align_to_burst: Align client addresses down to burst boundaries
+            (one request = one full burst; realistic for streaming DMA
+            engines and the right granularity for bandwidth accounting).
+    """
+
+    cycles: int = 20_000
+    warmup_cycles: int = 1_000
+    align_to_burst: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ConfigurationError("cycles must be >= 1")
+        if self.warmup_cycles < 0:
+            raise ConfigurationError("warmup must be >= 0")
+
+
+@dataclass
+class MemorySystemSimulator:
+    """End-to-end cycle simulator.
+
+    Attributes:
+        controller: The controller (owning the device and mapping).
+        clients: Memory clients generating traffic.
+        config: Run settings.
+    """
+
+    controller: MemoryController
+    clients: list[MemoryClient]
+    config: SimulationConfig = SimulationConfig()
+
+    _next_request_id: int = field(default=0, init=False)
+    _pending: dict = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.clients:
+            raise ConfigurationError("need at least one client")
+        names = [client.name for client in self.clients]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate client names: {names}")
+        for client in self.clients:
+            self.controller.register_client(client.name)
+
+    @property
+    def device(self) -> DRAMDevice:
+        return self.controller.device
+
+    def _make_request(self, client: MemoryClient, cycle: int) -> Request:
+        address, is_read = client.next_request()
+        if self.config.align_to_burst:
+            burst = self.device.timing.burst_length
+            address = (address // burst) * burst
+        address %= self.device.organization.total_words
+        request = Request(
+            request_id=self._next_request_id,
+            client=client.name,
+            address=address,
+            is_read=is_read,
+            created_cycle=cycle,
+        )
+        self._next_request_id += 1
+        return request
+
+    def _drive_clients(self, cycle: int) -> None:
+        for client in self.clients:
+            stalled_request = self._pending.get(client.name)
+            if stalled_request is not None:
+                if self.controller.offer(stalled_request):
+                    del self._pending[client.name]
+                continue
+            if client.wants_to_issue(cycle):
+                request = self._make_request(client, cycle)
+                if not self.controller.offer(request):
+                    # Hold the request; the client is back-pressured.
+                    self._pending[client.name] = request
+            else:
+                client.tick()
+
+    def run(self) -> SimulationResult:
+        """Simulate warm-up plus measured cycles and gather statistics."""
+        total = self.config.warmup_cycles + self.config.cycles
+        for cycle in range(total):
+            self._drive_clients(cycle)
+            self.controller.step(cycle)
+            if cycle == self.config.warmup_cycles - 1:
+                self._reset_measurement()
+        return self._collect(total)
+
+    def _reset_measurement(self) -> None:
+        """Discard warm-up statistics."""
+        self.controller.completed.clear()
+        self.controller.data_beats = 0
+        self.controller.commands = {
+            kind: 0 for kind in self.controller.commands
+        }
+        self.controller.refreshes_issued = 0
+        for bank in self.device.banks:
+            bank.row_hits = 0
+            bank.row_misses = 0
+            bank.activations = 0
+        for fifo in self.controller.fifos.values():
+            fifo.stall_cycles = 0
+            fifo.high_water_mark = len(fifo)
+
+    def _collect(self, total_cycles: int) -> SimulationResult:
+        measured = self.config.cycles
+        latency = LatencyStats()
+        by_client: dict = {
+            client.name: LatencyStats() for client in self.clients
+        }
+        word_bits = self.device.organization.word_bits
+        burst = self.device.timing.burst_length
+        data_bits = 0
+        for request in self.controller.completed:
+            latency.record(request.latency_cycles)
+            by_client[request.client].record(request.latency_cycles)
+            data_bits += burst * word_bits
+        return SimulationResult(
+            cycles=measured,
+            clock_hz=self.device.timing.clock_hz,
+            word_bits=word_bits,
+            requests_completed=len(self.controller.completed),
+            data_bits_transferred=data_bits,
+            peak_bandwidth_bits_per_s=self.device.peak_bandwidth_bits_per_s,
+            latency=latency,
+            latency_by_client={
+                name: stats for name, stats in by_client.items()
+            },
+            row_hit_rate=self.device.row_hit_rate(),
+            fifo_high_water={
+                name: fifo.high_water_mark
+                for name, fifo in self.controller.fifos.items()
+            },
+            fifo_stall_cycles={
+                name: fifo.stall_cycles
+                for name, fifo in self.controller.fifos.items()
+            },
+            commands={
+                kind.value: count
+                for kind, count in self.controller.commands.items()
+            },
+            refreshes=self.controller.refreshes_issued,
+            bank_activations=tuple(
+                bank.activations for bank in self.device.banks
+            ),
+        )

@@ -1,0 +1,128 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency statistics (cycles)."""
+
+    _samples: list = field(default_factory=list, init=False)
+
+    def record(self, latency_cycles: int) -> None:
+        if latency_cycles < 0:
+            raise ConfigurationError(
+                f"latency must be >= 0, got {latency_cycles}"
+            )
+        self._samples.append(latency_cycles)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> int:
+        return max(self._samples) if self._samples else 0
+
+    @property
+    def minimum(self) -> int:
+        return min(self._samples) if self._samples else 0
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100]: {q}")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        cycles: Simulated cycles (after warm-up).
+        clock_hz: Interface clock.
+        word_bits: Interface word width.
+        requests_completed: Retired requests.
+        data_bits_transferred: Payload bits moved.
+        peak_bandwidth_bits_per_s: Device peak.
+        latency: Overall latency statistics (cycles).
+        latency_by_client: Per-client latency statistics.
+        row_hit_rate: Fraction of accesses hitting an open row.
+        fifo_high_water: Per-client FIFO high-water marks.
+        fifo_stall_cycles: Per-client stall (back-pressure) cycles.
+        commands: Command counts by type name.
+        refreshes: Refresh commands issued.
+        bank_activations: Per-bank activation counts — the load-balance
+            view the allocation problem (Section 3) optimizes.
+    """
+
+    cycles: int
+    clock_hz: float
+    word_bits: int
+    requests_completed: int
+    data_bits_transferred: int
+    peak_bandwidth_bits_per_s: float
+    latency: LatencyStats
+    latency_by_client: dict
+    row_hit_rate: float
+    fifo_high_water: dict
+    fifo_stall_cycles: dict
+    commands: dict
+    refreshes: int
+    bank_activations: tuple = ()
+
+    @property
+    def sustained_bandwidth_bits_per_s(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        elapsed_s = self.cycles / self.clock_hz
+        return self.data_bits_transferred / elapsed_s
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """Sustainable / peak — the Section 4 headline ratio."""
+        if self.peak_bandwidth_bits_per_s == 0:
+            return 0.0
+        return (
+            self.sustained_bandwidth_bits_per_s
+            / self.peak_bandwidth_bits_per_s
+        )
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.latency.mean / self.clock_hz * 1e9
+
+    def bank_imbalance(self) -> float:
+        """Max/mean activation ratio across banks (1.0 = perfectly
+        balanced; large values mean hot banks a better data mapping
+        could spread)."""
+        if not self.bank_activations:
+            return 1.0
+        total = sum(self.bank_activations)
+        if total == 0:
+            return 1.0
+        mean = total / len(self.bank_activations)
+        return max(self.bank_activations) / mean
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.requests_completed} requests over {self.cycles} cycles: "
+            f"sustained {self.sustained_bandwidth_bits_per_s / 8e9:.2f} GB/s "
+            f"of {self.peak_bandwidth_bits_per_s / 8e9:.2f} GB/s peak "
+            f"({self.bandwidth_efficiency:.0%}), row-hit rate "
+            f"{self.row_hit_rate:.0%}, mean latency {self.latency.mean:.1f} "
+            f"cycles ({self.mean_latency_ns:.0f} ns)"
+        )

@@ -1,0 +1,33 @@
+"""Traffic generation: memory clients and their access patterns.
+
+"In practice several memory clients have to read and write data which
+introduces page misses and overhead.  Hence the sustainable bandwidth can
+be much lower than the peak bandwidth." (Section 4.)  This package
+provides the clients: deterministic and randomized address-pattern
+generators, per-client request rates, and trace containers the simulator
+consumes.
+"""
+
+from repro.traffic.patterns import (
+    AccessPattern,
+    SequentialPattern,
+    StridedPattern,
+    RandomPattern,
+    BlockPattern,
+    MotionCompensationPattern,
+)
+from repro.traffic.client import MemoryClient, ClientKind
+from repro.traffic.trace import Trace, TraceEntry
+
+__all__ = [
+    "AccessPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "RandomPattern",
+    "BlockPattern",
+    "MotionCompensationPattern",
+    "MemoryClient",
+    "ClientKind",
+    "Trace",
+    "TraceEntry",
+]

@@ -1,0 +1,105 @@
+"""Memory clients: who issues requests, at what rate, with what pattern.
+
+A client couples an address pattern with a request rate (in requests per
+interface cycle) and a read/write mix.  The simulator polls each client
+every cycle; a client with ``rate=0.25`` issues on average one request
+every four cycles.  Token-bucket pacing keeps the long-run rate exact and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.patterns import AccessPattern
+
+
+class ClientKind(enum.Enum):
+    """Coarse client categories used in reports."""
+
+    STREAM = "stream"  # display refresh, disk channel
+    BLOCK = "block"  # video macroblock engine
+    RANDOM = "random"  # CPU, lookup tables
+    CONTROL = "control"  # low-rate housekeeping
+
+
+@dataclass
+class MemoryClient:
+    """One memory client.
+
+    Attributes:
+        name: Identifier in statistics.
+        pattern: Address pattern generator.
+        rate: Requests per interface cycle (0, 1].
+        read_fraction: Probability a request is a read.
+        kind: Category tag.
+        priority: Arbitration priority (lower = more urgent) for priority
+            arbiters.
+        seed: RNG seed for the read/write draw.
+        words_per_request: Words transferred per request (request size in
+            interface words).
+    """
+
+    name: str
+    pattern: AccessPattern
+    rate: float
+    read_fraction: float = 1.0
+    kind: ClientKind = ClientKind.STREAM
+    priority: int = 0
+    seed: int = 0
+    words_per_request: int = 1
+
+    _credit: float = field(default=0.0, init=False)
+    _addr_iter: object = field(default=None, init=False, repr=False)
+    _rng: object = field(default=None, init=False, repr=False)
+    issued: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.rate <= 1:
+            raise ConfigurationError(
+                f"client {self.name}: rate must be in (0, 1], got {self.rate}"
+            )
+        if not 0 <= self.read_fraction <= 1:
+            raise ConfigurationError(
+                f"client {self.name}: read fraction must be in [0, 1]"
+            )
+        if self.words_per_request < 1:
+            raise ConfigurationError(
+                f"client {self.name}: words_per_request must be >= 1"
+            )
+        self._addr_iter = self.pattern.addresses()
+        self._rng = np.random.default_rng(self.seed)
+
+    def wants_to_issue(self, cycle: int) -> bool:
+        """Token-bucket check: does the client issue this cycle?"""
+        del cycle  # pacing is credit-based, not cycle-pattern-based
+        return self._credit + self.rate >= 1.0
+
+    def next_request(self) -> tuple[int, bool]:
+        """Consume a credit and produce ``(word_address, is_read)``.
+
+        Call only when :meth:`wants_to_issue` returned True this cycle.
+        """
+        self._credit += self.rate - 1.0
+        self.issued += 1
+        address = next(self._addr_iter)
+        if self.read_fraction >= 1.0:
+            is_read = True
+        elif self.read_fraction <= 0.0:
+            is_read = False
+        else:
+            is_read = bool(self._rng.random() < self.read_fraction)
+        return address, is_read
+
+    def tick(self) -> None:
+        """Accrue pacing credit for a cycle in which nothing was issued."""
+        self._credit = min(self._credit + self.rate, 4.0)
+
+    @property
+    def demand_bits_per_cycle(self) -> float:
+        """Average payload demand, for offered-load accounting."""
+        return self.rate * self.words_per_request

@@ -1,0 +1,97 @@
+"""Trace containers: recorded request streams.
+
+A :class:`Trace` is an ordered list of timestamped requests, usable both
+as simulator input (replay) and output (record of what was served, for
+post-hoc analysis).  Traces support basic locality analytics — unique
+pages touched, page-transition counts — which the design-space notes in
+Section 3 ("optimizing the mapping of the data into memory") rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request.
+
+    Attributes:
+        cycle: Issue cycle.
+        client: Client name.
+        address: Word address.
+        is_read: Read (True) or write (False).
+    """
+
+    cycle: int
+    client: str
+    address: int
+    is_read: bool
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ConfigurationError(f"cycle must be >= 0, got {self.cycle}")
+        if self.address < 0:
+            raise ConfigurationError(
+                f"address must be >= 0, got {self.address}"
+            )
+
+
+@dataclass
+class Trace:
+    """An ordered request trace."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def append(self, entry: TraceEntry) -> None:
+        if self.entries and entry.cycle < self.entries[-1].cycle:
+            raise ConfigurationError(
+                f"trace entries must be time-ordered: {entry.cycle} after "
+                f"{self.entries[-1].cycle}"
+            )
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def read_fraction(self) -> float:
+        """Share of reads in the trace."""
+        if not self.entries:
+            return 0.0
+        return sum(1 for e in self.entries if e.is_read) / len(self.entries)
+
+    def unique_pages(self, words_per_page: int) -> int:
+        """Distinct pages touched."""
+        if words_per_page <= 0:
+            raise ConfigurationError("words_per_page must be positive")
+        return len({e.address // words_per_page for e in self.entries})
+
+    def page_transitions(self, words_per_page: int) -> int:
+        """Consecutive-request page changes — a locality proxy.
+
+        A mapping/organization that lowers this count will see fewer page
+        misses on an open-page controller.
+        """
+        if words_per_page <= 0:
+            raise ConfigurationError("words_per_page must be positive")
+        transitions = 0
+        last_page: int | None = None
+        for entry in self.entries:
+            page = entry.address // words_per_page
+            if last_page is not None and page != last_page:
+                transitions += 1
+            last_page = page
+        return transitions
+
+    def clients(self) -> list[str]:
+        """Distinct client names, in first-appearance order."""
+        seen: list[str] = []
+        for entry in self.entries:
+            if entry.client not in seen:
+                seen.append(entry.client)
+        return seen

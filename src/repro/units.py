@@ -1,0 +1,153 @@
+"""Units and conversion helpers shared across the library.
+
+The paper counts memory sizes in *binary* megabits: a PAL 4:2:0 frame of
+720x576 pixels at 12 bits/pixel is quoted as "4.75 Mbit", which equals
+720*576*12 / 2**20 = 4.746.  All ``Mbit``/``Kbit`` helpers in this module
+therefore use powers of two, while rate and frequency helpers (``MHz``,
+``gbyte_per_s``) use decimal SI prefixes, matching datasheet conventions.
+
+Keeping every conversion in one place avoids the classic off-by-1.048576
+errors that plague memory-system arithmetic.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Binary size units (the paper's "Mbit" convention)
+# ---------------------------------------------------------------------------
+
+#: Bits in one binary kilobit.
+KBIT = 1 << 10
+
+#: Bits in one binary megabit (the paper's "Mbit").
+MBIT = 1 << 20
+
+#: Bits in one binary gigabit.
+GBIT = 1 << 30
+
+#: Bits in one byte.
+BYTE = 8
+
+#: Bits in one binary kilobyte / megabyte / gigabyte.
+KBYTE = 8 * KBIT
+MBYTE = 8 * MBIT
+GBYTE = 8 * GBIT
+
+# ---------------------------------------------------------------------------
+# Decimal (SI) units for rates, frequencies, times
+# ---------------------------------------------------------------------------
+
+#: Hertz multipliers.
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+#: Seconds multipliers.
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+
+#: Farad multipliers.
+PF = 1e-12
+FF = 1e-15
+
+#: Watt multipliers.
+MW = 1e-3
+UW = 1e-6
+
+#: Joule multipliers.
+NJ = 1e-9
+PJ = 1e-12
+
+
+def mbit(bits: float) -> float:
+    """Convert a bit count to binary megabits."""
+    return bits / MBIT
+
+
+def kbit(bits: float) -> float:
+    """Convert a bit count to binary kilobits."""
+    return bits / KBIT
+
+
+def bits_from_mbit(megabits: float) -> int:
+    """Convert binary megabits to an integer bit count."""
+    return int(round(megabits * MBIT))
+
+
+def mbyte(bits: float) -> float:
+    """Convert a bit count to binary megabytes."""
+    return bits / MBYTE
+
+
+def gbit_per_s(bits_per_second: float) -> float:
+    """Convert a bit rate to decimal gigabits per second."""
+    return bits_per_second / 1e9
+
+
+def gbyte_per_s(bits_per_second: float) -> float:
+    """Convert a bit rate to decimal gigabytes per second."""
+    return bits_per_second / 8e9
+
+
+def mbit_per_s(bits_per_second: float) -> float:
+    """Convert a bit rate to decimal megabits per second."""
+    return bits_per_second / 1e6
+
+
+def ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NS
+
+
+def mhz(hertz: float) -> float:
+    """Convert hertz to megahertz."""
+    return hertz / MHZ
+
+
+def fill_frequency(bandwidth_bits_per_s: float, size_bits: float) -> float:
+    """Fill frequency of a memory, per the paper's Section 1 definition.
+
+    The fill frequency is the bandwidth divided by the memory size: the
+    number of times per second the memory can be completely rewritten.  The
+    paper expresses it as "bandwidth in Mbit/s divided by the memory size in
+    Mbit"; since both numerator and denominator carry the same unit prefix,
+    the ratio below is prefix-free.
+
+    Args:
+        bandwidth_bits_per_s: Sustained or peak bandwidth in bits/second.
+        size_bits: Memory capacity in bits.
+
+    Returns:
+        Complete fills per second (Hz).
+
+    Raises:
+        ValueError: If ``size_bits`` is not positive.
+    """
+    if size_bits <= 0:
+        raise ValueError(f"memory size must be positive, got {size_bits}")
+    return bandwidth_bits_per_s / size_bits
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises:
+        ValueError: If ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)

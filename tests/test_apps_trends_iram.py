@@ -1,0 +1,137 @@
+"""Tests for repro.apps.trends and repro.apps.iram (E7)."""
+
+import pytest
+
+from repro.apps.iram import (
+    AMATModel,
+    CacheLevel,
+    DESKTOP_HIERARCHY,
+    IRAMModel,
+)
+from repro.apps.trends import (
+    DRAM_BANDWIDTH_TREND,
+    DRAM_CORE_TREND,
+    PROCESSOR_TREND,
+    TrendModel,
+    gap_growth_per_year,
+    performance_gap,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTrends:
+    def test_paper_growth_rates(self):
+        assert PROCESSOR_TREND.annual_growth == pytest.approx(0.60)
+        assert DRAM_CORE_TREND.annual_growth == pytest.approx(0.10)
+
+    def test_gap_growth_145_per_year(self):
+        assert gap_growth_per_year() == pytest.approx(1.4545, rel=1e-3)
+
+    def test_gap_explodes_over_a_decade(self):
+        # 1.4545^10 ~ 42x: the motivation for deep caches and IRAM.
+        gap_1990 = performance_gap(1990)
+        gap_1998 = performance_gap(1998)
+        assert gap_1998 / gap_1990 == pytest.approx(
+            gap_growth_per_year() ** 8, rel=1e-9
+        )
+        assert performance_gap(1990) / performance_gap(1980) > 40
+
+    def test_two_orders_of_magnitude_bandwidth(self):
+        # "peak device memory bandwidth has increased over the last
+        # couple of years by two orders of magnitude"
+        assert DRAM_BANDWIDTH_TREND.ratio(1998) >= 100
+
+    def test_doubling_time(self):
+        assert PROCESSOR_TREND.doubling_time_years() == pytest.approx(
+            1.474, abs=0.01
+        )
+        assert DRAM_CORE_TREND.doubling_time_years() == pytest.approx(
+            7.27, abs=0.05
+        )
+
+    def test_years_to_factor(self):
+        years = PROCESSOR_TREND.years_to_factor(1.6)
+        assert years == pytest.approx(1.0)
+
+    def test_negative_growth_models_decline(self):
+        access_time = TrendModel(
+            name="tRAC", base_year=1990, base_value=80.0, annual_growth=-0.10
+        )
+        assert access_time.value(1991) == pytest.approx(72.0)
+
+    def test_bad_base_value(self):
+        with pytest.raises(ConfigurationError):
+            TrendModel(name="x", base_year=1990, base_value=0.0,
+                       annual_growth=0.1)
+
+
+class TestAMAT:
+    def test_single_level(self):
+        model = AMATModel(
+            levels=(CacheLevel(name="L1", hit_time_ns=2.0, miss_rate=0.1),),
+            memory_latency_ns=100.0,
+        )
+        assert model.amat_ns() == pytest.approx(2.0 + 0.1 * 100.0)
+
+    def test_two_levels(self):
+        amat = DESKTOP_HIERARCHY.amat_ns()
+        # 2 + 0.05*10 + 0.05*0.30*120 = 4.3 ns.
+        assert amat == pytest.approx(4.3, abs=0.01)
+
+    def test_memory_reference_fraction(self):
+        assert DESKTOP_HIERARCHY.memory_reference_fraction() == (
+            pytest.approx(0.015)
+        )
+
+    def test_bad_hierarchy(self):
+        with pytest.raises(ConfigurationError):
+            AMATModel(levels=(), memory_latency_ns=100.0)
+
+
+class TestIRAM:
+    def test_default_factors_in_paper_ranges(self):
+        # "reduce the latency by a factor of 5-10, increase the
+        # bandwidth by a factor of 50 to 100 and improve the energy
+        # efficiency by a factor of 2 to 4"
+        assert IRAMModel().within_paper_ranges()
+
+    def test_out_of_range_detected(self):
+        assert not IRAMModel(latency_factor=20.0).within_paper_ranges()
+
+    def test_merged_memory_latency(self):
+        iram = IRAMModel(latency_factor=8.0)
+        merged = iram.merged_hierarchy(DESKTOP_HIERARCHY)
+        assert merged.memory_latency_ns == pytest.approx(
+            DESKTOP_HIERARCHY.memory_latency_ns / 8.0
+        )
+
+    def test_amat_speedup_diluted_by_cache_hits(self):
+        # End-to-end speedup is far below the raw memory-latency factor
+        # because caches absorb most references.
+        iram = IRAMModel(latency_factor=8.0)
+        speedup = iram.amat_speedup(DESKTOP_HIERARCHY)
+        assert 1.0 < speedup < 8.0
+
+    def test_memory_bound_workload_bigger_speedup(self):
+        cache_friendly = DESKTOP_HIERARCHY
+        memory_bound = AMATModel(
+            levels=(
+                CacheLevel(name="L1", hit_time_ns=2.0, miss_rate=0.4),
+            ),
+            memory_latency_ns=120.0,
+        )
+        iram = IRAMModel()
+        assert iram.amat_speedup(memory_bound) > iram.amat_speedup(
+            cache_friendly
+        )
+
+    def test_bandwidth_factor(self):
+        iram = IRAMModel(bandwidth_factor=60.0)
+        assert iram.bandwidth_bits_per_s(1e9) == pytest.approx(6e10)
+
+    def test_energy_improvement_positive(self):
+        assert IRAMModel().energy_improvement(DESKTOP_HIERARCHY) > 1.0
+
+    def test_factors_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IRAMModel(latency_factor=0.5)

@@ -1,0 +1,144 @@
+"""Tests for repro.apps.video and repro.apps.mpeg2 (E6)."""
+
+import pytest
+
+from repro.apps.mpeg2 import (
+    DecoderVariant,
+    GOPStructure,
+    MPEG2MemoryBudget,
+    VBV_BITS_MP_ML,
+)
+from repro.apps.video import (
+    ChromaFormat,
+    FrameGeometry,
+    NTSC,
+    PAL,
+    VideoStandard,
+    frame_bits,
+)
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+
+
+class TestFrameGeometry:
+    def test_pal_matches_paper(self):
+        # "a PAL frame ... in 4:2:0 format needs 4.75 Mbit"
+        assert PAL.frame_mbit == pytest.approx(4.75, abs=0.01)
+
+    def test_ntsc_matches_paper(self):
+        # "an NTSC frame requires 3.96 Mbit"
+        assert NTSC.frame_mbit == pytest.approx(3.96, abs=0.01)
+
+    def test_chroma_formats(self):
+        assert PAL.with_chroma(ChromaFormat.YUV422).frame_bits == (
+            720 * 576 * 16
+        )
+        assert PAL.with_chroma(ChromaFormat.YUV444).frame_bits == (
+            720 * 576 * 24
+        )
+
+    def test_luma_chroma_split(self):
+        assert PAL.luma_bits + PAL.chroma_bits == PAL.frame_bits
+        assert PAL.chroma_bits == PAL.luma_bits // 2  # 4:2:0
+
+    def test_display_bandwidth(self):
+        assert PAL.display_bandwidth_bits_per_s() == pytest.approx(
+            PAL.frame_bits * 25.0
+        )
+
+    def test_frame_bits_helper(self):
+        assert frame_bits(VideoStandard.PAL) == PAL.frame_bits
+        assert frame_bits(VideoStandard.NTSC) == NTSC.frame_bits
+
+    def test_not_multiple_of_commodity_sizes(self):
+        # "Standard commodity sizes are usually not a multiple of the
+        # frame memory size."
+        assert (4 * MBIT) % PAL.frame_bits != 0
+        assert (16 * MBIT) % PAL.frame_bits != 0
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            FrameGeometry(
+                standard=VideoStandard.PAL,
+                width=0,
+                height=576,
+                frame_rate_hz=25.0,
+            )
+
+
+class TestMPEG2Budget:
+    def test_standard_variant_fits_16_mbit(self):
+        # The MPEG group expressly bent the standard for this.
+        budget = MPEG2MemoryBudget()
+        assert budget.fits_16_mbit
+        assert budget.total_mbit > 15.0  # and only barely
+
+    def test_three_4mbit_chips_insufficient(self):
+        # "adequate memories of sizes smaller than 16 Mbits are not
+        # available (three 4-Mbit memories are insufficient)"
+        budget = MPEG2MemoryBudget()
+        assert not budget.fits_bits(3 * 4 * MBIT)
+
+    def test_reduced_variant_saves_about_3_mbit(self):
+        reduced = MPEG2MemoryBudget(variant=DecoderVariant.REDUCED_OUTPUT)
+        saved = reduced.saved_vs_standard_bits / MBIT
+        assert saved == pytest.approx(3.0, abs=0.2)
+
+    def test_reduced_variant_doubles_pipeline(self):
+        standard = MPEG2MemoryBudget()
+        reduced = MPEG2MemoryBudget(variant=DecoderVariant.REDUCED_OUTPUT)
+        assert standard.pipeline_throughput_factor() == 1.0
+        assert reduced.pipeline_throughput_factor() == 2.0
+
+    def test_reduced_variant_b_picture_mc_doubles(self):
+        # The B-picture MC share exactly doubles; the total MC bandwidth
+        # (including the unchanged P share) rises by a bit less.
+        standard = MPEG2MemoryBudget()
+        reduced = MPEG2MemoryBudget(variant=DecoderVariant.REDUCED_OUTPUT)
+        gop = standard.gop
+        b_share = gop.b_fraction * 2.0
+        p_share = gop.p_fraction * 1.0
+        expected = (p_share + 2 * b_share) / (p_share + b_share)
+        ratio = (
+            reduced.motion_compensation_read_bandwidth()
+            / standard.motion_compensation_read_bandwidth()
+        )
+        assert ratio == pytest.approx(expected)
+        assert 1.7 < ratio <= 2.0
+
+    def test_vbv_is_mp_ml(self):
+        assert VBV_BITS_MP_ML == 1_835_008
+        assert MPEG2MemoryBudget().input_buffer_bits == VBV_BITS_MP_ML
+
+    def test_ntsc_budget_smaller(self):
+        pal = MPEG2MemoryBudget()
+        ntsc = MPEG2MemoryBudget(frame=NTSC)
+        assert ntsc.total_bits < pal.total_bits
+
+    def test_bandwidth_components_positive_and_sum(self):
+        budget = MPEG2MemoryBudget()
+        total = budget.total_bandwidth_bits_per_s()
+        assert total == pytest.approx(
+            budget.reconstruction_write_bandwidth()
+            + budget.motion_compensation_read_bandwidth()
+            + budget.display_read_bandwidth()
+            + budget.bitstream_bandwidth()
+        )
+        # MP@ML decode needs on the order of half a Gbit/s.
+        assert 0.3e9 < total < 1.2e9
+
+    def test_mc_dominates_bandwidth(self):
+        budget = MPEG2MemoryBudget()
+        assert budget.motion_compensation_read_bandwidth() > max(
+            budget.reconstruction_write_bandwidth(),
+            budget.display_read_bandwidth(),
+            budget.bitstream_bandwidth(),
+        )
+
+    def test_gop_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            GOPStructure(i_fraction=0.5, p_fraction=0.5, b_fraction=0.5)
+
+    def test_bad_overfetch(self):
+        with pytest.raises(ConfigurationError):
+            MPEG2MemoryBudget(mc_overfetch=0.5)

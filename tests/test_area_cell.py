@@ -1,0 +1,101 @@
+"""Tests for repro.area.cell: memory cell technologies."""
+
+import pytest
+
+from repro.area.cell import (
+    CellTechnology,
+    DRAM_1T1C,
+    DRAM_1T1C_PLANAR,
+    DRAM_3T,
+    SRAM_6T,
+    EDRAM_CELLS,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBuiltinCells:
+    def test_dram_vs_sram_density_gap(self):
+        # The reason large embedded memories must be DRAM: ~15x denser.
+        ratio = DRAM_1T1C.density_ratio_vs(SRAM_6T)
+        assert 10 < ratio < 25
+
+    def test_planar_cell_is_bigger(self):
+        # A logic-process DRAM cell is substantially larger.
+        assert DRAM_1T1C_PLANAR.area_f2 > 2 * DRAM_1T1C.area_f2
+
+    def test_sram_is_fastest(self):
+        assert SRAM_6T.relative_speed == max(
+            cell.relative_speed for cell in EDRAM_CELLS
+        )
+
+    def test_dram_needs_refresh_sram_does_not(self):
+        assert DRAM_1T1C.needs_refresh
+        assert not SRAM_6T.needs_refresh
+
+    def test_transistor_counts(self):
+        assert DRAM_1T1C.transistors == 1
+        assert DRAM_3T.transistors == 3
+        assert SRAM_6T.transistors == 6
+
+
+class TestAreaMath:
+    def test_cell_area_scales_with_feature_squared(self):
+        a025 = DRAM_1T1C.cell_area_um2(0.25)
+        a050 = DRAM_1T1C.cell_area_um2(0.50)
+        assert a050 == pytest.approx(4 * a025)
+
+    def test_array_area_linear_in_bits(self):
+        one = DRAM_1T1C.array_area_mm2(2**20, 0.25)
+        two = DRAM_1T1C.array_area_mm2(2**21, 0.25)
+        assert two == pytest.approx(2 * one)
+
+    def test_quarter_micron_megabit_array_area(self):
+        # 8 F^2 at 0.25 um -> 0.5 um^2/cell -> ~0.52 mm^2 per Mbit of
+        # raw array.  Periphery (modeled elsewhere) roughly doubles it,
+        # consistent with the ~1 Mbit/mm^2 macro density.
+        area = DRAM_1T1C.array_area_mm2(2**20, 0.25)
+        assert area == pytest.approx(0.524, abs=0.01)
+
+    def test_zero_bits_zero_area(self):
+        assert DRAM_1T1C.array_area_mm2(0, 0.25) == 0.0
+
+
+class TestValidation:
+    def test_bad_feature_size(self):
+        with pytest.raises(ConfigurationError):
+            DRAM_1T1C.cell_area_um2(0.0)
+
+    def test_negative_bits(self):
+        with pytest.raises(ConfigurationError):
+            DRAM_1T1C.array_area_mm2(-1, 0.25)
+
+    def test_dynamic_cell_requires_retention(self):
+        with pytest.raises(ConfigurationError):
+            CellTechnology(
+                name="bad",
+                transistors=1,
+                area_f2=8.0,
+                relative_speed=0.4,
+                needs_refresh=True,
+                retention_time_s=None,
+            )
+
+    def test_zero_transistors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellTechnology(
+                name="bad",
+                transistors=0,
+                area_f2=8.0,
+                relative_speed=0.4,
+                needs_refresh=False,
+            )
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellTechnology(
+                name="bad",
+                transistors=1,
+                area_f2=-1.0,
+                relative_speed=0.4,
+                needs_refresh=False,
+            )

@@ -1,0 +1,115 @@
+"""Tests for repro.area.die and repro.area.logic: die composition."""
+
+import pytest
+
+from repro.area.die import DieAreaModel, PadRing
+from repro.area.logic import LogicAreaModel
+from repro.area.process import DRAM_BASED_025, LOGIC_BASED_025
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT
+
+
+class TestLogicAreaModel:
+    def test_roundtrip_gates_area(self):
+        model = LogicAreaModel(process=DRAM_BASED_025)
+        gates = 500e3
+        assert model.gates_fitting(model.area_mm2(gates)) == pytest.approx(
+            gates
+        )
+
+    def test_utilization_inflates_area(self):
+        tight = LogicAreaModel(process=DRAM_BASED_025, utilization=1.0)
+        loose = LogicAreaModel(process=DRAM_BASED_025, utilization=0.5)
+        assert loose.area_mm2(1e6) == pytest.approx(
+            2 * tight.area_mm2(1e6)
+        )
+
+    def test_dram_process_logic_slower(self):
+        model = LogicAreaModel(process=DRAM_BASED_025)
+        assert model.max_clock_mhz(200.0) < 200.0
+
+    def test_logic_process_full_speed(self):
+        model = LogicAreaModel(process=LOGIC_BASED_025)
+        assert model.max_clock_mhz(200.0) == pytest.approx(200.0)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ConfigurationError):
+            LogicAreaModel(process=DRAM_BASED_025, utilization=0.0)
+
+
+class TestPadRing:
+    def test_min_edge_scales_with_pads(self):
+        ring = PadRing()
+        assert ring.min_edge_mm(400) > ring.min_edge_mm(100)
+
+    def test_min_die_area(self):
+        ring = PadRing(pad_pitch_um=100.0)
+        # 400 pads -> 100/side -> 10 mm edge -> 100 mm^2.
+        assert ring.min_die_area_mm2(400) == pytest.approx(100.0)
+
+    def test_negative_pads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PadRing().min_edge_mm(-1)
+
+
+class TestDieComposition:
+    def test_embedded_removes_pad_limitation(self):
+        # Section 1: "pad-limited design may be transformed into non-
+        # pad-limited ones by choosing an embedded solution."  A chip
+        # with a 256-bit external memory bus (plus control) is pad-
+        # limited; embedding the memory removes ~300 pads.
+        model = DieAreaModel(process=DRAM_BASED_025)
+        discrete_logic = model.compose(
+            memory_bits=0, logic_gates=500e3, pad_count=460
+        )
+        embedded = model.compose(
+            memory_bits=16 * MBIT, logic_gates=500e3, pad_count=160
+        )
+        assert discrete_logic.pad_limited
+        assert not embedded.pad_limited
+
+    def test_core_area_sums(self):
+        model = DieAreaModel(process=DRAM_BASED_025)
+        comp = model.compose(
+            memory_bits=8 * MBIT, logic_gates=250e3, pad_count=100
+        )
+        assert comp.core_mm2 == pytest.approx(
+            comp.memory_mm2 + comp.logic_mm2
+        )
+        assert comp.die_mm2 >= comp.core_mm2
+
+
+class TestFeasibilityFrontier:
+    """Section 1: 128 Mbit + 500 kG or 64 Mbit + 1 MG in quarter-micron."""
+
+    def test_paper_feasibility_points(self):
+        from repro.core.tradeoffs import QUARTER_MICRON_DIE_BUDGET_MM2
+
+        model = DieAreaModel(process=DRAM_BASED_025)
+        at_500k = model.max_memory_bits(
+            QUARTER_MICRON_DIE_BUDGET_MM2, 500e3
+        )
+        at_1m = model.max_memory_bits(QUARTER_MICRON_DIE_BUDGET_MM2, 1e6)
+        assert at_500k == pytest.approx(128 * MBIT, rel=0.03)
+        assert at_1m == pytest.approx(64 * MBIT, rel=0.04)
+
+    def test_frontier_monotone(self):
+        model = DieAreaModel(process=DRAM_BASED_025)
+        points = model.frontier(200.0, [100e3, 300e3, 600e3, 1e6])
+        bits = [b for _, b in points]
+        assert bits == sorted(bits, reverse=True)
+
+    def test_logic_too_big_raises(self):
+        model = DieAreaModel(process=DRAM_BASED_025)
+        with pytest.raises(InfeasibleError):
+            model.max_memory_bits(10.0, 5e6)
+
+    def test_frontier_handles_infeasible_points(self):
+        model = DieAreaModel(process=DRAM_BASED_025)
+        points = model.frontier(10.0, [5e6])
+        assert points == [(5e6, 0)]
+
+    def test_bad_budget_rejected(self):
+        model = DieAreaModel(process=DRAM_BASED_025)
+        with pytest.raises(ConfigurationError):
+            model.max_memory_bits(0.0, 100e3)

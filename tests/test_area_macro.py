@@ -1,0 +1,90 @@
+"""Tests for repro.area.macro: size-dependent macro area efficiency."""
+
+import pytest
+
+from repro.area.macro import MacroArea, MacroAreaModel
+from repro.area.process import DRAM_BASED_025
+from repro.errors import ConfigurationError
+from repro.units import KBIT, MBIT
+
+
+@pytest.fixture
+def model():
+    return MacroAreaModel(process=DRAM_BASED_025)
+
+
+class TestSiemensEfficiencyClaim:
+    """Section 5: 'from 8-16 Mbit upwards ... about 1 Mbit/mm^2'."""
+
+    @pytest.mark.parametrize("mbits", [8, 16, 32, 64, 128])
+    def test_large_modules_near_one_mbit_per_mm2(self, model, mbits):
+        eff = model.efficiency(mbits * MBIT, interface_width=256)
+        assert 0.85 <= eff <= 1.05
+
+    def test_small_module_pays_overhead(self, model):
+        small = model.efficiency(256 * KBIT, interface_width=16)
+        large = model.efficiency(64 * MBIT, interface_width=16)
+        assert small < large
+
+    def test_efficiency_monotone_in_size(self, model):
+        sizes = [1, 2, 4, 8, 16, 32, 64, 128]
+        effs = [model.efficiency(s * MBIT, 64) for s in sizes]
+        assert effs == sorted(effs)
+
+
+class TestAreaBreakdown:
+    def test_components_sum(self, model):
+        area = model.area(8 * MBIT, interface_width=128)
+        assert area.total_mm2 == pytest.approx(
+            area.array_mm2 + area.block_overhead_mm2 + area.interface_mm2
+        )
+
+    def test_wider_interface_costs_area(self, model):
+        narrow = model.total_area_mm2(8 * MBIT, 16)
+        wide = model.total_area_mm2(8 * MBIT, 512)
+        assert wide > narrow
+
+    def test_rounds_up_to_whole_blocks(self, model):
+        # 1.5 Mbit needs 2 one-Mbit blocks.
+        assert model.n_blocks(3 * MBIT // 2) == 2
+        area_partial = model.total_area_mm2(3 * MBIT // 2, 64)
+        area_two = model.total_area_mm2(2 * MBIT, 64)
+        assert area_partial == pytest.approx(area_two)
+
+    def test_redundancy_fraction_inflates_array(self):
+        lean = MacroAreaModel(
+            process=DRAM_BASED_025, redundancy_area_fraction=0.0
+        )
+        fat = MacroAreaModel(
+            process=DRAM_BASED_025, redundancy_area_fraction=0.1
+        )
+        assert fat.area(8 * MBIT, 64).array_mm2 == pytest.approx(
+            1.1 * lean.area(8 * MBIT, 64).array_mm2
+        )
+
+
+class TestValidation:
+    def test_zero_size_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.area(0, 64)
+
+    def test_zero_width_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.area(MBIT, 0)
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacroAreaModel(process=DRAM_BASED_025, block_bits=1024)
+
+    def test_huge_redundancy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacroAreaModel(
+                process=DRAM_BASED_025, redundancy_area_fraction=0.6
+            )
+
+    def test_macro_area_zero_total_rejected(self):
+        area = MacroArea(
+            array_mm2=0.0, block_overhead_mm2=0.0, interface_mm2=0.0
+        )
+        with pytest.raises(ConfigurationError):
+            area.efficiency_mbit_per_mm2(MBIT)

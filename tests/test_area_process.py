@@ -1,0 +1,117 @@
+"""Tests for repro.area.process: base process trade-offs."""
+
+import pytest
+
+from repro.area.process import (
+    ALL_PROCESSES_025,
+    BaseProcess,
+    DRAM_BASED_025,
+    LOGIC_BASED_025,
+    MERGED_025,
+    ProcessKind,
+)
+from repro.area.cell import DRAM_1T1C
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+
+
+class TestSectionThreeTradeoffs:
+    """The paper's Section 3 process-choice claims, as assertions."""
+
+    def test_dram_base_dense_memory_slow_logic(self):
+        assert (
+            DRAM_BASED_025.memory_density_mbit_per_mm2
+            > LOGIC_BASED_025.memory_density_mbit_per_mm2
+        )
+        assert (
+            DRAM_BASED_025.logic_speed_factor
+            < LOGIC_BASED_025.logic_speed_factor
+        )
+
+    def test_logic_base_fast_logic_poor_memory(self):
+        assert (
+            LOGIC_BASED_025.logic_density_kgates_per_mm2
+            > DRAM_BASED_025.logic_density_kgates_per_mm2
+        )
+
+    def test_merged_best_of_both_at_higher_cost(self):
+        assert MERGED_025.memory_density_mbit_per_mm2 > 0.8
+        assert MERGED_025.logic_speed_factor > 0.9
+        assert MERGED_025.relative_wafer_cost > max(
+            DRAM_BASED_025.relative_wafer_cost,
+            LOGIC_BASED_025.relative_wafer_cost,
+        )
+        assert MERGED_025.mask_count > max(
+            DRAM_BASED_025.mask_count, LOGIC_BASED_025.mask_count
+        )
+
+    def test_dram_process_fewer_metal_layers(self):
+        assert DRAM_BASED_025.metal_layers < LOGIC_BASED_025.metal_layers
+
+    def test_leakage_classes(self):
+        # DRAM transistors optimized for low leakage; logic for speed.
+        assert DRAM_BASED_025.leakage_class == "low"
+        assert LOGIC_BASED_025.leakage_class == "high"
+
+
+class TestAreaQueries:
+    def test_memory_area_one_mbit(self):
+        assert DRAM_BASED_025.memory_area_mm2(MBIT) == pytest.approx(1.0)
+
+    def test_logic_area_scaling(self):
+        a = DRAM_BASED_025.logic_area_mm2(500e3)
+        b = DRAM_BASED_025.logic_area_mm2(1e6)
+        assert b == pytest.approx(2 * a)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAM_BASED_025.memory_area_mm2(-1)
+        with pytest.raises(ConfigurationError):
+            DRAM_BASED_025.logic_area_mm2(-1.0)
+
+    def test_all_processes_listed(self):
+        kinds = {process.kind for process in ALL_PROCESSES_025}
+        assert kinds == {
+            ProcessKind.DRAM_BASED,
+            ProcessKind.LOGIC_BASED,
+            ProcessKind.MERGED,
+        }
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="test",
+            kind=ProcessKind.DRAM_BASED,
+            feature_size_um=0.25,
+            dram_cell=DRAM_1T1C,
+            memory_density_mbit_per_mm2=1.0,
+            logic_density_kgates_per_mm2=8.0,
+            logic_speed_factor=0.6,
+            metal_layers=2,
+            mask_count=22,
+            leakage_class="low",
+            relative_wafer_cost=1.1,
+        )
+
+    def test_valid_process_constructs(self):
+        BaseProcess(**self._base_kwargs())
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("feature_size_um", 0.0),
+            ("memory_density_mbit_per_mm2", -1.0),
+            ("logic_density_kgates_per_mm2", 0.0),
+            ("logic_speed_factor", 0.0),
+            ("metal_layers", 0),
+            ("mask_count", 5),
+            ("leakage_class", "extreme"),
+            ("relative_wafer_cost", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        kwargs = self._base_kwargs()
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            BaseProcess(**kwargs)

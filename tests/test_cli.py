@@ -1,0 +1,76 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "discrete" in out and "embedded" in out
+
+    def test_mpeg2_pal(self, capsys):
+        assert main(["mpeg2"]) == 0
+        out = capsys.readouterr().out
+        assert "PAL" in out
+        assert "fits 16 Mbit: True" in out
+
+    def test_mpeg2_ntsc_reduced(self, capsys):
+        assert main(["mpeg2", "--ntsc", "--reduced"]) == 0
+        out = capsys.readouterr().out
+        assert "NTSC" in out and "reduced-output" in out
+
+    def test_explore(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--capacity-mbit", "8",
+                "--bandwidth-gbs", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quantized solutions" in out
+        assert "balanced" in out
+
+    def test_explore_infeasible(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--capacity-mbit", "8",
+                "--bandwidth-gbs", "100",
+            ]
+        )
+        assert code == 1
+
+    def test_feasibility(self, capsys):
+        assert main(["feasibility"]) == 0
+        out = capsys.readouterr().out
+        assert "500k" in out
+        assert "128 Mbit" in out
+
+    def test_testcost(self, capsys):
+        assert main(["testcost"]) == 0
+        out = capsys.readouterr().out
+        assert "BIST" in out
+
+    def test_partition(self, capsys):
+        assert main(["partition"]) == 0
+        out = capsys.readouterr().out
+        assert "frame stores" in out
+        assert "edram" in out
+
+    def test_partition_infeasible_budget(self, capsys):
+        assert main(["partition", "--area-budget-mm2", "1"]) == 1

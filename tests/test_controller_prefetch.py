@@ -1,0 +1,119 @@
+"""Tests for repro.controller.prefetch: the stream prefetcher."""
+
+import pytest
+
+from repro.controller import MemoryController, PrefetchingMemoryController
+from repro.dram import AddressMapping, EDRAMMacro, MappingScheme
+from repro.errors import ConfigurationError
+from repro.sim import MemorySystemSimulator, SimulationConfig
+from repro.traffic import MemoryClient, RandomPattern, SequentialPattern
+from repro.units import MBIT
+
+
+def run(controller_cls, clients_spec, cycles=8000, **controller_kwargs):
+    macro = EDRAMMacro.build(
+        size_bits=4 * MBIT, width=64, banks=4, page_bits=2048
+    )
+    device = macro.device()
+    controller = controller_cls(
+        device=device,
+        mapping=AddressMapping(
+            device.organization, MappingScheme.ROW_BANK_COL
+        ),
+        **controller_kwargs,
+    )
+    words = device.organization.total_words
+    clients = []
+    for name, kind, rate, seed in clients_spec:
+        if kind == "stream":
+            pattern = SequentialPattern(base=0, length=words)
+        else:
+            pattern = RandomPattern(base=0, length=words, seed=seed)
+        clients.append(
+            MemoryClient(name=name, pattern=pattern, rate=rate, seed=seed)
+        )
+    simulator = MemorySystemSimulator(
+        controller=controller,
+        clients=clients,
+        config=SimulationConfig(cycles=cycles, warmup_cycles=500),
+    )
+    return controller, simulator.run()
+
+
+STREAM_ONLY = [("s", "stream", 0.15, 1)]
+MIXED = [("s", "stream", 0.1, 1), ("r", "random", 0.1, 2)]
+
+
+class TestPrefetchWins:
+    def test_stream_latency_improves(self):
+        _, baseline = run(MemoryController, STREAM_ONLY)
+        _, prefetched = run(PrefetchingMemoryController, STREAM_ONLY)
+        assert prefetched.latency.mean < baseline.latency.mean
+
+    def test_high_accuracy_on_pure_stream(self):
+        controller, _ = run(PrefetchingMemoryController, STREAM_ONLY)
+        assert controller.prefetch_issued > 100
+        assert controller.prefetch_accuracy() > 0.9
+
+    def test_stream_client_wins_in_mixed_traffic(self):
+        _, baseline = run(MemoryController, MIXED)
+        _, prefetched = run(PrefetchingMemoryController, MIXED)
+        assert (
+            prefetched.latency_by_client["s"].mean
+            < baseline.latency_by_client["s"].mean
+        )
+
+    def test_useful_bandwidth_not_inflated(self):
+        # Prefetch traffic must not count as delivered client bandwidth.
+        _, baseline = run(MemoryController, STREAM_ONLY)
+        _, prefetched = run(PrefetchingMemoryController, STREAM_ONLY)
+        assert prefetched.sustained_bandwidth_bits_per_s == pytest.approx(
+            baseline.sustained_bandwidth_bits_per_s, rel=0.05
+        )
+
+
+class TestPrefetchCosts:
+    def test_no_prefetch_on_random_traffic(self):
+        controller, _ = run(
+            PrefetchingMemoryController, [("r", "random", 0.2, 3)]
+        )
+        # Random addresses almost never form back-to-back bursts.
+        assert controller.prefetch_issued < 50
+
+    def test_requests_conserved(self):
+        controller, result = run(PrefetchingMemoryController, MIXED)
+        completed_clients = {
+            request.client for request in controller.completed
+        }
+        assert "__prefetch__" not in completed_clients
+
+    def test_prefetch_depth_bounded_by_buffer(self):
+        controller, _ = run(
+            PrefetchingMemoryController,
+            STREAM_ONLY,
+            prefetch_depth=4,
+            prefetch_buffer_capacity=4,
+        )
+        assert len(controller._ready) <= 4
+
+
+class TestValidation:
+    def test_bad_depth(self):
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        device = macro.device()
+        with pytest.raises(ConfigurationError):
+            PrefetchingMemoryController(
+                device=device,
+                mapping=AddressMapping(device.organization),
+                prefetch_depth=0,
+            )
+
+    def test_bad_buffer(self):
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        device = macro.device()
+        with pytest.raises(ConfigurationError):
+            PrefetchingMemoryController(
+                device=device,
+                mapping=AddressMapping(device.organization),
+                prefetch_buffer_capacity=0,
+            )

@@ -1,0 +1,115 @@
+"""Tests for repro.controller.scheduler and page policies."""
+
+import pytest
+
+from repro.controller.page_policy import (
+    AdaptivePagePolicy,
+    ClosedPagePolicy,
+    OpenPagePolicy,
+)
+from repro.controller.request import Request
+from repro.controller.scheduler import FCFSScheduler, FRFCFSScheduler
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DRAMDevice
+from repro.dram.organizations import AddressMapping, Organization
+from repro.dram.timing import PC100_TIMING
+
+
+def make_device():
+    org = Organization(n_banks=4, n_rows=64, page_bits=2048, word_bits=16)
+    return DRAMDevice(organization=org, timing=PC100_TIMING)
+
+
+def decoded_request(rid, bank, row, column=0, cycle=0):
+    device_org = Organization(
+        n_banks=4, n_rows=64, page_bits=2048, word_bits=16
+    )
+    mapping = AddressMapping(device_org)
+    request = Request(
+        request_id=rid,
+        client="c",
+        address=0,
+        is_read=True,
+        created_cycle=cycle,
+    )
+    from repro.dram.organizations import DecodedAddress
+
+    request.decoded = DecodedAddress(bank=bank, row=row, column=column)
+    return request
+
+
+class TestFCFS:
+    def test_only_head_considered(self):
+        device = make_device()
+        window = [decoded_request(0, 0, 1), decoded_request(1, 1, 2)]
+        assert FCFSScheduler().candidates(window, device, 0) == window[:1]
+
+    def test_empty_window(self):
+        assert FCFSScheduler().candidates([], make_device(), 0) == []
+
+
+class TestFRFCFS:
+    def test_row_hits_first(self):
+        device = make_device()
+        device.issue(
+            Command(kind=CommandType.ACTIVATE, cycle=0, bank=2, row=7)
+        )
+        miss = decoded_request(0, 0, 1)
+        hit = decoded_request(1, 2, 7)
+        order = FRFCFSScheduler().candidates([miss, hit], device, 5)
+        assert order[0] is hit
+
+    def test_hits_ordered_by_age(self):
+        device = make_device()
+        device.issue(
+            Command(kind=CommandType.ACTIVATE, cycle=0, bank=1, row=3)
+        )
+        device.issue(
+            Command(kind=CommandType.ACTIVATE, cycle=2, bank=2, row=4)
+        )
+        older = decoded_request(0, 2, 4)
+        younger = decoded_request(1, 1, 3)
+        order = FRFCFSScheduler().candidates([older, younger], device, 5)
+        assert [r.request_id for r in order[:2]] == [0, 1]
+
+    def test_one_preparer_per_bank(self):
+        device = make_device()
+        first = decoded_request(0, 0, 1)
+        second = decoded_request(1, 0, 2)  # same bank, younger
+        third = decoded_request(2, 3, 5)
+        order = FRFCFSScheduler().candidates(
+            [first, second, third], device, 0
+        )
+        ids = [r.request_id for r in order]
+        assert 0 in ids and 2 in ids
+        assert 1 not in ids  # younger same-bank request may not prepare
+
+
+class TestPagePolicies:
+    def test_open_never_closes(self):
+        assert not OpenPagePolicy().close_after_access(0, 1, [])
+
+    def test_closed_always_closes(self):
+        pending = [decoded_request(0, 0, 1)]
+        assert ClosedPagePolicy().close_after_access(0, 1, pending)
+
+    def test_adaptive_keeps_open_for_pending_hit(self):
+        policy = AdaptivePagePolicy()
+        pending = [decoded_request(0, 0, 1)]
+        assert not policy.close_after_access(0, 1, pending)
+
+    def test_adaptive_closes_without_customers(self):
+        policy = AdaptivePagePolicy()
+        pending = [decoded_request(0, 0, 9), decoded_request(1, 2, 1)]
+        assert policy.close_after_access(0, 1, pending)
+
+    def test_adaptive_ignores_undecoded(self):
+        policy = AdaptivePagePolicy()
+        raw = Request(
+            request_id=0,
+            client="c",
+            address=0,
+            is_read=True,
+            created_cycle=0,
+        )
+        assert policy.close_after_access(0, 1, [raw])

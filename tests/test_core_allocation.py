@@ -1,0 +1,133 @@
+"""Tests for repro.core.allocation: buffer-to-bank placement."""
+
+import pytest
+
+from repro.core.allocation import BankAllocator, BufferSpec
+from repro.dram.edram import EDRAMMacro
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT
+
+
+def macro(banks=8, size_mbit=8):
+    return EDRAMMacro.build(
+        size_bits=size_mbit * MBIT, width=64, banks=banks, page_bits=2048
+    )
+
+
+def buffer(name, mbit, traffic_gbit=0.5):
+    return BufferSpec(
+        name=name,
+        size_bits=int(mbit * MBIT),
+        traffic_bits_per_s=traffic_gbit * 1e9,
+    )
+
+
+class TestBasicAllocation:
+    def test_two_small_buffers_get_private_banks(self):
+        allocator = BankAllocator(macro())
+        plan = allocator.allocate(
+            [buffer("a", 0.5, 1.0), buffer("b", 0.5, 1.0)]
+        )
+        assert plan.banks_shared("a", "b") == 0
+        assert plan.interference_estimate() == 0.0
+
+    def test_placements_within_capacity(self):
+        allocator = BankAllocator(macro())
+        plan = allocator.allocate(
+            [buffer("a", 2.0), buffer("b", 3.0), buffer("c", 1.0)]
+        )
+        total_words = macro().organization.total_words
+        for placement in plan.placements:
+            assert 0 <= placement.base_word < total_words
+            assert placement.banks
+
+    def test_large_buffer_spans_banks(self):
+        allocator = BankAllocator(macro(banks=8, size_mbit=8))
+        plan = allocator.allocate([buffer("big", 4.0)])
+        assert len(plan.placement_of("big").banks) == 4
+
+    def test_overcommit_raises(self):
+        allocator = BankAllocator(macro(size_mbit=2))
+        with pytest.raises(InfeasibleError):
+            allocator.allocate([buffer("too-big", 4.0)])
+
+    def test_full_capacity_fits(self):
+        allocator = BankAllocator(macro(banks=4, size_mbit=4))
+        plan = allocator.allocate(
+            [buffer(f"b{i}", 1.0) for i in range(4)]
+        )
+        assert len(plan.placements) == 4
+
+
+class TestTrafficAwareness:
+    def test_hot_buffers_isolated_first(self):
+        # Three buffers, two banks each; the two hottest must not share.
+        allocator = BankAllocator(macro(banks=4, size_mbit=8))
+        plan = allocator.allocate(
+            [
+                buffer("hot1", 2.0, traffic_gbit=3.0),
+                buffer("hot2", 2.0, traffic_gbit=2.5),
+                buffer("cold", 2.0, traffic_gbit=0.1),
+            ]
+        )
+        assert plan.banks_shared("hot1", "hot2") == 0
+
+    def test_interference_reflects_sharing(self):
+        # Force sharing by filling the banks.
+        tight = BankAllocator(macro(banks=2, size_mbit=4))
+        plan = tight.allocate(
+            [
+                buffer("a", 2.0, traffic_gbit=1.0),
+                buffer("b", 2.0, traffic_gbit=1.0),
+            ]
+        )
+        if plan.banks_shared("a", "b") > 0:
+            assert plan.interference_estimate() > 0
+
+    def test_more_banks_less_interference(self):
+        buffers = [
+            buffer("a", 1.0, 2.0),
+            buffer("b", 1.0, 1.5),
+            buffer("c", 1.0, 1.0),
+            buffer("d", 1.0, 0.5),
+        ]
+        few = BankAllocator(macro(banks=2, size_mbit=4)).allocate(buffers)
+        many = BankAllocator(macro(banks=8, size_mbit=8)).allocate(buffers)
+        assert (
+            many.interference_estimate() <= few.interference_estimate()
+        )
+
+
+class TestAddressing:
+    def test_base_words_disjoint(self):
+        allocator = BankAllocator(macro(banks=8, size_mbit=8))
+        plan = allocator.allocate(
+            [buffer("a", 1.0), buffer("b", 1.0), buffer("c", 1.0)]
+        )
+        bases = [placement.base_word for placement in plan.placements]
+        assert len(set(bases)) == len(bases)
+
+    def test_base_word_decodes_to_first_bank(self):
+        allocator = BankAllocator(macro(banks=8, size_mbit=8))
+        plan = allocator.allocate([buffer("a", 1.0), buffer("b", 2.0)])
+        mapping = plan.address_mapping()
+        for placement in plan.placements:
+            decoded = mapping.decode(placement.base_word)
+            assert decoded.bank == placement.banks[0]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankAllocator(macro()).allocate([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankAllocator(macro()).allocate(
+                [buffer("x", 1.0), buffer("x", 1.0)]
+            )
+
+    def test_unknown_buffer_query(self):
+        plan = BankAllocator(macro()).allocate([buffer("a", 1.0)])
+        with pytest.raises(ConfigurationError):
+            plan.placement_of("missing")

@@ -1,0 +1,70 @@
+"""Tests for repro.core.pareto."""
+
+import pytest
+
+from repro.core.pareto import dominates, pareto_frontier
+from repro.errors import ConfigurationError
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_partial_improvement(self):
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1,), (1, 2))
+
+    def test_empty_vectors(self):
+        with pytest.raises(ConfigurationError):
+            dominates((), ())
+
+
+class TestParetoFrontier:
+    def test_simple_frontier(self):
+        points = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 5)]
+        frontier = pareto_frontier(points, lambda p: p)
+        assert set(frontier) == {(1, 5), (2, 3), (4, 1)}
+
+    def test_single_point(self):
+        assert pareto_frontier([(3, 3)], lambda p: p) == [(3, 3)]
+
+    def test_all_on_frontier(self):
+        points = [(1, 4), (2, 3), (3, 2), (4, 1)]
+        assert pareto_frontier(points, lambda p: p) == points
+
+    def test_duplicates_kept_once(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        assert pareto_frontier(points, lambda p: p) == [(1, 1)]
+
+    def test_frontier_members_not_dominated(self):
+        import itertools
+
+        points = [(i % 7, (i * 3) % 11, (i * 5) % 13) for i in range(60)]
+        frontier = pareto_frontier(points, lambda p: p)
+        for a, b in itertools.permutations(frontier, 2):
+            assert not dominates(a, b)
+
+    def test_non_frontier_members_dominated(self):
+        points = [(i % 7, (i * 3) % 11) for i in range(40)]
+        frontier = set(pareto_frontier(points, lambda p: p))
+        for point in points:
+            if point not in frontier:
+                assert any(dominates(f, point) for f in frontier)
+
+    def test_empty_input(self):
+        assert pareto_frontier([], lambda p: p) == []
+
+    def test_key_function_used(self):
+        items = ["aa", "b", "ccc"]
+        frontier = pareto_frontier(items, lambda s: (len(s),))
+        assert frontier == ["b"]

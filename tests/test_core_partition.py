@@ -1,0 +1,178 @@
+"""Tests for repro.core.partition: SRAM/DRAM/off-chip partitioning."""
+
+import pytest
+
+from repro.core.partition import (
+    DEFAULT_PROFILES,
+    EDRAM_PROFILE,
+    MemoryBlock,
+    MemoryTech,
+    OFF_CHIP_PROFILE,
+    Partitioner,
+    SRAM_PROFILE,
+    TechProfile,
+)
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import KBIT, MBIT
+
+
+def block(name, mbit, bandwidth_gbit=0.5, latency_ns=None):
+    return MemoryBlock(
+        name=name,
+        size_bits=int(mbit * MBIT),
+        bandwidth_bits_per_s=bandwidth_gbit * 1e9,
+        max_latency_ns=latency_ns,
+    )
+
+
+class TestProfiles:
+    def test_sram_much_larger_than_edram(self):
+        ratio = SRAM_PROFILE.area_mm2_per_mbit / EDRAM_PROFILE.area_mm2_per_mbit
+        assert 10 < ratio < 20
+
+    def test_off_chip_costs_no_area_but_most_energy(self):
+        assert OFF_CHIP_PROFILE.area_mm2_per_mbit == 0.0
+        assert OFF_CHIP_PROFILE.energy_pj_per_bit > 10 * (
+            EDRAM_PROFILE.energy_pj_per_bit
+        )
+
+    def test_latency_ordering(self):
+        assert (
+            SRAM_PROFILE.latency_ns
+            < EDRAM_PROFILE.latency_ns
+            < OFF_CHIP_PROFILE.latency_ns
+        )
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            TechProfile(
+                tech=MemoryTech.ON_CHIP_SRAM,
+                area_mm2_per_mbit=-1.0,
+                latency_ns=5.0,
+                max_bandwidth_bits_per_s=1e9,
+                energy_pj_per_bit=1.0,
+                cost_per_mbit=1.0,
+            )
+
+
+class TestConstraintDrivenPlacement:
+    def test_tight_latency_forces_sram(self):
+        partitioner = Partitioner()
+        plan = partitioner.partition(
+            [block("line buffer", 0.05, bandwidth_gbit=2.0, latency_ns=10.0)]
+        )
+        assert plan.tech_of("line buffer") is MemoryTech.ON_CHIP_SRAM
+
+    def test_high_bandwidth_forces_on_chip(self):
+        partitioner = Partitioner()
+        plan = partitioner.partition(
+            [block("frame store", 5.0, bandwidth_gbit=4.0)]
+        )
+        assert plan.tech_of("frame store") is MemoryTech.ON_CHIP_EDRAM
+
+    def test_cold_bulk_goes_off_chip(self):
+        # Huge, cold, latency-tolerant storage is cheapest off-chip
+        # (when it does not fit the on-chip budget anyway).
+        partitioner = Partitioner(area_budget_mm2=20.0)
+        plan = partitioner.partition(
+            [block("program store", 64.0, bandwidth_gbit=0.05)]
+        )
+        assert plan.tech_of("program store") is MemoryTech.OFF_CHIP_DRAM
+
+    def test_impossible_block_raises(self):
+        partitioner = Partitioner()
+        with pytest.raises(InfeasibleError):
+            partitioner.partition(
+                [block("impossible", 1.0, bandwidth_gbit=100.0,
+                       latency_ns=1.0)]
+            )
+
+
+class TestMpeg2Partition:
+    """The decoder's blocks partition the way the paper describes."""
+
+    def _blocks(self, output_latency_ns=60.0):
+        return [
+            block("input buffer", 1.75, bandwidth_gbit=0.03),
+            block("frame stores", 9.5, bandwidth_gbit=0.45,
+                  latency_ns=60.0),
+            block("output buffer", 4.75, bandwidth_gbit=0.25,
+                  latency_ns=output_latency_ns),
+            block("mb line buffer", 0.04, bandwidth_gbit=1.5,
+                  latency_ns=12.0),
+        ]
+
+    def test_partition_structure(self):
+        plan = Partitioner(area_budget_mm2=40.0).partition(self._blocks())
+        assert plan.tech_of("mb line buffer") is MemoryTech.ON_CHIP_SRAM
+        assert plan.tech_of("frame stores") is MemoryTech.ON_CHIP_EDRAM
+        assert plan.tech_of("output buffer") is MemoryTech.ON_CHIP_EDRAM
+        assert plan.area_mm2 <= 40.0
+
+    def test_on_chip_fraction(self):
+        plan = Partitioner(area_budget_mm2=40.0).partition(self._blocks())
+        assert plan.on_chip_fraction() > 0.85
+
+    def test_tiny_budget_spills_to_off_chip(self):
+        # With the output buffer latency-tolerant (display scan-out can
+        # be buffered), a 12 mm^2 budget fits only the latency-bound
+        # blocks (frame stores + SRAM line buffer, ~10.8 mm^2): the
+        # output buffer must spill off-chip.
+        generous = Partitioner(area_budget_mm2=40.0).partition(
+            self._blocks()
+        )
+        tight = Partitioner(area_budget_mm2=12.0).partition(
+            self._blocks(output_latency_ns=None)
+        )
+        off_chip_tight = sum(
+            1
+            for tech in tight.assignment.values()
+            if tech is MemoryTech.OFF_CHIP_DRAM
+        )
+        off_chip_generous = sum(
+            1
+            for tech in generous.assignment.values()
+            if tech is MemoryTech.OFF_CHIP_DRAM
+        )
+        assert off_chip_tight > off_chip_generous
+
+
+class TestObjective:
+    def test_power_weight_shifts_hot_blocks_on_chip(self):
+        hot = block("hot", 8.0, bandwidth_gbit=0.9)
+        cheap = Partitioner(power_weight=0.0).partition([hot])
+        power_aware = Partitioner(power_weight=50.0).partition([hot])
+        # With power free, commodity DRAM wins on cost; pricing power
+        # pulls the block on-chip.
+        assert cheap.tech_of("hot") is MemoryTech.OFF_CHIP_DRAM
+        assert power_aware.tech_of("hot") is MemoryTech.ON_CHIP_EDRAM
+        assert power_aware.power_w < cheap.power_w
+
+    def test_greedy_matches_exhaustive_on_small_inputs(self):
+        blocks = [
+            block("a", 2.0, bandwidth_gbit=0.8),
+            block("b", 6.0, bandwidth_gbit=0.2),
+            block("c", 0.1, bandwidth_gbit=2.5, latency_ns=10.0),
+        ]
+        exact = Partitioner(exhaustive_limit=10).partition(blocks)
+        greedy = Partitioner(exhaustive_limit=0).partition(blocks)
+        # Greedy must be feasible and no worse than 20% off on cost.
+        assert greedy.area_mm2 <= Partitioner().area_budget_mm2
+        assert greedy.unit_cost + 5.0 * greedy.power_w <= 1.2 * (
+            exact.unit_cost + 5.0 * exact.power_w
+        )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Partitioner().partition([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Partitioner().partition([block("x", 1.0), block("x", 2.0)])
+
+    def test_unknown_block_query(self):
+        plan = Partitioner().partition([block("a", 1.0)])
+        with pytest.raises(ConfigurationError):
+            plan.tech_of("missing")

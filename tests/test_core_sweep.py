@@ -1,0 +1,130 @@
+"""Tests for repro.core.sweep."""
+
+import pytest
+
+from repro.core.sweep import Sweep, SweepResult
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+class TestSweepMechanics:
+    def test_cartesian_product(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": [10, 20, 30]})
+        assert sweep.n_points == 6
+        result = sweep.run(lambda a, b: a * b)
+        assert len(result) == 6
+        results = sorted(point.result for point in result)
+        assert results == [10, 20, 20, 30, 40, 60]
+
+    def test_parameters_recorded(self):
+        sweep = Sweep(axes={"x": [3]})
+        result = sweep.run(lambda x: x + 1)
+        point = result.points[0]
+        assert point["x"] == 3
+        assert point.result == 4
+
+    def test_skip_errors(self):
+        sweep = Sweep(axes={"x": [1, 2, 3]})
+
+        def evaluate(x):
+            if x == 2:
+                raise InfeasibleError("no")
+            return x
+
+        result = sweep.run(evaluate, skip_errors=True)
+        assert len(result) == 2
+
+    def test_errors_propagate_by_default(self):
+        sweep = Sweep(axes={"x": [1]})
+
+        def evaluate(x):
+            raise InfeasibleError("no")
+
+        with pytest.raises(InfeasibleError):
+            sweep.run(evaluate)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(axes={"x": []})
+        with pytest.raises(ConfigurationError):
+            Sweep(axes={})
+
+
+class TestSweepQueries:
+    def _result(self):
+        sweep = Sweep(axes={"banks": [1, 2, 4], "page": [1024, 2048]})
+        return sweep.run(lambda banks, page: banks * page)
+
+    def test_where(self):
+        result = self._result()
+        filtered = result.where(banks=2)
+        assert len(filtered) == 2
+        assert all(point["banks"] == 2 for point in filtered)
+
+    def test_best(self):
+        result = self._result()
+        best = result.best(lambda value: -value)
+        assert best["banks"] == 4
+        assert best["page"] == 2048
+
+    def test_series_sorted(self):
+        result = self._result().where(page=1024)
+        series = result.series("banks", lambda value: value)
+        assert series == [(1, 1024), (2, 2048), (4, 4096)]
+
+    def test_best_on_empty(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult().best(lambda value: value)
+
+    def test_unknown_axis(self):
+        result = self._result()
+        with pytest.raises(ConfigurationError):
+            result.points[0]["missing"]
+
+    def test_to_table(self):
+        result = self._result()
+        table = result.to_table(
+            "t",
+            {"banks": "banks", "page": "page", "value": lambda v: v},
+        )
+        text = table.render()
+        assert "banks" in text
+        assert table.n_rows == 6
+
+
+class TestSweepWithLibrary:
+    def test_macro_sweep_skipping_unconstructible(self):
+        from repro.dram.edram import EDRAMMacro
+        from repro.units import MBIT
+
+        sweep = Sweep(
+            axes={
+                "width": [64, 256, 512],
+                "page": [256, 2048],  # 256 is not an offered page size
+            }
+        )
+        result = sweep.run(
+            lambda width, page: EDRAMMacro.build(
+                size_bits=8 * MBIT, width=width, page_bits=page
+            ),
+            skip_errors=True,
+        )
+        # Only the 2048-bit pages survive.
+        assert len(result) == 3
+        assert all(point["page"] == 2048 for point in result)
+
+    def test_evaluator_sweep_series(self):
+        from repro.core.evaluator import Evaluator
+
+        sweep = Sweep(axes={"banks": [1, 2, 4, 8]})
+        result = sweep.run(
+            lambda banks: Evaluator.bandwidth_efficiency(
+                hit_rate=0.0,
+                burst_cycles=4,
+                prep_cycles=6,
+                banks=banks,
+                refresh_overhead=0.0,
+            )
+        )
+        series = result.series("banks", lambda efficiency: efficiency)
+        efficiencies = [value for _, value in series]
+        assert efficiencies == sorted(efficiencies)

@@ -1,0 +1,122 @@
+"""Tests for repro.cost.packaging and repro.cost.economics."""
+
+import pytest
+
+from repro.cost.economics import ChipEconomics, SystemCostModel
+from repro.cost.packaging import PackageCostModel
+from repro.cost.wafer import WaferSpec
+from repro.errors import ConfigurationError
+
+
+class TestPackageCost:
+    def test_pin_scaling(self):
+        model = PackageCostModel(base_cost=0.3, cost_per_pin=0.01)
+        assert model.cost(100) == pytest.approx(1.3)
+
+    def test_thermal_premium(self):
+        model = PackageCostModel(
+            cheap_power_limit_w=2.0, thermal_premium=1.8
+        )
+        cool = model.cost(200, power_w=1.0)
+        hot = model.cost(200, power_w=3.0)
+        assert hot == pytest.approx(1.8 * cool)
+
+    def test_system_package_cost_sums(self):
+        model = PackageCostModel()
+        total = model.system_package_cost([(100, 1.0), (50, 0.5)])
+        assert total == pytest.approx(
+            model.cost(100, 1.0) + model.cost(50, 0.5)
+        )
+
+    def test_saved_packages_story(self):
+        # Section 1: embedding saves packages and pins.  One 304-pin
+        # embedded package vs logic + 16 DRAM packages.
+        model = PackageCostModel()
+        embedded = model.cost(304, power_w=1.5)
+        discrete = model.system_package_cost(
+            [(460, 1.5)] + [(50, 0.7)] * 16
+        )
+        assert embedded < discrete
+
+    def test_negative_pins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackageCostModel().cost(-1)
+
+
+class TestChipEconomics:
+    def test_breakdown_totals(self):
+        econ = ChipEconomics(nre=1e6, test_cost_per_unit=0.5)
+        breakdown = econ.unit_cost(
+            memory_area_mm2=20.0,
+            logic_area_mm2=40.0,
+            pins=200,
+            power_w=1.0,
+            volume=1_000_000,
+        )
+        assert breakdown.total == pytest.approx(
+            breakdown.die
+            + breakdown.test
+            + breakdown.package
+            + breakdown.nre_share
+        )
+        assert breakdown.nre_share == pytest.approx(1.0)
+
+    def test_volume_amortizes_nre(self):
+        econ = ChipEconomics(nre=2e6)
+        small = econ.unit_cost(20.0, 40.0, 200, 1.0, 10_000)
+        large = econ.unit_cost(20.0, 40.0, 200, 1.0, 10_000_000)
+        assert small.total > large.total
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChipEconomics().unit_cost(20.0, 40.0, 200, 1.0, 0)
+
+
+class TestSystemCostModel:
+    def _model(self):
+        return SystemCostModel(
+            embedded=ChipEconomics(
+                wafer=WaferSpec(cost_multiplier=1.15), nre=3e6
+            ),
+            discrete_logic=ChipEconomics(
+                wafer=WaferSpec(cost_multiplier=1.0), nre=1.5e6
+            ),
+        )
+
+    def test_embedded_wins_at_high_volume(self):
+        # Section 2: "the product volume and product lifetime are usually
+        # high" — embedded needs volume to win.
+        model = self._model()
+        crossover = model.crossover_volume(
+            memory_area_mm2=18.0,
+            logic_area_mm2=60.0,
+            embedded_pins=160,
+            embedded_power_w=1.0,
+            discrete_logic_pins=460,
+            discrete_logic_power_w=1.2,
+            memory_mbit=64.0,
+            n_dram_chips=16,
+        )
+        assert crossover is not None
+        low_volume = 20_000
+        emb_low = model.embedded_unit_cost(18.0, 60.0, 160, 1.0, low_volume)
+        dis_low = model.discrete_unit_cost(
+            60.0, 460, 1.2, 64.0, 16, low_volume
+        )
+        # At very low volume the embedded NRE dominates.
+        assert emb_low > dis_low
+
+    def test_granularity_overhead_charged_to_discrete(self):
+        # The discrete system must buy the full 64 Mbit even when the
+        # application needs 8: charging 64 vs 8 Mbit changes its cost.
+        model = self._model()
+        heavy = model.discrete_unit_cost(60.0, 460, 1.2, 64.0, 16, 1_000_000)
+        light = model.discrete_unit_cost(60.0, 460, 1.2, 8.0, 16, 1_000_000)
+        assert heavy - light == pytest.approx(
+            56.0 * model.commodity_price_per_mbit
+        )
+
+    def test_invalid_memory_rejected(self):
+        model = self._model()
+        with pytest.raises(ConfigurationError):
+            model.discrete_unit_cost(60.0, 460, 1.2, -1.0, 16, 1_000_000)

@@ -1,0 +1,73 @@
+"""Tests for repro.cost.wafer: dies per wafer and die cost."""
+
+import pytest
+
+from repro.cost.wafer import WaferSpec, die_cost_before_test, dies_per_wafer
+from repro.errors import ConfigurationError
+
+
+class TestWaferSpec:
+    def test_area(self):
+        wafer = WaferSpec(diameter_mm=200.0)
+        assert wafer.area_mm2 == pytest.approx(31415.9, rel=1e-3)
+
+    def test_cost_multiplier(self):
+        plain = WaferSpec(base_cost=3000.0, cost_multiplier=1.0)
+        merged = WaferSpec(base_cost=3000.0, cost_multiplier=1.35)
+        assert merged.cost == pytest.approx(1.35 * plain.cost)
+
+    def test_bad_diameter(self):
+        with pytest.raises(ConfigurationError):
+            WaferSpec(diameter_mm=0.0)
+
+
+class TestDiesPerWafer:
+    def test_small_die_many_dies(self):
+        wafer = WaferSpec()
+        assert dies_per_wafer(wafer, 50.0) > 500
+
+    def test_monotone_decreasing_in_area(self):
+        wafer = WaferSpec()
+        counts = [dies_per_wafer(wafer, a) for a in (25, 50, 100, 200, 400)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_edge_loss_matters(self):
+        # The edge-loss term must remove a nontrivial number of dies.
+        wafer = WaferSpec()
+        naive = wafer.area_mm2 / 100.0
+        actual = dies_per_wafer(wafer, 100.0)
+        assert actual < naive
+        assert actual > 0.7 * naive
+
+    def test_huge_die_zero(self):
+        wafer = WaferSpec(diameter_mm=200.0)
+        assert dies_per_wafer(wafer, 40000.0) == 0
+
+    def test_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            dies_per_wafer(WaferSpec(), 0.0)
+
+
+class TestDieCost:
+    def test_cost_inverse_in_yield(self):
+        wafer = WaferSpec()
+        full = die_cost_before_test(wafer, 100.0, 1.0)
+        half = die_cost_before_test(wafer, 100.0, 0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_cost_grows_superlinearly_with_area(self):
+        # Bigger dies: fewer per wafer AND worse edge fraction.
+        wafer = WaferSpec()
+        small = die_cost_before_test(wafer, 50.0, 1.0)
+        big = die_cost_before_test(wafer, 200.0, 1.0)
+        assert big > 4 * small
+
+    def test_invalid_yield(self):
+        with pytest.raises(ConfigurationError):
+            die_cost_before_test(WaferSpec(), 100.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            die_cost_before_test(WaferSpec(), 100.0, 1.5)
+
+    def test_die_too_big(self):
+        with pytest.raises(ConfigurationError):
+            die_cost_before_test(WaferSpec(), 50000.0, 0.9)

@@ -1,0 +1,109 @@
+"""Tests for repro.cost.yield_model: defect yield and repair."""
+
+import pytest
+
+from repro.cost.yield_model import (
+    YieldModel,
+    negative_binomial_yield,
+    poisson_yield,
+    redundancy_repair_yield,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPoissonYield:
+    def test_zero_area_is_perfect(self):
+        assert poisson_yield(0.0, 1.0) == 1.0
+
+    def test_zero_defects_is_perfect(self):
+        assert poisson_yield(100.0, 0.0) == 1.0
+
+    def test_known_value(self):
+        # 100 mm^2 at 1 defect/cm^2 -> lambda = 1 -> e^-1.
+        assert poisson_yield(100.0, 1.0) == pytest.approx(0.3679, abs=1e-3)
+
+    def test_monotone_decreasing_in_area(self):
+        ys = [poisson_yield(a, 0.8) for a in (10, 50, 100, 200)]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_yield(-1.0, 0.8)
+
+
+class TestNegativeBinomial:
+    def test_clustering_beats_poisson(self):
+        # Clustered defects waste fewer dies: NB yield > Poisson yield.
+        assert negative_binomial_yield(100.0, 1.0, alpha=2.0) > poisson_yield(
+            100.0, 1.0
+        )
+
+    def test_large_alpha_approaches_poisson(self):
+        nb = negative_binomial_yield(100.0, 1.0, alpha=1e6)
+        assert nb == pytest.approx(poisson_yield(100.0, 1.0), rel=1e-3)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            negative_binomial_yield(100.0, 1.0, alpha=0.0)
+
+
+class TestRepairYield:
+    def test_zero_spares_equals_poisson(self):
+        assert redundancy_repair_yield(100.0, 1.0, 0) == pytest.approx(
+            poisson_yield(100.0, 1.0)
+        )
+
+    def test_monotone_in_spares(self):
+        ys = [redundancy_repair_yield(150.0, 1.0, k) for k in range(6)]
+        assert ys == sorted(ys)
+        assert all(y <= 1.0 for y in ys)
+
+    def test_many_spares_near_perfect(self):
+        assert redundancy_repair_yield(100.0, 1.0, 20) > 0.999
+
+    def test_known_value_two_spares(self):
+        # lambda = 1: P(N <= 2) = e^-1 (1 + 1 + 0.5).
+        expected = pytest.approx(0.9197, abs=1e-3)
+        assert redundancy_repair_yield(100.0, 1.0, 2) == expected
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ConfigurationError):
+            redundancy_repair_yield(100.0, 1.0, -1)
+
+
+class TestYieldModel:
+    def test_die_yield_composes(self):
+        model = YieldModel(defect_density_per_cm2=0.8, memory_spares=4)
+        composite = model.die_yield(100.0, 50.0)
+        assert composite == pytest.approx(
+            model.memory_yield(100.0) * model.logic_yield(50.0)
+        )
+
+    def test_repair_gain_at_least_one(self):
+        model = YieldModel()
+        assert model.repair_gain(120.0) >= 1.0
+
+    def test_repair_gain_grows_with_area(self):
+        # Bigger arrays collect more defects, so repair buys more.
+        model = YieldModel()
+        assert model.repair_gain(200.0) > model.repair_gain(20.0)
+
+    def test_section5_redundancy_levels_story(self):
+        # "Different redundancy levels, in order to optimize the yield of
+        # the memory module to the specific chip": more spares -> higher
+        # yield, with diminishing returns.
+        area = 130.0
+        yields = [
+            YieldModel(memory_spares=k).memory_yield(area)
+            for k in (0, 2, 4, 8)
+        ]
+        assert yields == sorted(yields)
+        gain_first = yields[1] - yields[0]
+        gain_last = yields[3] - yields[2]
+        assert gain_first > gain_last
+
+    def test_invalid_model(self):
+        with pytest.raises(ConfigurationError):
+            YieldModel(memory_spares=-1)
+        with pytest.raises(ConfigurationError):
+            YieldModel(clustering_alpha=0.0)

@@ -1,0 +1,109 @@
+"""Tests for repro.dft.redundancy: spare allocation."""
+
+import pytest
+
+from repro.dft.redundancy import allocate_spares
+from repro.errors import RepairError
+
+
+class TestBasicAllocation:
+    def test_no_faults_no_spares_needed(self):
+        plan = allocate_spares(set(), 2, 2)
+        assert plan.repaired
+        assert plan.spares_used == 0
+
+    def test_single_fault_one_spare(self):
+        plan = allocate_spares({(3, 5)}, 1, 0)
+        assert plan.repaired
+        assert plan.spares_used == 1
+        assert plan.covers((3, 5))
+
+    def test_no_spares_unrepairable(self):
+        plan = allocate_spares({(3, 5)}, 0, 0)
+        assert not plan.repaired
+        assert (3, 5) in plan.uncovered
+
+    def test_coverage_invariant(self):
+        faults = {(0, 0), (1, 3), (2, 3), (5, 5)}
+        plan = allocate_spares(faults, 2, 2)
+        if plan.repaired:
+            assert all(plan.covers(cell) for cell in faults)
+            assert not plan.uncovered
+
+
+class TestMustRepair:
+    def test_row_with_many_faults_forces_spare_row(self):
+        # A row with more failing cells than the column budget can only
+        # be fixed by a spare row.
+        faults = {(7, c) for c in range(10)}
+        plan = allocate_spares(faults, 1, 2)
+        assert plan.repaired
+        assert 7 in plan.spare_rows_used
+        assert not plan.spare_cols_used
+
+    def test_column_must_repair(self):
+        faults = {(r, 3) for r in range(10)}
+        plan = allocate_spares(faults, 2, 1)
+        assert plan.repaired
+        assert 3 in plan.spare_cols_used
+
+    def test_crossing_line_faults(self):
+        # A dead row and a dead column crossing.
+        faults = {(2, c) for c in range(8)} | {(r, 5) for r in range(8)}
+        plan = allocate_spares(faults, 1, 1)
+        assert plan.repaired
+        assert plan.spare_rows_used == frozenset({2})
+        assert plan.spare_cols_used == frozenset({5})
+
+
+class TestExactSmallCases:
+    def test_diagonal_needs_one_line_each(self):
+        # 3 faults on a diagonal need 3 lines total (no sharing).
+        faults = {(0, 0), (1, 1), (2, 2)}
+        plan = allocate_spares(faults, 2, 1)
+        assert plan.repaired
+        assert plan.spares_used == 3
+
+    def test_diagonal_exceeding_budget_fails(self):
+        faults = {(0, 0), (1, 1), (2, 2), (3, 3)}
+        plan = allocate_spares(faults, 2, 1)
+        assert not plan.repaired
+
+    def test_exact_solver_finds_clever_cover(self):
+        # Four faults in two rows: two spare rows suffice; a naive
+        # column-first allocation would burn four columns.
+        faults = {(0, 0), (0, 5), (1, 2), (1, 7)}
+        plan = allocate_spares(faults, 2, 0)
+        assert plan.repaired
+        assert plan.spare_rows_used == frozenset({0, 1})
+
+    def test_mixed_optimal(self):
+        # One heavy row plus one stray fault: row + (row or col).
+        faults = {(4, c) for c in range(5)} | {(9, 9)}
+        plan = allocate_spares(faults, 1, 1)
+        assert plan.repaired
+        assert 4 in plan.spare_rows_used
+        assert plan.spares_used == 2
+
+
+class TestGreedyLargeCases:
+    def test_greedy_handles_many_faults(self):
+        # A big clustered pattern beyond the exhaustive limit.
+        faults = set()
+        for r in range(6):
+            for c in range(4):
+                faults.add((r * 3, c * 7))
+        plan = allocate_spares(faults, 6, 4, exhaustive_limit=4)
+        assert plan.repaired
+
+    def test_greedy_reports_failure(self):
+        faults = {(i, i) for i in range(30)}
+        plan = allocate_spares(faults, 3, 3, exhaustive_limit=4)
+        assert not plan.repaired
+        assert plan.uncovered
+
+
+class TestValidation:
+    def test_negative_budget(self):
+        with pytest.raises(RepairError):
+            allocate_spares(set(), -1, 0)

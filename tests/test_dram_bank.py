@@ -1,0 +1,147 @@
+"""Tests for repro.dram.bank and repro.dram.commands: protocol legality."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import PC100_TIMING
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def make_bank(index: int = 0) -> Bank:
+    return Bank(index=index, timing=PC100_TIMING, n_rows=256)
+
+
+def act(cycle, row=5, bank=0):
+    return Command(kind=CommandType.ACTIVATE, cycle=cycle, bank=bank, row=row)
+
+
+def rd(cycle, col=0, bank=0):
+    return Command(kind=CommandType.READ, cycle=cycle, bank=bank, column=col)
+
+
+def wr(cycle, col=0, bank=0):
+    return Command(kind=CommandType.WRITE, cycle=cycle, bank=bank, column=col)
+
+
+def pre(cycle, bank=0):
+    return Command(kind=CommandType.PRECHARGE, cycle=cycle, bank=bank)
+
+
+class TestCommandConstruction:
+    def test_activate_needs_row(self):
+        with pytest.raises(ConfigurationError):
+            Command(kind=CommandType.ACTIVATE, cycle=0, bank=0)
+
+    def test_read_needs_column(self):
+        with pytest.raises(ConfigurationError):
+            Command(kind=CommandType.READ, cycle=0, bank=0)
+
+    def test_str(self):
+        assert "ACT" in str(act(3))
+        assert "@3" in str(act(3))
+
+
+class TestBankProtocol:
+    def test_happy_path_activate_read_precharge(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        # Column command before tRCD is illegal.
+        assert not bank.can_issue(rd(1))
+        assert bank.can_issue(rd(PC100_TIMING.t_rcd))
+        end = bank.issue(rd(PC100_TIMING.t_rcd))
+        assert end == PC100_TIMING.t_rcd + PC100_TIMING.t_cas + (
+            PC100_TIMING.burst_length - 1
+        )
+
+    def test_read_without_activate_illegal(self):
+        bank = make_bank()
+        with pytest.raises(ProtocolError):
+            bank.issue(rd(0))
+
+    def test_double_activate_illegal(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        with pytest.raises(ProtocolError):
+            bank.issue(act(PC100_TIMING.t_rc + 1, row=9))
+
+    def test_precharge_respects_tras(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        assert not bank.can_issue(pre(PC100_TIMING.t_ras - 1))
+        assert bank.can_issue(pre(PC100_TIMING.t_ras))
+
+    def test_activate_after_precharge_respects_trp(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        bank.issue(pre(PC100_TIMING.t_ras))
+        too_soon = PC100_TIMING.t_ras + PC100_TIMING.t_rp - 1
+        assert not bank.can_issue(act(too_soon, row=7))
+        assert bank.can_issue(act(too_soon + 1, row=7))
+
+    def test_write_recovery_delays_precharge(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        end = bank.issue(wr(PC100_TIMING.t_rcd))
+        earliest = max(PC100_TIMING.t_ras, end + PC100_TIMING.t_wr)
+        assert not bank.can_issue(pre(earliest - 1))
+        assert bank.can_issue(pre(earliest))
+
+    def test_row_out_of_range(self):
+        bank = make_bank()
+        with pytest.raises(ProtocolError):
+            bank.issue(act(0, row=256))
+
+    def test_wrong_bank_rejected(self):
+        bank = make_bank(index=1)
+        with pytest.raises(ProtocolError):
+            bank.issue(act(0, bank=0))
+
+    def test_refresh_requires_idle(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        refresh = Command(kind=CommandType.REFRESH, cycle=2, bank=0)
+        assert not bank.can_issue(refresh)
+        bank.issue(pre(PC100_TIMING.t_ras))
+        ready = PC100_TIMING.t_ras + PC100_TIMING.t_rp
+        refresh_ok = Command(kind=CommandType.REFRESH, cycle=ready, bank=0)
+        assert bank.can_issue(refresh_ok)
+        done = bank.issue(refresh_ok)
+        assert done == ready + PC100_TIMING.t_rfc
+
+
+class TestBankState:
+    def test_open_row_visible_immediately(self):
+        bank = make_bank()
+        bank.issue(act(0, row=42))
+        assert bank.open_row(1) == 42
+        assert bank.is_row_open(42, 1)
+
+    def test_precharge_clears_row(self):
+        bank = make_bank()
+        bank.issue(act(0, row=42))
+        bank.issue(pre(PC100_TIMING.t_ras))
+        assert bank.open_row(PC100_TIMING.t_ras + 1) is None
+
+    def test_state_transitions(self):
+        bank = make_bank()
+        assert bank.state is BankState.IDLE
+        bank.issue(act(0))
+        assert bank.state is BankState.ACTIVATING
+        bank.open_row(PC100_TIMING.t_rcd)  # settle
+        assert bank.state is BankState.ACTIVE
+
+    def test_statistics(self):
+        bank = make_bank()
+        bank.issue(act(0))
+        bank.record_access_outcome(False)
+        bank.record_access_outcome(True)
+        assert bank.activations == 1
+        assert bank.row_hits == 1
+        assert bank.row_misses == 1
+
+    def test_nop_always_legal(self):
+        bank = make_bank()
+        nop = Command(kind=CommandType.NOP, cycle=0, bank=0)
+        assert bank.can_issue(nop)
+        assert bank.issue(nop) == 0

@@ -1,0 +1,104 @@
+"""Tests for repro.dram.catalog: commodity parts and granularity."""
+
+import pytest
+
+from repro.dram.catalog import (
+    COMMODITY_PARTS,
+    DiscreteSystem,
+    SDRAMPart,
+    smallest_system,
+)
+from repro.dram.organizations import Organization
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT
+
+
+class TestCatalogConsistency:
+    def test_all_parts_self_consistent(self):
+        for part in COMMODITY_PARTS:
+            assert part.capacity_bits == part.organization.capacity_bits
+
+    def test_width_range_matches_paper(self):
+        # "Discrete SDRAMs are limited to 4-16 bits."
+        widths = {part.width_bits for part in COMMODITY_PARTS}
+        assert widths <= {4, 8, 16}
+        assert min(widths) == 4
+        assert max(widths) == 16
+
+    def test_part_mismatch_rejected(self):
+        org = Organization(
+            n_banks=2, n_rows=256, page_bits=8192, word_bits=16
+        )
+        with pytest.raises(ConfigurationError):
+            SDRAMPart(name="bad", capacity_bits=8 * MBIT, organization=org)
+
+
+class TestPaperGranularityExample:
+    """Section 1: 256-bit bus from 4-Mbit x16 parts -> 64-Mbit system."""
+
+    def test_sixteen_chips_for_256_bits(self):
+        system = smallest_system(8 * MBIT, 256)
+        assert system.part.width_bits == 16
+        assert system.n_chips == 16
+        assert system.total_bits == 64 * MBIT
+
+    def test_overhead_factor_seven(self):
+        # The application needs 8 Mbit but gets 64: 56 Mbit (7x) wasted.
+        system = smallest_system(8 * MBIT, 256)
+        assert system.overhead_bits == 56 * MBIT
+        assert system.overhead_fraction == pytest.approx(7.0)
+
+    def test_width_met(self):
+        system = smallest_system(8 * MBIT, 256)
+        assert system.total_width_bits >= 256
+
+    def test_capacity_dominates_when_narrow(self):
+        # A narrow requirement is sized by capacity instead.
+        system = smallest_system(48 * MBIT, 16)
+        assert system.total_bits >= 48 * MBIT
+        assert system.overhead_fraction < 1.0
+
+    def test_peak_bandwidth(self):
+        system = smallest_system(8 * MBIT, 256)
+        assert system.peak_bandwidth_bits_per_s == pytest.approx(
+            256 * 100e6
+        )
+
+    def test_price_positive(self):
+        assert smallest_system(8 * MBIT, 256).total_price > 0
+
+
+class TestSelectionRules:
+    def test_minimizes_installed_capacity(self):
+        system = smallest_system(4 * MBIT, 64)
+        alternatives = []
+        for part in COMMODITY_PARTS:
+            chips = max(
+                -(-64 // part.width_bits),
+                -(-(4 * MBIT) // part.capacity_bits),
+            )
+            alternatives.append(chips * part.capacity_bits)
+        assert system.total_bits == min(alternatives)
+
+    def test_empty_catalog(self):
+        with pytest.raises(InfeasibleError):
+            smallest_system(MBIT, 16, parts=())
+
+    def test_bad_requirements(self):
+        with pytest.raises(ConfigurationError):
+            smallest_system(0, 16)
+        with pytest.raises(ConfigurationError):
+            smallest_system(MBIT, 0)
+
+
+class TestDiscreteSystem:
+    def test_overhead_zero_when_exact(self):
+        part = COMMODITY_PARTS[0]
+        system = DiscreteSystem(
+            part=part,
+            n_chips=2,
+            required_bits=2 * part.capacity_bits,
+            required_width=32,
+        )
+        assert system.overhead_bits == 0
+        assert system.overhead_fraction == 0.0

@@ -1,0 +1,118 @@
+"""Tests for repro.dram.device: inter-bank constraints and refresh."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.device import DRAMDevice
+from repro.dram.organizations import Organization
+from repro.dram.timing import PC100_TIMING
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def make_device() -> DRAMDevice:
+    org = Organization(n_banks=4, n_rows=128, page_bits=4096, word_bits=16)
+    return DRAMDevice(organization=org, timing=PC100_TIMING, name="test")
+
+
+def act(cycle, bank, row=3):
+    return Command(
+        kind=CommandType.ACTIVATE, cycle=cycle, bank=bank, row=row
+    )
+
+
+def rd(cycle, bank, col=0):
+    return Command(kind=CommandType.READ, cycle=cycle, bank=bank, column=col)
+
+
+class TestInterBankConstraints:
+    def test_trrd_between_bank_activates(self):
+        device = make_device()
+        device.issue(act(0, bank=0))
+        too_soon = act(PC100_TIMING.t_rrd - 1, bank=1)
+        assert not device.can_issue(too_soon)
+        ok = act(PC100_TIMING.t_rrd, bank=1)
+        assert device.can_issue(ok)
+        device.issue(ok)
+
+    def test_data_bus_shared_across_banks(self):
+        device = make_device()
+        device.issue(act(0, bank=0))
+        device.issue(act(PC100_TIMING.t_rrd, bank=1))
+        first_rd_cycle = PC100_TIMING.t_rrd + PC100_TIMING.t_rcd
+        end = device.issue(rd(first_rd_cycle, bank=0))
+        # A read on the other bank whose data would overlap is illegal.
+        overlapping = rd(first_rd_cycle + 1, bank=1)
+        assert not device.can_issue(overlapping)
+        clear = rd(end - PC100_TIMING.t_cas + 1, bank=1)
+        assert device.can_issue(clear)
+
+    def test_bus_turnaround_between_read_and_write(self):
+        device = make_device()
+        device.issue(act(0, bank=0))
+        device.issue(act(PC100_TIMING.t_rrd, bank=1))
+        first_rd_cycle = PC100_TIMING.t_rrd + PC100_TIMING.t_rcd
+        end = device.issue(rd(first_rd_cycle, bank=0))
+        # A same-direction read may start as soon as the bus is free...
+        same_dir_cycle = end - PC100_TIMING.t_cas + 1
+        assert device.can_issue(rd(same_dir_cycle, bank=1))
+        # ...but a WRITE (data after 1 cycle) needs the turnaround gap.
+        write_cycle = end  # data at end+1 == bus free, no gap
+        write = Command(
+            kind=CommandType.WRITE, cycle=write_cycle, bank=1, column=0
+        )
+        assert not device.can_issue(write)
+        delayed = Command(
+            kind=CommandType.WRITE,
+            cycle=write_cycle + PC100_TIMING.t_turnaround,
+            bank=1,
+            column=0,
+        )
+        assert device.can_issue(delayed)
+
+    def test_illegal_command_raises(self):
+        device = make_device()
+        with pytest.raises(ProtocolError):
+            device.issue(rd(0, bank=0))
+
+    def test_bank_index_bounds(self):
+        device = make_device()
+        with pytest.raises(ConfigurationError):
+            device.bank(4)
+
+
+class TestRefreshAllBanks:
+    def test_refresh_legal_only_when_all_idle(self):
+        device = make_device()
+        device.issue(act(0, bank=2))
+        refresh = Command(kind=CommandType.REFRESH, cycle=2)
+        assert not device.can_issue(refresh)
+
+    def test_refresh_blocks_all_banks(self):
+        device = make_device()
+        refresh = Command(kind=CommandType.REFRESH, cycle=0)
+        done = device.issue(refresh)
+        assert done == PC100_TIMING.t_rfc
+        assert not device.can_issue(act(done - 1, bank=0))
+        assert device.can_issue(act(done, bank=0))
+
+
+class TestDeviceFigures:
+    def test_peak_bandwidth(self):
+        device = make_device()
+        assert device.peak_bandwidth_bits_per_s == pytest.approx(16 * 100e6)
+
+    def test_capacity(self):
+        device = make_device()
+        assert device.capacity_bits == 4 * 128 * 4096
+
+    def test_statistics_aggregate(self):
+        device = make_device()
+        device.issue(act(0, bank=0))
+        device.issue(act(PC100_TIMING.t_rrd, bank=1))
+        assert device.total_activations == 2
+        device.bank(0).record_access_outcome(True)
+        device.bank(1).record_access_outcome(False)
+        assert device.row_hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert make_device().row_hit_rate() == 0.0

@@ -1,0 +1,112 @@
+"""Tests for repro.dram.generations and repro.apps.pcmemory."""
+
+import pytest
+
+from repro.apps.pcmemory import (
+    PC_GENERATIONS,
+    PCGeneration,
+    device_growth_rate,
+    forced_overprovision_mbit,
+    system_growth_rate,
+)
+from repro.dram.generations import (
+    GENERATIONS,
+    bandwidth_growth,
+    burst_granularity_bits,
+    generation,
+    latency_improvement_per_year,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGenerationLadder:
+    def test_two_orders_of_magnitude_bandwidth(self):
+        # Section 4: peak device bandwidth "+2 orders of magnitude".
+        assert bandwidth_growth(1985, 1999) >= 100
+
+    def test_latency_only_ten_percent_per_year(self):
+        # Access times decline ~10%/yr at most — far slower than BW.
+        rate = latency_improvement_per_year(1985, 1999)
+        assert 0.02 < rate < 0.12
+
+    def test_bandwidth_paid_with_burst_length(self):
+        # "The increased bandwidth must be paid with increased
+        # latencies and burst lengths": burst granularity grows
+        # monotonically along the ladder.
+        granularities = [burst_granularity_bits(g) for g in GENERATIONS]
+        assert granularities == sorted(granularities)
+        assert granularities[-1] >= 64 * granularities[0]
+
+    def test_mechanisms_present(self):
+        # The four mechanisms the paper lists: synchronous interfaces,
+        # row-as-cache (burst > 1), prefetch (wide internal fetch) and
+        # multiple banks all appear by the SDRAM generations.
+        pc100 = generation("SDRAM-100 (PC100)")
+        assert pc100.synchronous
+        assert pc100.burst_words > 1
+        assert pc100.banks >= 4
+
+    def test_chronological(self):
+        years = [entry.year for entry in GENERATIONS]
+        assert years == sorted(years)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            generation("DDR5")
+
+    def test_growth_needs_valid_years(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_growth(1900, 1999)
+        with pytest.raises(ConfigurationError):
+            latency_improvement_per_year(1999, 1990)
+
+
+class TestPCGranularity:
+    def test_system_grows_half_as_fast_as_devices(self):
+        # Section 4's headline: systems grew at roughly half the rate
+        # of devices — i.e. half as many doublings over the span.
+        import math
+
+        device_rate = device_growth_rate()
+        system_rate = system_growth_rate()
+        assert system_rate < device_rate
+        doubling_ratio = math.log(1 + device_rate) / math.log(
+            1 + system_rate
+        )
+        assert doubling_ratio == pytest.approx(2.0, abs=0.3)
+
+    def test_increment_fraction_grows(self):
+        # The minimum upgrade becomes a larger share of the system:
+        # granularity worsens over the generations.
+        fractions = [
+            entry.increment_fraction_of_system for entry in PC_GENERATIONS
+        ]
+        assert fractions[-1] > fractions[0]
+
+    def test_1998_increment_is_64_mbyte(self):
+        pc98 = PC_GENERATIONS[-1]
+        # 64-bit bus / x16 devices = 4 devices x 64 Mbit = 256 Mbit.
+        assert pc98.devices_per_rank == 4
+        assert pc98.increment_mbit == 256
+
+    def test_forced_overprovision(self):
+        pc98 = PC_GENERATIONS[-1]
+        # Wanting 300 Mbit forces 2 ranks = 512 Mbit.
+        extra = forced_overprovision_mbit(300, pc98)
+        assert extra == pytest.approx(212.0)
+
+    def test_exact_fit_no_overprovision(self):
+        pc98 = PC_GENERATIONS[-1]
+        assert forced_overprovision_mbit(256, pc98) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PCGeneration(
+                year=1998,
+                device_capacity_mbit=64,
+                device_width_bits=16,
+                bus_width_bits=60,  # not a multiple
+                typical_system_mbyte=32,
+            )
+        with pytest.raises(ConfigurationError):
+            forced_overprovision_mbit(0, PC_GENERATIONS[-1])

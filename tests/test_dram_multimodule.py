@@ -1,0 +1,154 @@
+"""Tests for repro.dram.multimodule and repro.controller.rowcache."""
+
+import pytest
+
+from repro.controller.rowcache import RowCacheController
+from repro.controller import MemoryController
+from repro.dram import AddressMapping, EDRAMMacro, MappingScheme
+from repro.dram.multimodule import MultiModuleSystem, compose_for_bandwidth
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.sim import MemorySystemSimulator, SimulationConfig
+from repro.traffic import MemoryClient, StridedPattern, SequentialPattern
+from repro.units import MBIT
+
+
+class TestMultiModuleComposition:
+    def test_single_module_when_it_suffices(self):
+        system = compose_for_bandwidth(16 * MBIT, 4e9 * 8 / 8)
+        assert system.n_modules == 1
+        assert system.total_bits >= 16 * MBIT
+
+    def test_bandwidth_beyond_one_module_adds_modules(self):
+        # 20 GB/s is beyond one module's ~9.15 GB/s.
+        system = compose_for_bandwidth(32 * MBIT, 20e9 * 8)
+        assert system.n_modules >= 2
+        assert system.peak_bandwidth_bits_per_s >= 20e9 * 8
+
+    def test_capacity_split_in_blocks(self):
+        system = compose_for_bandwidth(30 * MBIT, 12e9 * 8)
+        step = 256 * 1024
+        for module in system.modules:
+            assert module.size_bits % step == 0
+
+    def test_aggregate_figures(self):
+        system = compose_for_bandwidth(64 * MBIT, 15e9 * 8)
+        assert system.total_bits == sum(
+            module.size_bits for module in system.modules
+        )
+        assert system.area_mm2() > sum(
+            module.area_mm2() for module in system.modules
+        )  # routing overhead
+
+    def test_describe(self):
+        system = compose_for_bandwidth(16 * MBIT, 2e9 * 8)
+        text = system.describe()
+        assert "Mbit" in text and "GB/s" in text
+
+    def test_too_much_bandwidth(self):
+        with pytest.raises(InfeasibleError):
+            compose_for_bandwidth(16 * MBIT, 1000e9 * 8, max_modules=4)
+
+    def test_too_much_capacity(self):
+        with pytest.raises(InfeasibleError):
+            compose_for_bandwidth(1024 * MBIT, 2e9 * 8, max_modules=1)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiModuleSystem(modules=())
+
+
+class TestRowCacheController:
+    def _run(self, controller_cls, **kwargs):
+        macro = EDRAMMacro.build(
+            size_bits=4 * MBIT, width=64, banks=1, page_bits=2048
+        )
+        device = macro.device()
+        controller = controller_cls(
+            device=device,
+            mapping=AddressMapping(
+                device.organization, MappingScheme.ROW_BANK_COL
+            ),
+            **kwargs,
+        )
+        words = device.organization.total_words
+        page_words = device.organization.columns_per_page
+        # Two clients ping-ponging between two rows of the single bank:
+        # a plain open-page controller thrashes; a row cache holds both.
+        clients = [
+            MemoryClient(
+                name="a",
+                pattern=StridedPattern(
+                    base=0, length=2 * page_words, stride=1
+                ),
+                rate=0.08,
+                seed=1,
+            ),
+            MemoryClient(
+                name="b",
+                pattern=StridedPattern(
+                    base=8 * page_words,
+                    length=2 * page_words,
+                    stride=1,
+                ),
+                rate=0.08,
+                seed=2,
+            ),
+        ]
+        simulator = MemorySystemSimulator(
+            controller=controller,
+            clients=clients,
+            config=SimulationConfig(cycles=6000, warmup_cycles=500),
+        )
+        return controller, simulator.run()
+
+    def test_row_cache_cuts_latency_under_thrashing(self):
+        _, baseline = self._run(MemoryController)
+        _, cached = self._run(RowCacheController)
+        assert cached.latency.mean < baseline.latency.mean
+
+    def test_hits_recorded(self):
+        controller, _ = self._run(RowCacheController)
+        assert controller.row_cache_hits > 0
+        assert 0 < controller.row_cache_hit_rate() <= 1.0
+
+    def test_single_entry_cache_weaker(self):
+        big, _ = self._run(RowCacheController, row_cache_entries=8)
+        small, _ = self._run(RowCacheController, row_cache_entries=1)
+        assert big.row_cache_hits >= small.row_cache_hits
+
+    def test_writes_not_served_from_cache(self):
+        macro = EDRAMMacro.build(
+            size_bits=4 * MBIT, width=64, banks=2, page_bits=2048
+        )
+        device = macro.device()
+        controller = RowCacheController(
+            device=device,
+            mapping=AddressMapping(
+                device.organization, MappingScheme.ROW_BANK_COL
+            ),
+        )
+        clients = [
+            MemoryClient(
+                name="w",
+                pattern=SequentialPattern(base=0, length=1024),
+                rate=0.1,
+                read_fraction=0.0,
+            )
+        ]
+        simulator = MemorySystemSimulator(
+            controller=controller,
+            clients=clients,
+            config=SimulationConfig(cycles=3000, warmup_cycles=300),
+        )
+        simulator.run()
+        assert controller.row_cache_hits == 0
+
+    def test_validation(self):
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        device = macro.device()
+        with pytest.raises(ConfigurationError):
+            RowCacheController(
+                device=device,
+                mapping=AddressMapping(device.organization),
+                row_cache_entries=0,
+            )

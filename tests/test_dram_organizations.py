@@ -1,0 +1,116 @@
+"""Tests for repro.dram.organizations: address mapping round-trips."""
+
+import pytest
+
+from repro.dram.organizations import (
+    AddressMapping,
+    DecodedAddress,
+    MappingScheme,
+    Organization,
+)
+from repro.errors import CapacityError, ConfigurationError
+
+
+def org(banks=4, rows=128, page=4096, word=32) -> Organization:
+    return Organization(
+        n_banks=banks, n_rows=rows, page_bits=page, word_bits=word
+    )
+
+
+class TestOrganization:
+    def test_capacity(self):
+        o = org()
+        assert o.capacity_bits == 4 * 128 * 4096
+        assert o.columns_per_page == 128
+        assert o.total_words == o.capacity_bits // 32
+
+    def test_non_power_of_two_rows_allowed(self):
+        # Embedded modules have "odd" sizes (e.g. frame-sized): rows may
+        # be any positive integer.
+        o = Organization(n_banks=2, n_rows=607, page_bits=4096, word_bits=32)
+        assert o.capacity_bits == 2 * 607 * 4096
+
+    def test_power_of_two_required_for_banks(self):
+        with pytest.raises(ConfigurationError):
+            Organization(n_banks=3, n_rows=128, page_bits=4096, word_bits=32)
+
+    def test_word_exceeding_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Organization(n_banks=2, n_rows=16, page_bits=64, word_bits=128)
+
+    def test_str_mentions_banks(self):
+        assert "banks" in str(org())
+
+
+class TestAddressMappingRoundTrip:
+    @pytest.mark.parametrize(
+        "scheme", [MappingScheme.ROW_BANK_COL, MappingScheme.BANK_ROW_COL]
+    )
+    def test_decode_encode_roundtrip(self, scheme):
+        mapping = AddressMapping(org(), scheme)
+        for address in [0, 1, 127, 128, 4095, 65535, org().total_words - 1]:
+            decoded = mapping.decode(address)
+            assert mapping.encode(decoded) == address
+
+    @pytest.mark.parametrize(
+        "scheme", [MappingScheme.ROW_BANK_COL, MappingScheme.BANK_ROW_COL]
+    )
+    def test_roundtrip_odd_rows(self, scheme):
+        odd = Organization(
+            n_banks=4, n_rows=607, page_bits=2048, word_bits=32
+        )
+        mapping = AddressMapping(odd, scheme)
+        for address in range(0, odd.total_words, 9973):
+            decoded = mapping.decode(address)
+            assert mapping.encode(decoded) == address
+
+    def test_decoded_in_bounds(self):
+        mapping = AddressMapping(org(), MappingScheme.ROW_BANK_COL)
+        for address in range(0, org().total_words, 4099):
+            d = mapping.decode(address)
+            assert 0 <= d.bank < 4
+            assert 0 <= d.row < 128
+            assert 0 <= d.column < 128
+
+
+class TestMappingSemantics:
+    def test_row_bank_col_interleaves_pages(self):
+        # Consecutive pages land in different banks.
+        mapping = AddressMapping(org(), MappingScheme.ROW_BANK_COL)
+        words_per_page = org().columns_per_page
+        first = mapping.decode(0)
+        second = mapping.decode(words_per_page)
+        assert first.bank != second.bank
+        assert first.row == second.row
+
+    def test_bank_row_col_keeps_regions_private(self):
+        # Addresses in the first quarter of memory stay in bank 0.
+        mapping = AddressMapping(org(), MappingScheme.BANK_ROW_COL)
+        quarter = org().total_words // 4
+        banks = {mapping.decode(a).bank for a in range(0, quarter, 997)}
+        assert banks == {0}
+
+    def test_sequential_fills_page_first(self):
+        mapping = AddressMapping(org(), MappingScheme.ROW_BANK_COL)
+        decodes = [mapping.decode(a) for a in range(org().columns_per_page)]
+        assert all(d.bank == decodes[0].bank for d in decodes)
+        assert all(d.row == decodes[0].row for d in decodes)
+        assert [d.column for d in decodes] == list(
+            range(org().columns_per_page)
+        )
+
+
+class TestCapacityErrors:
+    def test_decode_out_of_range(self):
+        mapping = AddressMapping(org())
+        with pytest.raises(CapacityError):
+            mapping.decode(org().total_words)
+
+    def test_encode_out_of_range(self):
+        mapping = AddressMapping(org())
+        with pytest.raises(CapacityError):
+            mapping.encode(DecodedAddress(bank=4, row=0, column=0))
+        with pytest.raises(CapacityError):
+            mapping.encode(DecodedAddress(bank=0, row=128, column=0))
+        with pytest.raises(CapacityError):
+            mapping.encode(DecodedAddress(bank=0, row=0, column=128))

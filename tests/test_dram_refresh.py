@@ -1,0 +1,100 @@
+"""Tests for repro.dram.refresh: distributed refresh scheduling."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import EDRAM_TIMING, PC100_TIMING
+from repro.errors import ConfigurationError
+
+
+class TestScheduling:
+    def test_due_immediately_then_spaced(self):
+        scheduler = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096
+        )
+        assert scheduler.due(0)
+        scheduler.mark_issued(0)
+        interval = scheduler.interval_cycles
+        assert not scheduler.due(int(interval) - 2)
+        assert scheduler.due(int(interval) + 1)
+
+    def test_interval_matches_retention(self):
+        scheduler = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096, retention_s=64e-3
+        )
+        # 64 ms at 100 MHz = 6.4e6 cycles over 4096 rows.
+        assert scheduler.interval_cycles == pytest.approx(6.4e6 / 4096)
+
+    def test_rows_per_command_reduces_commands(self):
+        one = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096, rows_per_command=1
+        )
+        four = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096, rows_per_command=4
+        )
+        assert four.commands_per_period == one.commands_per_period // 4
+        assert four.interval_cycles == pytest.approx(
+            4 * one.interval_cycles
+        )
+
+    def test_all_rows_refreshed_within_period(self):
+        scheduler = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=256, retention_s=64e-3
+        )
+        period_cycles = int(64e-3 * PC100_TIMING.clock_hz)
+        issued = 0
+        cycle = 0
+        while cycle < period_cycles:
+            if scheduler.due(cycle):
+                scheduler.mark_issued(cycle)
+                issued += 1
+            cycle += int(scheduler.interval_cycles // 4) or 1
+        assert issued >= 256
+
+    def test_counter_tracks_issues(self):
+        scheduler = RefreshScheduler(
+            timing=EDRAM_TIMING, n_rows_total=64
+        )
+        scheduler.mark_issued(0)
+        scheduler.mark_issued(int(scheduler.interval_cycles) + 1)
+        assert scheduler.refreshes_issued == 2
+
+
+class TestOverhead:
+    def test_overhead_small_for_many_rows(self):
+        scheduler = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096
+        )
+        assert scheduler.bandwidth_overhead() < 0.01
+
+    def test_overhead_grows_with_short_retention(self):
+        long = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096, retention_s=64e-3
+        )
+        short = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=4096, retention_s=8e-3
+        )
+        assert short.bandwidth_overhead() > long.bandwidth_overhead()
+
+    def test_overhead_capped_at_one(self):
+        scheduler = RefreshScheduler(
+            timing=PC100_TIMING, n_rows_total=1 << 20, retention_s=1e-3
+        )
+        assert scheduler.bandwidth_overhead() == 1.0
+
+
+class TestValidation:
+    def test_zero_rows(self):
+        with pytest.raises(ConfigurationError):
+            RefreshScheduler(timing=PC100_TIMING, n_rows_total=0)
+
+    def test_bad_retention(self):
+        with pytest.raises(ConfigurationError):
+            RefreshScheduler(
+                timing=PC100_TIMING, n_rows_total=64, retention_s=0.0
+            )
+
+    def test_negative_cycle(self):
+        scheduler = RefreshScheduler(timing=PC100_TIMING, n_rows_total=64)
+        with pytest.raises(ConfigurationError):
+            scheduler.mark_issued(-1)

@@ -1,0 +1,115 @@
+"""Tests for repro.dram.timing."""
+
+import pytest
+
+from repro.dram.timing import EDRAM_TIMING, PC100_TIMING, TimingParameters
+from repro.errors import ConfigurationError
+
+
+class TestBuiltinTimings:
+    def test_pc100_clock(self):
+        assert PC100_TIMING.clock_hz == pytest.approx(100e6)
+
+    def test_edram_clock_matches_concept(self):
+        # "Cycle times better than 7 ns, corresponding to clock
+        # frequencies better than 143 MHz."
+        assert EDRAM_TIMING.clock_period_ns == pytest.approx(7.0)
+        assert EDRAM_TIMING.clock_hz == pytest.approx(142.86e6, rel=1e-3)
+
+    def test_latencies(self):
+        # PC100: miss = tRP + tRCD + CL = 2+2+2 cycles = 60 ns.
+        assert PC100_TIMING.row_miss_latency_cycles == 6
+        assert PC100_TIMING.row_miss_latency_ns == pytest.approx(60.0)
+        assert PC100_TIMING.row_hit_latency_cycles == 2
+
+    def test_trc_covers_tras_plus_trp(self):
+        for timing in (PC100_TIMING, EDRAM_TIMING):
+            assert timing.t_rc >= timing.t_ras + 1
+
+
+class TestFromNanoseconds:
+    def test_rounds_up(self):
+        timing = TimingParameters.from_nanoseconds(
+            clock_period_ns=10.0,
+            t_rcd_ns=21.0,  # 2.1 cycles -> 3
+            t_cas_cycles=2,
+            t_rp_ns=20.0,  # exactly 2
+            t_ras_ns=50.0,
+            t_rrd_ns=15.0,
+            t_wr_ns=15.0,
+            t_rfc_ns=80.0,
+            burst_length=8,
+        )
+        assert timing.t_rcd == 3
+        assert timing.t_rp == 2
+        assert timing.t_rc == timing.t_ras + timing.t_rp
+
+    def test_faster_clock_more_cycles(self):
+        # Same analog delays cost more cycles at a faster clock: the
+        # DRAM-core-vs-interface divergence of Section 4.
+        slow = PC100_TIMING
+        fast = slow.scaled_to_clock(5.0)
+        assert fast.t_rcd >= slow.t_rcd
+        assert fast.t_rcd * 5.0 >= slow.t_rcd * 10.0 - 5.0
+        assert fast.row_miss_latency_ns <= slow.row_miss_latency_ns + 10.0
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters.from_nanoseconds(
+                clock_period_ns=10.0,
+                t_rcd_ns=0.0,
+                t_cas_cycles=2,
+                t_rp_ns=20.0,
+                t_ras_ns=50.0,
+                t_rrd_ns=15.0,
+                t_wr_ns=15.0,
+                t_rfc_ns=80.0,
+                burst_length=8,
+            )
+
+
+class TestValidation:
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(
+                clock_period_ns=0.0,
+                t_rcd=2,
+                t_cas=2,
+                t_rp=2,
+                t_ras=5,
+                t_rc=7,
+                t_rrd=2,
+                t_wr=2,
+                t_rfc=8,
+                burst_length=8,
+            )
+
+    def test_inconsistent_trc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(
+                clock_period_ns=10.0,
+                t_rcd=2,
+                t_cas=2,
+                t_rp=2,
+                t_ras=5,
+                t_rc=5,  # < tRAS + 1
+                t_rrd=2,
+                t_wr=2,
+                t_rfc=8,
+                burst_length=8,
+            )
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(
+                clock_period_ns=10.0,
+                t_rcd=2,
+                t_cas=2,
+                t_rp=2,
+                t_ras=5,
+                t_rc=7,
+                t_rrd=2,
+                t_wr=2,
+                t_rfc=8,
+                burst_length=0,
+            )

@@ -1,0 +1,100 @@
+"""Tests for repro.experiments: every claim report holds end to end.
+
+These are the cheap analytic experiments; the simulation-heavy ones
+(E5, E10) are exercised at reduced scale here and at full scale in the
+benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    e01_interface_power,
+    e02_fill_frequency,
+    e03_granularity,
+    e04_feasibility,
+    e06_mpeg2,
+    e07_gap_iram,
+    e08_siemens_concept,
+    e09_test_cost,
+)
+
+
+FAST_EXPERIMENTS = [
+    e01_interface_power,
+    e02_fill_frequency,
+    e03_granularity,
+    e04_feasibility,
+    e06_mpeg2,
+    e07_gap_iram,
+    e08_siemens_concept,
+    e09_test_cost,
+]
+
+
+@pytest.mark.parametrize(
+    "module",
+    FAST_EXPERIMENTS,
+    ids=lambda m: m.__name__.rsplit(".", 1)[-1],
+)
+def test_experiment_all_claims_hold(module):
+    report = module.run()
+    assert report.all_hold, report.render()
+
+
+@pytest.mark.parametrize(
+    "module",
+    FAST_EXPERIMENTS,
+    ids=lambda m: m.__name__.rsplit(".", 1)[-1],
+)
+def test_experiment_table_renders(module):
+    table = module.render_table()
+    assert isinstance(table, str)
+    assert len(table.splitlines()) >= 4
+
+
+def test_experiment_ids_sequential():
+    ids = [module.run.__module__.split(".")[-1][:3] for module in
+           ALL_EXPERIMENTS]
+    assert ids == [f"e{n:02d}" for n in range(1, 11)]
+
+
+def test_e05_weak_org_saturates():
+    from repro.experiments.e05_sustainable_bw import simulate_org
+
+    weak = simulate_org(banks=1, page_bits=1024, cycles=4000)
+    assert weak.efficiency < 0.75
+
+
+def test_e05_strong_org_recovers():
+    from repro.experiments.e05_sustainable_bw import simulate_org
+
+    weak = simulate_org(banks=1, page_bits=1024, cycles=4000)
+    strong = simulate_org(banks=8, page_bits=4096, cycles=4000)
+    assert strong.efficiency > weak.efficiency
+
+
+def test_e10_requirements_derived_from_mpeg2():
+    from repro.experiments.e10_design_space import mpeg2_requirements
+    from repro.apps.mpeg2 import MPEG2MemoryBudget
+
+    requirements = mpeg2_requirements()
+    budget = MPEG2MemoryBudget()
+    assert requirements.capacity_bits == budget.total_bits
+    assert requirements.sustained_bandwidth_bits_per_s == pytest.approx(
+        budget.total_bandwidth_bits_per_s()
+    )
+
+
+def test_generate_md_produces_markdown(tmp_path):
+    import io
+
+    from repro.experiments import generate_md
+
+    stream = io.StringIO()
+    generate_md.main(stream)
+    text = stream.getvalue()
+    assert "# EXPERIMENTS" in text
+    for experiment_id in [f"E{n}" for n in range(1, 11)]:
+        assert f"## {experiment_id}:" in text
+    assert "**NO**" not in text  # every claim holds

@@ -1,0 +1,90 @@
+"""Tests for repro.power.idd: IDD-based core power."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.idd import (
+    CorePowerModel,
+    EDRAM_IDD,
+    IddParameters,
+    PC100_IDD,
+    StateWeights,
+)
+
+
+class TestIddParameters:
+    def test_builtin_parameters_valid(self):
+        assert PC100_IDD.vdd == pytest.approx(3.3)
+        assert EDRAM_IDD.vdd == pytest.approx(2.5)
+
+    def test_standby_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            IddParameters(
+                vdd=3.3,
+                idd0=0.09,
+                idd2=0.05,  # precharge standby above active standby
+                idd3=0.03,
+                idd4r=0.12,
+                idd4w=0.11,
+                idd5=0.15,
+            )
+
+    def test_scaled_for_width(self):
+        half = EDRAM_IDD.scaled_for_width(128, reference_width_bits=256)
+        assert half.idd4r == pytest.approx(EDRAM_IDD.idd4r / 2)
+        assert half.idd4w == pytest.approx(EDRAM_IDD.idd4w / 2)
+        # Non-datapath currents unchanged.
+        assert half.idd0 == EDRAM_IDD.idd0
+        assert half.idd2 == EDRAM_IDD.idd2
+
+    def test_scaled_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            EDRAM_IDD.scaled_for_width(0)
+
+
+class TestStateWeights:
+    def test_remainder_is_precharge_standby(self):
+        weights = StateWeights(activating=0.1, reading=0.3, writing=0.2)
+        assert weights.precharge_standby == pytest.approx(0.4)
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateWeights(activating=0.5, reading=0.6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateWeights(reading=-0.1)
+
+
+class TestCorePowerModel:
+    def test_idle_below_busy(self):
+        model = CorePowerModel(PC100_IDD)
+        assert model.idle_power_w() < model.busy_power_w()
+
+    def test_idle_power_near_standby(self):
+        model = CorePowerModel(PC100_IDD)
+        standby = PC100_IDD.idd2 * PC100_IDD.vdd
+        assert model.idle_power_w() == pytest.approx(
+            standby + model.refresh_power_w()
+        )
+
+    def test_refresh_power_small_fraction(self):
+        # Distributed refresh is a sub-1% duty cycle.
+        model = CorePowerModel(PC100_IDD)
+        assert model.refresh_power_w() < 0.05 * model.busy_power_w()
+
+    def test_busy_read_vs_write(self):
+        model = CorePowerModel(PC100_IDD)
+        reads = model.busy_power_w(read_fraction=1.0)
+        writes = model.busy_power_w(read_fraction=0.0)
+        # IDD4R > IDD4W for this part.
+        assert reads > writes
+
+    def test_bad_read_fraction(self):
+        with pytest.raises(ConfigurationError):
+            CorePowerModel(PC100_IDD).busy_power_w(1.5)
+
+    def test_pc100_busy_power_plausible(self):
+        # A streaming PC100 device burns a few hundred mW.
+        busy = CorePowerModel(PC100_IDD).busy_power_w()
+        assert 0.2 < busy < 0.6

@@ -1,0 +1,75 @@
+"""Tests for repro.power.interface: CV^2f interface power."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.interface import (
+    InterfacePowerModel,
+    InterfaceSpec,
+    OFF_CHIP_BUS,
+    ON_CHIP_BUS,
+)
+
+
+class TestInterfaceSpec:
+    def test_off_chip_heavier_than_on_chip(self):
+        # The capacitance and swing gap is the paper's whole argument.
+        off = OFF_CHIP_BUS.energy_per_line_toggle_j()
+        on = ON_CHIP_BUS.energy_per_line_toggle_j()
+        assert off / on > 15
+
+    def test_toggle_energy_value(self):
+        spec = InterfaceSpec(
+            name="x", capacitance_per_line_f=10e-12, swing_v=2.0
+        )
+        assert spec.energy_per_line_toggle_j() == pytest.approx(40e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterfaceSpec(name="x", capacitance_per_line_f=0.0, swing_v=3.3)
+        with pytest.raises(ConfigurationError):
+            InterfaceSpec(name="x", capacitance_per_line_f=1e-12, swing_v=0.0)
+        with pytest.raises(ConfigurationError):
+            InterfaceSpec(
+                name="x",
+                capacitance_per_line_f=1e-12,
+                swing_v=3.3,
+                activity=0.0,
+            )
+
+
+class TestInterfacePowerModel:
+    def test_power_linear_in_width(self):
+        narrow = InterfacePowerModel(OFF_CHIP_BUS, 16, 100e6)
+        wide = InterfacePowerModel(OFF_CHIP_BUS, 256, 100e6)
+        assert wide.power_w() == pytest.approx(16 * narrow.power_w())
+
+    def test_power_linear_in_utilization(self):
+        model = InterfacePowerModel(OFF_CHIP_BUS, 64, 100e6)
+        assert model.power_w(0.5) == pytest.approx(0.5 * model.power_w(1.0))
+
+    def test_zero_utilization_zero_power(self):
+        model = InterfacePowerModel(ON_CHIP_BUS, 64, 100e6)
+        assert model.power_w(0.0) == 0.0
+
+    def test_peak_bandwidth(self):
+        model = InterfacePowerModel(ON_CHIP_BUS, 256, 143e6)
+        assert model.peak_bandwidth_bits_per_s == pytest.approx(256 * 143e6)
+
+    def test_energy_per_bit_independent_of_width(self):
+        a = InterfacePowerModel(OFF_CHIP_BUS, 16, 100e6).energy_per_bit_j()
+        b = InterfacePowerModel(OFF_CHIP_BUS, 256, 100e6).energy_per_bit_j()
+        assert a == pytest.approx(b)
+
+    def test_width_for_bandwidth(self):
+        model = InterfacePowerModel(ON_CHIP_BUS, 1, 100e6)
+        assert model.width_for_bandwidth(1.6e9) == 16
+
+    def test_bad_utilization(self):
+        model = InterfacePowerModel(ON_CHIP_BUS, 64, 100e6)
+        with pytest.raises(ConfigurationError):
+            model.power_w(1.5)
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            InterfacePowerModel(ON_CHIP_BUS, 0, 100e6)

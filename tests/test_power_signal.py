@@ -1,0 +1,112 @@
+"""Tests for repro.power.signal and the market forecast."""
+
+import pytest
+
+from repro.apps.markets import MarketForecast
+from repro.errors import ConfigurationError
+from repro.power.signal import (
+    InterconnectModel,
+    OFF_CHIP_TRACE,
+    ON_CHIP_WIRE,
+    speed_advantage,
+)
+
+
+class TestInterconnectModel:
+    def test_on_chip_faster(self):
+        # Section 1: "lower propagation times and thus higher speeds".
+        assert (
+            ON_CHIP_WIRE.propagation_delay_s()
+            < OFF_CHIP_TRACE.propagation_delay_s()
+        )
+        assert speed_advantage() > 2.0
+
+    def test_on_chip_better_noise_margin(self):
+        # "In addition, noise immunity is enhanced."
+        assert ON_CHIP_WIRE.noise_margin_v(2.5) > OFF_CHIP_TRACE.noise_margin_v(
+            2.5
+        ) * (2.5 / 3.3)
+        assert (
+            ON_CHIP_WIRE.noise_budget_fraction
+            > OFF_CHIP_TRACE.noise_budget_fraction
+        )
+
+    def test_off_chip_supports_100mhz(self):
+        # Sanity anchor: the board trace must still support PC100-class
+        # signalling.
+        assert OFF_CHIP_TRACE.max_toggle_rate_hz() >= 100e6
+
+    def test_on_chip_supports_concept_clock(self):
+        assert ON_CHIP_WIRE.max_toggle_rate_hz() >= 143e6
+
+    def test_delay_components(self):
+        model = OFF_CHIP_TRACE
+        assert model.propagation_delay_s() > model.flight_time_s()
+        assert model.rc_time_s() > 0
+
+    def test_longer_wire_slower(self):
+        short = ON_CHIP_WIRE
+        long = InterconnectModel(
+            name="long on-chip",
+            length_m=0.012,
+            resistance_ohm_per_m=short.resistance_ohm_per_m,
+            capacitance_f_per_m=short.capacitance_f_per_m,
+            lumped_capacitance_f=short.lumped_capacitance_f,
+            velocity_m_per_s=short.velocity_m_per_s,
+            noise_budget_fraction=short.noise_budget_fraction,
+        )
+        assert long.propagation_delay_s() > short.propagation_delay_s()
+
+    def test_wire_length_optimization_claim(self):
+        # "Interface wire lengths can be optimized for the application":
+        # halving the wire length raises the achievable rate.
+        half = InterconnectModel(
+            name="half",
+            length_m=ON_CHIP_WIRE.length_m / 2,
+            resistance_ohm_per_m=ON_CHIP_WIRE.resistance_ohm_per_m,
+            capacitance_f_per_m=ON_CHIP_WIRE.capacitance_f_per_m,
+            lumped_capacitance_f=ON_CHIP_WIRE.lumped_capacitance_f,
+            velocity_m_per_s=ON_CHIP_WIRE.velocity_m_per_s,
+            noise_budget_fraction=ON_CHIP_WIRE.noise_budget_fraction,
+        )
+        assert half.max_toggle_rate_hz() > ON_CHIP_WIRE.max_toggle_rate_hz()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(
+                name="bad",
+                length_m=0.0,
+                resistance_ohm_per_m=1.0,
+                capacitance_f_per_m=1e-12,
+                lumped_capacitance_f=0.0,
+                velocity_m_per_s=1e8,
+                noise_budget_fraction=0.3,
+            )
+        with pytest.raises(ConfigurationError):
+            ON_CHIP_WIRE.noise_margin_v(0.0)
+        with pytest.raises(ConfigurationError):
+            ON_CHIP_WIRE.rc_time_s(-1.0)
+
+
+class TestMarketForecast:
+    def test_default_lands_in_paper_band(self):
+        # Section 2: "$m in 1997, rising to 4-8bn in 2001".
+        forecast = MarketForecast()
+        assert forecast.within_paper_range_2001()
+
+    def test_implied_growth_is_steep(self):
+        # Reaching even the low end requires ~68%/yr from $500m.
+        low = MarketForecast(annual_growth=0.68)
+        assert low.value_usd(2001) >= 3.9e9
+
+    def test_base_year_identity(self):
+        forecast = MarketForecast()
+        assert forecast.value_usd(1997) == pytest.approx(500e6)
+
+    def test_slow_growth_misses_band(self):
+        slow = MarketForecast(annual_growth=0.2)
+        assert not slow.within_paper_range_2001()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarketForecast(base_value_usd=0.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.power.supplies: the dual-supply issue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.supplies import (
+    SupplyDomain,
+    SupplyPlan,
+    projected_plan,
+    reversal_year,
+)
+
+
+class TestSupplyPlan:
+    def test_1998_rails(self):
+        plan = SupplyPlan()
+        assert plan.logic_vdd == pytest.approx(3.3)
+        assert plan.dram_vdd == pytest.approx(2.5)
+        assert not plan.dram_rail_is_higher()
+
+    def test_four_domains(self):
+        domains = SupplyPlan().domains()
+        names = {domain.name for domain in domains}
+        assert len(domains) == 4
+        assert any("VPP" in name for name in names)
+        assert any("VBB" in name for name in names)
+
+    def test_pumped_rails_flagged(self):
+        pumped = [d for d in SupplyPlan().domains() if d.on_chip_generated]
+        assert len(pumped) == 2
+
+    def test_level_shifters_needed_in_1998(self):
+        assert SupplyPlan().needs_level_shifters()
+
+    def test_equal_rails_no_shifters(self):
+        plan = SupplyPlan(logic_vdd=2.5, dram_vdd=2.5)
+        assert not plan.needs_level_shifters()
+        assert plan.overhead_area_mm2() < SupplyPlan().overhead_area_mm2()
+
+    def test_overhead_scales_with_crossing_signals(self):
+        narrow = SupplyPlan(crossing_signals=64)
+        wide = SupplyPlan(crossing_signals=600)
+        assert wide.overhead_area_mm2() > narrow.overhead_area_mm2()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupplyPlan(logic_vdd=0.0)
+        with pytest.raises(ConfigurationError):
+            SupplyDomain(name="x", voltage=0.0)
+
+
+class TestReversal:
+    def test_paper_predicted_reversal_occurs(self):
+        # "This situation will reverse in the future due to the
+        # back-biasing problem in DRAMs."
+        year = reversal_year()
+        assert year is not None
+        assert 1999 <= year <= 2006
+
+    def test_rails_converge_then_cross(self):
+        before = projected_plan(1998)
+        after = projected_plan(2006)
+        assert not before.dram_rail_is_higher()
+        assert after.dram_rail_is_higher()
+
+    def test_logic_scales_faster(self):
+        early = projected_plan(1998)
+        late = projected_plan(2004)
+        logic_drop = early.logic_vdd / late.logic_vdd
+        dram_drop = early.dram_vdd / late.dram_vdd
+        assert logic_drop > dram_drop
+
+    def test_year_bounds(self):
+        with pytest.raises(ConfigurationError):
+            projected_plan(1990)

@@ -1,0 +1,65 @@
+"""Tests for repro.power.thermal: junction/retention feedback."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.power.thermal import ThermalModel, retention_time_at
+
+
+class TestRetentionCurve:
+    def test_nominal_point(self):
+        assert retention_time_at(85.0) == pytest.approx(64e-3)
+
+    def test_halves_every_ten_degrees(self):
+        assert retention_time_at(95.0) == pytest.approx(32e-3)
+        assert retention_time_at(105.0) == pytest.approx(16e-3)
+
+    def test_doubles_when_cooler(self):
+        assert retention_time_at(75.0) == pytest.approx(128e-3)
+
+    def test_bad_nominal(self):
+        with pytest.raises(ConfigurationError):
+            retention_time_at(85.0, nominal_retention_s=0.0)
+
+
+class TestThermalModel:
+    def test_junction_linear_in_power(self):
+        model = ThermalModel(theta_ja_c_per_w=30.0, ambient_c=45.0)
+        assert model.junction_c(2.0) == pytest.approx(105.0)
+
+    def test_paper_feedback_direction(self):
+        # Section 1: more chip power -> hotter junction -> shorter
+        # retention -> more refresh.
+        model = ThermalModel()
+        _, retention_low, _ = model.solve(0.5)
+        _, retention_high, _ = model.solve(3.0)
+        assert retention_high < retention_low
+
+    def test_solve_fixed_point_consistent(self):
+        model = ThermalModel()
+        tj, retention, total = model.solve(1.0)
+        assert tj == pytest.approx(model.junction_c(total))
+        assert retention == pytest.approx(
+            retention_time_at(
+                tj, model.nominal_retention_s, model.nominal_junction_c
+            )
+        )
+        assert total >= 1.0  # refresh power only adds
+
+    def test_runaway_detected(self):
+        # Absurd thermal resistance: refresh heating diverges.
+        model = ThermalModel(
+            theta_ja_c_per_w=500.0, refresh_energy_per_pass_j=0.5
+        )
+        with pytest.raises(SimulationError):
+            model.solve(5.0)
+
+    def test_refresh_power_scales_with_margin(self):
+        model = ThermalModel()
+        assert model.refresh_power_w(64e-3, margin=4.0) == pytest.approx(
+            2 * model.refresh_power_w(64e-3, margin=2.0)
+        )
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().junction_c(-1.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.reporting: tables and experiment reports."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import Table, format_bits, format_si
+from repro.units import MBIT
+
+
+class TestFormatters:
+    def test_si_giga(self):
+        assert format_si(9.15e9, "B/s") == "9.15 GB/s"
+
+    def test_si_milli(self):
+        assert format_si(0.064, "s") == "64.00 ms"
+
+    def test_si_zero(self):
+        assert format_si(0, "W") == "0 W"
+
+    def test_bits_mbit(self):
+        assert format_bits(4.75 * MBIT) == "4.75 Mbit"
+
+    def test_bits_small(self):
+        assert format_bits(512) == "512 bit"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(title="T", columns=["a", "bb"])
+        table.add_row("x", "y")
+        table.add_row("long-cell", "z")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_cell_count_enforced(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row("only-one")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table(title="T", columns=[])
+
+
+class TestExperimentReport:
+    def test_checks_accumulate(self):
+        report = ExperimentReport(
+            experiment_id="E1", title="power", paper_section="S1"
+        )
+        report.check("claim A", "10x", "10.6x", holds=True)
+        report.check("claim B", "16", "16", holds=True)
+        assert report.all_hold
+        assert len(report.checks) == 2
+
+    def test_failure_visible(self):
+        report = ExperimentReport(
+            experiment_id="E9", title="test", paper_section="S6"
+        )
+        report.check("claim", "yes", "no", holds=False, note="calibration")
+        assert not report.all_hold
+        text = report.render()
+        assert "FAIL" in text
+        assert "calibration" in text
+
+    def test_render_contains_values(self):
+        report = ExperimentReport(
+            experiment_id="E6", title="mpeg2", paper_section="S4.1"
+        )
+        report.check("frame", "4.75 Mbit", "4.746 Mbit", holds=True)
+        text = str(report)
+        assert "4.75 Mbit" in text and "4.746 Mbit" in text

@@ -1,0 +1,89 @@
+"""Determinism: identical configurations produce identical results.
+
+Every stochastic element in the library is seeded (numpy Generator per
+pattern/client/flow); these tests pin that down, because irreproducible
+simulations would make the benchmark tables meaningless.
+"""
+
+import pytest
+
+from repro.controller import MemoryController
+from repro.dft.flow import TestFlow
+from repro.dram import AddressMapping, EDRAMMacro, MappingScheme
+from repro.sim import MemorySystemSimulator, SimulationConfig
+from repro.traffic import MemoryClient, RandomPattern
+from repro.units import MBIT
+
+
+def run_simulation(seed: int):
+    macro = EDRAMMacro.build(
+        size_bits=4 * MBIT, width=64, banks=4, page_bits=2048
+    )
+    device = macro.device()
+    controller = MemoryController(
+        device=device,
+        mapping=AddressMapping(
+            device.organization, MappingScheme.ROW_BANK_COL
+        ),
+    )
+    clients = [
+        MemoryClient(
+            name="a",
+            pattern=RandomPattern(
+                base=0,
+                length=device.organization.total_words,
+                seed=seed,
+            ),
+            rate=0.3,
+            read_fraction=0.6,
+            seed=seed,
+        )
+    ]
+    simulator = MemorySystemSimulator(
+        controller=controller,
+        clients=clients,
+        config=SimulationConfig(cycles=4000, warmup_cycles=400),
+    )
+    return simulator.run()
+
+
+class TestSimulationDeterminism:
+    def test_identical_runs_identical_results(self):
+        a = run_simulation(seed=5)
+        b = run_simulation(seed=5)
+        assert a.requests_completed == b.requests_completed
+        assert a.data_bits_transferred == b.data_bits_transferred
+        assert a.row_hit_rate == b.row_hit_rate
+        assert a.latency.mean == b.latency.mean
+        assert a.commands == b.commands
+
+    def test_different_seeds_differ(self):
+        a = run_simulation(seed=5)
+        b = run_simulation(seed=6)
+        assert (
+            a.latency.mean != b.latency.mean
+            or a.commands != b.commands
+        )
+
+
+class TestFlowDeterminism:
+    def test_lot_reproducible(self):
+        flow = TestFlow(mean_faults_per_die=1.5)
+        a = flow.run_lot(100, seed=3)
+        b = flow.run_lot(100, seed=3)
+        assert a == b
+
+    def test_lot_seed_sensitivity(self):
+        flow = TestFlow(mean_faults_per_die=1.5)
+        a = flow.run_lot(100, seed=3)
+        b = flow.run_lot(100, seed=4)
+        assert a != b
+
+
+class TestExperimentDeterminism:
+    def test_e05_reproducible(self):
+        from repro.experiments.e05_sustainable_bw import simulate_org
+
+        a = simulate_org(banks=4, page_bits=2048, cycles=3000)
+        b = simulate_org(banks=4, page_bits=2048, cycles=3000)
+        assert a == b

@@ -1,0 +1,100 @@
+"""Tests for repro.units: conversions and the paper's binary-Mbit rule."""
+
+import pytest
+
+from repro import units
+from repro.units import (
+    MBIT,
+    KBIT,
+    GBIT,
+    ceil_div,
+    fill_frequency,
+    is_power_of_two,
+    log2_int,
+    mbit,
+)
+
+
+class TestBinaryUnits:
+    def test_mbit_is_binary(self):
+        assert MBIT == 2**20
+
+    def test_kbit_gbit(self):
+        assert KBIT == 2**10
+        assert GBIT == 2**30
+
+    def test_pal_frame_matches_paper(self):
+        # 720 x 576 x 12 bpp = the paper's "4.75 Mbit"
+        assert mbit(720 * 576 * 12) == pytest.approx(4.75, abs=0.01)
+
+    def test_ntsc_frame_matches_paper(self):
+        assert mbit(720 * 480 * 12) == pytest.approx(3.96, abs=0.01)
+
+    def test_byte_units(self):
+        assert units.MBYTE == 8 * MBIT
+        assert units.mbyte(units.MBYTE) == 1.0
+
+
+class TestRateConversions:
+    def test_gbyte_per_s(self):
+        assert units.gbyte_per_s(8e9) == pytest.approx(1.0)
+
+    def test_gbit_per_s(self):
+        assert units.gbit_per_s(2e9) == pytest.approx(2.0)
+
+    def test_mhz(self):
+        assert units.mhz(143e6) == pytest.approx(143.0)
+
+    def test_ns(self):
+        assert units.ns(7e-9) == pytest.approx(7.0)
+
+
+class TestFillFrequency:
+    def test_paper_example_edram(self):
+        # 4-Mbit eDRAM with a 256-bit interface at 143 MHz.
+        bandwidth = 256 * 143e6
+        ff = fill_frequency(bandwidth, 4 * MBIT)
+        assert ff == pytest.approx(8726.8, rel=1e-3)
+
+    def test_ratio_vs_discrete(self):
+        # Same bandwidth from a 64-Mbit discrete system: 16x lower fill
+        # frequency, purely from the granularity.
+        bandwidth = 256 * 100e6
+        embedded = fill_frequency(bandwidth, 4 * MBIT)
+        discrete = fill_frequency(bandwidth, 64 * MBIT)
+        assert embedded / discrete == pytest.approx(16.0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            fill_frequency(1e9, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            fill_frequency(1e9, -1)
+
+
+class TestIntegerHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 30])
+    def test_powers_of_two(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1023])
+    def test_non_powers_of_two(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
