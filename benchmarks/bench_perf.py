@@ -1,0 +1,271 @@
+"""Performance benchmark: simulator fast path + design-space sweeps.
+
+Measures the two optimized hot paths against their reference
+implementations and writes ``BENCH_perf.json``:
+
+* **sim_fast_forward** — an E5-style low-load sustainable-bandwidth run
+  (three clients, rate <= 0.1 each) through the naive per-cycle loop and
+  the event-skipping fast path.  The two results must be bit-identical;
+  the section reports cycles/sec for both and the speedup.
+* **design_space** — the E10 MPEG2 exploration with the reference
+  configuration (python pareto engine, cold caches) vs the optimized one
+  (vectorized pareto, enumeration precheck, memoized evaluator), plus
+  the warm re-explore hit rate.
+* **parallel_sweep** — a macro-evaluation sweep run serially and through
+  the process pool (falls back to serial on single-CPU machines; the
+  worker count used is recorded either way).
+
+Run directly::
+
+    python benchmarks/bench_perf.py [--smoke] [--out BENCH_perf.json]
+
+``--smoke`` shrinks the cycle budget so CI can exercise the whole
+harness in seconds; also usable under pytest (collects as two tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.evaluator import Evaluator
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.parallel import ParallelConfig
+from repro.core.sweep import Sweep
+from repro.controller.controller import ControllerConfig, MemoryController
+from repro.dram.device import DRAMDevice
+from repro.dram.edram import EDRAMMacro
+from repro.dram.organizations import AddressMapping, Organization
+from repro.dram.timing import PC100_TIMING
+from repro.experiments.e10_design_space import mpeg2_requirements
+from repro.reporting.profiling import PerfReport, measure
+from repro.sim.simulator import MemorySystemSimulator, SimulationConfig
+from repro.traffic.client import ClientKind, MemoryClient
+from repro.traffic.patterns import RandomPattern, SequentialPattern
+from repro.units import MBIT
+
+#: Per-client request rate of the low-load scenario (well under the
+#: rate <= 0.1 bound; display-refresh-style duty cycle where idle-cycle
+#: skipping matters most).
+LOW_LOAD_RATE = 0.001
+
+_REQUIREMENTS = mpeg2_requirements()
+
+
+def build_simulator(
+    cycles: int, warmup: int, fast_forward: bool
+) -> MemorySystemSimulator:
+    """E5-style system: stream + block + random clients on 4 banks."""
+    org = Organization(n_banks=4, n_rows=2048, page_bits=4096, word_bits=16)
+    device = DRAMDevice(organization=org, timing=PC100_TIMING)
+    controller = MemoryController(
+        device=device,
+        mapping=AddressMapping(organization=org),
+        config=ControllerConfig(),
+    )
+    quarter = org.total_words // 4
+    clients = [
+        MemoryClient(
+            name="display",
+            pattern=SequentialPattern(base=0, length=quarter),
+            rate=LOW_LOAD_RATE,
+            kind=ClientKind.STREAM,
+        ),
+        MemoryClient(
+            name="video",
+            pattern=SequentialPattern(base=quarter, length=quarter),
+            rate=LOW_LOAD_RATE,
+            read_fraction=0.7,
+            kind=ClientKind.BLOCK,
+            seed=7,
+        ),
+        MemoryClient(
+            name="cpu",
+            pattern=RandomPattern(base=0, length=org.total_words, seed=3),
+            rate=LOW_LOAD_RATE,
+            read_fraction=0.6,
+            kind=ClientKind.RANDOM,
+            seed=11,
+        ),
+    ]
+    return MemorySystemSimulator(
+        controller=controller,
+        clients=clients,
+        config=SimulationConfig(
+            cycles=cycles, warmup_cycles=warmup, fast_forward=fast_forward
+        ),
+    )
+
+
+def result_fingerprint(result) -> tuple:
+    """Everything a SimulationResult observably contains."""
+    return (
+        result.requests_completed,
+        result.data_bits_transferred,
+        result.commands,
+        result.refreshes,
+        result.bank_activations,
+        result.fifo_high_water,
+        result.fifo_stall_cycles,
+        result.row_hit_rate,
+        tuple(result.latency._samples),
+        {
+            name: tuple(stats._samples)
+            for name, stats in result.latency_by_client.items()
+        },
+    )
+
+
+def bench_sim(report: PerfReport, cycles: int, warmup: int) -> None:
+    total = cycles + warmup
+    naive_s, naive_result = measure(
+        lambda: build_simulator(cycles, warmup, fast_forward=False).run()
+    )
+    fast_sim = build_simulator(cycles, warmup, fast_forward=True)
+    fast_s, fast_result = measure(fast_sim.run)
+    identical = result_fingerprint(naive_result) == result_fingerprint(
+        fast_result
+    )
+    if not identical:
+        raise AssertionError(
+            "fast-forward result diverged from the naive loop"
+        )
+    report.add(
+        "sim_fast_forward",
+        cycles=total,
+        client_rate=LOW_LOAD_RATE,
+        naive_seconds=naive_s,
+        fast_seconds=fast_s,
+        naive_cycles_per_sec=total / naive_s,
+        fast_cycles_per_sec=total / fast_s,
+        speedup=naive_s / fast_s,
+        cycles_fast_forwarded=fast_sim.cycles_fast_forwarded,
+        bit_identical=identical,
+    )
+
+
+def bench_design_space(report: PerfReport) -> None:
+    def reference() -> int:
+        explorer = DesignSpaceExplorer(
+            evaluator=Evaluator(), pareto_engine="python"
+        )
+        return explorer.explore(_REQUIREMENTS).n_explored
+
+    def optimized():
+        explorer = DesignSpaceExplorer(evaluator=Evaluator())
+        result = explorer.explore(_REQUIREMENTS)
+        return explorer, result.n_explored
+
+    reference_s, n_points = measure(reference)
+    optimized_s, (explorer, _) = measure(optimized)
+    # Warm re-explore: every evaluation served from the memo.
+    warm_s, _ = measure(lambda: explorer.explore(_REQUIREMENTS).n_explored)
+    info = explorer.evaluator.macro_cache_info()
+    report.add(
+        "design_space",
+        points=n_points,
+        reference_seconds=reference_s,
+        optimized_seconds=optimized_s,
+        warm_seconds=warm_s,
+        reference_evals_per_sec=n_points / reference_s,
+        optimized_evals_per_sec=n_points / optimized_s,
+        speedup=reference_s / optimized_s,
+        warm_speedup=reference_s / warm_s,
+        cache_hits=info["hits"],
+        cache_misses=info["misses"],
+    )
+
+
+def evaluate_sweep_point(width: int, page_bits: int) -> float:
+    """Module-level (picklable) sweep evaluation for the pool bench."""
+    evaluator = Evaluator()
+    macro = EDRAMMacro(
+        size_bits=16 * MBIT, width=width, banks=4, page_bits=page_bits
+    )
+    metrics = evaluator.evaluate_macro(macro, _REQUIREMENTS)
+    return metrics.sustained_bandwidth_bits_per_s
+
+
+def bench_parallel_sweep(report: PerfReport) -> None:
+    sweep = Sweep(
+        axes={
+            "width": [16, 32, 64, 128, 256],
+            "page_bits": [1024, 2048, 4096, 8192],
+        }
+    )
+    serial_s, serial_result = measure(
+        lambda: sweep.run(evaluate_sweep_point, skip_errors=True)
+    )
+    workers = os.cpu_count() or 1
+    config = ParallelConfig(workers=workers)
+    parallel_s, parallel_result = measure(
+        lambda: sweep.run(
+            evaluate_sweep_point, skip_errors=True, parallel=config
+        )
+    )
+    matches = [
+        (p.parameters, p.result) for p in serial_result.points
+    ] == [(p.parameters, p.result) for p in parallel_result.points]
+    if not matches:
+        raise AssertionError("parallel sweep diverged from serial sweep")
+    n = len(serial_result.points)
+    report.add(
+        "parallel_sweep",
+        points=n,
+        workers=workers,
+        serial_seconds=serial_s,
+        parallel_seconds=parallel_s,
+        serial_evals_per_sec=n / serial_s,
+        parallel_evals_per_sec=n / parallel_s,
+        identical=matches,
+    )
+
+
+def run(smoke: bool = False) -> PerfReport:
+    report = PerfReport(title="Performance benchmark (fast paths)")
+    if smoke:
+        bench_sim(report, cycles=2_000, warmup=200)
+    else:
+        bench_sim(report, cycles=20_000, warmup=1_000)
+    bench_design_space(report)
+    bench_parallel_sweep(report)
+    return report
+
+
+# -- pytest entry points ----------------------------------------------------
+
+
+def test_perf_smoke() -> None:
+    """The whole harness runs and the fast path stays bit-identical."""
+    report = run(smoke=True)
+    sim = report.sections["sim_fast_forward"]
+    assert sim["bit_identical"]
+    assert report.sections["parallel_sweep"]["identical"]
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny cycle budget (CI smoke run)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_perf.json"),
+        help="JSON report path (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    report.write_json(args.out)
+    print(report.render())
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,9 +79,14 @@ class MemoryController:
     config: ControllerConfig = ControllerConfig()
 
     fifos: dict[str, ClientFifo] = field(default_factory=dict, init=False)
+    _fifo_list: list[ClientFifo] = field(default_factory=list, init=False)
     window: list[Request] = field(default_factory=list, init=False)
     completed: list[Request] = field(default_factory=list, init=False)
     _inflight: list[tuple[int, Request]] = field(default_factory=list, init=False)
+    #: The shared data bus serializes bursts, so in-flight end cycles
+    #: arrive in ascending order; tracked so retirement can early-exit
+    #: (and fall back to a full scan if a subclass ever breaks it).
+    _inflight_sorted: bool = field(default=True, init=False)
     _close_wanted: set = field(default_factory=set, init=False)
     _refresh: RefreshScheduler | None = field(default=None, init=False)
     _refresh_draining: bool = field(default=False, init=False)
@@ -109,9 +114,9 @@ class MemoryController:
     def register_client(self, name: str) -> ClientFifo:
         """Create (or return) the FIFO for a client."""
         if name not in self.fifos:
-            self.fifos[name] = ClientFifo(
-                client=name, capacity=self.config.fifo_capacity
-            )
+            fifo = ClientFifo(client=name, capacity=self.config.fifo_capacity)
+            self.fifos[name] = fifo
+            self._fifo_list.append(fifo)
         return self.fifos[name]
 
     def offer(self, request: Request) -> bool:
@@ -140,24 +145,83 @@ class MemoryController:
 
     def _observe(self, cycle: int) -> None:
         del cycle
-        for fifo in self.fifos.values():
+        for fifo in self._fifo_list:
             fifo.observe_cycle()
 
+    # -- fast-forward support ------------------------------------------------
+
+    def quiescent_until(self, cycle: int) -> int | None:
+        """Earliest cycle >= ``cycle`` at which stepping may do work.
+
+        Returns ``cycle`` itself when the controller is busy (so the
+        caller must step every cycle), a future cycle when the only
+        pending obligation is a scheduled refresh, or None when, absent
+        new client requests, stepping can never do anything again.
+
+        "Work" excludes request retirement on purpose: retiring an
+        in-flight burst at a later cycle is observationally identical
+        (``completed_cycle`` is the recorded burst-end cycle either
+        way, and with an empty window/FIFOs nothing can react to the
+        retirement earlier), so in-flight requests alone do not force
+        per-cycle stepping.
+        """
+        if self.window or self._refresh_draining:
+            return cycle
+        for fifo in self._fifo_list:
+            if len(fifo):
+                return cycle
+        for bank_index in self._close_wanted:
+            # A committed policy precharge still waiting on an open row
+            # resolves within tRAS; step it cycle by cycle.
+            if self.device.bank(bank_index).open_row(cycle) is not None:
+                return cycle
+        if self._refresh is None:
+            return None
+        return self._refresh.quiescent_until(cycle)
+
+    def skip_idle_cycles(self, cycles: int) -> None:
+        """Account for ``cycles`` idle cycles the simulator skipped.
+
+        Only per-cycle statistics accrue during a quiescent span (FIFO
+        occupancy observation); command state is untouched, which is
+        exactly what :meth:`quiescent_until` guarantees is safe.
+        """
+        for fifo in self._fifo_list:
+            fifo.observe_cycles(cycles)
+
     def _retire(self, cycle: int) -> None:
+        inflight = self._inflight
+        if not inflight:
+            return
+        if self._inflight_sorted:
+            if inflight[0][0] > cycle:
+                return
+            retired = 0
+            for end_cycle, request in inflight:
+                if end_cycle > cycle:
+                    break
+                self._complete(request, end_cycle)
+                retired += 1
+            del inflight[:retired]
+            return
         still: list[tuple[int, Request]] = []
-        for end_cycle, request in self._inflight:
+        for end_cycle, request in inflight:
             if end_cycle <= cycle:
-                request.state = RequestState.COMPLETED
-                request.completed_cycle = end_cycle
-                self.completed.append(request)
+                self._complete(request, end_cycle)
             else:
                 still.append((end_cycle, request))
         self._inflight = still
 
+    def _complete(self, request: Request, end_cycle: int) -> None:
+        """Finish one request whose data burst has ended (override hook)."""
+        request.state = RequestState.COMPLETED
+        request.completed_cycle = end_cycle
+        self.completed.append(request)
+
     def _accept(self, cycle: int) -> None:
         if len(self.window) >= self.config.window_size:
             return
-        fifo = self.arbiter.select(list(self.fifos.values()), cycle)
+        fifo = self.arbiter.select(self._fifo_list, cycle)
         if fifo is None:
             return
         request = fifo.pop()
@@ -197,6 +261,8 @@ class MemoryController:
     # -- page policy precharges ----------------------------------------------
 
     def _issue_policy_precharge(self, cycle: int) -> bool:
+        if not self._close_wanted:
+            return False
         for bank_index in sorted(self._close_wanted):
             bank = self.device.bank(bank_index)
             if bank.open_row(cycle) is None:
@@ -218,6 +284,8 @@ class MemoryController:
         return self.scheduler.candidates(self.window, self.device, cycle)
 
     def _issue_request_command(self, cycle: int) -> None:
+        if not self.window:
+            return
         for request in self._candidate_order(cycle):
             command = self._next_command(request, cycle)
             if command is None:
@@ -279,6 +347,8 @@ class MemoryController:
         bank.record_access_outcome(request.was_row_hit)
         request.state = RequestState.ISSUED
         request.issued_cycle = cycle
+        if self._inflight and end < self._inflight[-1][0]:
+            self._inflight_sorted = False
         self._inflight.append((end, request))
         self.window.remove(request)
         self.data_beats += self.device.timing.burst_length

@@ -79,6 +79,19 @@ class ClientFifo:
         self._occupancy_cycles += len(self._queue)
         self._cycles_observed += 1
 
+    def observe_cycles(self, cycles: int) -> None:
+        """Accumulate occupancy statistics for ``cycles`` cycles at once.
+
+        Used by the fast-forward simulator for skipped idle spans, over
+        which the occupancy is constant by construction.
+        """
+        if cycles < 0:
+            raise ConfigurationError(
+                f"FIFO {self.client}: cycles must be >= 0, got {cycles}"
+            )
+        self._occupancy_cycles += len(self._queue) * cycles
+        self._cycles_observed += cycles
+
     @property
     def mean_occupancy(self) -> float:
         if self._cycles_observed == 0:

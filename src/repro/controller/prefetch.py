@@ -80,25 +80,19 @@ class PrefetchingMemoryController(MemoryController):
 
     # -- overridden pipeline stages -----------------------------------------
 
-    def _retire(self, cycle: int) -> None:
-        still = []
-        for end_cycle, request in self._inflight:
-            if end_cycle <= cycle:
-                request.state = RequestState.COMPLETED
-                request.completed_cycle = end_cycle
-                if request.is_prefetch:
-                    self._active_prefetch.discard(request.address)
-                    self._buffer_insert(request.address)
-                else:
-                    self.completed.append(request)
-            else:
-                still.append((end_cycle, request))
-        self._inflight = still
+    def _complete(self, request: Request, end_cycle: int) -> None:
+        request.state = RequestState.COMPLETED
+        request.completed_cycle = end_cycle
+        if request.is_prefetch:
+            self._active_prefetch.discard(request.address)
+            self._buffer_insert(request.address)
+        else:
+            self.completed.append(request)
 
     def _accept(self, cycle: int) -> None:
         if len(self.window) >= self.config.window_size:
             return
-        fifo = self.arbiter.select(list(self.fifos.values()), cycle)
+        fifo = self.arbiter.select(self._fifo_list, cycle)
         if fifo is None:
             self._inject_prefetches(cycle)
             return
@@ -184,6 +178,14 @@ class PrefetchingMemoryController(MemoryController):
             self.window.append(request)
             self.prefetch_issued += 1
             free -= 1
+
+    def quiescent_until(self, cycle: int) -> int | None:
+        """Prefetch injection is idle work: queued prefetch targets get
+        injected even when no client request arrives, so the controller
+        is never quiescent while any are pending."""
+        if self._pending_prefetch:
+            return cycle
+        return super().quiescent_until(cycle)
 
     def _candidate_order(self, cycle: int):
         """Demand requests first; prefetches only fill leftover slots."""

@@ -67,7 +67,7 @@ class RowCacheController(MemoryController):
     def _accept(self, cycle: int) -> None:
         if len(self.window) >= self.config.window_size:
             return
-        fifo = self.arbiter.select(list(self.fifos.values()), cycle)
+        fifo = self.arbiter.select(self._fifo_list, cycle)
         if fifo is None:
             return
         request = fifo.pop()

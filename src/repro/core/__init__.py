@@ -42,6 +42,7 @@ from repro.core.allocation import (
     BufferSpec,
     Placement,
 )
+from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
 from repro.core.sweep import Sweep, SweepPoint, SweepResult
 
 __all__ = [
@@ -67,6 +68,9 @@ __all__ = [
     "BankAllocator",
     "BufferSpec",
     "Placement",
+    "ParallelConfig",
+    "PointOutcome",
+    "parallel_map",
     "Sweep",
     "SweepPoint",
     "SweepResult",

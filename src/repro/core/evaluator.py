@@ -21,6 +21,7 @@ organization parameters recover it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
 from repro.units import MBIT
@@ -38,9 +39,39 @@ from repro.power.interface import (
 )
 
 
+@lru_cache(maxsize=4096)
+def _edram_core_power(width: int, read_fraction: float) -> tuple:
+    """(busy_w, idle_w) of the eDRAM core at a given interface width.
+
+    The IDD scaling and power-model construction are pure functions of
+    the width and read mix; a design-space sweep revisits the same few
+    widths hundreds of times.
+    """
+    core = CorePowerModel(EDRAM_IDD.scaled_for_width(width))
+    return core.busy_power_w(read_fraction), core.idle_power_w()
+
+
+class _MacroCache:
+    """Mutable memo store living inside the frozen :class:`Evaluator`."""
+
+    __slots__ = ("entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+
 @dataclass(frozen=True)
 class Evaluator:
     """Analytic evaluator for embedded and discrete memory solutions.
+
+    ``evaluate_macro`` results are memoized per evaluator instance,
+    keyed on the ``(macro, requirements)`` pair.  Both keys and every
+    evaluator attribute are frozen dataclasses, so a cache entry can
+    only go stale by constructing a *different* evaluator — which gets
+    its own empty cache.  That is the whole invalidation rule: new
+    wafer/yield/cost assumptions mean a new ``Evaluator``.
 
     Attributes:
         wafer: Wafer economics for embedded silicon cost.
@@ -55,6 +86,46 @@ class Evaluator:
     yield_model: YieldModel = field(default_factory=YieldModel)
     test_cost_per_mbit: float = 0.02
     max_utilization: float = 0.95
+
+    _macro_cache: _MacroCache = field(
+        default_factory=_MacroCache, init=False, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        # The cache never crosses process boundaries: workers start
+        # cold and the parent primes itself from their results.
+        state = self.__dict__.copy()
+        state["_macro_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["_macro_cache"] = _MacroCache()
+        self.__dict__.update(state)
+
+    # -- memo cache ---------------------------------------------------------
+
+    def macro_cache_info(self) -> dict:
+        """Cache statistics: ``{"size": ..., "hits": ..., "misses": ...}``."""
+        cache = self._macro_cache
+        return {
+            "size": len(cache.entries),
+            "hits": cache.hits,
+            "misses": cache.misses,
+        }
+
+    def clear_macro_cache(self) -> None:
+        cache = self._macro_cache
+        cache.entries.clear()
+        cache.hits = 0
+        cache.misses = 0
+
+    def prime_macro_cache(self, pairs) -> None:
+        """Pre-populate the memo from ``((macro, requirements), metrics)``
+        pairs (e.g. results computed by worker processes)."""
+        entries = self._macro_cache.entries
+        for key, metrics in pairs:
+            entries[tuple(key)] = metrics
 
     # -- shared analytic kernels --------------------------------------------
 
@@ -118,7 +189,28 @@ class Evaluator:
         macro: EDRAMMacro,
         requirements: ApplicationRequirements,
     ) -> SolutionMetrics:
-        """Analytic metrics of an eDRAM macro under the requirements."""
+        """Analytic metrics of an eDRAM macro under the requirements.
+
+        Memoized on ``(macro, requirements)``; see the class docstring
+        for the invalidation rule.  The returned metrics are frozen, so
+        sharing the cached instance is safe.
+        """
+        cache = self._macro_cache
+        key = (macro, requirements)
+        metrics = cache.entries.get(key)
+        if metrics is not None:
+            cache.hits += 1
+            return metrics
+        cache.misses += 1
+        metrics = self._evaluate_macro_uncached(macro, requirements)
+        cache.entries[key] = metrics
+        return metrics
+
+    def _evaluate_macro_uncached(
+        self,
+        macro: EDRAMMacro,
+        requirements: ApplicationRequirements,
+    ) -> SolutionMetrics:
         timing = macro.timing
         burst_bits = macro.width * timing.burst_length
         hit = self.row_hit_rate(
@@ -146,10 +238,9 @@ class Evaluator:
         )
         latency = self._loaded_latency_ns(base_latency_ns, utilization)
         # Power at the delivered operating point.
-        idd = EDRAM_IDD.scaled_for_width(macro.width)
-        core = CorePowerModel(idd)
-        busy = core.busy_power_w(requirements.read_fraction)
-        idle = core.idle_power_w()
+        busy, idle = _edram_core_power(
+            macro.width, requirements.read_fraction
+        )
         core_w = utilization * busy + (1 - utilization) * idle
         io_w = InterfacePowerModel(
             spec=ON_CHIP_BUS,

@@ -17,10 +17,12 @@ from repro.errors import ConfigurationError, InfeasibleError
 from repro.units import MBIT, ceil_div
 from repro.core.evaluator import Evaluator
 from repro.core.metrics import SolutionMetrics
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.core.pareto import pareto_frontier
 from repro.core.requirements import ApplicationRequirements
 from repro.dram.catalog import COMMODITY_PARTS, smallest_system
 from repro.dram.edram import EDRAMMacro, SIEMENS_CONCEPT, SiemensConceptRules
+from repro.dram.timing import PC100_TIMING
 
 
 @dataclass(frozen=True)
@@ -83,6 +85,10 @@ class DesignSpaceExplorer:
         size_headroom: Capacity slack factors to consider beyond the
             minimum constructible size (exploring slightly larger modules
             sometimes buys organization freedom).
+        pareto_engine: Frontier implementation passed through to
+            :func:`~repro.core.pareto.pareto_frontier` ("auto" picks the
+            vectorized engine; "python" forces the reference loop, used
+            by the perf benchmark as the baseline).
     """
 
     rules: SiemensConceptRules = SIEMENS_CONCEPT
@@ -90,6 +96,13 @@ class DesignSpaceExplorer:
     widths: tuple | None = None
     bank_options: tuple = (1, 2, 4, 8, 16)
     size_headroom: tuple = (1.0, 1.25)
+    pareto_engine: str = "auto"
+
+    #: (size, width, banks, page) combinations that raised
+    #: ConfigurationError once — never re-attempted by ``enumerate``.
+    _invalid_combos: set = field(
+        default_factory=set, init=False, repr=False
+    )
 
     def candidate_widths(self) -> list:
         if self.widths is not None:
@@ -123,12 +136,24 @@ class DesignSpaceExplorer:
         return sizes
 
     def enumerate(self, requirements: ApplicationRequirements) -> list:
-        """All constructible macros covering the capacity requirement."""
+        """All constructible macros covering the capacity requirement.
+
+        Combinations that cannot construct are pre-checked against the
+        cheap concept rules (width vs page, bank/page divisibility) and
+        remembered across calls, so repeated enumerations never pay for
+        re-raising the same :class:`ConfigurationError`.
+        """
         macros = []
+        invalid = self._invalid_combos
         for size in self.candidate_sizes(requirements.capacity_bits):
             for width in self.candidate_widths():
                 for banks in self.bank_options:
                     for page in self.rules.allowed_page_bits:
+                        if width > page or size % (banks * page):
+                            continue
+                        combo = (size, width, banks, page)
+                        if combo in invalid:
+                            continue
                         try:
                             macro = EDRAMMacro(
                                 size_bits=size,
@@ -137,25 +162,48 @@ class DesignSpaceExplorer:
                                 page_bits=page,
                             )
                         except ConfigurationError:
+                            invalid.add(combo)
                             continue
                         macros.append(macro)
         return macros
 
     def explore(
-        self, requirements: ApplicationRequirements
+        self,
+        requirements: ApplicationRequirements,
+        parallel: ParallelConfig | None = None,
     ) -> ExplorationResult:
-        """Run the full sweep for one application."""
-        evaluated = [
-            self.evaluator.evaluate_macro(macro, requirements)
-            for macro in self.enumerate(requirements)
-        ]
+        """Run the full sweep for one application.
+
+        With ``parallel``, macro evaluations are fanned out across a
+        process pool (deterministically chunked, merged back in
+        enumeration order) and the results prime this explorer's
+        evaluator memo, so later serial queries hit the cache.
+        """
+        macros = self.enumerate(requirements)
+        if parallel is not None and len(macros) > 1:
+            task = _EvaluateMacroTask(
+                evaluator=self.evaluator, requirements=requirements
+            )
+            outcomes = parallel_map(task, macros, config=parallel)
+            evaluated = [outcome.value for outcome in outcomes]
+            self.evaluator.prime_macro_cache(
+                ((macro, requirements), metrics)
+                for macro, metrics in zip(macros, evaluated)
+            )
+        else:
+            evaluated = [
+                self.evaluator.evaluate_macro(macro, requirements)
+                for macro in macros
+            ]
         feasible = [
             metrics
             for metrics in evaluated
             if self.evaluator.meets(metrics, requirements)
         ]
         frontier = pareto_frontier(
-            feasible, lambda metrics: metrics.objective_tuple()
+            feasible,
+            lambda metrics: metrics.objective_tuple(),
+            engine=self.pareto_engine,
         )
         try:
             discrete = smallest_system(
@@ -183,8 +231,6 @@ class DesignSpaceExplorer:
         Derates the PC100 interface to ~60% sustained efficiency, the
         same ballpark the analytic model produces for mixed traffic.
         """
-        from repro.dram.timing import PC100_TIMING
-
         effective = PC100_TIMING.clock_hz * 0.6
         width = ceil_div(
             int(requirements.sustained_bandwidth_bits_per_s), int(effective)
@@ -193,3 +239,14 @@ class DesignSpaceExplorer:
         while rounded < width:
             rounded *= 2
         return rounded
+
+
+@dataclass(frozen=True)
+class _EvaluateMacroTask:
+    """Picklable single-macro evaluation, for process-pool fan-out."""
+
+    evaluator: Evaluator
+    requirements: ApplicationRequirements
+
+    def __call__(self, macro: EDRAMMacro) -> SolutionMetrics:
+        return self.evaluator.evaluate_macro(macro, self.requirements)

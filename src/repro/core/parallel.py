@@ -1,0 +1,170 @@
+"""Process-parallel evaluation of independent design points.
+
+Design-space sweeps are embarrassingly parallel: every point is a pure
+function of its parameters.  :func:`parallel_map` runs such workloads
+across a process pool with
+
+* **deterministic chunking** — points are split into contiguous chunks
+  in input order, so the work distribution does not depend on worker
+  scheduling;
+* **ordered merge** — results come back in input order regardless of
+  which worker finished first, so parallel runs are indistinguishable
+  from serial ones;
+* **graceful fallback** — if the platform cannot spawn workers (single
+  CPU, sandboxed environment, non-picklable callables) the map silently
+  degrades to the serial path, which is always correct.
+
+Per-point errors of declared types are captured as
+:class:`PointOutcome` failures instead of poisoning the whole pool, so
+a sweep over a partially-infeasible grid behaves like its serial
+``skip_errors`` counterpart.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to distribute a sweep across processes.
+
+    Attributes:
+        workers: Worker processes (None = ``os.cpu_count()``).  A value
+            of 0 or 1 — or a single-CPU machine — selects the in-process
+            serial path.
+        chunk_size: Points per task sent to a worker (None = one
+            contiguous chunk per worker).  Chunks are always contiguous
+            slices of the input, so chunking never reorders evaluation
+            within a chunk.
+    """
+
+    workers: int | None = None
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+
+    def resolved_workers(self, n_items: int) -> int:
+        workers = self.workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, n_items))
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Result of one evaluated point.
+
+    Attributes:
+        ok: Whether the evaluation returned normally.
+        value: The return value (None on failure).
+        error: ``repr`` of the captured exception (None on success).
+    """
+
+    ok: bool
+    value: object = None
+    error: str | None = None
+
+
+def _run_chunk(fn, chunk, catch):
+    """Worker entry point: evaluate one contiguous chunk of items.
+
+    Top-level so it pickles under the spawn start method.  ``catch`` is
+    a tuple of exception types converted to failed outcomes; anything
+    else propagates and fails the whole map (which then falls back to
+    the serial path in the parent, re-raising deterministically).
+    """
+    outcomes = []
+    for item in chunk:
+        try:
+            outcomes.append(PointOutcome(ok=True, value=fn(item)))
+        except catch as error:
+            outcomes.append(PointOutcome(ok=False, error=repr(error)))
+    return outcomes
+
+
+def _chunks(items: list, chunk_size: int) -> list:
+    return [
+        items[start : start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+def _picklable(*objects) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _serial_map(fn, items, catch) -> list:
+    return _run_chunk(fn, items, catch)
+
+
+def parallel_map(
+    fn,
+    items,
+    config: ParallelConfig | None = None,
+    catch: tuple = (),
+) -> list:
+    """Evaluate ``fn`` over ``items``, optionally across processes.
+
+    Args:
+        fn: Single-argument callable; must be picklable (a module-level
+            function or a dataclass instance) to actually run in
+            parallel — otherwise the serial path is used.
+        items: Finite iterable of inputs (materialized up front).
+        config: Distribution settings; None means serial.
+        catch: Exception types captured per point as failed
+            :class:`PointOutcome` entries instead of raised.
+
+    Returns:
+        One :class:`PointOutcome` per item, in input order.
+    """
+    items = list(items)
+    catch = tuple(catch) or (_NeverRaised,)
+    if not items:
+        return []
+    if config is None:
+        return _serial_map(fn, items, catch)
+    workers = config.resolved_workers(len(items))
+    if workers <= 1:
+        return _serial_map(fn, items, catch)
+    if not _picklable(fn, items[0]):
+        return _serial_map(fn, items, catch)
+    chunk_size = config.chunk_size
+    if chunk_size is None:
+        from repro.units import ceil_div
+
+        chunk_size = ceil_div(len(items), workers)
+    chunks = _chunks(items, chunk_size)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_chunk, fn, chunk, catch)
+                for chunk in chunks
+            ]
+            merged: list = []
+            for future in futures:  # submission order == input order
+                merged.extend(future.result())
+            return merged
+    except Exception:
+        # Broken pool, spawn failure, or a worker-side crash outside
+        # `catch`: redo serially so the error (if any) surfaces with a
+        # clean traceback and the caller never sees partial results.
+        return _serial_map(fn, items, catch)
+
+
+class _NeverRaised(Exception):
+    """Placeholder exception type: an empty ``catch`` catches nothing."""

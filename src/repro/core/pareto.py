@@ -2,15 +2,36 @@
 
 All objectives are *minimized*; callers encode maximize-objectives by
 negation (as :meth:`SolutionMetrics.objective_tuple` does for bandwidth).
+
+Two interchangeable engines compute the frontier:
+
+* ``"python"`` — the reference O(n^2) pairwise loop;
+* ``"numpy"`` — the same pairwise dominance test as one vectorized
+  broadcast (still O(n^2) comparisons, but in C; this is the hot path
+  of a design-space exploration, where n runs into the hundreds).
+
+``"auto"`` (the default) picks numpy whenever the objective vectors are
+numeric.  Both engines return identical frontiers — order, ties and
+duplicate handling included — which ``tests/test_core_parallel.py``
+pins.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence, TypeVar
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
+
+#: Engines recognised by :func:`pareto_frontier`.
+_ENGINES = ("auto", "numpy", "python")
+
+#: Above this many items the numpy engine tests dominance in row blocks
+#: to bound the broadcast's O(n^2) temporary memory.
+_BLOCK_ROWS = 2048
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -30,17 +51,7 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return no_worse and strictly_better
 
 
-def pareto_frontier(
-    items: Sequence[T],
-    objectives: Callable[[T], Sequence[float]],
-) -> list[T]:
-    """Non-dominated subset of ``items`` under ``objectives``.
-
-    Duplicates (identical objective vectors) are kept once, preserving
-    the first occurrence.  O(n^2) — fine for the few thousand
-    configurations a design-space sweep produces.
-    """
-    vectors = [tuple(objectives(item)) for item in items]
+def _frontier_python(items: Sequence[T], vectors: list) -> list[T]:
     frontier: list[T] = []
     seen: set = set()
     for i, item in enumerate(items):
@@ -56,3 +67,59 @@ def pareto_frontier(
             frontier.append(item)
             seen.add(vi)
     return frontier
+
+
+def _dominated_mask(array: np.ndarray) -> np.ndarray:
+    """Boolean mask: row i is dominated by some other row."""
+    n = len(array)
+    dominated = np.zeros(n, dtype=bool)
+    for start in range(0, n, _BLOCK_ROWS):
+        block = array[start : start + _BLOCK_ROWS]
+        # le[i, j]: candidate j is no worse than block row i everywhere;
+        # lt[i, j]: candidate j is strictly better somewhere.
+        le = (array[None, :, :] <= block[:, None, :]).all(axis=2)
+        lt = (array[None, :, :] < block[:, None, :]).any(axis=2)
+        dominated[start : start + _BLOCK_ROWS] = (le & lt).any(axis=1)
+    return dominated
+
+
+def _frontier_numpy(items: Sequence[T], vectors: list) -> list[T]:
+    array = np.asarray(vectors, dtype=float)
+    dominated = _dominated_mask(array)
+    frontier: list[T] = []
+    seen: set = set()
+    for i, item in enumerate(items):
+        if dominated[i]:
+            continue
+        vi = vectors[i]
+        if vi in seen:
+            continue
+        frontier.append(item)
+        seen.add(vi)
+    return frontier
+
+
+def pareto_frontier(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+    engine: str = "auto",
+) -> list[T]:
+    """Non-dominated subset of ``items`` under ``objectives``.
+
+    Duplicates (identical objective vectors) are kept once, preserving
+    the first occurrence.  ``engine`` selects the implementation (see
+    module docstring); results are identical across engines.
+    """
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown pareto engine {engine!r} (choose from {_ENGINES})"
+        )
+    vectors = [tuple(objectives(item)) for item in items]
+    if engine == "python" or not items:
+        return _frontier_python(items, vectors)
+    if engine == "auto":
+        try:
+            np.asarray(vectors, dtype=float)
+        except (TypeError, ValueError):
+            return _frontier_python(items, vectors)
+    return _frontier_numpy(items, vectors)

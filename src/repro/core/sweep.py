@@ -14,7 +14,18 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.reporting.tables import Table
+
+
+@dataclass(frozen=True)
+class _KwargsTask:
+    """Picklable adapter: one parameter dict -> ``evaluate(**params)``."""
+
+    evaluate: object
+
+    def __call__(self, parameters: dict):
+        return self.evaluate(**parameters)
 
 
 @dataclass(frozen=True)
@@ -116,7 +127,22 @@ class Sweep:
             total *= len(values)
         return total
 
-    def run(self, evaluate, skip_errors: bool = False) -> SweepResult:
+    def combinations(self) -> list:
+        """Every axis combination as a parameter dict, in product order."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(
+                *(self.axes[name] for name in names)
+            )
+        ]
+
+    def run(
+        self,
+        evaluate,
+        skip_errors: bool = False,
+        parallel: ParallelConfig | None = None,
+    ) -> SweepResult:
         """Evaluate every axis combination.
 
         Args:
@@ -125,15 +151,30 @@ class Sweep:
             skip_errors: Silently drop combinations whose evaluation
                 raises :class:`~repro.errors.ReproError` (useful when
                 parts of the grid are unconstructible).
+            parallel: Fan the points out over a process pool.  Points
+                are chunked deterministically and merged back in
+                product order, so the result is identical to a serial
+                run (``evaluate`` must be picklable and side-effect
+                free; otherwise the serial path is used).
         """
         from repro.errors import ReproError
 
-        names = list(self.axes)
         result = SweepResult()
-        for values in itertools.product(
-            *(self.axes[name] for name in names)
-        ):
-            parameters = dict(zip(names, values))
+        if parallel is not None:
+            combos = self.combinations()
+            catch = (ReproError,) if skip_errors else ()
+            outcomes = parallel_map(
+                _KwargsTask(evaluate), combos, config=parallel, catch=catch
+            )
+            for parameters, outcome in zip(combos, outcomes):
+                if outcome.ok:
+                    result.points.append(
+                        SweepPoint(
+                            parameters=parameters, result=outcome.value
+                        )
+                    )
+            return result
+        for parameters in self.combinations():
             try:
                 outcome = evaluate(**parameters)
             except ReproError:

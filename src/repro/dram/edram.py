@@ -22,6 +22,7 @@ bandwidth and fill frequency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigurationError
 from repro.units import KBIT, MBIT, fill_frequency, is_power_of_two
@@ -200,8 +201,11 @@ class EDRAMMacro:
             **kwargs,  # type: ignore[arg-type]
         )
 
-    @property
+    @cached_property
     def organization(self) -> Organization:
+        # cached_property writes straight into __dict__, which the
+        # frozen dataclass permits; hash/eq still use the declared
+        # fields only.
         return Organization(
             n_banks=self.banks,
             n_rows=self.size_bits // (self.banks * self.page_bits),
@@ -225,7 +229,11 @@ class EDRAMMacro:
         return fill_frequency(self.peak_bandwidth_bits_per_s, self.size_bits)
 
     def area_mm2(self) -> float:
-        """Macro area from the process's macro model."""
+        """Macro area from the process's macro model (memoized)."""
+        return self._area_mm2
+
+    @cached_property
+    def _area_mm2(self) -> float:
         model = MacroAreaModel(
             process=self.process,
             redundancy_area_fraction=0.005 * self.redundancy_spares,

@@ -9,6 +9,7 @@ over the retention period rather than bursted.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -60,6 +61,15 @@ class RefreshScheduler:
     def due(self, cycle: int) -> bool:
         """Whether a refresh command is due at ``cycle``."""
         return cycle >= self._next_due_cycle
+
+    def quiescent_until(self, cycle: int) -> int:
+        """First cycle >= ``cycle`` at which :meth:`due` becomes true.
+
+        The scheduler needs no attention before that cycle, so a
+        simulator may skip straight to it (or to whatever other event
+        comes first).
+        """
+        return max(cycle, math.ceil(self._next_due_cycle))
 
     def mark_issued(self, cycle: int) -> None:
         """Record that a refresh was issued at ``cycle``."""

@@ -2,6 +2,7 @@
 
 from repro.reporting.tables import Table, format_si, format_bits
 from repro.reporting.report import ExperimentReport, ClaimCheck
+from repro.reporting.profiling import PerfReport, Stopwatch, measure
 
 __all__ = [
     "Table",
@@ -9,4 +10,7 @@ __all__ = [
     "format_bits",
     "ExperimentReport",
     "ClaimCheck",
+    "PerfReport",
+    "Stopwatch",
+    "measure",
 ]

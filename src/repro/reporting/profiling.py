@@ -1,0 +1,98 @@
+"""Lightweight wall-clock profiling for the performance benchmarks.
+
+``time.perf_counter``-based measurement of the repo's two hot paths —
+cycle simulation and design-space evaluation — with throughput figures
+(cycles/sec, evals/sec) and a JSON report the CI smoke job archives.
+No external profiler dependencies; this is deliberately just enough to
+keep the fast paths honest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer.
+
+    Use as a context manager (re-enterable; spans accumulate)::
+
+        watch = Stopwatch()
+        with watch:
+            work()
+        print(watch.elapsed_s)
+    """
+
+    elapsed_s: float = 0.0
+    _started: float | None = field(default=None, init=False, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        if self._started is not None:
+            raise ConfigurationError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started is None:
+            raise ConfigurationError("stopwatch not running")
+        self.elapsed_s += time.perf_counter() - self._started
+        self._started = None
+
+
+def measure(fn, repeat: int = 1) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time of ``fn()``.
+
+    Returns ``(seconds, last_result)``; the minimum over repeats is the
+    standard noise-resistant estimator for short benchmarks.
+    """
+    if repeat < 1:
+        raise ConfigurationError("repeat must be >= 1")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@dataclass
+class PerfReport:
+    """A collection of named performance measurements.
+
+    Attributes:
+        title: Report heading.
+        sections: Section name -> metrics dict (plain JSON-able values).
+    """
+
+    title: str
+    sections: dict = field(default_factory=dict)
+
+    def add(self, name: str, **metrics: object) -> None:
+        """Record one section of metrics (last write wins per name)."""
+        self.sections[name] = dict(metrics)
+
+    def to_dict(self) -> dict:
+        return {"title": self.title, "sections": self.sections}
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        """Human-readable summary, one line per metric."""
+        lines = [self.title, "=" * len(self.title)]
+        for name, metrics in self.sections.items():
+            lines.append(f"\n[{name}]")
+            for key, value in metrics.items():
+                if isinstance(value, float):
+                    lines.append(f"  {key:<28} {value:,.3f}")
+                else:
+                    lines.append(f"  {key:<28} {value}")
+        return "\n".join(lines)

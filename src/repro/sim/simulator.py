@@ -29,11 +29,16 @@ class SimulationConfig:
         align_to_burst: Align client addresses down to burst boundaries
             (one request = one full burst; realistic for streaming DMA
             engines and the right granularity for bandwidth accounting).
+        fast_forward: Skip provably idle cycles (no client can issue, the
+            controller is quiescent) in one jump instead of stepping them
+            one by one.  Results are bit-identical to the per-cycle loop;
+            set False to force the naive reference loop.
     """
 
     cycles: int = 20_000
     warmup_cycles: int = 1_000
     align_to_burst: bool = True
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -58,6 +63,9 @@ class MemorySystemSimulator:
 
     _next_request_id: int = field(default=0, init=False)
     _pending: dict = field(default_factory=dict, init=False)
+    #: Cycles the fast-forward path jumped over instead of stepping
+    #: (diagnostic; 0 after a naive run).
+    cycles_fast_forwarded: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not self.clients:
@@ -104,7 +112,20 @@ class MemorySystemSimulator:
                 client.tick()
 
     def run(self) -> SimulationResult:
-        """Simulate warm-up plus measured cycles and gather statistics."""
+        """Simulate warm-up plus measured cycles and gather statistics.
+
+        With ``config.fast_forward`` (the default) idle spans — no
+        client able to issue, no back-pressured request, controller
+        quiescent — are jumped in one step; the result is bit-identical
+        to the naive per-cycle loop (asserted by the equivalence grid in
+        ``tests/test_sim_fastforward.py``).
+        """
+        if self.config.fast_forward:
+            return self._run_fast()
+        return self._run_naive()
+
+    def _run_naive(self) -> SimulationResult:
+        """Reference loop: every cycle stepped, no skipping."""
         total = self.config.warmup_cycles + self.config.cycles
         for cycle in range(total):
             self._drive_clients(cycle)
@@ -112,6 +133,63 @@ class MemorySystemSimulator:
             if cycle == self.config.warmup_cycles - 1:
                 self._reset_measurement()
         return self._collect(total)
+
+    def _run_fast(self) -> SimulationResult:
+        """Event-skipping loop: identical per-cycle processing, but
+        provably dead cycles are replaced by batched credit/statistics
+        accrual and one clock jump."""
+        total = self.config.warmup_cycles + self.config.cycles
+        warmup_barrier = self.config.warmup_cycles - 1
+        clients = self.clients
+        controller = self.controller
+        cycle = 0
+        while cycle < total:
+            self._drive_clients(cycle)
+            controller.step(cycle)
+            if cycle == warmup_barrier:
+                self._reset_measurement()
+            cycle += 1
+            if cycle >= total:
+                break
+            target = self._next_event_cycle(cycle, total, warmup_barrier)
+            if target > cycle:
+                skipped = target - cycle
+                for client in clients:
+                    client.tick_many(skipped)
+                controller.skip_idle_cycles(skipped)
+                self.cycles_fast_forwarded += skipped
+                cycle = target
+        return self._collect(total)
+
+    def _next_event_cycle(
+        self, cycle: int, total: int, warmup_barrier: int
+    ) -> int:
+        """Next cycle that must actually be stepped, starting at ``cycle``.
+
+        A cycle may be skipped only when, on that cycle, every client
+        would merely tick its token bucket and the controller step would
+        be a no-op (plus statistics).  Two cycles are always barriers:
+        the warm-up reset cycle (retirements must not leak across the
+        measurement reset) and the final cycle (so every due burst
+        retires before collection, as in the naive loop).
+        """
+        if self._pending:
+            return cycle  # back-pressure retries and stall accounting
+        quiescent = self.controller.quiescent_until(cycle)
+        if quiescent is not None and quiescent <= cycle:
+            return cycle
+        target = total - 1
+        if cycle <= warmup_barrier:
+            target = min(target, warmup_barrier)
+        if quiescent is not None:
+            target = min(target, quiescent)
+        for client in self.clients:
+            ticks = client.cycles_until_wants(target - cycle)
+            if ticks == 0:
+                return cycle
+            if cycle + ticks < target:
+                target = cycle + ticks
+        return target
 
     def _reset_measurement(self) -> None:
         """Discard warm-up statistics."""

@@ -18,6 +18,25 @@ from repro.errors import ConfigurationError
 from repro.traffic.patterns import AccessPattern
 
 
+class _PacingPlan:
+    """Tick trajectory of one token-bucket credit level.
+
+    ``trajectory[i]`` is the credit after ``i + 1`` consecutive idle
+    ticks (a float64 array, extended in place-sized chunks);
+    ``want_ticks`` is the tick count after which the client wants to
+    issue (None while the trajectory is still being extended).
+    """
+
+    __slots__ = ("trajectory", "want_ticks")
+
+    def __init__(self) -> None:
+        self.trajectory: np.ndarray = _EMPTY_TRAJECTORY
+        self.want_ticks: int | None = None
+
+
+_EMPTY_TRAJECTORY = np.empty(0)
+
+
 class ClientKind(enum.Enum):
     """Coarse client categories used in reports."""
 
@@ -56,7 +75,10 @@ class MemoryClient:
     _credit: float = field(default=0.0, init=False)
     _addr_iter: object = field(default=None, init=False, repr=False)
     _rng: object = field(default=None, init=False, repr=False)
+    _pacing_plans: dict = field(default_factory=dict, init=False, repr=False)
     issued: int = field(default=0, init=False)
+
+    _PACING_CACHE_LIMIT = 1024
 
     def __post_init__(self) -> None:
         if not 0 < self.rate <= 1:
@@ -75,7 +97,18 @@ class MemoryClient:
         self._rng = np.random.default_rng(self.seed)
 
     def wants_to_issue(self, cycle: int) -> bool:
-        """Token-bucket check: does the client issue this cycle?"""
+        """Token-bucket check: does the client issue this cycle?
+
+        Pacing contract (pinned by ``tests/test_sim_fastforward.py``):
+        the simulator polls this every cycle the client is *not*
+        back-pressured and calls :meth:`tick` when the answer is no.
+        While a request of this client is held back by a full FIFO, the
+        simulator neither polls nor ticks, so credit accrual freezes —
+        the held request already consumed its credit, and a stalled
+        client must not bank extra credit it would burst out once the
+        back-pressure clears.  The fast-forward path relies on exactly
+        these semantics.
+        """
         del cycle  # pacing is credit-based, not cycle-pattern-based
         return self._credit + self.rate >= 1.0
 
@@ -98,6 +131,89 @@ class MemoryClient:
     def tick(self) -> None:
         """Accrue pacing credit for a cycle in which nothing was issued."""
         self._credit = min(self._credit + self.rate, 4.0)
+
+    def tick_many(self, cycles: int) -> None:
+        """Accrue credit for ``cycles`` consecutive idle cycles at once.
+
+        Bit-identical to calling :meth:`tick` ``cycles`` times — the
+        accrual is iterated (not closed-form) so the floating-point
+        rounding sequence matches the per-cycle loop exactly, which is
+        what lets the fast-forward simulator reproduce the naive loop's
+        issue cycles to the cycle.  Token-bucket states recur after
+        every issue, so the tick trajectory for each starting credit is
+        memoized and steady-state batches cost O(1).
+        """
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be >= 0, got {cycles}")
+        if cycles == 0:
+            return
+        plan = self._pacing_plans.get(self._credit)
+        if plan is not None and len(plan.trajectory) >= cycles:
+            self._credit = plan.trajectory[cycles - 1]
+            return
+        credit = self._credit
+        rate = self.rate
+        for _ in range(cycles):
+            credit = min(credit + rate, 4.0)
+        self._credit = credit
+
+    def cycles_until_wants(self, limit: int) -> int:
+        """Idle cycles until :meth:`wants_to_issue` turns true.
+
+        Returns the number of :meth:`tick` calls needed before the
+        token bucket reaches issue threshold, capped at ``limit`` (0
+        means the client wants to issue on the very next poll).  Pure
+        lookahead: performs (or replays memoized results of) the same
+        float operations :meth:`tick` would, without mutating state.
+        """
+        if limit < 0:
+            raise ConfigurationError(f"limit must be >= 0, got {limit}")
+        plan = self._pacing_plan(limit)
+        if plan.want_ticks is not None and plan.want_ticks <= limit:
+            return plan.want_ticks
+        return min(len(plan.trajectory), limit)
+
+    def _pacing_plan(self, limit: int) -> "_PacingPlan":
+        """Memoized tick trajectory from the current credit level.
+
+        The trajectory is extended with ``np.add.accumulate``, whose
+        loop-carried sequential double adds round exactly like the
+        per-cycle ``tick`` loop (the credit stays below the 4.0 cap in
+        this region, so the cap never engages), keeping the fast path
+        bit-identical while moving the float work out of Python.
+        """
+        plans = self._pacing_plans
+        plan = plans.get(self._credit)
+        if plan is None:
+            if len(plans) >= self._PACING_CACHE_LIMIT:
+                plans.clear()  # degenerate non-recurring credit stream
+            plan = _PacingPlan()
+            plans[self._credit] = plan
+        if plan.want_ticks is None and len(plan.trajectory) < limit:
+            trajectory = plan.trajectory
+            have = len(trajectory)
+            credit = trajectory[-1] if have else self._credit
+            rate = self.rate
+            if credit + rate >= 1.0:
+                plan.want_ticks = have
+                return plan
+            guess = int((1.0 - credit) / rate) + 2
+            room = limit - have + 1
+            n = guess if guess <= room else room
+            buf = np.empty(n + 1)
+            buf[0] = credit
+            buf[1:] = rate
+            np.add.accumulate(buf, out=buf)
+            wants = np.nonzero(buf + rate >= 1.0)[0]
+            if wants.size:
+                first = int(wants[0])
+                plan.trajectory = np.concatenate(
+                    (trajectory, buf[1 : first + 1])
+                )
+                plan.want_ticks = have + first
+            else:
+                plan.trajectory = np.concatenate((trajectory, buf[1:]))
+        return plan
 
     @property
     def demand_bits_per_cycle(self) -> float:

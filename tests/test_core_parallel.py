@@ -1,0 +1,237 @@
+"""Tests for parallel sweeps, the evaluator memo and pareto engines."""
+
+import pickle
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
+from repro.core.pareto import pareto_frontier
+from repro.core.requirements import ApplicationRequirements
+from repro.core.sweep import Sweep
+from repro.dram.edram import EDRAMMacro
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import MBIT
+
+
+def requirements(name="app", bandwidth=2e9):
+    return ApplicationRequirements(
+        name=name,
+        capacity_bits=4 * MBIT,
+        sustained_bandwidth_bits_per_s=bandwidth,
+        locality=0.6,
+    )
+
+
+# Module-level so the process pool can pickle them.
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise InfeasibleError("three is right out")
+    return x
+
+
+def _sweep_eval(width, banks):
+    macro = EDRAMMacro.build(
+        size_bits=4 * MBIT, width=width, banks=banks, page_bits=2048
+    )
+    return Evaluator().evaluate_macro(macro, requirements()).area_mm2
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        outcomes = parallel_map(_square, range(10))
+        assert [o.value for o in outcomes] == [x * x for x in range(10)]
+        assert all(o.ok for o in outcomes)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, []) == []
+
+    def test_caught_errors_become_outcomes(self):
+        outcomes = parallel_map(
+            _fail_on_three, [1, 2, 3, 4], catch=(InfeasibleError,)
+        )
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert "three" in outcomes[2].error
+        assert outcomes[2].value is None
+
+    def test_uncaught_errors_raise(self):
+        with pytest.raises(InfeasibleError):
+            parallel_map(_fail_on_three, [3])
+
+    def test_process_pool_matches_serial(self):
+        config = ParallelConfig(workers=2, chunk_size=3)
+        outcomes = parallel_map(_square, range(20), config=config)
+        assert [o.value for o in outcomes] == [x * x for x in range(20)]
+
+    def test_non_picklable_falls_back_to_serial(self):
+        fn = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
+        config = ParallelConfig(workers=4)
+        outcomes = parallel_map(fn, [1, 2, 3], config=config)
+        assert [o.value for o in outcomes] == [2, 3, 4]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(chunk_size=0)
+
+    def test_resolved_workers_caps_at_items(self):
+        assert ParallelConfig(workers=16).resolved_workers(3) == 3
+        assert ParallelConfig(workers=0).resolved_workers(3) == 1
+
+
+class TestEvaluatorMemo:
+    def test_memo_hit_returns_same_object(self):
+        evaluator = Evaluator()
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        reqs = requirements()
+        first = evaluator.evaluate_macro(macro, reqs)
+        second = evaluator.evaluate_macro(macro, reqs)
+        assert first is second
+        info = evaluator.macro_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_distinct_requirements_distinct_entries(self):
+        evaluator = Evaluator()
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        evaluator.evaluate_macro(macro, requirements(name="a"))
+        evaluator.evaluate_macro(macro, requirements(name="b"))
+        assert evaluator.macro_cache_info()["size"] == 2
+
+    def test_clear_cache(self):
+        evaluator = Evaluator()
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        evaluator.evaluate_macro(macro, requirements())
+        evaluator.clear_macro_cache()
+        assert evaluator.macro_cache_info() == {
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+        }
+
+    def test_cache_excluded_from_pickle_and_eq(self):
+        evaluator = Evaluator()
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        evaluator.evaluate_macro(macro, requirements())
+        clone = pickle.loads(pickle.dumps(evaluator))
+        assert clone == evaluator  # cache is not part of identity
+        assert clone.macro_cache_info()["size"] == 0  # and starts cold
+
+    def test_prime_macro_cache(self):
+        warm = Evaluator()
+        macro = EDRAMMacro.build(size_bits=4 * MBIT, width=64)
+        reqs = requirements()
+        metrics = warm.evaluate_macro(macro, reqs)
+        cold = Evaluator()
+        cold.prime_macro_cache([((macro, reqs), metrics)])
+        assert cold.evaluate_macro(macro, reqs) is metrics
+        assert cold.macro_cache_info()["hits"] == 1
+
+
+class TestParetoEngines:
+    CASES = [
+        [],
+        [(1.0, 2.0)],
+        [(1.0, 2.0), (2.0, 1.0), (1.5, 1.5), (3.0, 3.0)],
+        [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)],  # duplicates kept once
+        [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0)],  # weak domination
+        [(float("nan"), 1.0), (1.0, 1.0)],  # NaN never dominates
+    ]
+
+    @pytest.mark.parametrize("vectors", CASES)
+    def test_engines_agree(self, vectors):
+        items = list(range(len(vectors)))
+        key = lambda i: vectors[i]  # noqa: E731
+        python = pareto_frontier(items, key, engine="python")
+        numpy = pareto_frontier(items, key, engine="numpy")
+        auto = pareto_frontier(items, key)
+        assert python == numpy == auto
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_frontier([1], lambda i: (1.0,), engine="rust")
+
+    def test_non_numeric_auto_falls_back(self):
+        items = ["b", "a"]
+        frontier = pareto_frontier(items, lambda s: (s,))
+        assert frontier == ["a"]
+
+
+class TestSweepParallel:
+    def test_parallel_matches_serial(self):
+        sweep = Sweep(
+            axes={"width": [32, 64, 128], "banks": [2, 4]}
+        )
+        serial = sweep.run(_sweep_eval, skip_errors=True)
+        parallel = sweep.run(
+            _sweep_eval,
+            skip_errors=True,
+            parallel=ParallelConfig(workers=2),
+        )
+        assert [(p.parameters, p.result) for p in serial.points] == [
+            (p.parameters, p.result) for p in parallel.points
+        ]
+
+    def test_parallel_skip_errors_drops_bad_points(self):
+        sweep = Sweep(axes={"width": [64, 100_000]})
+        result = sweep.run(
+            _sweep_eval_strict,
+            skip_errors=True,
+            parallel=ParallelConfig(workers=2),
+        )
+        assert [p["width"] for p in result.points] == [64]
+
+    def test_parallel_without_skip_errors_raises(self):
+        sweep = Sweep(axes={"width": [64, 100_000]})
+        with pytest.raises(ConfigurationError):
+            sweep.run(
+                _sweep_eval_strict, parallel=ParallelConfig(workers=2)
+            )
+
+
+def _sweep_eval_strict(width):
+    return _sweep_eval(width=width, banks=4)
+
+
+class TestExplorerParallel:
+    def test_parallel_explore_matches_serial(self):
+        reqs = requirements(bandwidth=4e9)
+        serial = DesignSpaceExplorer().explore(reqs)
+        explorer = DesignSpaceExplorer()
+        parallel = explorer.explore(
+            reqs, parallel=ParallelConfig(workers=2)
+        )
+        assert serial.evaluated == parallel.evaluated
+        assert serial.feasible == parallel.feasible
+        assert serial.frontier == parallel.frontier
+
+    def test_parallel_explore_primes_parent_cache(self):
+        reqs = requirements(bandwidth=4e9)
+        explorer = DesignSpaceExplorer()
+        result = explorer.explore(
+            reqs, parallel=ParallelConfig(workers=2)
+        )
+        info = explorer.evaluator.macro_cache_info()
+        assert info["size"] == result.n_explored
+        # A follow-up serial explore is answered from the memo.
+        explorer.explore(reqs)
+        assert (
+            explorer.evaluator.macro_cache_info()["hits"]
+            >= result.n_explored
+        )
+
+    def test_enumerate_caches_invalid_combos(self):
+        explorer = DesignSpaceExplorer()
+        reqs = requirements()
+        first = explorer.enumerate(reqs)
+        cached = len(explorer._invalid_combos)
+        second = explorer.enumerate(reqs)
+        assert [m for m in first] == [m for m in second]
+        assert len(explorer._invalid_combos) == cached
