@@ -47,6 +47,7 @@ from repro.sim.simulator import MemorySystemSimulator, SimulationConfig
 from repro.traffic.client import ClientKind, MemoryClient
 from repro.traffic.patterns import RandomPattern, SequentialPattern
 from repro.units import MBIT
+from repro.verify.differential import result_fingerprint
 
 #: Per-client request rate of the low-load scenario (well under the
 #: rate <= 0.1 bound; display-refresh-style duty cycle where idle-cycle
@@ -57,9 +58,15 @@ _REQUIREMENTS = mpeg2_requirements()
 
 
 def build_simulator(
-    cycles: int, warmup: int, fast_forward: bool
+    cycles: int, warmup: int, fast_forward: bool, seed: int = 0
 ) -> MemorySystemSimulator:
-    """E5-style system: stream + block + random clients on 4 banks."""
+    """E5-style system: stream + block + random clients on 4 banks.
+
+    ``seed`` deterministically offsets every RNG in the workload (the
+    random pattern and each client's read/write draw), so one benchmark
+    configuration is pinned by ``(cycles, warmup, seed)`` alone and
+    re-runs are bit-identical.
+    """
     org = Organization(n_banks=4, n_rows=2048, page_bits=4096, word_bits=16)
     device = DRAMDevice(organization=org, timing=PC100_TIMING)
     controller = MemoryController(
@@ -81,15 +88,17 @@ def build_simulator(
             rate=LOW_LOAD_RATE,
             read_fraction=0.7,
             kind=ClientKind.BLOCK,
-            seed=7,
+            seed=seed + 7,
         ),
         MemoryClient(
             name="cpu",
-            pattern=RandomPattern(base=0, length=org.total_words, seed=3),
+            pattern=RandomPattern(
+                base=0, length=org.total_words, seed=seed + 3
+            ),
             rate=LOW_LOAD_RATE,
             read_fraction=0.6,
             kind=ClientKind.RANDOM,
-            seed=11,
+            seed=seed + 11,
         ),
     ]
     return MemorySystemSimulator(
@@ -101,31 +110,16 @@ def build_simulator(
     )
 
 
-def result_fingerprint(result) -> tuple:
-    """Everything a SimulationResult observably contains."""
-    return (
-        result.requests_completed,
-        result.data_bits_transferred,
-        result.commands,
-        result.refreshes,
-        result.bank_activations,
-        result.fifo_high_water,
-        result.fifo_stall_cycles,
-        result.row_hit_rate,
-        tuple(result.latency._samples),
-        {
-            name: tuple(stats._samples)
-            for name, stats in result.latency_by_client.items()
-        },
-    )
-
-
-def bench_sim(report: PerfReport, cycles: int, warmup: int) -> None:
+def bench_sim(
+    report: PerfReport, cycles: int, warmup: int, seed: int = 0
+) -> None:
     total = cycles + warmup
     naive_s, naive_result = measure(
-        lambda: build_simulator(cycles, warmup, fast_forward=False).run()
+        lambda: build_simulator(
+            cycles, warmup, fast_forward=False, seed=seed
+        ).run()
     )
-    fast_sim = build_simulator(cycles, warmup, fast_forward=True)
+    fast_sim = build_simulator(cycles, warmup, fast_forward=True, seed=seed)
     fast_s, fast_result = measure(fast_sim.run)
     identical = result_fingerprint(naive_result) == result_fingerprint(
         fast_result
@@ -137,6 +131,7 @@ def bench_sim(report: PerfReport, cycles: int, warmup: int) -> None:
     report.add(
         "sim_fast_forward",
         cycles=total,
+        seed=seed,
         client_rate=LOW_LOAD_RATE,
         naive_seconds=naive_s,
         fast_seconds=fast_s,
@@ -225,12 +220,12 @@ def bench_parallel_sweep(report: PerfReport) -> None:
     )
 
 
-def run(smoke: bool = False) -> PerfReport:
+def run(smoke: bool = False, seed: int = 0) -> PerfReport:
     report = PerfReport(title="Performance benchmark (fast paths)")
     if smoke:
-        bench_sim(report, cycles=2_000, warmup=200)
+        bench_sim(report, cycles=2_000, warmup=200, seed=seed)
     else:
-        bench_sim(report, cycles=20_000, warmup=1_000)
+        bench_sim(report, cycles=20_000, warmup=1_000, seed=seed)
     bench_design_space(report)
     bench_parallel_sweep(report)
     return report
@@ -247,6 +242,16 @@ def test_perf_smoke() -> None:
     assert report.sections["parallel_sweep"]["identical"]
 
 
+def test_perf_deterministic() -> None:
+    """Same seed -> bit-identical benchmark workload, twice over."""
+    first = build_simulator(500, 50, fast_forward=True, seed=42).run()
+    second = build_simulator(500, 50, fast_forward=True, seed=42).run()
+    assert result_fingerprint(first) == result_fingerprint(second)
+    # The seed visibly reaches the workload RNGs.
+    sim = build_simulator(500, 50, fast_forward=True, seed=42)
+    assert [client.seed for client in sim.clients[1:]] == [49, 53]
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -255,12 +260,18 @@ def main(argv: list | None = None) -> int:
         help="tiny cycle budget (CI smoke run)",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload RNG seed (same seed -> bit-identical workload)",
+    )
+    parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_perf.json"),
         help="JSON report path (default: repo-root BENCH_perf.json)",
     )
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke)
+    report = run(smoke=args.smoke, seed=args.seed)
     report.write_json(args.out)
     print(report.render())
     print(f"\nwrote {args.out}")

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli feasibility [--die-budget-mm2 203.7]
     python -m repro.cli testcost [--mbit 64]
     python -m repro.cli experiments
+    python -m repro.cli verify fuzz --seed 0 --budget 200
 
 Each subcommand prints the corresponding reproduction table; `explore`
 runs a live design-space sweep for the given requirements.
@@ -188,7 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("--area-budget-mm2", type=float, default=25.0)
     partition.set_defaults(func=_cmd_partition)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification (fuzz, diff); forwards to "
+        "`python -m repro.verify`",
+    )
+    verify.add_argument("verify_args", nargs=argparse.REMAINDER)
+    verify.set_defaults(func=_cmd_verify)
     return parser
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.cli import main as verify_main
+
+    return verify_main(args.verify_args)
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:

@@ -40,6 +40,10 @@ class ControllerConfig:
         window_size: Scheduling window (reorder depth).
         fifo_capacity: Per-client FIFO depth.
         refresh_enabled: Whether refresh is modeled.
+        refresh_retention_s: Cell retention period handed to the
+            refresh scheduler.  The 64 ms default matches commodity
+            SDRAM; verification harnesses shorten it to force many
+            refresh deadlines into short simulations.
         record_commands: Keep every issued command in
             ``MemoryController.command_log`` (for replay through
             :class:`~repro.dram.tracecheck.TraceChecker` or offline
@@ -49,6 +53,7 @@ class ControllerConfig:
     window_size: int = 16
     fifo_capacity: int = 8
     refresh_enabled: bool = True
+    refresh_retention_s: float = 64e-3
     record_commands: bool = False
 
     def __post_init__(self) -> None:
@@ -56,6 +61,8 @@ class ControllerConfig:
             raise ConfigurationError("window size must be >= 1")
         if self.fifo_capacity < 1:
             raise ConfigurationError("FIFO capacity must be >= 1")
+        if self.refresh_retention_s <= 0:
+            raise ConfigurationError("retention must be positive")
 
 
 @dataclass
@@ -94,6 +101,11 @@ class MemoryController:
     commands: dict = field(default_factory=dict, init=False)
     data_beats: int = field(default=0, init=False)
     command_log: list = field(default_factory=list, init=False)
+    #: Optional callable invoked with every command the controller
+    #: issues, at issue time.  The live verification layer
+    #: (:mod:`repro.verify.invariants`) attaches here to stream the
+    #: command sequence through an independent protocol oracle.
+    command_observer: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mapping.organization != self.device.organization:
@@ -105,9 +117,15 @@ class MemoryController:
             self._refresh = RefreshScheduler(
                 timing=self.device.timing,
                 n_rows_total=org.n_rows,
+                retention_s=self.config.refresh_retention_s,
                 rows_per_command=1,
             )
         self.commands = {kind: 0 for kind in CommandType}
+
+    @property
+    def refresh_scheduler(self) -> RefreshScheduler | None:
+        """The refresh scheduler, or None when refresh is disabled."""
+        return self._refresh
 
     # -- client side --------------------------------------------------------
 
@@ -362,6 +380,8 @@ class MemoryController:
         self.commands[command.kind] += 1
         if self.config.record_commands:
             self.command_log.append(command)
+        if self.command_observer is not None:
+            self.command_observer(command)
         if (
             command.kind is CommandType.ACTIVATE
             and command.request_id is not None

@@ -33,6 +33,7 @@ class ClientFifo:
     high_water_mark: int = field(default=0, init=False)
     stall_cycles: int = field(default=0, init=False)
     total_enqueued: int = field(default=0, init=False)
+    total_dequeued: int = field(default=0, init=False)
     _occupancy_cycles: int = field(default=0, init=False)
     _cycles_observed: int = field(default=0, init=False)
 
@@ -68,6 +69,7 @@ class ClientFifo:
     def pop(self) -> Request:
         if not self._queue:
             raise ConfigurationError(f"FIFO {self.client} underflow")
+        self.total_dequeued += 1
         return self._queue.popleft()
 
     def record_stall(self) -> None:

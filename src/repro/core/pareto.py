@@ -13,7 +13,14 @@ Two interchangeable engines compute the frontier:
 ``"auto"`` (the default) picks numpy whenever the objective vectors are
 numeric.  Both engines return identical frontiers — order, ties and
 duplicate handling included — which ``tests/test_core_parallel.py``
-pins.
+pins and ``tests/test_verify_pareto_property.py`` fuzzes.
+
+Tie and NaN semantics (identical across engines by construction):
+equal vectors never dominate each other, so duplicates all survive the
+dominance test and the shared seen-set then keeps only the first
+occurrence; every comparison against NaN is false in both engines, so a
+vector containing NaN neither dominates nor is dominated — it always
+lands on the frontier (first occurrence of its exact bit pattern).
 """
 
 from __future__ import annotations

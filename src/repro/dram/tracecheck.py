@@ -168,6 +168,21 @@ class TraceChecker:
         )
 
 
+def check_controller_log(controller) -> TraceReport:
+    """Replay a controller's recorded command log against a fresh device.
+
+    Convenience wrapper for the round-trip verification loop: run a
+    simulation with ``ControllerConfig(record_commands=True)``, then
+    confirm the exact command sequence the controller issued is legal
+    when replayed from scratch (and compare the report's utilization
+    figures with the controller's own statistics).
+    """
+    return TraceChecker(
+        organization=controller.device.organization,
+        timing=controller.device.timing,
+    ).check(controller.command_log)
+
+
 def streaming_read_trace(
     organization: Organization,
     timing: TimingParameters,

@@ -34,6 +34,16 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class VerificationError(SimulationError):
+    """A live verification invariant failed during simulation.
+
+    Raised by :class:`~repro.sim.simulator.MemorySystemSimulator` when
+    ``SimulationConfig(check_invariants="raise")`` is set and the
+    :mod:`repro.verify` checker observes a protocol or simulator-state
+    violation.  The message names the first violated check and cycle.
+    """
+
+
 class RepairError(ReproError):
     """Redundancy repair allocation failed or was given invalid inputs."""
 

@@ -33,18 +33,32 @@ class SimulationConfig:
             controller is quiescent) in one jump instead of stepping them
             one by one.  Results are bit-identical to the per-cycle loop;
             set False to force the naive reference loop.
+        check_invariants: Live verification mode (:mod:`repro.verify`).
+            ``"off"`` (default) adds no machinery; ``"collect"`` streams
+            every issued command through an independent protocol oracle
+            and checks simulator-state invariants each stepped cycle,
+            gathering violations into ``simulator.invariant_report``;
+            ``"raise"`` does the same but raises
+            :class:`~repro.errors.VerificationError` at the first
+            violation.
     """
 
     cycles: int = 20_000
     warmup_cycles: int = 1_000
     align_to_burst: bool = True
     fast_forward: bool = True
+    check_invariants: str = "off"
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
             raise ConfigurationError("cycles must be >= 1")
         if self.warmup_cycles < 0:
             raise ConfigurationError("warmup must be >= 0")
+        if self.check_invariants not in ("off", "collect", "raise"):
+            raise ConfigurationError(
+                "check_invariants must be 'off', 'collect' or 'raise', "
+                f"got {self.check_invariants!r}"
+            )
 
 
 @dataclass
@@ -66,6 +80,11 @@ class MemorySystemSimulator:
     #: Cycles the fast-forward path jumped over instead of stepping
     #: (diagnostic; 0 after a naive run).
     cycles_fast_forwarded: int = field(default=0, init=False)
+    #: Live checker when ``config.check_invariants != "off"``.
+    invariant_checker: object = field(default=None, init=False, repr=False)
+    #: :class:`~repro.verify.invariants.InvariantReport` after a checked
+    #: run; None when checking was off.
+    invariant_report: object = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if not self.clients:
@@ -75,6 +94,17 @@ class MemorySystemSimulator:
             raise ConfigurationError(f"duplicate client names: {names}")
         for client in self.clients:
             self.controller.register_client(client.name)
+        if self.config.check_invariants != "off":
+            # Imported lazily: repro.verify depends on this module.
+            from repro.verify.invariants import LiveInvariantChecker
+
+            self.invariant_checker = LiveInvariantChecker(
+                organization=self.device.organization,
+                timing=self.device.timing,
+            )
+            self.controller.command_observer = (
+                self.invariant_checker.observe_command
+            )
 
     @property
     def device(self) -> DRAMDevice:
@@ -127,9 +157,13 @@ class MemorySystemSimulator:
     def _run_naive(self) -> SimulationResult:
         """Reference loop: every cycle stepped, no skipping."""
         total = self.config.warmup_cycles + self.config.cycles
+        checker = self.invariant_checker
         for cycle in range(total):
             self._drive_clients(cycle)
             self.controller.step(cycle)
+            if checker is not None:
+                checker.on_cycle(cycle, self)
+                self._maybe_raise_violations(checker)
             if cycle == self.config.warmup_cycles - 1:
                 self._reset_measurement()
         return self._collect(total)
@@ -142,10 +176,14 @@ class MemorySystemSimulator:
         warmup_barrier = self.config.warmup_cycles - 1
         clients = self.clients
         controller = self.controller
+        checker = self.invariant_checker
         cycle = 0
         while cycle < total:
             self._drive_clients(cycle)
             controller.step(cycle)
+            if checker is not None:
+                checker.on_cycle(cycle, self)
+                self._maybe_raise_violations(checker)
             if cycle == warmup_barrier:
                 self._reset_measurement()
             cycle += 1
@@ -158,8 +196,22 @@ class MemorySystemSimulator:
                     client.tick_many(skipped)
                 controller.skip_idle_cycles(skipped)
                 self.cycles_fast_forwarded += skipped
+                if checker is not None:
+                    checker.on_skip(cycle, skipped, self)
+                    self._maybe_raise_violations(checker)
                 cycle = target
         return self._collect(total)
+
+    def _maybe_raise_violations(self, checker) -> None:
+        if self.config.check_invariants != "raise" or not checker.violations:
+            return
+        from repro.errors import VerificationError
+
+        first = checker.violations[0]
+        raise VerificationError(
+            f"invariant violated at cycle {first.cycle}: "
+            f"[{first.check}] {first.detail}"
+        )
 
     def _next_event_cycle(
         self, cycle: int, total: int, warmup_barrier: int
@@ -193,6 +245,10 @@ class MemorySystemSimulator:
 
     def _reset_measurement(self) -> None:
         """Discard warm-up statistics."""
+        if self.invariant_checker is not None:
+            self.invariant_checker.on_measurement_reset(
+                len(self.controller.completed)
+            )
         self.controller.completed.clear()
         self.controller.data_beats = 0
         self.controller.commands = {
@@ -208,6 +264,8 @@ class MemorySystemSimulator:
             fifo.high_water_mark = len(fifo)
 
     def _collect(self, total_cycles: int) -> SimulationResult:
+        if self.invariant_checker is not None:
+            self.invariant_report = self.invariant_checker.report()
         measured = self.config.cycles
         latency = LatencyStats()
         by_client: dict = {

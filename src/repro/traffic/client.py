@@ -36,6 +36,13 @@ class _PacingPlan:
 
 _EMPTY_TRAJECTORY = np.empty(0)
 
+#: Token-bucket credit ceiling: a client that has been idle for a long
+#: time may bank at most this many requests worth of credit, bounding
+#: the burst it can emit when it resumes.  The live invariant checker
+#: (:mod:`repro.verify.invariants`) pins ``0 <= credit <= CREDIT_CAP``
+#: on every stepped cycle.
+CREDIT_CAP = 4.0
+
 
 class ClientKind(enum.Enum):
     """Coarse client categories used in reports."""
@@ -128,9 +135,14 @@ class MemoryClient:
             is_read = bool(self._rng.random() < self.read_fraction)
         return address, is_read
 
+    @property
+    def credit(self) -> float:
+        """Current token-bucket credit (read-only observability hook)."""
+        return self._credit
+
     def tick(self) -> None:
         """Accrue pacing credit for a cycle in which nothing was issued."""
-        self._credit = min(self._credit + self.rate, 4.0)
+        self._credit = min(self._credit + self.rate, CREDIT_CAP)
 
     def tick_many(self, cycles: int) -> None:
         """Accrue credit for ``cycles`` consecutive idle cycles at once.
@@ -154,7 +166,7 @@ class MemoryClient:
         credit = self._credit
         rate = self.rate
         for _ in range(cycles):
-            credit = min(credit + rate, 4.0)
+            credit = min(credit + rate, CREDIT_CAP)
         self._credit = credit
 
     def cycles_until_wants(self, limit: int) -> int:

@@ -1,0 +1,163 @@
+"""Command-line entry point for the verification subsystem.
+
+Usage::
+
+    python -m repro.verify fuzz --seed 0 --budget 200
+    python -m repro.verify fuzz --property sim_differential --budget 40
+    python -m repro.verify fuzz --property pacing_plan --case '{...}'
+    python -m repro.verify diff --seed 0 --cases 5
+    python -m repro.verify properties
+
+``fuzz`` runs the seeded fuzz harness (failing cases are shrunk and
+printed with a one-line repro command); ``diff`` runs the differential
+oracles — fast-forward vs per-cycle and memoized vs cold — on generated
+configurations; ``properties`` lists the registered fuzz properties.
+Also reachable as ``python -m repro.cli verify ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.errors import ConfigurationError
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import fuzz
+
+    if args.case is not None:
+        if not args.property:
+            print(
+                "--case requires --property to name the check",
+                file=sys.stderr,
+            )
+            return 2
+        name = args.property[0]
+        try:
+            params = json.loads(args.case)
+        except json.JSONDecodeError as error:
+            print(f"--case is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        try:
+            messages = fuzz.evaluate_case(name, params)
+        except ConfigurationError as error:
+            print(f"invalid case: {error}", file=sys.stderr)
+            return 2
+        if messages:
+            print(f"{name}: FAILED")
+            for message in messages:
+                print(f"  {message}")
+            return 1
+        print(f"{name}: passed")
+        return 0
+
+    report = fuzz.run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        properties=args.property or None,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print()
+        print(failure.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.verify import fuzz
+    from repro.verify.differential import (
+        diff_memoized_vs_cold,
+        diff_simulations,
+    )
+
+    failures = 0
+    for index in range(args.cases):
+        rng = random.Random(f"{args.seed}:diff:{index}")
+        params = fuzz.gen_sim_case(rng)
+        report = diff_simulations(
+            lambda fast_forward, record_commands: fuzz.build_simulator(
+                params,
+                fast_forward=fast_forward,
+                record_commands=record_commands,
+            ),
+            label=f"sim case {index}: fast-forward vs per-cycle",
+        )
+        print(report.describe())
+        failures += 0 if report.identical else 1
+    for index in range(args.cases):
+        rng = random.Random(f"{args.seed}:memo:{index}")
+        params = fuzz.gen_macro_case(rng)
+        report = diff_memoized_vs_cold(
+            fuzz.build_macro(params), fuzz.build_requirements(params)
+        )
+        print(f"macro case {index}: {report.describe()}")
+        failures += 0 if report.identical else 1
+    return 0 if failures == 0 else 1
+
+
+def _cmd_properties(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import PROPERTIES
+
+    for prop in PROPERTIES:
+        print(prop.name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.verify",
+        description="differential verification: live invariants, "
+        "oracles and seeded fuzzing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz_cmd = sub.add_parser("fuzz", help="run the seeded fuzz harness")
+    fuzz_cmd.add_argument("--seed", type=int, default=0)
+    fuzz_cmd.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="total generated cases across all properties",
+    )
+    fuzz_cmd.add_argument(
+        "--property",
+        action="append",
+        help="restrict to this property (repeatable)",
+    )
+    fuzz_cmd.add_argument(
+        "--case",
+        help="JSON params for one explicit case (requires --property)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases without shrinking them",
+    )
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
+
+    diff_cmd = sub.add_parser(
+        "diff", help="run the differential oracles on generated cases"
+    )
+    diff_cmd.add_argument("--seed", type=int, default=0)
+    diff_cmd.add_argument("--cases", type=int, default=5)
+    diff_cmd.set_defaults(func=_cmd_diff)
+
+    props_cmd = sub.add_parser(
+        "properties", help="list registered fuzz properties"
+    )
+    props_cmd.set_defaults(func=_cmd_properties)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,800 @@
+"""Seeded fuzz harness: generate, check, shrink — no external deps.
+
+Random (but fully deterministic) generators build whole simulator
+configurations, timing parameter sets, traffic mixes, macro/requirement
+pairs and metric matrices; each generated case is run through one of the
+registered *properties* — predicates that must hold on every valid
+input:
+
+* ``sim_differential`` — fast-forward simulation is bit-identical to
+  the per-cycle reference on the same workload;
+* ``sim_invariants`` — a live-checked run reports zero protocol/state
+  violations and its recorded command trace replays cleanly through
+  :class:`~repro.dram.tracecheck.TraceChecker`;
+* ``pareto_engines`` — the python and numpy Pareto engines agree,
+  ties, duplicates and NaNs included;
+* ``evaluator_memo`` — memoized evaluator results equal cold ones;
+* ``mapping_roundtrip`` — address decode/encode is a bijection;
+* ``pacing_plan`` — ``tick_many``/``cycles_until_wants`` are
+  bit-identical to iterated ``tick`` calls.
+
+Every case derives from ``random.Random(f"{seed}:{index}")``, so a
+failure is pinned by ``(property, seed, index)`` alone; the harness
+additionally *shrinks* failing cases — greedily trying smaller
+parameter values and shorter client lists while the failure persists —
+and prints a one-line repro command for the minimal case.
+
+Run via ``python -m repro.verify fuzz --seed 0 --budget 200``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, ConfigurationError
+
+#: Exception types that mean "this candidate is not a valid input" (as
+#: opposed to "the property failed").  Raised mid-shrink they disqualify
+#: the candidate; raised on a generated case they expose a generator bug.
+_INVALID = (ConfigurationError, CapacityError)
+
+
+# -- generators --------------------------------------------------------------
+
+
+def gen_timing(rng: random.Random) -> dict:
+    """Random valid :class:`TimingParameters` kwargs."""
+    t_ras = rng.randint(2, 8)
+    return {
+        "clock_period_ns": rng.choice([5.0, 7.0, 10.0]),
+        "t_rcd": rng.randint(1, 4),
+        "t_cas": rng.randint(1, 3),
+        "t_rp": rng.randint(1, 4),
+        "t_ras": t_ras,
+        "t_rc": t_ras + rng.randint(1, 4),
+        "t_rrd": rng.randint(1, 3),
+        "t_wr": rng.randint(1, 3),
+        "t_rfc": rng.randint(2, 12),
+        "burst_length": rng.choice([1, 2, 4, 8]),
+        "t_turnaround": rng.randint(0, 2),
+    }
+
+
+def gen_organization(rng: random.Random) -> dict:
+    """Random valid :class:`Organization` kwargs (kept small so short
+    simulations still exercise row misses and bank conflicts)."""
+    page_bits = rng.choice([512, 1024, 2048])
+    return {
+        "n_banks": rng.choice([1, 2, 4, 8]),
+        "n_rows": rng.randint(4, 48),  # arbitrary row counts are legal
+        "page_bits": page_bits,
+        "word_bits": rng.choice(
+            [w for w in (8, 16, 32, 64) if w <= page_bits]
+        ),
+    }
+
+
+def gen_clients(rng: random.Random, total_words: int) -> list:
+    """1-3 random traffic clients over a ``total_words`` address space."""
+    clients = []
+    for index in range(rng.randint(1, 3)):
+        length = rng.randint(1, max(1, total_words))
+        base = rng.randrange(max(1, total_words))
+        kind = rng.choice(["sequential", "strided", "random", "block"])
+        if kind == "sequential":
+            pattern = {"kind": kind, "base": base, "length": length}
+        elif kind == "strided":
+            pattern = {
+                "kind": kind,
+                "base": base,
+                "length": length,
+                "stride": rng.choice([1, 2, 3, 7, 16]),
+            }
+        elif kind == "random":
+            pattern = {
+                "kind": kind,
+                "base": base,
+                "length": length,
+                "seed": rng.randint(0, 1_000),
+            }
+        else:
+            width = rng.randint(4, 64)
+            height = rng.randint(2, 32)
+            pattern = {
+                "kind": kind,
+                "base": base,
+                "width": width,
+                "height": height,
+                "block_w": rng.randint(1, width),
+                "block_h": rng.randint(1, height),
+            }
+        clients.append(
+            {
+                "name": f"c{index}",
+                "pattern": pattern,
+                "rate": round(rng.uniform(0.02, 0.95), 3),
+                "read_fraction": rng.choice([1.0, 0.0, 0.25, 0.5, 0.75]),
+                "seed": rng.randint(0, 1_000),
+            }
+        )
+    return clients
+
+
+def gen_sim_case(rng: random.Random) -> dict:
+    """One full simulator configuration as a JSON-able parameter dict."""
+    timing = gen_timing(rng)
+    organization = gen_organization(rng)
+    total_words = (
+        organization["n_banks"]
+        * organization["n_rows"]
+        * organization["page_bits"]
+        // organization["word_bits"]
+    )
+    # Aim the refresh interval at a cycle count short simulations reach:
+    # interval_cycles = retention_s * clock_hz / n_rows.
+    interval_cycles = rng.randint(80, 400)
+    retention_s = (
+        interval_cycles
+        * organization["n_rows"]
+        * timing["clock_period_ns"]
+        * 1e-9
+    )
+    return {
+        "timing": timing,
+        "organization": organization,
+        "scheme": rng.choice(["row:bank:col", "bank:row:col"]),
+        "controller": {
+            "window_size": rng.randint(1, 12),
+            "fifo_capacity": rng.randint(1, 8),
+            "refresh_enabled": rng.random() < 0.85,
+            "refresh_retention_s": retention_s,
+        },
+        "sim": {
+            "cycles": rng.randint(150, 600),
+            "warmup_cycles": rng.choice([0, 0, rng.randint(10, 80)]),
+        },
+        "clients": gen_clients(rng, total_words),
+    }
+
+
+def gen_macro_case(rng: random.Random) -> dict:
+    """A valid eDRAM macro plus an application-requirements set.
+
+    Sizes are multiples of the 256 Kbit building block; since
+    ``banks * page_bits`` is a power of two no larger than 2^17 and the
+    block is 2^18 bits, any block multiple divides evenly into banks of
+    pages — every generated macro satisfies the Siemens concept rules.
+    """
+    block = 256 * 1024
+    size_bits = rng.randint(1, 64) * block
+    page_bits = rng.choice([1024, 2048, 4096, 8192])
+    return {
+        "macro": {
+            "size_bits": size_bits,
+            "width": rng.choice([16, 32, 64, 128, 256, 512]),
+            "banks": rng.choice([1, 2, 4, 8, 16]),
+            "page_bits": page_bits,
+            "redundancy_spares": rng.choice([0, 2, 4, 8]),
+        },
+        "requirements": {
+            "name": "fuzz",
+            "capacity_bits": max(1, int(size_bits * rng.uniform(0.1, 1.0))),
+            "sustained_bandwidth_bits_per_s": round(
+                rng.uniform(0.05, 8.0) * 1e9, 1
+            ),
+            "max_latency_ns": rng.choice([None, 50.0, 200.0]),
+            "power_budget_w": rng.choice([None, 0.5, 2.0]),
+            "read_fraction": round(rng.random(), 3),
+            "locality": round(rng.random(), 3),
+        },
+    }
+
+
+def gen_pareto_case(rng: random.Random) -> dict:
+    """A metric matrix rich in ties, duplicates and the odd NaN."""
+    n = rng.randint(2, 30)
+    dim = rng.randint(1, 4)
+    palette = [0.0, 1.0, 2.0, 3.0]
+    vectors = []
+    for _ in range(n):
+        vectors.append(
+            [
+                float("nan") if rng.random() < 0.07 else rng.choice(palette)
+                for _ in range(dim)
+            ]
+        )
+    return {"vectors": vectors}
+
+
+def gen_mapping_case(rng: random.Random) -> dict:
+    """An organization, a mapping scheme and probe addresses."""
+    organization = gen_organization(rng)
+    total_words = (
+        organization["n_banks"]
+        * organization["n_rows"]
+        * organization["page_bits"]
+        // organization["word_bits"]
+    )
+    return {
+        "organization": organization,
+        "scheme": rng.choice(["row:bank:col", "bank:row:col"]),
+        "addresses": [rng.randrange(total_words) for _ in range(32)],
+    }
+
+
+def gen_pacing_case(rng: random.Random) -> dict:
+    """A token-bucket rate and tick counts to cross-check pacing paths."""
+    return {
+        "rate": round(rng.uniform(0.01, 1.0), 4),
+        "ticks": rng.randint(1, 400),
+        "limit": rng.randint(1, 400),
+    }
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def _build_pattern(params: dict):
+    from repro.traffic.patterns import (
+        BlockPattern,
+        RandomPattern,
+        SequentialPattern,
+        StridedPattern,
+    )
+
+    kind = params["kind"]
+    if kind == "sequential":
+        return SequentialPattern(base=params["base"], length=params["length"])
+    if kind == "strided":
+        return StridedPattern(
+            base=params["base"],
+            length=params["length"],
+            stride=params["stride"],
+        )
+    if kind == "random":
+        return RandomPattern(
+            base=params["base"], length=params["length"], seed=params["seed"]
+        )
+    if kind == "block":
+        return BlockPattern(
+            base=params["base"],
+            width=params["width"],
+            height=params["height"],
+            block_w=params["block_w"],
+            block_h=params["block_h"],
+        )
+    raise ConfigurationError(f"unknown pattern kind {kind!r}")
+
+
+def build_client(params: dict):
+    from repro.traffic.client import MemoryClient
+
+    return MemoryClient(
+        name=params["name"],
+        pattern=_build_pattern(params["pattern"]),
+        rate=params["rate"],
+        read_fraction=params["read_fraction"],
+        seed=params["seed"],
+    )
+
+
+def build_simulator(
+    params: dict,
+    *,
+    fast_forward: bool,
+    record_commands: bool = False,
+    check_invariants: str = "off",
+):
+    """Instantiate a fresh simulator from a ``gen_sim_case`` dict."""
+    from repro.controller.controller import (
+        ControllerConfig,
+        MemoryController,
+    )
+    from repro.dram.device import DRAMDevice
+    from repro.dram.organizations import AddressMapping, MappingScheme
+    from repro.dram.organizations import Organization
+    from repro.dram.timing import TimingParameters
+    from repro.sim.simulator import MemorySystemSimulator, SimulationConfig
+
+    timing = TimingParameters(**params["timing"])
+    organization = Organization(**params["organization"])
+    device = DRAMDevice(
+        organization=organization, timing=timing, name="fuzz"
+    )
+    mapping = AddressMapping(
+        organization=organization, scheme=MappingScheme(params["scheme"])
+    )
+    controller = MemoryController(
+        device=device,
+        mapping=mapping,
+        config=ControllerConfig(
+            record_commands=record_commands, **params["controller"]
+        ),
+    )
+    clients = [build_client(client) for client in params["clients"]]
+    return MemorySystemSimulator(
+        controller=controller,
+        clients=clients,
+        config=SimulationConfig(
+            fast_forward=fast_forward,
+            check_invariants=check_invariants,
+            **params["sim"],
+        ),
+    )
+
+
+def build_macro(params: dict):
+    from repro.dram.edram import EDRAMMacro
+
+    return EDRAMMacro(**params["macro"])
+
+
+def build_requirements(params: dict):
+    from repro.core.requirements import ApplicationRequirements
+
+    return ApplicationRequirements(**params["requirements"])
+
+
+# -- properties --------------------------------------------------------------
+
+
+def check_sim_differential(params: dict) -> list:
+    from repro.verify.differential import diff_simulations
+
+    report = diff_simulations(
+        lambda fast_forward, record_commands: build_simulator(
+            params,
+            fast_forward=fast_forward,
+            record_commands=record_commands,
+        )
+    )
+    return [] if report.identical else [report.describe()]
+
+
+def check_sim_invariants(params: dict) -> list:
+    from repro.dram.tracecheck import TraceChecker
+
+    simulator = build_simulator(
+        params,
+        fast_forward=True,
+        record_commands=True,
+        check_invariants="collect",
+    )
+    simulator.run()
+    messages = []
+    report = simulator.invariant_report
+    if not report.clean:
+        messages.append(f"live invariants: {report.summary()}")
+        messages.extend(str(v) for v in report.violations[:5])
+    trace_report = TraceChecker(
+        organization=simulator.device.organization,
+        timing=simulator.device.timing,
+    ).check(simulator.controller.command_log)
+    if not trace_report.clean:
+        messages.append(f"trace replay: {trace_report.summary()}")
+        messages.extend(
+            f"#{v.index} {v.command}: {v.reason}"
+            for v in trace_report.violations[:5]
+        )
+    return messages
+
+
+def check_pareto_engines(params: dict) -> list:
+    from repro.core.pareto import pareto_frontier
+
+    vectors = [tuple(float(x) for x in row) for row in params["vectors"]]
+    items = list(range(len(vectors)))
+
+    def objectives(index: int):
+        return vectors[index]
+
+    python = pareto_frontier(items, objectives, engine="python")
+    numpy_ = pareto_frontier(items, objectives, engine="numpy")
+    auto = pareto_frontier(items, objectives, engine="auto")
+    messages = []
+    if python != numpy_:
+        messages.append(
+            f"python {python} != numpy {numpy_} on {vectors}"
+        )
+    if python != auto:
+        messages.append(f"python {python} != auto {auto} on {vectors}")
+    return messages
+
+
+def check_evaluator_memo(params: dict) -> list:
+    from repro.verify.differential import diff_memoized_vs_cold
+
+    report = diff_memoized_vs_cold(
+        build_macro(params), build_requirements(params)
+    )
+    return [] if report.identical else [report.describe()]
+
+
+def check_mapping_roundtrip(params: dict) -> list:
+    from repro.dram.organizations import (
+        AddressMapping,
+        MappingScheme,
+        Organization,
+    )
+
+    organization = Organization(**params["organization"])
+    mapping = AddressMapping(
+        organization=organization, scheme=MappingScheme(params["scheme"])
+    )
+    messages = []
+    for address in params["addresses"]:
+        decoded = mapping.decode(address)
+        if not (
+            0 <= decoded.bank < organization.n_banks
+            and 0 <= decoded.row < organization.n_rows
+            and 0 <= decoded.column < organization.columns_per_page
+        ):
+            messages.append(f"decode({address}) out of range: {decoded}")
+            continue
+        back = mapping.encode(decoded)
+        if back != address:
+            messages.append(
+                f"encode(decode({address})) = {back} != {address}"
+            )
+    return messages
+
+
+def check_pacing_plan(params: dict) -> list:
+    from repro.traffic.client import CREDIT_CAP, MemoryClient
+    from repro.traffic.patterns import SequentialPattern
+
+    def make():
+        return MemoryClient(
+            name="p",
+            pattern=SequentialPattern(base=0, length=16),
+            rate=params["rate"],
+        )
+
+    ticks, limit = params["ticks"], params["limit"]
+    messages = []
+    # tick_many must be bit-identical to iterated tick.
+    stepped, jumped = make(), make()
+    for _ in range(ticks):
+        stepped.tick()
+    jumped.tick_many(ticks)
+    if stepped.credit != jumped.credit:
+        messages.append(
+            f"tick x{ticks} -> {stepped.credit!r} but "
+            f"tick_many({ticks}) -> {jumped.credit!r}"
+        )
+    # cycles_until_wants must match brute force and must not mutate.
+    probe, brute = make(), make()
+    before = probe.credit
+    predicted = probe.cycles_until_wants(limit)
+    if probe.credit != before:
+        messages.append("cycles_until_wants mutated the credit")
+    actual = 0
+    while actual < limit and not brute.wants_to_issue(actual):
+        brute.tick()
+        actual += 1
+    if predicted != actual:
+        messages.append(
+            f"cycles_until_wants({limit}) = {predicted}, brute force "
+            f"says {actual} at rate {params['rate']}"
+        )
+    # The memoized trajectory (built by the lookahead) must replay the
+    # same floats when tick_many later consumes it.
+    memoized, reference = make(), make()
+    memoized.cycles_until_wants(limit)  # primes the pacing plan
+    span = min(ticks, limit)
+    memoized.tick_many(span)
+    for _ in range(span):
+        reference.tick()
+    if memoized.credit != reference.credit:
+        messages.append(
+            f"memoized tick_many({span}) -> {memoized.credit!r} != "
+            f"stepped {reference.credit!r}"
+        )
+    # Closed-loop issue accounting: credit bounded, long-run rate held.
+    driven = make()
+    issued = 0
+    for cycle in range(ticks):
+        if driven.wants_to_issue(cycle):
+            driven.next_request()
+            issued += 1
+        else:
+            driven.tick()
+        if not -1e-9 <= driven.credit <= CREDIT_CAP + 1e-9:
+            messages.append(
+                f"credit {driven.credit!r} out of [0, {CREDIT_CAP}] "
+                f"after cycle {cycle}"
+            )
+            break
+    if abs(issued - params["rate"] * ticks) > CREDIT_CAP + 1.0:
+        messages.append(
+            f"issued {issued} over {ticks} cycles at rate "
+            f"{params['rate']} (expected ~{params['rate'] * ticks:.1f})"
+        )
+    return messages
+
+
+@dataclass(frozen=True)
+class FuzzProperty:
+    """One fuzzable property: a generator plus a predicate.
+
+    Attributes:
+        name: CLI-addressable identifier.
+        generate: ``generate(rng) -> params`` (JSON-able).
+        check: ``check(params) -> [failure message, ...]`` (empty = pass).
+    """
+
+    name: str
+    generate: object
+    check: object
+
+
+#: Registered properties, in round-robin execution order (cheap and
+#: expensive interleaved so small budgets still touch everything).
+PROPERTIES = (
+    FuzzProperty("sim_differential", gen_sim_case, check_sim_differential),
+    FuzzProperty("pareto_engines", gen_pareto_case, check_pareto_engines),
+    FuzzProperty("sim_invariants", gen_sim_case, check_sim_invariants),
+    FuzzProperty(
+        "mapping_roundtrip", gen_mapping_case, check_mapping_roundtrip
+    ),
+    FuzzProperty("evaluator_memo", gen_macro_case, check_evaluator_memo),
+    FuzzProperty("pacing_plan", gen_pacing_case, check_pacing_plan),
+)
+
+PROPERTY_BY_NAME = {prop.name: prop for prop in PROPERTIES}
+
+
+# -- running and shrinking ---------------------------------------------------
+
+
+def evaluate_case(name: str, params) -> list:
+    """Run one property on explicit params; returns failure messages.
+
+    Raises the invalid-input exceptions (:data:`_INVALID`) through, so a
+    shrink candidate that is not constructible can be told apart from a
+    genuine property failure; any other exception *is* a failure.
+    """
+    prop = PROPERTY_BY_NAME[name]
+    try:
+        return list(prop.check(params))
+    except _INVALID:
+        raise
+    except Exception as error:  # a crash is a finding, not an abort
+        return [f"unhandled {type(error).__name__}: {error!r}"]
+
+
+def _scalar_reductions(value):
+    if isinstance(value, bool):
+        return
+    if isinstance(value, int):
+        for candidate in (1, value // 2, value - 1):
+            if 0 <= candidate < value:
+                yield candidate
+    elif isinstance(value, float):
+        for candidate in (1.0, 0.5, round(value, 2), round(value, 1)):
+            if candidate != value:
+                yield candidate
+
+
+def _walk(value, prefix=()):
+    if isinstance(value, dict):
+        for key in value:
+            yield from _walk(value[key], prefix + (key,))
+    elif isinstance(value, list):
+        yield prefix, value
+        for index, item in enumerate(value):
+            yield from _walk(item, prefix + (index,))
+    else:
+        yield prefix, value
+
+
+def _replaced(params, path, value):
+    clone = copy.deepcopy(params)
+    node = clone
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] = value
+    return clone
+
+
+def _removed(params, path, index):
+    clone = copy.deepcopy(params)
+    node = clone
+    for key in path:
+        node = node[key]
+    del node[index]
+    return clone
+
+
+def _shrink_candidates(params):
+    """Yield simplified copies of ``params``: shorter lists first (the
+    biggest structural wins), then smaller scalar values."""
+    for path, value in _walk(params):
+        if isinstance(value, list) and len(value) > 1:
+            for index in range(len(value)):
+                yield _removed(params, path, index)
+    for path, value in _walk(params):
+        if not isinstance(value, list):
+            for reduced in _scalar_reductions(value):
+                yield _replaced(params, path, reduced)
+
+
+def shrink_case(name: str, params, max_attempts: int = 250):
+    """Greedy shrink: keep any simplification that still fails.
+
+    Candidates raising an invalid-input exception are skipped; already
+    visited parameter sets are never retried, so the loop terminates
+    even when float replacements are not strictly decreasing.
+    """
+    current = params
+    seen = {json.dumps(params, sort_keys=True)}
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            key = json.dumps(candidate, sort_keys=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                failures = evaluate_case(name, candidate)
+            except _INVALID:
+                continue
+            if failures:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing fuzz case, with its minimal shrunk form.
+
+    Attributes:
+        check: Property name.
+        seed: Harness seed.
+        index: Case index (``Random(f"{seed}:{index}")`` regenerates it).
+        params: Parameters as generated.
+        messages: Failure messages on the generated params.
+        shrunk_params: Minimal failing params (None when not shrunk).
+        shrunk_messages: Failure messages on the shrunk params.
+    """
+
+    check: str
+    seed: int
+    index: int
+    params: object
+    messages: tuple
+    shrunk_params: object = None
+    shrunk_messages: tuple = ()
+
+    def case_json(self) -> str:
+        target = (
+            self.shrunk_params if self.shrunk_params is not None
+            else self.params
+        )
+        return json.dumps(target, sort_keys=True)
+
+    def repro_command(self) -> str:
+        return (
+            f"python -m repro.verify fuzz --property {self.check} "
+            f"--case '{self.case_json()}'"
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.check} failed (seed {self.seed}, case {self.index}):"
+        ]
+        lines.extend(f"  {message}" for message in self.messages[:6])
+        if self.shrunk_params is not None:
+            lines.append(f"  shrunk: {json.dumps(self.shrunk_params)}")
+            lines.extend(
+                f"  {message}" for message in self.shrunk_messages[:3]
+            )
+        lines.append(f"  repro: {self.repro_command()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int
+    budget: int
+    cases_run: int = 0
+    cases_by_property: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        per_property = ", ".join(
+            f"{name}: {count}"
+            for name, count in sorted(self.cases_by_property.items())
+        )
+        status = "all passed" if self.ok else (
+            f"{len(self.failures)} FAILED"
+        )
+        return (
+            f"fuzz seed {self.seed}: {self.cases_run} cases "
+            f"({per_property}) -> {status}"
+        )
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget: int = 200,
+    properties=None,
+    shrink: bool = True,
+    max_shrink_attempts: int = 250,
+) -> FuzzReport:
+    """Run ``budget`` generated cases round-robin over the properties.
+
+    Args:
+        seed: Master seed; case ``i`` uses ``Random(f"{seed}:{i}")``.
+        budget: Total number of cases across all properties.
+        properties: Property-name subset (default: all registered).
+        shrink: Shrink failing cases to minimal repros.
+        max_shrink_attempts: Candidate evaluations per shrink.
+    """
+    names = list(properties) if properties else [
+        prop.name for prop in PROPERTIES
+    ]
+    for name in names:
+        if name not in PROPERTY_BY_NAME:
+            raise ConfigurationError(
+                f"unknown property {name!r} "
+                f"(choose from {sorted(PROPERTY_BY_NAME)})"
+            )
+    if budget < 1:
+        raise ConfigurationError(f"budget must be >= 1, got {budget}")
+    report = FuzzReport(seed=seed, budget=budget)
+    for index in range(budget):
+        name = names[index % len(names)]
+        rng = random.Random(f"{seed}:{index}")
+        prop = PROPERTY_BY_NAME[name]
+        params = prop.generate(rng)
+        try:
+            messages = evaluate_case(name, params)
+        except _INVALID as error:
+            messages = [f"generator produced an invalid case: {error}"]
+        report.cases_run += 1
+        report.cases_by_property[name] = (
+            report.cases_by_property.get(name, 0) + 1
+        )
+        if not messages:
+            continue
+        shrunk_params = None
+        shrunk_messages: tuple = ()
+        if shrink:
+            shrunk_params = shrink_case(
+                name, params, max_attempts=max_shrink_attempts
+            )
+            try:
+                shrunk_messages = tuple(
+                    evaluate_case(name, shrunk_params)
+                )
+            except _INVALID:  # pragma: no cover - shrink guards this
+                shrunk_params = None
+        report.failures.append(
+            FuzzFailure(
+                check=name,
+                seed=seed,
+                index=index,
+                params=params,
+                messages=tuple(messages),
+                shrunk_params=shrunk_params,
+                shrunk_messages=shrunk_messages,
+            )
+        )
+    return report

@@ -1,0 +1,312 @@
+"""Independent SDRAM protocol oracle.
+
+A second, structurally independent implementation of the command-level
+protocol rules in :mod:`repro.dram.bank` and :mod:`repro.dram.device`.
+The device model enforces legality at issue time; this oracle re-derives
+every constraint directly from the :class:`TimingParameters` and checks
+each observed command against its own state.  Because the two
+implementations share no code, a bug in either one (a mutated tRCD
+check, a forgotten turnaround cycle, a stale ready-time update) shows up
+as a disagreement instead of silently passing through both.
+
+This is the differential-verification analogue of Ramulator-style trace
+validation: the controller's live command stream is the trace, and the
+oracle is the redundant referee.
+
+Checked rules (names appear in :class:`Violation.check`):
+
+* ``bus.order`` — at most one command per cycle on the command bus,
+  cycles non-decreasing.
+* ``act.bank_open`` / ``act.row_range`` / ``act.t_rc`` / ``act.t_rrd``
+  — ACTIVATE legality.
+* ``col.closed_row`` / ``col.t_rcd`` — column-command legality against
+  the bank (tRCD after ACTIVATE, burst pacing, no column to a
+  precharged bank).
+* ``col.data_bus`` — shared data-bus occupancy including the
+  read/write turnaround gap.
+* ``pre.t_ras`` — PRECHARGE legality (tRAS since ACTIVATE, write
+  recovery).
+* ``ref.bank_busy`` / ``ref.t_rc`` — REFRESH requires all banks idle
+  and past their ready-again cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.organizations import Organization
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verification violation.
+
+    Attributes:
+        check: Dotted name of the violated rule (e.g. ``"col.t_rcd"``,
+            ``"state.fifo_conservation"``).
+        cycle: Cycle at which the violation was observed.
+        detail: Human-readable explanation with the offending values.
+    """
+
+    check: str
+    cycle: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"@{self.cycle} [{self.check}] {self.detail}"
+
+
+@dataclass
+class _BankModel:
+    """Oracle-side view of one bank: open row and ready cycles."""
+
+    open_row: int | None = None
+    ready_activate: int = 0
+    ready_precharge: int = 0
+    # None = no column commands legal until the next ACTIVATE.
+    ready_column: int | None = None
+
+
+@dataclass
+class CommandOracle:
+    """Streams commands and reports protocol violations.
+
+    Attributes:
+        organization: Organization the command stream targets.
+        timing: Timing parameters the stream must respect.
+        label: Identifier used in messages.
+    """
+
+    organization: Organization
+    timing: TimingParameters
+    label: str = "oracle"
+
+    violations: list = field(default_factory=list, init=False)
+    commands_seen: int = field(default=0, init=False)
+
+    _banks: list = field(default_factory=list, init=False)
+    _last_cycle: int | None = field(default=None, init=False)
+    _last_activate: int | None = field(default=None, init=False)
+    _bus_free: int = field(default=0, init=False)
+    _bus_last_read: bool | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self._banks = [
+            _BankModel() for _ in range(self.organization.n_banks)
+        ]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def observe(self, command: Command) -> list:
+        """Check one command; returns the new violations (empty = legal).
+
+        An illegal command is *not* applied to the oracle state, so
+        checking continues from the last legal prefix (mirroring
+        :class:`~repro.dram.tracecheck.TraceChecker`).
+        """
+        self.commands_seen += 1
+        found = self._check(command)
+        if found:
+            self.violations.extend(found)
+            return found
+        self._apply(command)
+        return []
+
+    # -- rule checking ------------------------------------------------------
+
+    def _fail(self, check: str, command: Command, detail: str) -> Violation:
+        return Violation(
+            check=check,
+            cycle=command.cycle,
+            detail=f"{self.label}: {detail} ({command})",
+        )
+
+    def _check(self, command: Command) -> list:
+        t = self.timing
+        cycle = command.cycle
+        found: list = []
+        if self._last_cycle is not None and cycle <= self._last_cycle:
+            found.append(
+                self._fail(
+                    "bus.order",
+                    command,
+                    f"command bus already used at cycle "
+                    f"{self._last_cycle}",
+                )
+            )
+        if command.kind is CommandType.NOP:
+            return found
+        if command.kind is CommandType.REFRESH:
+            for index, bank in enumerate(self._banks):
+                if bank.open_row is not None:
+                    found.append(
+                        self._fail(
+                            "ref.bank_busy",
+                            command,
+                            f"bank {index} still holds row "
+                            f"{bank.open_row}",
+                        )
+                    )
+                if cycle < bank.ready_activate:
+                    found.append(
+                        self._fail(
+                            "ref.t_rc",
+                            command,
+                            f"bank {index} not ready until "
+                            f"{bank.ready_activate}",
+                        )
+                    )
+            return found
+        if not 0 <= command.bank < len(self._banks):
+            found.append(
+                self._fail(
+                    "bus.bank_range",
+                    command,
+                    f"bank {command.bank} outside "
+                    f"[0, {len(self._banks)})",
+                )
+            )
+            return found
+        bank = self._banks[command.bank]
+        if command.kind is CommandType.ACTIVATE:
+            if bank.open_row is not None:
+                found.append(
+                    self._fail(
+                        "act.bank_open",
+                        command,
+                        f"row {bank.open_row} already open",
+                    )
+                )
+            if command.row is None or not (
+                0 <= command.row < self.organization.n_rows
+            ):
+                found.append(
+                    self._fail(
+                        "act.row_range",
+                        command,
+                        f"row {command.row} outside "
+                        f"[0, {self.organization.n_rows})",
+                    )
+                )
+            if cycle < bank.ready_activate:
+                found.append(
+                    self._fail(
+                        "act.t_rc",
+                        command,
+                        f"bank not activatable until "
+                        f"{bank.ready_activate} (tRC/tRP/tRFC)",
+                    )
+                )
+            if (
+                self._last_activate is not None
+                and cycle < self._last_activate + t.t_rrd
+            ):
+                found.append(
+                    self._fail(
+                        "act.t_rrd",
+                        command,
+                        f"previous ACTIVATE at {self._last_activate}, "
+                        f"tRRD={t.t_rrd}",
+                    )
+                )
+            return found
+        if command.kind in (CommandType.READ, CommandType.WRITE):
+            if bank.open_row is None or bank.ready_column is None:
+                found.append(
+                    self._fail(
+                        "col.closed_row",
+                        command,
+                        "no open row in the target bank",
+                    )
+                )
+                return found
+            if cycle < bank.ready_column:
+                found.append(
+                    self._fail(
+                        "col.t_rcd",
+                        command,
+                        f"column not legal until {bank.ready_column} "
+                        f"(tRCD={t.t_rcd} after ACT, or burst pacing)",
+                    )
+                )
+            is_read = command.kind is CommandType.READ
+            data_start = cycle + (t.t_cas if is_read else 1)
+            earliest = self._bus_free
+            if (
+                self._bus_last_read is not None
+                and self._bus_last_read != is_read
+            ):
+                earliest += t.t_turnaround
+            if data_start < earliest:
+                found.append(
+                    self._fail(
+                        "col.data_bus",
+                        command,
+                        f"data bus busy until {earliest}, burst would "
+                        f"start at {data_start}",
+                    )
+                )
+            return found
+        if command.kind is CommandType.PRECHARGE:
+            if cycle < bank.ready_precharge:
+                found.append(
+                    self._fail(
+                        "pre.t_ras",
+                        command,
+                        f"precharge not legal until "
+                        f"{bank.ready_precharge} "
+                        f"(tRAS/write recovery)",
+                    )
+                )
+            return found
+        return found
+
+    # -- state application --------------------------------------------------
+
+    def _apply(self, command: Command) -> None:
+        t = self.timing
+        cycle = command.cycle
+        self._last_cycle = cycle
+        if command.kind is CommandType.NOP:
+            return
+        if command.kind is CommandType.REFRESH:
+            for bank in self._banks:
+                bank.open_row = None
+                bank.ready_activate = cycle + t.t_rfc
+                bank.ready_precharge = cycle + t.t_rfc
+                bank.ready_column = None
+            return
+        bank = self._banks[command.bank]
+        if command.kind is CommandType.ACTIVATE:
+            self._last_activate = cycle
+            bank.open_row = command.row
+            bank.ready_column = cycle + t.t_rcd
+            bank.ready_precharge = cycle + t.t_ras
+            bank.ready_activate = cycle + t.t_rc
+            return
+        if command.kind in (CommandType.READ, CommandType.WRITE):
+            burst_end = cycle + t.t_cas + t.burst_length - 1
+            if command.kind is CommandType.WRITE:
+                bank.ready_precharge = max(
+                    bank.ready_precharge, burst_end + t.t_wr
+                )
+            else:
+                bank.ready_precharge = max(
+                    bank.ready_precharge, burst_end
+                )
+            bank.ready_column = max(
+                bank.ready_column, cycle + t.burst_length
+            )
+            self._bus_free = burst_end + 1
+            self._bus_last_read = command.kind is CommandType.READ
+            return
+        if command.kind is CommandType.PRECHARGE:
+            bank.open_row = None
+            bank.ready_activate = max(
+                bank.ready_activate, cycle + t.t_rp
+            )
+            bank.ready_column = None

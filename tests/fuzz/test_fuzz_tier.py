@@ -1,0 +1,42 @@
+"""Deep fuzz tier — opt-in, excluded from tier-1 by the ``fuzz`` marker.
+
+Run explicitly with::
+
+    PYTHONPATH=src python -m pytest tests/fuzz -m fuzz
+
+or let the scheduled CI job do it.  Budgets here are an order of
+magnitude beyond the tier-1 smoke in ``tests/test_verify_fuzz.py``;
+a failure prints a shrunk, seed-free repro command via
+``FuzzFailure.describe()``.
+"""
+
+import pytest
+
+from repro.verify.fuzz import PROPERTIES, run_fuzz
+
+pytestmark = pytest.mark.fuzz
+
+
+def _assert_ok(report):
+    assert report.ok, "\n\n".join(
+        failure.describe() for failure in report.failures
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_all_properties_deep(seed):
+    _assert_ok(run_fuzz(seed=seed, budget=300))
+
+
+@pytest.mark.parametrize("prop", [p.name for p in PROPERTIES])
+def test_per_property_focus(prop):
+    # A focused budget per property: round-robin runs touch each one
+    # budget/len(PROPERTIES) times, this hits each 120 times straight.
+    _assert_ok(run_fuzz(seed=1234, budget=120, properties=[prop]))
+
+
+def test_sim_differential_long_runs():
+    # Longer simulations widen the window for drift between the fast
+    # path and the per-cycle loop (more refreshes, more skips).
+    report = run_fuzz(seed=77, budget=60, properties=["sim_differential"])
+    _assert_ok(report)
