@@ -14,6 +14,10 @@ implementations and writes ``BENCH_perf.json``:
 * **parallel_sweep** — a macro-evaluation sweep run serially and through
   the process pool (falls back to serial on single-CPU machines; the
   worker count used is recorded either way).
+* **observability** — the MPEG2-decoder workload with observability
+  off, metrics-only and metrics+tracing.  Results must be bit-identical
+  across all three; the section reports the overhead ratios (the
+  documented budget is < 2x with full tracing on).
 
 Run directly::
 
@@ -220,12 +224,58 @@ def bench_parallel_sweep(report: PerfReport) -> None:
     )
 
 
-def run(smoke: bool = False, seed: int = 0) -> PerfReport:
+def bench_observability(
+    report: PerfReport, cycles: int, warmup: int, trace_out: str | None = None
+) -> None:
+    from repro.obs import Observability
+    from repro.obs.workloads import mpeg2_decoder_simulator
+
+    def run_workload(obs):
+        return mpeg2_decoder_simulator(
+            cycles=cycles, warmup_cycles=warmup, obs=obs
+        ).run()
+
+    off_s, off_result = measure(lambda: run_workload(None))
+    metrics_obs = Observability.create(trace=False)
+    metrics_s, metrics_result = measure(lambda: run_workload(metrics_obs))
+    trace_obs = Observability.create(trace=True)
+    trace_s, trace_result = measure(lambda: run_workload(trace_obs))
+    baseline = result_fingerprint(off_result)
+    if baseline != result_fingerprint(metrics_result) or (
+        baseline != result_fingerprint(trace_result)
+    ):
+        raise AssertionError(
+            "observability changed the simulation result"
+        )
+    if trace_out is not None:
+        trace_obs.trace.write(trace_out)
+    report.add(
+        "observability",
+        cycles=cycles + warmup,
+        off_seconds=off_s,
+        metrics_seconds=metrics_s,
+        trace_seconds=trace_s,
+        metrics_overhead_ratio=metrics_s / off_s,
+        trace_overhead_ratio=trace_s / off_s,
+        trace_events=len(trace_obs.trace.events),
+        bit_identical=True,
+    )
+
+
+def run(
+    smoke: bool = False, seed: int = 0, trace_out: str | None = None
+) -> PerfReport:
     report = PerfReport(title="Performance benchmark (fast paths)")
     if smoke:
         bench_sim(report, cycles=2_000, warmup=200, seed=seed)
+        bench_observability(
+            report, cycles=4_000, warmup=500, trace_out=trace_out
+        )
     else:
         bench_sim(report, cycles=20_000, warmup=1_000, seed=seed)
+        bench_observability(
+            report, cycles=16_000, warmup=1_000, trace_out=trace_out
+        )
     bench_design_space(report)
     bench_parallel_sweep(report)
     return report
@@ -240,6 +290,10 @@ def test_perf_smoke() -> None:
     sim = report.sections["sim_fast_forward"]
     assert sim["bit_identical"]
     assert report.sections["parallel_sweep"]["identical"]
+    obs = report.sections["observability"]
+    assert obs["bit_identical"]
+    # The documented observability budget: full tracing stays under 2x.
+    assert obs["trace_overhead_ratio"] < 2.0, obs
 
 
 def test_perf_deterministic() -> None:
@@ -270,8 +324,12 @@ def main(argv: list | None = None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_perf.json"),
         help="JSON report path (default: repo-root BENCH_perf.json)",
     )
+    parser.add_argument(
+        "--trace-out",
+        help="also write the observability bench's Chrome trace here",
+    )
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke, seed=args.seed)
+    report = run(smoke=args.smoke, seed=args.seed, trace_out=args.trace_out)
     report.write_json(args.out)
     print(report.render())
     print(f"\nwrote {args.out}")

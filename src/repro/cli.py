@@ -9,9 +9,13 @@ Usage::
     python -m repro.cli testcost [--mbit 64]
     python -m repro.cli experiments
     python -m repro.cli verify fuzz --seed 0 --budget 200
+    python -m repro.cli trace --out mpeg2.trace.json
+    python -m repro.cli metrics [--json]
 
 Each subcommand prints the corresponding reproduction table; `explore`
-runs a live design-space sweep for the given requirements.
+runs a live design-space sweep for the given requirements; `trace` and
+`metrics` run the instrumented MPEG2-decoder workload through the
+observability layer (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -139,6 +143,69 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_run(args: argparse.Namespace, *, trace: bool):
+    """Run the instrumented MPEG2 workload; return its Observability."""
+    from repro.obs import Observability
+    from repro.obs.workloads import mpeg2_decoder_simulator
+
+    obs = Observability.create(trace=trace)
+    simulator = mpeg2_decoder_simulator(
+        cycles=args.cycles,
+        warmup_cycles=args.warmup_cycles,
+        load=args.load,
+        obs=obs,
+    )
+    result = simulator.run()
+    return obs, result
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    obs, result = _obs_run(args, trace=True)
+    obs.trace.write(args.out)
+    dropped = obs.trace.dropped_events
+    print(result.summary())
+    print(
+        f"wrote {len(obs.trace.events)} trace events to {args.out} "
+        f"({dropped} dropped)"
+        + " — open with https://ui.perfetto.dev or chrome://tracing"
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    obs, result = _obs_run(args, trace=False)
+    snapshot = obs.metrics.snapshot()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshot to {args.out}")
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        for name, value in snapshot["counters"].items():
+            print(f"  {name}: {value}")
+        for name, hist in snapshot["histograms"].items():
+            print(
+                f"  {name}: n={hist['count']} mean={hist['mean']:.1f} "
+                f"p95={hist['p95']:.1f} max={hist['max']}"
+            )
+    return 0
+
+
+def _add_obs_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cycles", type=int, default=8_000)
+    parser.add_argument("--warmup-cycles", type=int, default=1_000)
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=1.2,
+        help="offered load as a fraction of interface peak",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +256,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("--area-budget-mm2", type=float, default=25.0)
     partition.set_defaults(func=_cmd_partition)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the MPEG2-decoder workload and write a Chrome "
+        "trace-event JSON (Perfetto-loadable)",
+    )
+    trace.add_argument("--out", default="mpeg2.trace.json")
+    _add_obs_workload_args(trace)
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the MPEG2-decoder workload and print/export the "
+        "metrics snapshot",
+    )
+    metrics.add_argument("--out", help="write the snapshot JSON here")
+    metrics.add_argument(
+        "--json", action="store_true", help="print the snapshot as JSON"
+    )
+    _add_obs_workload_args(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
 
     verify = sub.add_parser(
         "verify",

@@ -106,6 +106,11 @@ class MemoryController:
     #: (:mod:`repro.verify.invariants`) attaches here to stream the
     #: command sequence through an independent protocol oracle.
     command_observer: object = field(default=None, init=False, repr=False)
+    #: Optional :class:`~repro.obs.Observability` receiving command,
+    #: retirement, access and FIFO events (read-only; never alters
+    #: scheduling).  Installed by the simulator when built with
+    #: ``obs=``.
+    obs: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mapping.organization != self.device.organization:
@@ -142,8 +147,14 @@ class MemoryController:
         fifo = self.register_client(request.client)
         if fifo.full:
             fifo.record_stall()
+            if self.obs is not None:
+                self.obs.on_fifo_stall(request.client, request.created_cycle)
             return False
         fifo.push(request)
+        if self.obs is not None:
+            self.obs.on_fifo_push(
+                request.client, len(fifo), request.created_cycle
+            )
         return True
 
     # -- main loop ----------------------------------------------------------
@@ -235,6 +246,8 @@ class MemoryController:
         request.state = RequestState.COMPLETED
         request.completed_cycle = end_cycle
         self.completed.append(request)
+        if self.obs is not None:
+            self.obs.on_retire(request)
 
     def _accept(self, cycle: int) -> None:
         if len(self.window) >= self.config.window_size:
@@ -363,6 +376,8 @@ class MemoryController:
         if request.was_row_hit is None:
             request.was_row_hit = True
         bank.record_access_outcome(request.was_row_hit)
+        if self.obs is not None:
+            self.obs.on_access(decoded.bank, request.was_row_hit)
         request.state = RequestState.ISSUED
         request.issued_cycle = cycle
         if self._inflight and end < self._inflight[-1][0]:
@@ -382,6 +397,8 @@ class MemoryController:
             self.command_log.append(command)
         if self.command_observer is not None:
             self.command_observer(command)
+        if self.obs is not None:
+            self.obs.on_command(command, end)
         if (
             command.kind is CommandType.ACTIVATE
             and command.request_id is not None

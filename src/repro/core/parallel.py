@@ -11,8 +11,17 @@ across a process pool with
   which worker finished first, so parallel runs are indistinguishable
   from serial ones;
 * **graceful fallback** — if the platform cannot spawn workers (single
-  CPU, sandboxed environment, non-picklable callables) the map silently
-  degrades to the serial path, which is always correct.
+  CPU, sandboxed environment, non-picklable callables) the map degrades
+  to the serial path, which is always correct.  A pool that fails *after*
+  starting is re-run serially too, but loudly: the root cause is surfaced
+  as a :class:`ParallelFallbackWarning` and counted in the global metrics
+  registry (``parallel_map.fallbacks``), because side-effectful ``fn``s
+  may have executed twice on the items the pool already finished.
+
+Sweep worker telemetry (chunk wall times, pool runs, serial-path
+reasons) is recorded into :data:`repro.obs.metrics.GLOBAL_METRICS` when
+that registry is enabled; with it disabled (the default) the record
+calls hit no-op null metrics.
 
 Per-point errors of declared types are captured as
 :class:`PointOutcome` failures instead of poisoning the whole pool, so
@@ -24,10 +33,23 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import GLOBAL_METRICS
+
+
+class ParallelFallbackWarning(UserWarning):
+    """The process pool failed and the workload was re-run serially.
+
+    The message carries the root cause (broken pool, spawn failure, or
+    a worker crash outside ``catch``) — previously discarded — and
+    flags that side-effectful evaluation functions may have executed
+    twice for items the pool already processed.
+    """
 
 
 @dataclass(frozen=True)
@@ -92,6 +114,13 @@ def _run_chunk(fn, chunk, catch):
     return outcomes
 
 
+def _timed_run_chunk(fn, chunk, catch):
+    """Telemetry variant: also reports worker-side wall time."""
+    start = time.perf_counter()
+    outcomes = _run_chunk(fn, chunk, catch)
+    return time.perf_counter() - start, outcomes
+
+
 def _chunks(items: list, chunk_size: int) -> list:
     return [
         items[start : start + chunk_size]
@@ -140,8 +169,10 @@ def parallel_map(
         return _serial_map(fn, items, catch)
     workers = config.resolved_workers(len(items))
     if workers <= 1:
+        GLOBAL_METRICS.counter("parallel_map.serial.single_worker").inc()
         return _serial_map(fn, items, catch)
     if not _picklable(fn, items[0]):
+        GLOBAL_METRICS.counter("parallel_map.serial.non_picklable").inc()
         return _serial_map(fn, items, catch)
     chunk_size = config.chunk_size
     if chunk_size is None:
@@ -149,20 +180,44 @@ def parallel_map(
 
         chunk_size = ceil_div(len(items), workers)
     chunks = _chunks(items, chunk_size)
+    telemetry = GLOBAL_METRICS.enabled
+    worker_fn = _timed_run_chunk if telemetry else _run_chunk
+    if telemetry:
+        GLOBAL_METRICS.counter("parallel_map.pool_runs").inc()
+        GLOBAL_METRICS.counter("parallel_map.points").inc(len(items))
+        GLOBAL_METRICS.gauge("parallel_map.workers").set(workers)
+        GLOBAL_METRICS.gauge("parallel_map.chunks").set(len(chunks))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, chunk, catch)
+                pool.submit(worker_fn, fn, chunk, catch)
                 for chunk in chunks
             ]
             merged: list = []
             for future in futures:  # submission order == input order
-                merged.extend(future.result())
+                if telemetry:
+                    elapsed, outcomes = future.result()
+                    GLOBAL_METRICS.histogram(
+                        "parallel_map.chunk_us"
+                    ).record(elapsed * 1e6)
+                else:
+                    outcomes = future.result()
+                merged.extend(outcomes)
             return merged
-    except Exception:
+    except Exception as error:
         # Broken pool, spawn failure, or a worker-side crash outside
         # `catch`: redo serially so the error (if any) surfaces with a
         # clean traceback and the caller never sees partial results.
+        # Surface the root cause instead of discarding it — callers
+        # with side-effectful `fn`s need to know items may run twice.
+        GLOBAL_METRICS.counter("parallel_map.fallbacks").inc()
+        warnings.warn(
+            f"process pool failed ({error!r}); re-running all "
+            f"{len(items)} items serially — side-effectful functions "
+            "may execute twice",
+            ParallelFallbackWarning,
+            stacklevel=2,
+        )
         return _serial_map(fn, items, catch)
 
 

@@ -74,6 +74,10 @@ class MemorySystemSimulator:
     controller: MemoryController
     clients: list[MemoryClient]
     config: SimulationConfig = SimulationConfig()
+    #: Optional :class:`~repro.obs.Observability` receiving command,
+    #: retirement, FIFO and fast-forward events.  None (the default)
+    #: costs nothing and results are bit-identical either way.
+    obs: object = None
 
     _next_request_id: int = field(default=0, init=False)
     _pending: dict = field(default_factory=dict, init=False)
@@ -94,6 +98,9 @@ class MemorySystemSimulator:
             raise ConfigurationError(f"duplicate client names: {names}")
         for client in self.clients:
             self.controller.register_client(client.name)
+        if self.obs is not None:
+            self.controller.obs = self.obs
+            self.obs.bind(self)
         if self.config.check_invariants != "off":
             # Imported lazily: repro.verify depends on this module.
             from repro.verify.invariants import LiveInvariantChecker
@@ -196,6 +203,8 @@ class MemorySystemSimulator:
                     client.tick_many(skipped)
                 controller.skip_idle_cycles(skipped)
                 self.cycles_fast_forwarded += skipped
+                if self.obs is not None:
+                    self.obs.on_skip(cycle, skipped)
                 if checker is not None:
                     checker.on_skip(cycle, skipped, self)
                     self._maybe_raise_violations(checker)
@@ -245,6 +254,8 @@ class MemorySystemSimulator:
 
     def _reset_measurement(self) -> None:
         """Discard warm-up statistics."""
+        if self.obs is not None:
+            self.obs.on_measurement_reset(self.config.warmup_cycles - 1)
         if self.invariant_checker is not None:
             self.invariant_checker.on_measurement_reset(
                 len(self.controller.completed)
@@ -264,6 +275,8 @@ class MemorySystemSimulator:
             fifo.high_water_mark = len(fifo)
 
     def _collect(self, total_cycles: int) -> SimulationResult:
+        if self.obs is not None:
+            self.obs.on_run_end(total_cycles)
         if self.invariant_checker is not None:
             self.invariant_report = self.invariant_checker.report()
         measured = self.config.cycles

@@ -5,6 +5,7 @@ Usage::
     python -m repro.verify fuzz --seed 0 --budget 200
     python -m repro.verify fuzz --property sim_differential --budget 40
     python -m repro.verify fuzz --property pacing_plan --case '{...}'
+    python -m repro.verify fuzz --budget 200 --trace-dir traces/
     python -m repro.verify diff --seed 0 --cases 5
     python -m repro.verify properties
 
@@ -64,6 +65,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     for failure in report.failures:
         print()
         print(failure.describe())
+        if args.trace_dir:
+            path = fuzz.write_failure_trace(failure, args.trace_dir)
+            if path:
+                print(f"  trace: {path}")
     return 0 if report.ok else 1
 
 
@@ -136,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report failing cases without shrinking them",
+    )
+    fuzz_cmd.add_argument(
+        "--trace-dir",
+        help="write a Chrome trace of each failing (shrunk) sim case "
+        "into this directory",
     )
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 

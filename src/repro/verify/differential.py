@@ -111,13 +111,13 @@ def diff_values(left, right, path: str = "") -> list:
 
     Dataclasses are compared field-by-field, dicts key-by-key (union of
     keys), sequences index-by-index; :class:`LatencyStats` compares its
-    raw sample sequence so ordering differences are caught, not just
-    aggregate drift.  Floats are compared exactly — the contract under
-    test is bit-identity, not tolerance.
+    streaming digest, whose order-sensitive rolling checksum catches
+    sample reorderings, not just aggregate drift.  Floats are compared
+    exactly — the contract under test is bit-identity, not tolerance.
     """
     if isinstance(left, LatencyStats) and isinstance(right, LatencyStats):
         return diff_values(
-            tuple(left._samples), tuple(right._samples), f"{path}.samples"
+            left.digest(), right.digest(), f"{path}.digest"
         )
     if dataclasses.is_dataclass(left) and type(left) is type(right):
         diffs: list = []
@@ -176,9 +176,9 @@ def result_fingerprint(result: SimulationResult) -> tuple:
         tuple(sorted(result.fifo_high_water.items())),
         tuple(sorted(result.fifo_stall_cycles.items())),
         result.row_hit_rate,
-        tuple(result.latency._samples),
+        result.latency.digest(),
         tuple(
-            (name, tuple(stats._samples))
+            (name, stats.digest())
             for name, stats in sorted(result.latency_by_client.items())
         ),
     )

@@ -287,6 +287,7 @@ def build_simulator(
     fast_forward: bool,
     record_commands: bool = False,
     check_invariants: str = "off",
+    obs=None,
 ):
     """Instantiate a fresh simulator from a ``gen_sim_case`` dict."""
     from repro.controller.controller import (
@@ -323,6 +324,7 @@ def build_simulator(
             check_invariants=check_invariants,
             **params["sim"],
         ),
+        obs=obs,
     )
 
 
@@ -701,6 +703,45 @@ class FuzzFailure:
             )
         lines.append(f"  repro: {self.repro_command()}")
         return "\n".join(lines)
+
+
+#: Properties whose params describe a full simulator run — the ones a
+#: failing case can be re-run with tracing enabled for.
+_SIM_PROPERTIES = frozenset({"sim_differential", "sim_invariants"})
+
+
+def write_failure_trace(failure: "FuzzFailure", directory) -> str | None:
+    """Re-run a failing sim case with tracing; write a Chrome trace.
+
+    The minimal (shrunk) params are used when available, so the trace
+    shows the smallest workload that still reproduces the failure.
+    Non-simulator properties (pareto, mapping, pacing...) have no
+    command timeline and return None.  A case that crashes mid-run
+    still gets its trace up to the crash point.
+    """
+    if failure.check not in _SIM_PROPERTIES:
+        return None
+    import pathlib
+
+    from repro.obs import Observability
+
+    params = (
+        failure.shrunk_params
+        if failure.shrunk_params is not None
+        else failure.params
+    )
+    obs = Observability.create(trace=True)
+    try:
+        build_simulator(params, fast_forward=True, obs=obs).run()
+    except Exception:
+        pass
+    path = pathlib.Path(directory) / (
+        f"{failure.check}-seed{failure.seed}-case{failure.index}"
+        ".trace.json"
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    obs.trace.write(path)
+    return str(path)
 
 
 @dataclass

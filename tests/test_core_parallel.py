@@ -4,14 +4,21 @@ import pickle
 
 import pytest
 
+from repro.core import parallel as parallel_module
 from repro.core.evaluator import Evaluator
 from repro.core.explorer import DesignSpaceExplorer
-from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
+from repro.core.parallel import (
+    ParallelConfig,
+    ParallelFallbackWarning,
+    PointOutcome,
+    parallel_map,
+)
 from repro.core.pareto import pareto_frontier
 from repro.core.requirements import ApplicationRequirements
 from repro.core.sweep import Sweep
 from repro.dram.edram import EDRAMMacro
 from repro.errors import ConfigurationError, InfeasibleError
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.units import MBIT
 
 
@@ -83,6 +90,109 @@ class TestParallelMap:
     def test_resolved_workers_caps_at_items(self):
         assert ParallelConfig(workers=16).resolved_workers(3) == 3
         assert ParallelConfig(workers=0).resolved_workers(3) == 1
+
+
+class _ExplodingPool:
+    """Stand-in executor whose submissions all fail at result time."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        raise OSError("spawn blocked by sandbox")
+
+
+@pytest.fixture
+def global_metrics():
+    """Enable the global registry for one test, restored afterwards."""
+    GLOBAL_METRICS.enabled = True
+    GLOBAL_METRICS.reset()
+    yield GLOBAL_METRICS
+    GLOBAL_METRICS.reset()
+    GLOBAL_METRICS.enabled = False
+
+
+class TestParallelFallback:
+    """The pool-failure fallback must be loud, counted and correct.
+
+    Regression tests for the silent ``except Exception: pass`` that
+    used to discard the root cause of every pool failure.
+    """
+
+    def test_fallback_warns_with_root_cause(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", _ExplodingPool
+        )
+        config = ParallelConfig(workers=2, chunk_size=2)
+        with pytest.warns(ParallelFallbackWarning, match="sandbox"):
+            outcomes = parallel_map(_square, range(6), config=config)
+        # The serial re-run still produces complete, ordered results.
+        assert [o.value for o in outcomes] == [x * x for x in range(6)]
+
+    def test_fallback_counted_in_global_metrics(
+        self, monkeypatch, global_metrics
+    ):
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", _ExplodingPool
+        )
+        with pytest.warns(ParallelFallbackWarning):
+            parallel_map(
+                _square, range(4), config=ParallelConfig(workers=2)
+            )
+        assert global_metrics.value("parallel_map.fallbacks") == 1
+
+    def test_worker_crash_reraises_serially_with_warning(self):
+        # An exception outside `catch` escapes the pool; the serial
+        # re-run raises it deterministically — after the warning.
+        with pytest.warns(ParallelFallbackWarning, match="InfeasibleError"):
+            with pytest.raises(InfeasibleError):
+                parallel_map(
+                    _fail_on_three,
+                    [1, 2, 3, 4],
+                    config=ParallelConfig(workers=2, chunk_size=1),
+                )
+
+    def test_healthy_pool_does_not_warn(self, recwarn):
+        outcomes = parallel_map(
+            _square, range(8), config=ParallelConfig(workers=2)
+        )
+        assert [o.value for o in outcomes] == [x * x for x in range(8)]
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, ParallelFallbackWarning)
+        ]
+
+    def test_telemetry_recorded_when_enabled(self, global_metrics):
+        parallel_map(
+            _square,
+            range(10),
+            config=ParallelConfig(workers=2, chunk_size=5),
+        )
+        assert global_metrics.value("parallel_map.pool_runs") == 1
+        assert global_metrics.value("parallel_map.points") == 10
+        assert global_metrics.value("parallel_map.workers") == 2
+        assert global_metrics.value("parallel_map.chunks") == 2
+        assert global_metrics.value("parallel_map.chunk_us") == 2
+
+    def test_serial_reasons_counted(self, global_metrics):
+        parallel_map(_square, [1, 2], config=ParallelConfig(workers=1))
+        parallel_map(
+            lambda x: x,  # noqa: E731 - deliberately unpicklable
+            [1, 2],
+            config=ParallelConfig(workers=2),
+        )
+        assert (
+            global_metrics.value("parallel_map.serial.single_worker") == 1
+        )
+        assert (
+            global_metrics.value("parallel_map.serial.non_picklable") == 1
+        )
 
 
 class TestEvaluatorMemo:

@@ -102,9 +102,9 @@ def fingerprint(result):
         result.fifo_high_water,
         result.fifo_stall_cycles,
         result.row_hit_rate,
-        tuple(result.latency._samples),
+        result.latency.digest(),
         {
-            name: tuple(stats._samples)
+            name: stats.digest()
             for name, stats in result.latency_by_client.items()
         },
     )
