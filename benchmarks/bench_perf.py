@@ -18,6 +18,11 @@ implementations and writes ``BENCH_perf.json``:
   off, metrics-only and metrics+tracing.  Results must be bit-identical
   across all three; the section reports the overhead ratios (the
   documented budget is < 2x with full tracing on).
+* **injection** — the canonical injected workload on the plain
+  controller, on the resilient controller with a disabled injector
+  (must be bit-identical to the plain run) and with injection enabled.
+  The section reports the overhead ratios (documented budget: the
+  disabled injector stays under 2x; see docs/RESILIENCE.md).
 
 Run directly::
 
@@ -262,6 +267,49 @@ def bench_observability(
     )
 
 
+def bench_injection(report: PerfReport, cycles: int, warmup: int) -> None:
+    from repro.inject import InjectionConfig
+    from repro.inject.runtime import build_injected_simulator
+
+    def run_injected(injection):
+        return build_injected_simulator(
+            injection, cycles=cycles, warmup_cycles=warmup
+        ).run()
+
+    plain_s, plain_result = measure(lambda: run_injected(None))
+    disabled_s, disabled_result = measure(
+        lambda: run_injected(
+            InjectionConfig(enabled=False, n_cell_faults=200)
+        )
+    )
+    enabled_s, enabled_result = measure(
+        lambda: run_injected(
+            InjectionConfig(
+                n_cell_faults=200,
+                refresh_drop_rate=0.05,
+                fifo_stall_rate=0.02,
+            )
+        )
+    )
+    if result_fingerprint(plain_result) != result_fingerprint(
+        disabled_result
+    ):
+        raise AssertionError(
+            "disabled injection diverged from the plain controller"
+        )
+    report.add(
+        "injection",
+        cycles=cycles + warmup,
+        plain_seconds=plain_s,
+        disabled_seconds=disabled_s,
+        enabled_seconds=enabled_s,
+        disabled_overhead_ratio=disabled_s / plain_s,
+        enabled_overhead_ratio=enabled_s / plain_s,
+        requests_completed=enabled_result.requests_completed,
+        bit_identical=True,
+    )
+
+
 def run(
     smoke: bool = False, seed: int = 0, trace_out: str | None = None
 ) -> PerfReport:
@@ -271,11 +319,13 @@ def run(
         bench_observability(
             report, cycles=4_000, warmup=500, trace_out=trace_out
         )
+        bench_injection(report, cycles=2_000, warmup=200)
     else:
         bench_sim(report, cycles=20_000, warmup=1_000, seed=seed)
         bench_observability(
             report, cycles=16_000, warmup=1_000, trace_out=trace_out
         )
+        bench_injection(report, cycles=8_000, warmup=500)
     bench_design_space(report)
     bench_parallel_sweep(report)
     return report
@@ -294,6 +344,11 @@ def test_perf_smoke() -> None:
     assert obs["bit_identical"]
     # The documented observability budget: full tracing stays under 2x.
     assert obs["trace_overhead_ratio"] < 2.0, obs
+    inject = report.sections["injection"]
+    assert inject["bit_identical"]
+    # The documented injection budget: a disabled injector stays under
+    # 2x of the plain controller.
+    assert inject["disabled_overhead_ratio"] < 2.0, inject
 
 
 def test_perf_deterministic() -> None:

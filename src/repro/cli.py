@@ -214,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
             "DATE 1998) — reproduction toolkit"
         ),
     )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise configuration/simulation errors as full "
+        "tracebacks instead of the one-line message",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     power = sub.add_parser("power", help="E1 power comparison table")
@@ -285,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("verify_args", nargs=argparse.REMAINDER)
     verify.set_defaults(func=_cmd_verify)
+
+    inject = sub.add_parser(
+        "inject",
+        help="fault-injection campaigns and injected simulations; "
+        "forwards to `python -m repro.inject`",
+    )
+    inject.add_argument("inject_args", nargs=argparse.REMAINDER)
+    inject.set_defaults(func=_cmd_inject)
     return parser
 
 
@@ -292,6 +306,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.cli import main as verify_main
 
     return verify_main(args.verify_args)
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.inject.cli import main as inject_main
+
+    return inject_main(args.inject_args)
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -332,9 +352,20 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def main(argv=None) -> int:
+    from repro.errors import ConfigurationError, SimulationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ConfigurationError, SimulationError) as error:
+        if args.debug:
+            raise
+        print(
+            f"repro: error: [{type(error).__name__}] {error}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,7 +16,17 @@ across a process pool with
   starting is re-run serially too, but loudly: the root cause is surfaced
   as a :class:`ParallelFallbackWarning` and counted in the global metrics
   registry (``parallel_map.fallbacks``), because side-effectful ``fn``s
-  may have executed twice on the items the pool already finished.
+  may have executed twice on the items the pool already finished;
+* **bounded retry** — *transient* pool failures (spawn/resource errors,
+  broken executors; :data:`TRANSIENT_POOL_ERRORS`) are retried with
+  exponential backoff (``ParallelConfig.max_retries`` /
+  ``backoff_s``, counted as ``parallel_map.retries``) before the serial
+  fallback; workload exceptions are deterministic and never retried;
+* **per-chunk timeouts** — with ``ParallelConfig.timeout_s`` set, a
+  chunk that misses its result deadline is quarantined as failed
+  :class:`PointOutcome` entries (counted as ``parallel_map.timeouts``)
+  and the pool is abandoned without waiting, so a hung point cannot
+  hang the sweep.
 
 Sweep worker telemetry (chunk wall times, pool runs, serial-path
 reasons) is recorded into :data:`repro.obs.metrics.GLOBAL_METRICS` when
@@ -35,11 +45,18 @@ import os
 import pickle
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import GLOBAL_METRICS
+
+#: Pool failures worth retrying: executor infrastructure breakage
+#: (broken pool, killed worker) and OS-level spawn/resource errors.
+#: Anything else that escapes a worker is the workload's own exception
+#: and is deterministic — retrying would just re-raise it.
+TRANSIENT_POOL_ERRORS = (OSError, BrokenExecutor)
 
 
 class ParallelFallbackWarning(UserWarning):
@@ -64,16 +81,35 @@ class ParallelConfig:
             contiguous chunk per worker).  Chunks are always contiguous
             slices of the input, so chunking never reorders evaluation
             within a chunk.
+        timeout_s: Per-chunk result deadline.  A chunk that has not
+            produced its result by the time the ordered merge reaches it
+            is *quarantined*: every point in it becomes a failed
+            :class:`PointOutcome` (``error`` carries the timeout) and
+            the pool is abandoned without waiting for the hung worker.
+            None (default) waits forever.
+        max_retries: Pool construction/run attempts (beyond the first)
+            for *transient* failures (:data:`TRANSIENT_POOL_ERRORS`)
+            before the loud serial fallback.
+        backoff_s: Initial retry backoff; doubles per retry.
     """
 
     workers: int | None = None
     chunk_size: int | None = None
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
             raise ConfigurationError("workers must be >= 0")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
 
     def resolved_workers(self, n_items: int) -> int:
         workers = self.workers
@@ -187,38 +223,93 @@ def parallel_map(
         GLOBAL_METRICS.counter("parallel_map.points").inc(len(items))
         GLOBAL_METRICS.gauge("parallel_map.workers").set(workers)
         GLOBAL_METRICS.gauge("parallel_map.chunks").set(len(chunks))
+    attempt = 0
+    while True:
+        try:
+            return _pool_map(
+                worker_fn,
+                fn,
+                chunks,
+                catch,
+                workers,
+                config.timeout_s,
+                telemetry,
+            )
+        except TRANSIENT_POOL_ERRORS as error:
+            # Spawn/resource exhaustion and broken pools are often
+            # transient (fork storms, momentary fd pressure): back off
+            # and retry a bounded number of times before giving up.
+            if attempt < config.max_retries:
+                attempt += 1
+                GLOBAL_METRICS.counter("parallel_map.retries").inc()
+                time.sleep(config.backoff_s * (2 ** (attempt - 1)))
+                continue
+            return _fallback_serial(fn, items, catch, error)
+        except Exception as error:
+            # A worker-side crash outside `catch` is the workload's own
+            # deterministic exception: no retry, redo serially so it
+            # surfaces with a clean traceback.
+            return _fallback_serial(fn, items, catch, error)
+
+
+def _pool_map(
+    worker_fn, fn, chunks, catch, workers, timeout_s, telemetry
+) -> list:
+    """One process-pool attempt; raises on pool/workload failures.
+
+    Timed-out chunks do *not* raise: every point of an overdue chunk is
+    quarantined as a failed :class:`PointOutcome` and the pool is
+    abandoned without waiting (``wait=False``), so one hung worker can
+    never hang the parent or poison the other chunks' results.
+    """
+    pool = ProcessPoolExecutor(max_workers=workers)
+    abandoned = False
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(worker_fn, fn, chunk, catch)
-                for chunk in chunks
-            ]
-            merged: list = []
-            for future in futures:  # submission order == input order
-                if telemetry:
-                    elapsed, outcomes = future.result()
-                    GLOBAL_METRICS.histogram(
-                        "parallel_map.chunk_us"
-                    ).record(elapsed * 1e6)
-                else:
-                    outcomes = future.result()
-                merged.extend(outcomes)
-            return merged
-    except Exception as error:
-        # Broken pool, spawn failure, or a worker-side crash outside
-        # `catch`: redo serially so the error (if any) surfaces with a
-        # clean traceback and the caller never sees partial results.
-        # Surface the root cause instead of discarding it — callers
-        # with side-effectful `fn`s need to know items may run twice.
-        GLOBAL_METRICS.counter("parallel_map.fallbacks").inc()
-        warnings.warn(
-            f"process pool failed ({error!r}); re-running all "
-            f"{len(items)} items serially — side-effectful functions "
-            "may execute twice",
-            ParallelFallbackWarning,
-            stacklevel=2,
-        )
-        return _serial_map(fn, items, catch)
+        futures = [
+            pool.submit(worker_fn, fn, chunk, catch) for chunk in chunks
+        ]
+        merged: list = []
+        for chunk, future in zip(chunks, futures):
+            # submission order == input order
+            try:
+                payload = future.result(timeout=timeout_s)
+            except FuturesTimeout:
+                abandoned = True
+                GLOBAL_METRICS.counter("parallel_map.timeouts").inc()
+                message = (
+                    f"TimeoutError: chunk of {len(chunk)} item(s) "
+                    f"exceeded the {timeout_s}s deadline"
+                )
+                merged.extend(
+                    PointOutcome(ok=False, error=message) for _ in chunk
+                )
+                continue
+            if telemetry:
+                elapsed, outcomes = payload
+                GLOBAL_METRICS.histogram("parallel_map.chunk_us").record(
+                    elapsed * 1e6
+                )
+            else:
+                outcomes = payload
+            merged.extend(outcomes)
+        return merged
+    finally:
+        shutdown = getattr(pool, "shutdown", None)
+        if shutdown is not None:  # stand-in executors may lack it
+            shutdown(wait=not abandoned, cancel_futures=abandoned)
+
+
+def _fallback_serial(fn, items, catch, error) -> list:
+    """Loud serial re-run after the pool (and its retries) failed."""
+    GLOBAL_METRICS.counter("parallel_map.fallbacks").inc()
+    warnings.warn(
+        f"process pool failed ({error!r}); re-running all "
+        f"{len(items)} items serially — side-effectful functions "
+        "may execute twice",
+        ParallelFallbackWarning,
+        stacklevel=3,
+    )
+    return _serial_map(fn, items, catch)
 
 
 class _NeverRaised(Exception):

@@ -6,15 +6,33 @@ factors that shape out: a :class:`Sweep` is a named cartesian product of
 axes plus an evaluation function; the result supports filtering,
 best-point queries and direct rendering through
 :class:`~repro.reporting.tables.Table`.
+
+Resilience (see docs/RESILIENCE.md):
+
+* failing points are quarantined as :class:`FailedPoint` entries on
+  ``SweepResult.failures`` instead of silently vanishing (with
+  ``skip_errors``) or aborting the sweep (per-chunk timeouts in the
+  parallel path);
+* ``Sweep.run(..., journal=path)`` appends every evaluated point to a
+  JSONL checkpoint journal; re-running with the same journal skips the
+  already-evaluated points and merges old and new outcomes back in
+  product order, so an interrupted sweep resumes instead of restarting.
+  The journal header carries a signature of the axes, and resuming
+  against a journal written for different axes is rejected.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import itertools
+import json
+import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.core.parallel import ParallelConfig, parallel_map
+from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
 from repro.reporting.tables import Table
 
 
@@ -46,11 +64,32 @@ class SweepPoint:
         return self.parameters[key]
 
 
+@dataclass(frozen=True)
+class FailedPoint:
+    """One quarantined point of a sweep.
+
+    Attributes:
+        parameters: Axis name -> value for this point.
+        error: ``repr`` of the captured exception, or the timeout
+            message for points whose chunk missed its deadline.
+    """
+
+    parameters: dict
+    error: str
+
+
 @dataclass
 class SweepResult:
-    """All evaluated points of one sweep."""
+    """All evaluated points of one sweep.
+
+    ``points`` holds the successful evaluations in product order;
+    ``failures`` the quarantined ones (skipped errors, timed-out
+    chunks), also in product order.  ``len()`` and iteration cover the
+    successes only, matching the pre-resilience contract.
+    """
 
     points: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -137,51 +176,238 @@ class Sweep:
             )
         ]
 
+    def signature(self) -> str:
+        """Stable digest of the axes, pinning a journal to this sweep."""
+        digest = hashlib.sha256()
+        for name in sorted(self.axes):
+            digest.update(repr((name, list(self.axes[name]))).encode())
+        digest.update(str(self.n_points).encode())
+        return digest.hexdigest()[:16]
+
     def run(
         self,
         evaluate,
         skip_errors: bool = False,
         parallel: ParallelConfig | None = None,
+        journal: str | Path | None = None,
     ) -> SweepResult:
         """Evaluate every axis combination.
 
         Args:
             evaluate: Callable taking the axis values as keyword
                 arguments and returning the point's result.
-            skip_errors: Silently drop combinations whose evaluation
-                raises :class:`~repro.errors.ReproError` (useful when
-                parts of the grid are unconstructible).
+            skip_errors: Quarantine combinations whose evaluation
+                raises :class:`~repro.errors.ReproError` as
+                :class:`FailedPoint` entries (useful when parts of the
+                grid are unconstructible) instead of aborting.
             parallel: Fan the points out over a process pool.  Points
                 are chunked deterministically and merged back in
                 product order, so the result is identical to a serial
                 run (``evaluate`` must be picklable and side-effect
-                free; otherwise the serial path is used).
+                free; otherwise the serial path is used).  With
+                ``parallel.timeout_s`` set, hung points are quarantined
+                as failures rather than hanging the sweep.
+            journal: Checkpoint-journal path.  Completed points are
+                appended as they finish; a rerun with the same path
+                resumes from the journal, evaluating only the missing
+                points.  A journal written for a different sweep (axes
+                changed) is rejected with
+                :class:`~repro.errors.ConfigurationError`.
         """
+        combos = self.combinations()
+        journal_log: SweepJournal | None = None
+        completed: dict = {}
+        if journal is not None:
+            journal_log = SweepJournal(journal, self.signature())
+            completed = journal_log.load()
+        try:
+            outcomes = self._evaluate(
+                evaluate, combos, completed, skip_errors, parallel,
+                journal_log,
+            )
+        finally:
+            if journal_log is not None:
+                journal_log.close()
+        result = SweepResult()
+        for index, parameters in enumerate(combos):
+            outcome = outcomes.get(index)
+            if outcome is None:
+                continue
+            if outcome.ok:
+                result.points.append(
+                    SweepPoint(parameters=parameters, result=outcome.value)
+                )
+            else:
+                result.failures.append(
+                    FailedPoint(parameters=parameters, error=outcome.error)
+                )
+        return result
+
+    def _evaluate(
+        self, evaluate, combos, completed, skip_errors, parallel,
+        journal_log,
+    ) -> dict:
+        """Evaluate the not-yet-journaled points; return index -> outcome."""
         from repro.errors import ReproError
 
-        result = SweepResult()
+        outcomes = dict(completed)
+        remaining = [
+            index for index in range(len(combos)) if index not in outcomes
+        ]
+        if not remaining:
+            return outcomes
         if parallel is not None:
-            combos = self.combinations()
             catch = (ReproError,) if skip_errors else ()
-            outcomes = parallel_map(
-                _KwargsTask(evaluate), combos, config=parallel, catch=catch
-            )
-            for parameters, outcome in zip(combos, outcomes):
-                if outcome.ok:
-                    result.points.append(
-                        SweepPoint(
-                            parameters=parameters, result=outcome.value
-                        )
-                    )
-            return result
-        for parameters in self.combinations():
+            task = _KwargsTask(evaluate)
+            for indices in _rounds(remaining, parallel, journal_log):
+                round_outcomes = parallel_map(
+                    task,
+                    [combos[index] for index in indices],
+                    config=parallel,
+                    catch=catch,
+                )
+                for index, outcome in zip(indices, round_outcomes):
+                    outcomes[index] = outcome
+                    if journal_log is not None:
+                        journal_log.append(index, outcome)
+            return outcomes
+        for index in remaining:
             try:
-                outcome = evaluate(**parameters)
-            except ReproError:
-                if skip_errors:
-                    continue
-                raise
-            result.points.append(
-                SweepPoint(parameters=parameters, result=outcome)
+                value = evaluate(**combos[index])
+            except ReproError as error:
+                if not skip_errors:
+                    raise
+                outcome = PointOutcome(ok=False, error=repr(error))
+            else:
+                outcome = PointOutcome(ok=True, value=value)
+            outcomes[index] = outcome
+            if journal_log is not None:
+                journal_log.append(index, outcome)
+        return outcomes
+
+
+def _rounds(remaining: list, parallel: ParallelConfig, journal_log) -> list:
+    """Split the remaining indices into checkpoint rounds.
+
+    Without a journal everything goes through one ``parallel_map`` call
+    (the pre-resilience behavior, bit for bit).  With a journal the
+    points are processed in rounds of ``workers * chunk_size`` so a
+    checkpoint lands between pool runs and an interrupted sweep loses at
+    most one round.
+    """
+    if journal_log is None:
+        return [remaining]
+    workers = parallel.resolved_workers(len(remaining))
+    chunk_size = parallel.chunk_size
+    if chunk_size is None:
+        from repro.units import ceil_div
+
+        chunk_size = max(1, ceil_div(len(remaining), workers * 4))
+    per_round = max(1, workers * chunk_size)
+    return [
+        remaining[start : start + per_round]
+        for start in range(0, len(remaining), per_round)
+    ]
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint journal for :meth:`Sweep.run`.
+
+    Line 1 is a header carrying the owning sweep's signature; every
+    following line is one evaluated point::
+
+        {"signature": "9f2c...", "n_records": null}
+        {"index": 0, "ok": true, "value": "<base64 pickle>"}
+        {"index": 1, "ok": false, "error": "InfeasibleError(...)"}
+
+    Values are pickled (they are arbitrary evaluation results) and
+    base64-wrapped so the journal stays line-oriented UTF-8.  A torn
+    final line — the signature of a run killed mid-write — is ignored
+    on load, so resume is safe after any interruption.
+    """
+
+    def __init__(self, path: str | Path, signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self._handle = None
+
+    def load(self) -> dict:
+        """Read the journal; return index -> :class:`PointOutcome`.
+
+        Raises:
+            ConfigurationError: The journal belongs to a sweep with a
+                different signature (the axes changed under it).
+        """
+        if not self.path.exists():
+            return {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"sweep journal {self.path} has a corrupt header: {error}"
+            ) from error
+        if header.get("signature") != self.signature:
+            raise ConfigurationError(
+                f"sweep journal {self.path} was written for a different "
+                "sweep (axes changed?); delete it or pass a fresh path"
             )
-        return result
+        outcomes: dict = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail write from an interrupted run
+            index = record.get("index")
+            if not isinstance(index, int):
+                break
+            if record.get("ok"):
+                try:
+                    value = pickle.loads(
+                        base64.b64decode(record["value"])
+                    )
+                except Exception:
+                    break  # torn payload: stop trusting the tail
+                outcomes[index] = PointOutcome(ok=True, value=value)
+            else:
+                outcomes[index] = PointOutcome(
+                    ok=False, error=record.get("error")
+                )
+        return outcomes
+
+    def append(self, index: int, outcome: PointOutcome) -> None:
+        """Checkpoint one evaluated point (flushed immediately)."""
+        handle = self._open()
+        if outcome.ok:
+            payload = {
+                "index": index,
+                "ok": True,
+                "value": base64.b64encode(
+                    pickle.dumps(outcome.value)
+                ).decode("ascii"),
+            }
+        else:
+            payload = {"index": index, "ok": False, "error": outcome.error}
+        handle.write(json.dumps(payload) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            fresh = (
+                not self.path.exists() or self.path.stat().st_size == 0
+            )
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._handle.write(
+                    json.dumps({"signature": self.signature}) + "\n"
+                )
+                self._handle.flush()
+        return self._handle

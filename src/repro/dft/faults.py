@@ -106,9 +106,13 @@ class FaultyArray:
             self._retention[fault.row, fault.col] = True
         elif fault.kind is FaultKind.COUPLING_INV:
             assert fault.aggressor is not None
-            self._couplings.setdefault(fault.aggressor, []).append(
-                (fault.row, fault.col)
-            )
+            victims = self._couplings.setdefault(fault.aggressor, [])
+            victim = (fault.row, fault.col)
+            # Dedupe: the same coupling injected twice must not invert
+            # the victim twice per aggressor write (which would cancel
+            # and hide the fault from every test).
+            if victim not in victims:
+                victims.append(victim)
 
     def inject(self, fault: Fault) -> None:
         """Add a fault after construction."""
@@ -135,10 +139,15 @@ class FaultyArray:
 
     def pause(self, seconds: float, retention_threshold_s: float = 0.1) -> None:
         """Model a retention wait: leaky cells decay to 0 if the pause
-        exceeds their (degraded) retention."""
+        *exceeds* their (degraded) retention.  A pause of exactly the
+        threshold is the last surviving refresh interval, not a failure."""
         if seconds < 0:
             raise ConfigurationError("pause must be >= 0")
-        if seconds >= retention_threshold_s:
+        if retention_threshold_s <= 0:
+            raise ConfigurationError(
+                "retention_threshold_s must be positive"
+            )
+        if seconds > retention_threshold_s:
             self._data[self._retention] = False
 
     def _check(self, row: int, col: int) -> None:
@@ -182,6 +191,20 @@ def inject_random_faults(
     """
     if n_cell_faults < 0 or n_line_faults < 0:
         raise ConfigurationError("fault counts must be >= 0")
+    if n_cell_faults > rows * cols:
+        # Without this guard the unique-placement loop below can never
+        # terminate once every cell is already faulty.
+        raise ConfigurationError(
+            f"n_cell_faults ({n_cell_faults}) exceeds the "
+            f"{rows}x{cols} array capacity ({rows * cols})"
+        )
+    n_wordline = (n_line_faults + 1) // 2
+    n_bitline = n_line_faults // 2
+    if n_wordline > rows or n_bitline > cols:
+        raise ConfigurationError(
+            f"n_line_faults ({n_line_faults}) needs {n_wordline} rows "
+            f"and {n_bitline} cols but the array is {rows}x{cols}"
+        )
     rng = np.random.default_rng(seed)
     kinds = [FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1, FaultKind.TRANSITION]
     if include_retention:
@@ -196,21 +219,23 @@ def inject_random_faults(
                 break
         kind = kinds[int(rng.integers(len(kinds)))]
         array.inject(Fault(kind=kind, row=r, col=c))
+    used_rows: set = set()
+    used_cols: set = set()
     for i in range(n_line_faults):
+        # Dedupe line faults: the same dead row drawn twice would count
+        # as two ground-truth faults while killing only one line.
         if i % 2 == 0:
-            array.inject(
-                Fault(
-                    kind=FaultKind.WORD_LINE,
-                    row=int(rng.integers(rows)),
-                    col=0,
-                )
-            )
+            while True:
+                r = int(rng.integers(rows))
+                if r not in used_rows:
+                    used_rows.add(r)
+                    break
+            array.inject(Fault(kind=FaultKind.WORD_LINE, row=r, col=0))
         else:
-            array.inject(
-                Fault(
-                    kind=FaultKind.BIT_LINE,
-                    row=0,
-                    col=int(rng.integers(cols)),
-                )
-            )
+            while True:
+                c = int(rng.integers(cols))
+                if c not in used_cols:
+                    used_cols.add(c)
+                    break
+            array.inject(Fault(kind=FaultKind.BIT_LINE, row=0, col=c))
     return array

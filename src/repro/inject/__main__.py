@@ -1,0 +1,7 @@
+"""``python -m repro.inject`` entry point."""
+
+import sys
+
+from repro.inject.cli import main
+
+sys.exit(main())

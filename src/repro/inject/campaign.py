@@ -1,0 +1,294 @@
+"""Fault-injection campaigns: measured march coverage vs analytical.
+
+The :mod:`repro.dft` layer quotes coverage analytically; a campaign
+*measures* it.  For each seeded fault map the runner executes the march
+suite (MATS+, March C-, March C- with retention pause) against a fresh
+:class:`~repro.dft.faults.FaultyArray`, compares the observed failing
+cells with :func:`analytical_detection`'s per-fault prediction, and
+closes the redundancy loop by allocating spares over the *measured*
+failing bitmap and over the ground truth — the two repair verdicts must
+agree whenever detection is complete.
+
+Everything is derived from ``CampaignConfig.seed``: the same config
+reproduces the same fault maps, the same march reports and the same
+repair verdicts, which is what makes a campaign regression-testable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.dft.faults import Fault, FaultKind, FaultyArray, inject_random_faults
+from repro.dft.march import (
+    MARCH_C_MINUS,
+    MARCH_C_RETENTION,
+    MATS_PLUS,
+    MarchTest,
+)
+from repro.dft.redundancy import allocate_spares
+
+#: Default retention threshold of :meth:`FaultyArray.pause`.
+RETENTION_THRESHOLD_S = 0.1
+
+#: The campaign's march suite.
+CAMPAIGN_TESTS: tuple = (MATS_PLUS, MARCH_C_MINUS, MARCH_C_RETENTION)
+
+
+def analytical_detection(
+    test: MarchTest,
+    fault: Fault,
+    rows: int,
+    cols: int,
+    pause_s: float = 0.0,
+    retention_threshold_s: float = RETENTION_THRESHOLD_S,
+) -> set:
+    """Cells of ``fault`` the behavioural model predicts ``test`` flags.
+
+    The predictions are derived for *this* array model (they are
+    stronger than textbook march theory, which assumes reads cannot
+    observe a transition fault's failed write until a later element):
+
+    * SA0/SA1: any test reading both backgrounds flags the cell — all
+      campaign tests do.
+    * TF (0->1 fails): after the bulk ``w0`` element every up-march
+      writes 1 and a later read-of-1 sees the stuck 0 — detected even
+      by MATS+.
+    * CFin: the bulk ``w0`` element plus read-before-write ordering
+      leaves or makes the victim's background wrong regardless of the
+      aggressor/victim address order — the victim is always flagged.
+    * WL/BL: the dead line reads 0, so every cell on it fails ``r1``.
+    * RET: decays only across a pause, so it is flagged iff the test
+      pauses (``pause_after_element``) for longer than the cell's
+      retention threshold — *strictly* longer; a pause exactly at the
+      threshold retains (see :meth:`FaultyArray.pause`).
+    """
+    if fault.kind is FaultKind.WORD_LINE:
+        return {(fault.row, c) for c in range(cols)}
+    if fault.kind is FaultKind.BIT_LINE:
+        return {(r, fault.col) for r in range(rows)}
+    if fault.kind is FaultKind.RETENTION:
+        paused = (
+            test.pause_after_element is not None
+            and pause_s > retention_threshold_s
+        )
+        return {(fault.row, fault.col)} if paused else set()
+    return {(fault.row, fault.col)}
+
+
+def predicted_cells(
+    test: MarchTest,
+    array: FaultyArray,
+    pause_s: float,
+    retention_threshold_s: float = RETENTION_THRESHOLD_S,
+) -> set:
+    """Union of :func:`analytical_detection` over the array's faults."""
+    predicted: set = set()
+    for fault in array.faults:
+        predicted |= analytical_detection(
+            test,
+            fault,
+            array.rows,
+            array.cols,
+            pause_s,
+            retention_threshold_s,
+        )
+    return predicted
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign: how many maps, their shape and the spare budget.
+
+    Attributes:
+        seed: Root seed; per-map seeds are derived from it.
+        n_maps: Independent fault maps to run the suite over.
+        rows: Array rows per map.
+        cols: Array columns per map.
+        n_cell_faults: Single-cell faults per map.
+        n_line_faults: Word-line/bit-line faults per map (alternating).
+        include_retention: Include retention faults in the cell mix.
+        pause_s: Retention pause handed to pausing tests.
+        spare_rows: Spare-row budget for the repair-allocation check.
+        spare_cols: Spare-column budget.
+    """
+
+    seed: int = 0
+    n_maps: int = 4
+    rows: int = 32
+    cols: int = 32
+    n_cell_faults: int = 6
+    n_line_faults: int = 2
+    include_retention: bool = True
+    pause_s: float = 0.2
+    spare_rows: int = 2
+    spare_cols: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_maps < 1:
+            raise ConfigurationError("campaign needs >= 1 map")
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("array dimensions must be positive")
+        if self.n_cell_faults < 0 or self.n_line_faults < 0:
+            raise ConfigurationError("fault counts must be >= 0")
+        if self.n_cell_faults > self.rows * self.cols:
+            raise ConfigurationError(
+                f"{self.n_cell_faults} cell faults exceed the "
+                f"{self.rows}x{self.cols} array"
+            )
+        if self.pause_s < 0:
+            raise ConfigurationError("pause must be >= 0")
+        if self.spare_rows < 0 or self.spare_cols < 0:
+            raise ConfigurationError("spare budgets must be >= 0")
+
+    def map_seed(self, index: int) -> int:
+        """Seed of map ``index`` (stable, collision-free derivation)."""
+        return self.seed * 100_003 + index
+
+    def build_array(self, index: int) -> FaultyArray:
+        """A fresh faulty array for map ``index`` (same seed, same map)."""
+        return inject_random_faults(
+            rows=self.rows,
+            cols=self.cols,
+            n_cell_faults=self.n_cell_faults,
+            n_line_faults=self.n_line_faults,
+            seed=self.map_seed(index),
+            include_retention=self.include_retention,
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Measured-vs-analytical outcome of one campaign.
+
+    Attributes:
+        config: The campaign settings.
+        maps: One entry per fault map (see :func:`run_campaign`).
+    """
+
+    config: CampaignConfig
+    maps: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every map matched its analytical prediction, no
+        march flagged a healthy cell, and repair verdicts agree."""
+        for entry in self.maps:
+            for outcome in entry["tests"].values():
+                if not outcome["match"] or outcome["false_positives"]:
+                    return False
+            if not entry["repair"]["verdict_match"]:
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "config": {
+                "seed": self.config.seed,
+                "n_maps": self.config.n_maps,
+                "rows": self.config.rows,
+                "cols": self.config.cols,
+                "n_cell_faults": self.config.n_cell_faults,
+                "n_line_faults": self.config.n_line_faults,
+                "include_retention": self.config.include_retention,
+                "pause_s": self.config.pause_s,
+                "spare_rows": self.config.spare_rows,
+                "spare_cols": self.config.spare_cols,
+            },
+            "ok": self.ok,
+            "maps": self.maps,
+        }
+
+    def write_json(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign seed={self.config.seed}: {len(self.maps)} maps, "
+            f"{'OK' if self.ok else 'MISMATCH'}"
+        ]
+        for entry in self.maps:
+            parts = []
+            for name, outcome in entry["tests"].items():
+                flag = "=" if outcome["match"] else "!"
+                parts.append(
+                    f"{name} {outcome['measured_coverage']:.2f}{flag}"
+                )
+            repair = entry["repair"]
+            parts.append(
+                "repair "
+                + ("match" if repair["verdict_match"] else "MISMATCH")
+            )
+            lines.append(
+                f"  map {entry['map']} (seed {entry['seed']}, "
+                f"{entry['ground_truth_cells']} faulty cells): "
+                + ", ".join(parts)
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Run the march suite over every map and compare with predictions.
+
+    Per map the report entry records, for each test, the measured
+    coverage (:meth:`MarchResult.detected`), the predicted coverage,
+    whether the measured failing-cell set equals the prediction exactly
+    and any false positives; plus the repair comparison: spare
+    allocation over the union of measured failing cells vs over the
+    ground-truth faulty cells.
+    """
+    maps: list = []
+    for index in range(config.n_maps):
+        reference = config.build_array(index)
+        ground_truth = reference.faulty_cells()
+        per_test: dict = {}
+        measured_union: set = set()
+        for test in CAMPAIGN_TESTS:
+            # March runs mutate cell state: each test gets a fresh,
+            # identically seeded array.
+            array = config.build_array(index)
+            result = test.run(array, pause_s=config.pause_s)
+            predicted = predicted_cells(test, reference, config.pause_s)
+            measured = result.failing_cells & ground_truth
+            false_positives = result.failing_cells - ground_truth
+            measured_union |= result.failing_cells
+            per_test[test.name] = {
+                "measured_coverage": result.detected(ground_truth),
+                "predicted_coverage": (
+                    len(predicted) / len(ground_truth)
+                    if ground_truth
+                    else 1.0
+                ),
+                "measured_cells": len(measured),
+                "predicted_cells": len(predicted),
+                "match": measured == predicted,
+                "false_positives": len(false_positives),
+                "operations": result.operations,
+            }
+        measured_plan = allocate_spares(
+            measured_union, config.spare_rows, config.spare_cols
+        )
+        truth_plan = allocate_spares(
+            ground_truth, config.spare_rows, config.spare_cols
+        )
+        maps.append(
+            {
+                "map": index,
+                "seed": config.map_seed(index),
+                "n_faults": len(reference.faults),
+                "ground_truth_cells": len(ground_truth),
+                "tests": per_test,
+                "repair": {
+                    "measured_repaired": measured_plan.repaired,
+                    "truth_repaired": truth_plan.repaired,
+                    "verdict_match": (
+                        measured_plan.repaired == truth_plan.repaired
+                    ),
+                    "measured_spares_used": measured_plan.spares_used,
+                    "truth_spares_used": truth_plan.spares_used,
+                },
+            }
+        )
+    return CampaignReport(config=config, maps=maps)

@@ -1,0 +1,209 @@
+"""Command-line interface for fault injection.
+
+Usage::
+
+    python -m repro.inject campaign [--seed N] [--maps N] [--rows N]
+        [--cols N] [--cell-faults N] [--line-faults N] [--no-retention]
+        [--pause-s S] [--spare-rows N] [--spare-cols N]
+        [--json] [--out FILE]
+    python -m repro.inject sim [--seed N] [--cycles N] [--warmup N]
+        [--cell-faults N] [--line-faults N] [--refresh-drop-rate P]
+        [--refresh-delay-rate P] [--refresh-delay-cycles N]
+        [--stuck-bank B] [--fifo-stall-rate P] [--retention-s S]
+        [--disabled] [--check-identity] [--json] [--out FILE]
+
+``campaign`` runs march tests over seeded fault maps and exits nonzero
+when measured detection diverges from the analytical prediction or the
+repair verdicts disagree.  ``sim`` runs the canonical injected workload
+through the resilient controller and prints the injection report;
+``--check-identity`` additionally asserts the bit-identity contract
+(injection-disabled run == plain controller run) and fails loudly when
+it does not hold.  Also reachable as ``repro inject ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.inject.campaign import CampaignConfig, run_campaign
+from repro.inject.plan import InjectionConfig
+from repro.inject.runtime import build_injected_simulator
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        seed=args.seed,
+        n_maps=args.maps,
+        rows=args.rows,
+        cols=args.cols,
+        n_cell_faults=args.cell_faults,
+        n_line_faults=args.line_faults,
+        include_retention=not args.no_retention,
+        pause_s=args.pause_s,
+        spare_rows=args.spare_rows,
+        spare_cols=args.spare_cols,
+    )
+    report = run_campaign(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    if args.out:
+        report.write_json(args.out)
+        print(f"wrote campaign report to {args.out}")
+    if not report.ok:
+        print(
+            "campaign: measured detection or repair verdicts diverged "
+            "from the analytical prediction",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    injection = InjectionConfig(
+        enabled=not args.disabled,
+        seed=args.seed,
+        n_cell_faults=args.cell_faults,
+        n_line_faults=args.line_faults,
+        refresh_drop_rate=args.refresh_drop_rate,
+        refresh_delay_rate=args.refresh_delay_rate,
+        refresh_delay_cycles=args.refresh_delay_cycles,
+        stuck_bank=args.stuck_bank,
+        fifo_stall_rate=args.fifo_stall_rate,
+    )
+    simulator = build_injected_simulator(
+        injection,
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        refresh_retention_s=args.retention_s,
+    )
+    result = simulator.run()
+    report = simulator.controller.injector.report()
+    print(result.summary())
+    print(report.summary())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote injection report to {args.out}")
+    if args.check_identity:
+        return _check_identity(args)
+    return 0
+
+
+def _check_identity(args: argparse.Namespace) -> int:
+    """Assert the bit-identity contract of disabled injection."""
+    from repro.verify.differential import result_fingerprint
+
+    plain = build_injected_simulator(
+        None,
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        refresh_retention_s=args.retention_s,
+    ).run()
+    disabled = build_injected_simulator(
+        InjectionConfig(
+            enabled=False,
+            seed=args.seed,
+            n_cell_faults=args.cell_faults,
+            n_line_faults=args.line_faults,
+        ),
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        refresh_retention_s=args.retention_s,
+    ).run()
+    if result_fingerprint(plain) != result_fingerprint(disabled):
+        print(
+            "check-identity: injection-disabled run diverged from the "
+            "plain controller",
+            file=sys.stderr,
+        )
+        return 1
+    print("check-identity: injection disabled is bit-identical")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro inject",
+        description="fault-injection campaigns and injected simulations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="march tests over seeded fault maps vs analytical coverage",
+    )
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--maps", type=int, default=4)
+    campaign.add_argument("--rows", type=int, default=32)
+    campaign.add_argument("--cols", type=int, default=32)
+    campaign.add_argument("--cell-faults", type=int, default=6)
+    campaign.add_argument("--line-faults", type=int, default=2)
+    campaign.add_argument(
+        "--no-retention",
+        action="store_true",
+        help="exclude retention faults from the cell mix",
+    )
+    campaign.add_argument("--pause-s", type=float, default=0.2)
+    campaign.add_argument("--spare-rows", type=int, default=2)
+    campaign.add_argument("--spare-cols", type=int, default=2)
+    campaign.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    campaign.add_argument("--out", help="write the report JSON here")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    sim = sub.add_parser(
+        "sim",
+        help="run the canonical injected workload through the "
+        "resilient controller",
+    )
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--cycles", type=int, default=8_000)
+    sim.add_argument("--warmup", type=int, default=500)
+    sim.add_argument("--cell-faults", type=int, default=200)
+    sim.add_argument("--line-faults", type=int, default=2)
+    sim.add_argument("--refresh-drop-rate", type=float, default=0.0)
+    sim.add_argument("--refresh-delay-rate", type=float, default=0.0)
+    sim.add_argument("--refresh-delay-cycles", type=int, default=64)
+    sim.add_argument("--stuck-bank", type=int, default=None)
+    sim.add_argument("--fifo-stall-rate", type=float, default=0.0)
+    sim.add_argument(
+        "--retention-s",
+        type=float,
+        default=64e-3,
+        help="controller refresh retention period",
+    )
+    sim.add_argument(
+        "--disabled",
+        action="store_true",
+        help="attach the injector but disable every effect",
+    )
+    sim.add_argument(
+        "--check-identity",
+        action="store_true",
+        help="also assert injection-off bit-identity vs the plain "
+        "controller",
+    )
+    sim.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    sim.add_argument("--out", help="write the injection report here")
+    sim.set_defaults(func=_cmd_sim)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""SEC-DED error-correcting-code model.
+
+A (SEC-DED) Hamming code over one interface word corrects any single bit
+error and detects any double bit error.  The model here is behavioural:
+given the number of faulty bits a read touched inside one protected
+word, classify the outcome.  Three or more flipped bits can alias to a
+valid or correctable codeword on real silicon; the model conservatively
+classifies them as detected-uncorrectable and separately counts them so
+the aliasing exposure is visible in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class EccOutcome(enum.Enum):
+    """Result of decoding one protected word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"  # single-bit error, corrected inline
+    UNCORRECTABLE = "uncorrectable"  # detected, not correctable
+
+
+@dataclass(frozen=True)
+class SECDEDCode:
+    """A SEC-DED code protecting ``data_bits`` per word.
+
+    Attributes:
+        data_bits: Payload bits per protected word.
+    """
+
+    data_bits: int
+
+    def __post_init__(self) -> None:
+        if self.data_bits < 1:
+            raise ConfigurationError("data_bits must be >= 1")
+
+    @property
+    def check_bits(self) -> int:
+        """Check bits for SEC-DED: smallest r with 2^(r-1) >= data+r.
+
+        The extended Hamming construction uses r = hamming_r + 1 parity
+        bits, equivalently the smallest r satisfying
+        ``2**(r-1) >= data_bits + r``.
+        """
+        r = 2
+        while (1 << (r - 1)) < self.data_bits + r:
+            r += 1
+        return r
+
+    @property
+    def word_bits(self) -> int:
+        """Stored bits per word (payload plus check bits)."""
+        return self.data_bits + self.check_bits
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Storage overhead of the code (check bits / payload bits)."""
+        return self.check_bits / self.data_bits
+
+    def classify(self, n_bad_bits: int) -> EccOutcome:
+        """Outcome of reading a word with ``n_bad_bits`` flipped bits."""
+        if n_bad_bits < 0:
+            raise ConfigurationError("bad-bit count must be >= 0")
+        if n_bad_bits == 0:
+            return EccOutcome.CLEAN
+        if n_bad_bits == 1:
+            return EccOutcome.CORRECTED
+        return EccOutcome.UNCORRECTABLE

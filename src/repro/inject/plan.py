@@ -1,0 +1,467 @@
+"""Seeded fault maps materialized as runtime injection effects.
+
+:func:`build_fault_map` turns the :class:`~repro.dft.faults.FaultKind`
+fault models into physical fault *sites* on a device organization —
+(bank, row, bit) cells and dead word/bit lines — using the same kind of
+seeded placement as :func:`repro.dft.faults.inject_random_faults`.
+:class:`FaultInjector` then owns that map at simulation time and answers
+the controller's questions deterministically:
+
+* which words of a read burst carry how many bad bits (fed through the
+  :class:`~repro.inject.ecc.SECDEDCode` classifier);
+* whether a due refresh is issued, dropped or delayed (dropped
+  refreshes beyond a margin activate the retention-fault sites, exactly
+  the failure mode Section 6's retention testing exists for);
+* whether a client FIFO push is stalled this cycle;
+* whether a bank is stuck (commands to it never issue).
+
+The injector also carries the graceful-degradation budget: spare rows
+per bank for runtime row remap (the runtime analogue of the
+:mod:`repro.dft.redundancy` allocator) and the quarantine bookkeeping.
+Every random draw comes from streams derived from ``config.seed``, so a
+campaign is exactly reproducible; with ``enabled=False`` the injector
+answers "no effect" everywhere and the simulation is bit-identical to
+an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dram.organizations import Organization
+from repro.dft.faults import FaultKind
+from repro.inject.ecc import EccOutcome, SECDEDCode
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    """What to inject, seeded; plus the degradation policy.
+
+    Attributes:
+        enabled: Master switch; False makes every effect a no-op (and
+            results bit-identical to a run without the injector).
+        seed: Root seed for fault placement and all event draws.
+        n_cell_faults: Single-cell faults (SA0/SA1/TF and, when
+            ``include_retention``, RET) placed across the whole device.
+        n_line_faults: Dead word lines / bit lines (alternating).
+        include_retention: Include retention faults in the cell mix.
+        refresh_drop_rate: Probability a due refresh is dropped
+            entirely (the opportunity is skipped; retention risk).
+        refresh_delay_rate: Probability a due refresh is served late.
+        refresh_delay_cycles: How late a delayed refresh is served.
+        retention_margin_refreshes: Dropped refreshes tolerated before
+            the retention-fault sites start corrupting reads.
+        stuck_bank: Bank that stops responding (None = no stuck bank).
+        stuck_bank_from_cycle: Cycle at which the bank gets stuck.
+        fifo_stall_rate: Per-offer probability that a client FIFO push
+            is refused (upstream interface stall).
+        read_retry_limit: Scrub re-reads issued per request after a
+            correctable error before the (corrected) data is accepted.
+        quarantine_threshold: Uncorrectable reads charged to one
+            (bank, row) before repair is attempted.
+        spare_rows_per_bank: Runtime spare-row budget for row remap;
+            once exhausted, further bad rows quarantine the whole bank.
+        stuck_request_cycles: Age (cycles in the scheduling window) at
+            which a request declares its bank stuck and triggers
+            quarantine + remap.
+    """
+
+    enabled: bool = True
+    seed: int = 0
+    n_cell_faults: int = 0
+    n_line_faults: int = 0
+    include_retention: bool = True
+    refresh_drop_rate: float = 0.0
+    refresh_delay_rate: float = 0.0
+    refresh_delay_cycles: int = 64
+    retention_margin_refreshes: int = 1
+    stuck_bank: int | None = None
+    stuck_bank_from_cycle: int = 0
+    fifo_stall_rate: float = 0.0
+    read_retry_limit: int = 1
+    quarantine_threshold: int = 2
+    spare_rows_per_bank: int = 2
+    stuck_request_cycles: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_cell_faults < 0 or self.n_line_faults < 0:
+            raise ConfigurationError("fault counts must be >= 0")
+        for name in ("refresh_drop_rate", "refresh_delay_rate",
+                     "fifo_stall_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.refresh_delay_cycles < 0:
+            raise ConfigurationError("refresh delay must be >= 0")
+        if self.retention_margin_refreshes < 0:
+            raise ConfigurationError("retention margin must be >= 0")
+        if self.stuck_bank is not None and self.stuck_bank < 0:
+            raise ConfigurationError("stuck bank must be >= 0")
+        if self.stuck_bank_from_cycle < 0:
+            raise ConfigurationError("stuck-bank cycle must be >= 0")
+        if self.read_retry_limit < 0:
+            raise ConfigurationError("retry limit must be >= 0")
+        if self.quarantine_threshold < 1:
+            raise ConfigurationError("quarantine threshold must be >= 1")
+        if self.spare_rows_per_bank < 0:
+            raise ConfigurationError("spare rows must be >= 0")
+        if self.stuck_request_cycles < 1:
+            raise ConfigurationError("stuck threshold must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One placed fault, in device coordinates (ground truth)."""
+
+    kind: FaultKind
+    bank: int
+    row: int | None = None  # None for bit-line faults
+    bit: int | None = None  # bit within the page; None for word lines
+
+
+@dataclass
+class FaultMap:
+    """Physical fault sites of one device, indexed for runtime queries.
+
+    Attributes:
+        sites: Ground-truth list of placed faults.
+        word_errors: (bank, row) -> {word column -> persistent bad bits}
+            from stuck-at / transition cell faults.
+        retention_words: Same shape, for retention faults — these only
+            corrupt reads while the refresh deficit exceeds the margin.
+        dead_rows: (bank, row) word-line failures: every read of the
+            row is uncorrectable.
+        col_errors: bank -> {word column -> bad bits} bit-line failures
+            affecting that word column in **every** row of the bank.
+    """
+
+    sites: tuple = ()
+    word_errors: dict = field(default_factory=dict)
+    retention_words: dict = field(default_factory=dict)
+    dead_rows: set = field(default_factory=set)
+    col_errors: dict = field(default_factory=dict)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def bad_bits(
+        self, bank: int, row: int, word: int, retention_active: bool
+    ) -> int:
+        """Faulty bits a read of ``word`` in (bank, row) touches now."""
+        if (bank, row) in self.dead_rows:
+            # A dead word line garbles the whole word: model as a
+            # multi-bit (detected-uncorrectable) error.
+            return 2
+        bad = self.word_errors.get((bank, row), {}).get(word, 0)
+        bad += self.col_errors.get(bank, {}).get(word, 0)
+        if retention_active:
+            bad += self.retention_words.get((bank, row), {}).get(word, 0)
+        return bad
+
+    def clear_row(self, bank: int, row: int) -> None:
+        """Remove every fault on (bank, row) — the row was remapped to a
+        spare, so subsequent reads are clean."""
+        self.word_errors.pop((bank, row), None)
+        self.retention_words.pop((bank, row), None)
+        self.dead_rows.discard((bank, row))
+
+
+def build_fault_map(
+    organization: Organization, config: InjectionConfig
+) -> FaultMap:
+    """Place ``config``'s faults on ``organization`` (reproducible).
+
+    Cell faults land on distinct (bank, row, bit) coordinates; line
+    faults on distinct rows/columns.  The placement mirrors
+    :func:`repro.dft.faults.inject_random_faults` so array-level
+    campaigns and runtime injection draw from the same fault universe.
+    """
+    org = organization
+    capacity_cells = org.n_banks * org.n_rows * org.page_bits
+    if config.n_cell_faults > capacity_cells:
+        raise ConfigurationError(
+            f"{config.n_cell_faults} cell faults exceed the "
+            f"{capacity_cells}-cell device"
+        )
+    rng = np.random.default_rng(config.seed)
+    kinds = [FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1,
+             FaultKind.TRANSITION]
+    if config.include_retention:
+        kinds.append(FaultKind.RETENTION)
+    word_bits = org.word_bits
+    sites: list = []
+    fault_map = FaultMap()
+    used: set = set()
+    for _ in range(config.n_cell_faults):
+        while True:
+            bank = int(rng.integers(org.n_banks))
+            row = int(rng.integers(org.n_rows))
+            bit = int(rng.integers(org.page_bits))
+            if (bank, row, bit) not in used:
+                used.add((bank, row, bit))
+                break
+        kind = kinds[int(rng.integers(len(kinds)))]
+        sites.append(FaultSite(kind=kind, bank=bank, row=row, bit=bit))
+        target = (
+            fault_map.retention_words
+            if kind is FaultKind.RETENTION
+            else fault_map.word_errors
+        )
+        per_row = target.setdefault((bank, row), {})
+        word = bit // word_bits
+        per_row[word] = per_row.get(word, 0) + 1
+    used_rows: set = set()
+    used_cols: set = set()
+    for index in range(config.n_line_faults):
+        if index % 2 == 0:
+            while True:
+                bank = int(rng.integers(org.n_banks))
+                row = int(rng.integers(org.n_rows))
+                if (bank, row) not in used_rows:
+                    used_rows.add((bank, row))
+                    break
+            sites.append(
+                FaultSite(kind=FaultKind.WORD_LINE, bank=bank, row=row)
+            )
+            fault_map.dead_rows.add((bank, row))
+        else:
+            while True:
+                bank = int(rng.integers(org.n_banks))
+                bit = int(rng.integers(org.page_bits))
+                if (bank, bit) not in used_cols:
+                    used_cols.add((bank, bit))
+                    break
+            sites.append(
+                FaultSite(kind=FaultKind.BIT_LINE, bank=bank, bit=bit)
+            )
+            per_bank = fault_map.col_errors.setdefault(bank, {})
+            word = bit // word_bits
+            per_bank[word] = per_bank.get(word, 0) + 1
+    fault_map.sites = tuple(sites)
+    return fault_map
+
+
+@dataclass(frozen=True)
+class InjectionReport:
+    """JSON-able snapshot of one injected run.
+
+    Attributes:
+        counters: Event counts (reads checked/corrected/uncorrectable,
+            retries, refresh drops/delays, injected FIFO stalls, ...).
+        n_fault_sites: Faults placed by the map.
+        rows_remapped: (bank, row) pairs remapped to spare rows.
+        banks_quarantined: Banks taken out of service.
+        spare_rows_left: Remaining per-bank spare budget.
+        retention_active: Whether retention faults were live at the end.
+    """
+
+    counters: dict
+    n_fault_sites: int
+    rows_remapped: tuple
+    banks_quarantined: tuple
+    spare_rows_left: dict
+    retention_active: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "n_fault_sites": self.n_fault_sites,
+            "rows_remapped": [list(pair) for pair in self.rows_remapped],
+            "banks_quarantined": list(self.banks_quarantined),
+            "spare_rows_left": {
+                str(bank): left
+                for bank, left in sorted(self.spare_rows_left.items())
+            },
+            "retention_active": self.retention_active,
+        }
+
+    def summary(self) -> str:
+        c = self.counters
+        return (
+            f"{self.n_fault_sites} fault sites: "
+            f"{c.get('reads_corrected', 0)} corrected / "
+            f"{c.get('reads_uncorrectable', 0)} uncorrectable reads, "
+            f"{c.get('retries', 0)} retries, "
+            f"{c.get('refreshes_dropped', 0)} refreshes dropped, "
+            f"{len(self.rows_remapped)} rows remapped, "
+            f"{len(self.banks_quarantined)} banks quarantined"
+        )
+
+
+class FaultInjector:
+    """Runtime oracle for one injected simulation (see module docstring).
+
+    Attributes:
+        config: The injection settings.
+        organization: Device organization the fault map is placed on.
+        ecc: SEC-DED classifier for read words.
+        fault_map: The placed faults (mutated by runtime row remap).
+    """
+
+    def __init__(
+        self,
+        config: InjectionConfig,
+        organization: Organization,
+        fault_map: FaultMap | None = None,
+        ecc: SECDEDCode | None = None,
+    ) -> None:
+        self.config = config
+        self.organization = organization
+        self.ecc = ecc if ecc is not None else SECDEDCode(
+            data_bits=organization.word_bits
+        )
+        self.fault_map = (
+            fault_map
+            if fault_map is not None
+            else build_fault_map(organization, config)
+        )
+        if config.stuck_bank is not None and (
+            config.stuck_bank >= organization.n_banks
+        ):
+            raise ConfigurationError(
+                f"stuck bank {config.stuck_bank} outside "
+                f"{organization.n_banks}-bank device"
+            )
+        # Independent, reproducible event streams per effect.
+        self._refresh_rng = random.Random(f"{config.seed}:refresh")
+        self._fifo_rng = random.Random(f"{config.seed}:fifo")
+        self.counters: dict = {}
+        self.missed_refreshes = 0
+        self.spare_rows_left = {
+            bank: config.spare_rows_per_bank
+            for bank in range(organization.n_banks)
+        }
+        self.rows_remapped: list = []
+        self.banks_quarantined: list = []
+        self._uncorrectable_by_row: dict = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    @property
+    def retention_active(self) -> bool:
+        """Retention faults corrupt reads once the deficit exceeds the
+        configured margin of dropped refreshes."""
+        return (
+            self.missed_refreshes > self.config.retention_margin_refreshes
+        )
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -- read path -----------------------------------------------------------
+
+    def classify_read(
+        self, bank: int, row: int, column: int, burst_words: int
+    ) -> EccOutcome:
+        """Worst ECC outcome over the words of one read burst."""
+        self.count("reads_checked")
+        last_word = min(
+            column + burst_words, self.organization.columns_per_page
+        )
+        retention = self.retention_active
+        worst = EccOutcome.CLEAN
+        for word in range(column, last_word):
+            bad = self.fault_map.bad_bits(bank, row, word, retention)
+            outcome = self.ecc.classify(bad)
+            if outcome is EccOutcome.UNCORRECTABLE:
+                self.count("words_uncorrectable")
+                worst = outcome
+            elif outcome is EccOutcome.CORRECTED:
+                self.count("words_corrected")
+                if worst is EccOutcome.CLEAN:
+                    worst = outcome
+        if worst is EccOutcome.CORRECTED:
+            self.count("reads_corrected")
+        elif worst is EccOutcome.UNCORRECTABLE:
+            self.count("reads_uncorrectable")
+        return worst
+
+    def record_uncorrectable(self, bank: int, row: int) -> int:
+        """Charge an uncorrectable read to (bank, row); returns the
+        running tally the quarantine policy compares to its threshold."""
+        key = (bank, row)
+        tally = self._uncorrectable_by_row.get(key, 0) + 1
+        self._uncorrectable_by_row[key] = tally
+        return tally
+
+    # -- refresh path --------------------------------------------------------
+
+    def refresh_action(self, cycle: int) -> tuple:
+        """Decide the fate of one due refresh: ``("issue", cycle)``,
+        ``("drop", cycle)`` or ``("delay", resume_cycle)``."""
+        draw = self._refresh_rng.random()
+        if draw < self.config.refresh_drop_rate:
+            return ("drop", cycle)
+        if draw < self.config.refresh_drop_rate + self.config.refresh_delay_rate:
+            return ("delay", cycle + self.config.refresh_delay_cycles)
+        return ("issue", cycle)
+
+    def on_refresh_dropped(self, cycle: int) -> None:
+        del cycle
+        self.missed_refreshes += 1
+        self.count("refreshes_dropped")
+
+    def on_refresh_delayed(self, cycle: int) -> None:
+        del cycle
+        self.count("refreshes_delayed")
+
+    def on_refresh_issued(self, cycle: int) -> None:
+        del cycle
+        self.missed_refreshes = 0
+
+    # -- interface / bank effects --------------------------------------------
+
+    def fifo_stall(self, client: str, cycle: int) -> bool:
+        """Whether this cycle's offer from ``client`` is stalled."""
+        del client, cycle
+        if self.config.fifo_stall_rate <= 0.0:
+            return False
+        stalled = self._fifo_rng.random() < self.config.fifo_stall_rate
+        if stalled:
+            self.count("fifo_stalls_injected")
+        return stalled
+
+    def bank_stuck(self, bank: int, cycle: int) -> bool:
+        return (
+            self.config.stuck_bank == bank
+            and cycle >= self.config.stuck_bank_from_cycle
+        )
+
+    # -- repair / quarantine -------------------------------------------------
+
+    def try_remap_row(self, bank: int, row: int) -> bool:
+        """Consume a spare row for (bank, row); clears its faults."""
+        if self.spare_rows_left.get(bank, 0) < 1:
+            return False
+        self.spare_rows_left[bank] -= 1
+        self.fault_map.clear_row(bank, row)
+        self._uncorrectable_by_row.pop((bank, row), None)
+        self.rows_remapped.append((bank, row))
+        self.count("rows_remapped")
+        return True
+
+    def quarantine_bank(self, bank: int) -> None:
+        if bank not in self.banks_quarantined:
+            self.banks_quarantined.append(bank)
+            self.count("banks_quarantined")
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> InjectionReport:
+        return InjectionReport(
+            counters=dict(self.counters),
+            n_fault_sites=self.fault_map.n_sites,
+            rows_remapped=tuple(self.rows_remapped),
+            banks_quarantined=tuple(self.banks_quarantined),
+            spare_rows_left=dict(self.spare_rows_left),
+            retention_active=self.retention_active,
+        )

@@ -170,6 +170,19 @@ class Observability:
         if self.trace is not None:
             self.trace.instant(f"client {client}", "stall", cycle)
 
+    # -- fault injection / degradation events --------------------------------
+
+    def on_fault_event(self, event: str, cycle: int, **details) -> None:
+        """One injected fault or degradation response from
+        :mod:`repro.inject`: ECC outcomes (``ecc_corrected`` /
+        ``ecc_uncorrectable``), scrub retries, refresh drops/delays,
+        row remaps, bank quarantines and injected FIFO stalls all land
+        here as ``inject.<event>`` counters plus trace instants on the
+        ``inject`` track."""
+        self.metrics.counter(f"inject.{event}").inc()
+        if self.trace is not None:
+            self.trace.instant("inject", event, cycle, **details)
+
     # -- simulator events ----------------------------------------------------
 
     def on_skip(self, start_cycle: int, skipped: int) -> None:

@@ -8,6 +8,7 @@ state sustainable bandwidth is measured rather than cold-start behaviour.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, SimulationError
@@ -41,6 +42,20 @@ class SimulationConfig:
             ``"raise"`` does the same but raises
             :class:`~repro.errors.VerificationError` at the first
             violation.
+        max_cycles: Watchdog cap on *total* simulated cycles (warm-up
+            included).  A run hitting the cap stops there and returns a
+            truncated-but-valid result (``result.truncated`` set,
+            ``truncation_reason == "max_cycles"``); statistics cover
+            the cycles actually simulated.  Deterministic: the naive
+            and fast-forward loops truncate at the same cycle.  None
+            (default) means no cap.
+        max_wall_s: Watchdog wall-clock deadline.  Checked every 512
+            stepped cycles (naive loop) or every event (fast loop); on
+            expiry the run stops and returns a truncated-but-valid
+            result with ``truncation_reason == "max_wall_s"``.
+            Inherently nondeterministic — use for hang protection in
+            sweeps, not for reproducible experiments.  None (default)
+            means no deadline.
     """
 
     cycles: int = 20_000
@@ -48,6 +63,8 @@ class SimulationConfig:
     align_to_burst: bool = True
     fast_forward: bool = True
     check_invariants: str = "off"
+    max_cycles: int | None = None
+    max_wall_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -59,6 +76,10 @@ class SimulationConfig:
                 "check_invariants must be 'off', 'collect' or 'raise', "
                 f"got {self.check_invariants!r}"
             )
+        if self.max_cycles is not None and self.max_cycles < 1:
+            raise ConfigurationError("max_cycles must be >= 1")
+        if self.max_wall_s is not None and self.max_wall_s < 0:
+            raise ConfigurationError("max_wall_s must be >= 0")
 
 
 @dataclass
@@ -161,11 +182,25 @@ class MemorySystemSimulator:
             return self._run_fast()
         return self._run_naive()
 
+    def _budget(self) -> tuple:
+        """(hard cycle cap, truncation reason-if-capped)."""
+        total = self.config.warmup_cycles + self.config.cycles
+        max_cycles = self.config.max_cycles
+        if max_cycles is not None and max_cycles < total:
+            return max_cycles, "max_cycles"
+        return total, None
+
+    def _deadline(self) -> float | None:
+        if self.config.max_wall_s is None:
+            return None
+        return time.perf_counter() + self.config.max_wall_s
+
     def _run_naive(self) -> SimulationResult:
         """Reference loop: every cycle stepped, no skipping."""
-        total = self.config.warmup_cycles + self.config.cycles
+        hard_total, budget_reason = self._budget()
+        deadline = self._deadline()
         checker = self.invariant_checker
-        for cycle in range(total):
+        for cycle in range(hard_total):
             self._drive_clients(cycle)
             self.controller.step(cycle)
             if checker is not None:
@@ -173,19 +208,32 @@ class MemorySystemSimulator:
                 self._maybe_raise_violations(checker)
             if cycle == self.config.warmup_cycles - 1:
                 self._reset_measurement()
-        return self._collect(total)
+            if (
+                deadline is not None
+                and (cycle & 511) == 511
+                and time.perf_counter() > deadline
+            ):
+                return self._collect(
+                    cycle + 1, truncation=("max_wall_s", cycle + 1)
+                )
+        if budget_reason is not None:
+            return self._collect(
+                hard_total, truncation=(budget_reason, hard_total)
+            )
+        return self._collect(hard_total)
 
     def _run_fast(self) -> SimulationResult:
         """Event-skipping loop: identical per-cycle processing, but
         provably dead cycles are replaced by batched credit/statistics
         accrual and one clock jump."""
-        total = self.config.warmup_cycles + self.config.cycles
+        hard_total, budget_reason = self._budget()
+        deadline = self._deadline()
         warmup_barrier = self.config.warmup_cycles - 1
         clients = self.clients
         controller = self.controller
         checker = self.invariant_checker
         cycle = 0
-        while cycle < total:
+        while cycle < hard_total:
             self._drive_clients(cycle)
             controller.step(cycle)
             if checker is not None:
@@ -194,9 +242,17 @@ class MemorySystemSimulator:
             if cycle == warmup_barrier:
                 self._reset_measurement()
             cycle += 1
-            if cycle >= total:
+            if (
+                deadline is not None
+                and cycle < hard_total
+                and time.perf_counter() > deadline
+            ):
+                return self._collect(cycle, truncation=("max_wall_s", cycle))
+            if cycle >= hard_total:
                 break
-            target = self._next_event_cycle(cycle, total, warmup_barrier)
+            target = self._next_event_cycle(
+                cycle, hard_total, warmup_barrier
+            )
             if target > cycle:
                 skipped = target - cycle
                 for client in clients:
@@ -209,7 +265,11 @@ class MemorySystemSimulator:
                     checker.on_skip(cycle, skipped, self)
                     self._maybe_raise_violations(checker)
                 cycle = target
-        return self._collect(total)
+        if budget_reason is not None:
+            return self._collect(
+                hard_total, truncation=(budget_reason, hard_total)
+            )
+        return self._collect(hard_total)
 
     def _maybe_raise_violations(self, checker) -> None:
         if self.config.check_invariants != "raise" or not checker.violations:
@@ -274,12 +334,31 @@ class MemorySystemSimulator:
             fifo.stall_cycles = 0
             fifo.high_water_mark = len(fifo)
 
-    def _collect(self, total_cycles: int) -> SimulationResult:
+    def _collect(
+        self, total_cycles: int, truncation: tuple | None = None
+    ) -> SimulationResult:
         if self.obs is not None:
             self.obs.on_run_end(total_cycles)
         if self.invariant_checker is not None:
             self.invariant_report = self.invariant_checker.report()
         measured = self.config.cycles
+        truncation_reason = truncated_at = None
+        if truncation is not None:
+            truncation_reason, truncated_at = truncation
+            warmup = self.config.warmup_cycles
+            # Truncated before the measurement reset: statistics cover
+            # the whole (short) run; after it: the post-warm-up window.
+            measured = (
+                truncated_at - warmup
+                if truncated_at >= warmup
+                else truncated_at
+            )
+            if self.obs is not None:
+                self.obs.on_fault_event(
+                    "run_truncated",
+                    truncated_at,
+                    reason=truncation_reason,
+                )
         latency = LatencyStats()
         by_client: dict = {
             client.name: LatencyStats() for client in self.clients
@@ -319,4 +398,7 @@ class MemorySystemSimulator:
             bank_activations=tuple(
                 bank.activations for bank in self.device.banks
             ),
+            truncated=truncation is not None,
+            truncation_reason=truncation_reason,
+            truncated_at_cycle=truncated_at,
         )

@@ -110,6 +110,16 @@ class SimulationResult:
         refreshes: Refresh commands issued.
         bank_activations: Per-bank activation counts — the load-balance
             view the allocation problem (Section 3) optimizes.
+        truncated: The watchdog stopped the run early
+            (``SimulationConfig.max_cycles`` / ``max_wall_s``); the
+            statistics cover only the cycles actually simulated and are
+            valid for that shorter window.  Deliberately *not* part of
+            :func:`~repro.verify.differential.result_fingerprint` —
+            wall-clock truncation is nondeterministic by nature.
+        truncation_reason: ``"max_cycles"`` or ``"max_wall_s"``
+            (None when not truncated).
+        truncated_at_cycle: Total cycle count actually simulated
+            (warm-up included; None when not truncated).
     """
 
     cycles: int
@@ -126,6 +136,9 @@ class SimulationResult:
     commands: dict
     refreshes: int
     bank_activations: tuple = ()
+    truncated: bool = False
+    truncation_reason: str | None = None
+    truncated_at_cycle: int | None = None
 
     def __post_init__(self) -> None:
         # Degenerate-config validation: every derived property divides

@@ -42,6 +42,14 @@ def _fail_on_three(x):
     return x
 
 
+def _slow_square(x):
+    import time
+
+    if x == 2:
+        time.sleep(1.5)
+    return x * x
+
+
 def _sweep_eval(width, banks):
     macro = EDRAMMacro.build(
         size_bits=4 * MBIT, width=width, banks=banks, page_bits=2048
@@ -193,6 +201,66 @@ class TestParallelFallback:
         assert (
             global_metrics.value("parallel_map.serial.non_picklable") == 1
         )
+
+
+class TestRetryAndTimeout:
+    """Bounded retry for transient pool failures; per-chunk timeouts."""
+
+    def test_transient_failure_retried_then_fallback(
+        self, monkeypatch, global_metrics
+    ):
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", _ExplodingPool
+        )
+        config = ParallelConfig(workers=2, max_retries=2, backoff_s=0.0)
+        with pytest.warns(ParallelFallbackWarning, match="sandbox"):
+            outcomes = parallel_map(_square, range(4), config=config)
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]
+        assert global_metrics.value("parallel_map.retries") == 2
+        assert global_metrics.value("parallel_map.fallbacks") == 1
+
+    def test_zero_retries_fall_back_immediately(
+        self, monkeypatch, global_metrics
+    ):
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", _ExplodingPool
+        )
+        config = ParallelConfig(workers=2, max_retries=0)
+        with pytest.warns(ParallelFallbackWarning):
+            parallel_map(_square, range(4), config=config)
+        assert global_metrics.value("parallel_map.retries") is None
+        assert global_metrics.value("parallel_map.fallbacks") == 1
+
+    def test_workload_exception_not_retried(self, global_metrics):
+        # Deterministic worker crashes must go straight to the serial
+        # re-run: retrying would just pay pool spawns to re-raise.
+        with pytest.warns(ParallelFallbackWarning):
+            with pytest.raises(InfeasibleError):
+                parallel_map(
+                    _fail_on_three,
+                    [1, 2, 3, 4],
+                    config=ParallelConfig(
+                        workers=2, chunk_size=1, max_retries=3
+                    ),
+                )
+        assert global_metrics.value("parallel_map.retries") is None
+
+    def test_timed_out_chunk_quarantined(self, global_metrics):
+        config = ParallelConfig(workers=2, chunk_size=1, timeout_s=0.4)
+        outcomes = parallel_map(_slow_square, [1, 2, 3], config=config)
+        assert len(outcomes) == 3
+        assert outcomes[0].ok and outcomes[0].value == 1
+        assert not outcomes[1].ok
+        assert "TimeoutError" in outcomes[1].error
+        assert global_metrics.value("parallel_map.timeouts") == 1
+
+    def test_watchdog_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(backoff_s=-0.1)
 
 
 class TestEvaluatorMemo:

@@ -176,6 +176,74 @@ class TestObservedDetection:
         assert MARCH_C_MINUS.run(array).detected(set()) == 1.0
 
 
+class TestFaultModelRegressions:
+    """Seed-determinism and edge cases from the injection audit."""
+
+    def test_pause_exactly_at_threshold_retains(self):
+        # The boundary case: a pause of exactly the retention threshold
+        # is the last surviving interval, not a failure.
+        array = FaultyArray(rows=8, cols=8)
+        array.inject(Fault(kind=FaultKind.RETENTION, row=0, col=0))
+        array.write(0, 0, True)
+        array.pause(0.1, retention_threshold_s=0.1)
+        assert array.read(0, 0) is True
+        array.pause(0.1000001, retention_threshold_s=0.1)
+        assert array.read(0, 0) is False
+
+    def test_pause_threshold_must_be_positive(self):
+        array = FaultyArray(rows=4, cols=4)
+        with pytest.raises(ConfigurationError):
+            array.pause(0.1, retention_threshold_s=0.0)
+
+    def test_duplicate_coupling_fault_still_inverts(self):
+        # Injecting the same coupling twice used to register the victim
+        # twice, so one aggressor write inverted it twice (a no-op) and
+        # the fault vanished from every march test.
+        array = FaultyArray(rows=8, cols=8)
+        fault = Fault(
+            kind=FaultKind.COUPLING_INV, row=1, col=1, aggressor=(0, 0)
+        )
+        array.inject(fault)
+        array.inject(fault)
+        array.write(1, 1, False)
+        array.write(0, 0, True)
+        assert array.read(1, 1) is True
+
+    def test_random_faults_deterministic(self):
+        a = inject_random_faults(16, 16, n_cell_faults=10, n_line_faults=3,
+                                 seed=42)
+        b = inject_random_faults(16, 16, n_cell_faults=10, n_line_faults=3,
+                                 seed=42)
+        assert a.faults == b.faults
+        c = inject_random_faults(16, 16, n_cell_faults=10, n_line_faults=3,
+                                 seed=43)
+        assert a.faults != c.faults
+
+    def test_cell_fault_overflow_rejected(self):
+        # Used to spin forever once every cell was already faulty.
+        with pytest.raises(ConfigurationError):
+            inject_random_faults(4, 4, n_cell_faults=17)
+
+    def test_full_array_exactly_fills(self):
+        array = inject_random_faults(4, 4, n_cell_faults=16, seed=1)
+        assert len({(f.row, f.col) for f in array.faults}) == 16
+
+    def test_line_faults_deduped(self):
+        # Many line faults on a tiny array: every drawn word line must
+        # be a distinct row, every bit line a distinct column.
+        array = inject_random_faults(
+            4, 4, n_cell_faults=0, n_line_faults=8, seed=0
+        )
+        wl = [f.row for f in array.faults if f.kind is FaultKind.WORD_LINE]
+        bl = [f.col for f in array.faults if f.kind is FaultKind.BIT_LINE]
+        assert len(wl) == len(set(wl)) == 4
+        assert len(bl) == len(set(bl)) == 4
+
+    def test_line_fault_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            inject_random_faults(4, 4, n_cell_faults=0, n_line_faults=9)
+
+
 class TestRetentionTime:
     def test_waiting_time(self):
         assert retention_test_time_s(2, 0.2) == pytest.approx(0.4)

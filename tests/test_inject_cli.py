@@ -1,0 +1,61 @@
+"""Tests for the inject CLI and the top-level error handling."""
+
+import json
+
+import pytest
+
+from repro import cli as repro_cli
+from repro.errors import ConfigurationError
+from repro.inject import cli as inject_cli
+
+
+class TestInjectCli:
+    def test_campaign_ok(self, capsys):
+        code = inject_cli.main(["campaign", "--maps", "1"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_campaign_json_and_out(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = inject_cli.main(
+            ["campaign", "--maps", "1", "--json", "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert '"ok": true' in capsys.readouterr().out
+
+    def test_sim_runs_and_reports(self, capsys):
+        code = inject_cli.main(
+            ["sim", "--cycles", "2000", "--warmup", "200",
+             "--cell-faults", "50"]
+        )
+        assert code == 0
+        assert "fault sites" in capsys.readouterr().out
+
+    def test_sim_check_identity(self, capsys):
+        code = inject_cli.main(
+            ["sim", "--cycles", "2000", "--warmup", "200",
+             "--cell-faults", "20", "--disabled", "--check-identity"]
+        )
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+
+class TestTopLevelErrorHandling:
+    def test_configuration_error_is_one_line_exit_2(self, capsys):
+        code = repro_cli.main(["inject", "campaign", "--rows", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: [ConfigurationError]")
+        assert err.count("\n") == 1
+
+    def test_debug_reraises(self):
+        with pytest.raises(ConfigurationError):
+            repro_cli.main(
+                ["--debug", "inject", "campaign", "--rows", "0"]
+            )
+
+    def test_healthy_command_unaffected(self, capsys):
+        assert repro_cli.main(["feasibility"]) == 0
+        assert "frontier" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Tests for repro.inject.ecc and repro.inject.plan: maps and SEC-DED."""
+
+import pytest
+
+from repro.dft.faults import FaultKind
+from repro.dram.organizations import Organization
+from repro.errors import ConfigurationError
+from repro.inject import (
+    EccOutcome,
+    FaultInjector,
+    InjectionConfig,
+    SECDEDCode,
+    build_fault_map,
+)
+
+ORG = Organization(n_banks=4, n_rows=64, page_bits=256, word_bits=16)
+
+
+class TestSECDED:
+    def test_check_bits_hamming_bound(self):
+        # Smallest r with 2^(r-1) >= k + r.
+        assert SECDEDCode(data_bits=8).check_bits == 5
+        assert SECDEDCode(data_bits=16).check_bits == 6
+        assert SECDEDCode(data_bits=64).check_bits == 8
+
+    def test_word_and_overhead(self):
+        code = SECDEDCode(data_bits=16)
+        assert code.word_bits == 22
+        assert code.overhead_fraction == pytest.approx(6 / 16)
+
+    def test_classification(self):
+        code = SECDEDCode(data_bits=16)
+        assert code.classify(0) is EccOutcome.CLEAN
+        assert code.classify(1) is EccOutcome.CORRECTED
+        assert code.classify(2) is EccOutcome.UNCORRECTABLE
+        assert code.classify(7) is EccOutcome.UNCORRECTABLE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SECDEDCode(data_bits=16).classify(-1)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SECDEDCode(data_bits=0)
+
+
+class TestInjectionConfig:
+    def test_defaults_valid(self):
+        InjectionConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cell_faults": -1},
+            {"refresh_drop_rate": 1.5},
+            {"refresh_delay_rate": -0.1},
+            {"fifo_stall_rate": 2.0},
+            {"refresh_delay_cycles": -1},
+            {"stuck_bank": -2},
+            {"read_retry_limit": -1},
+            {"quarantine_threshold": 0},
+            {"spare_rows_per_bank": -1},
+            {"stuck_request_cycles": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            InjectionConfig(**kwargs)
+
+
+class TestBuildFaultMap:
+    def test_deterministic(self):
+        config = InjectionConfig(seed=9, n_cell_faults=40, n_line_faults=4)
+        a = build_fault_map(ORG, config)
+        b = build_fault_map(ORG, config)
+        assert a.sites == b.sites
+        assert a.word_errors == b.word_errors
+        assert a.dead_rows == b.dead_rows
+        assert a.col_errors == b.col_errors
+
+    def test_seed_changes_map(self):
+        a = build_fault_map(ORG, InjectionConfig(seed=0, n_cell_faults=20))
+        b = build_fault_map(ORG, InjectionConfig(seed=1, n_cell_faults=20))
+        assert a.sites != b.sites
+
+    def test_cell_sites_distinct(self):
+        config = InjectionConfig(seed=3, n_cell_faults=100)
+        fault_map = build_fault_map(ORG, config)
+        coords = [
+            (s.bank, s.row, s.bit)
+            for s in fault_map.sites
+            if s.kind not in (FaultKind.WORD_LINE, FaultKind.BIT_LINE)
+        ]
+        assert len(coords) == len(set(coords)) == 100
+
+    def test_capacity_guard(self):
+        tiny = Organization(
+            n_banks=1, n_rows=2, page_bits=16, word_bits=16
+        )
+        with pytest.raises(ConfigurationError):
+            build_fault_map(tiny, InjectionConfig(n_cell_faults=33))
+
+    def test_retention_excluded_when_asked(self):
+        config = InjectionConfig(
+            seed=2, n_cell_faults=60, include_retention=False
+        )
+        fault_map = build_fault_map(ORG, config)
+        assert not any(
+            s.kind is FaultKind.RETENTION for s in fault_map.sites
+        )
+        assert not fault_map.retention_words
+
+    def test_dead_row_is_uncorrectable(self):
+        fault_map = build_fault_map(
+            ORG, InjectionConfig(seed=0, n_line_faults=1)
+        )
+        (bank, row) = next(iter(fault_map.dead_rows))
+        assert fault_map.bad_bits(bank, row, 0, False) >= 2
+
+    def test_clear_row_removes_faults(self):
+        fault_map = build_fault_map(
+            ORG, InjectionConfig(seed=4, n_cell_faults=30, n_line_faults=2)
+        )
+        (bank, row) = next(iter(fault_map.dead_rows))
+        fault_map.clear_row(bank, row)
+        assert (bank, row) not in fault_map.dead_rows
+        assert fault_map.bad_bits(bank, row, 0, True) == 0
+
+
+class TestFaultInjector:
+    def test_disabled_is_noop_everywhere(self):
+        injector = FaultInjector(
+            InjectionConfig(enabled=False, fifo_stall_rate=1.0,
+                            stuck_bank=0),
+            organization=ORG,
+        )
+        assert not injector.enabled
+        # The controller consults `enabled` before every effect; the
+        # draws themselves stay deterministic regardless.
+        assert injector.bank_stuck(0, 100)  # raw oracle still answers
+
+    def test_retention_activation(self):
+        injector = FaultInjector(
+            InjectionConfig(retention_margin_refreshes=2),
+            organization=ORG,
+        )
+        assert not injector.retention_active
+        for _ in range(3):
+            injector.on_refresh_dropped(0)
+        assert injector.retention_active
+        injector.on_refresh_issued(10)
+        assert not injector.retention_active
+
+    def test_refresh_rates_respected(self):
+        injector = FaultInjector(
+            InjectionConfig(refresh_drop_rate=1.0), organization=ORG
+        )
+        assert injector.refresh_action(5)[0] == "drop"
+        injector = FaultInjector(
+            InjectionConfig(
+                refresh_delay_rate=1.0, refresh_delay_cycles=32
+            ),
+            organization=ORG,
+        )
+        assert injector.refresh_action(5) == ("delay", 37)
+
+    def test_spare_budget_exhausts(self):
+        injector = FaultInjector(
+            InjectionConfig(spare_rows_per_bank=1), organization=ORG
+        )
+        assert injector.try_remap_row(0, 5)
+        assert not injector.try_remap_row(0, 6)
+        assert injector.try_remap_row(1, 5)
+
+    def test_stuck_bank_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(InjectionConfig(stuck_bank=7), organization=ORG)
+
+    def test_report_round_trips_json(self):
+        import json
+
+        injector = FaultInjector(
+            InjectionConfig(seed=1, n_cell_faults=10), organization=ORG
+        )
+        injector.count("reads_checked", 3)
+        report = injector.report()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["counters"]["reads_checked"] == 3
+        assert payload["n_fault_sites"] == 10
+        assert "fault sites" in report.summary()

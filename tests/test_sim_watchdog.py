@@ -1,0 +1,99 @@
+"""Tests for the simulator watchdog: max_cycles / max_wall_s truncation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inject.runtime import build_injected_simulator
+from repro.sim.simulator import SimulationConfig
+from repro.verify.differential import result_fingerprint
+
+
+def _build(fast_forward, **overrides):
+    simulator = build_injected_simulator(
+        None, cycles=4_000, warmup_cycles=300, seed=0
+    )
+    simulator.config = dataclasses.replace(
+        simulator.config, fast_forward=fast_forward, **overrides
+    )
+    return simulator
+
+
+class TestValidation:
+    def test_bad_max_cycles(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_cycles=0)
+
+    def test_bad_max_wall(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_wall_s=-1.0)
+
+    def test_valid_watchdog(self):
+        SimulationConfig(max_cycles=100, max_wall_s=1.0)
+
+
+class TestMaxCycles:
+    def test_truncates_deterministically(self):
+        result = _build(False, max_cycles=2_000).run()
+        assert result.truncated
+        assert result.truncation_reason == "max_cycles"
+        assert result.truncated_at_cycle == 2_000
+        # 300 warm-up cycles were simulated and reset; statistics cover
+        # the remaining 1700.
+        assert result.cycles == 1_700
+        assert result.requests_completed > 0
+
+    def test_fast_and_naive_truncate_identically(self):
+        naive = _build(False, max_cycles=2_000).run()
+        fast = _build(True, max_cycles=2_000).run()
+        assert result_fingerprint(naive) == result_fingerprint(fast)
+        assert naive.truncated_at_cycle == fast.truncated_at_cycle
+
+    def test_generous_cap_never_truncates(self):
+        result = _build(True, max_cycles=1_000_000).run()
+        assert not result.truncated
+        assert result.truncation_reason is None
+        assert result.truncated_at_cycle is None
+        assert result.cycles == 4_000
+
+    def test_truncation_before_warmup(self):
+        result = _build(False, max_cycles=100).run()
+        assert result.truncated
+        # No measurement reset happened: the short whole-run window is
+        # what the statistics cover.
+        assert result.cycles == 100
+
+    def test_result_stays_usable(self):
+        result = _build(False, max_cycles=1_500).run()
+        assert "requests over" in result.summary()
+        assert result.sustained_bandwidth_bits_per_s >= 0.0
+
+
+class TestMaxWall:
+    def test_expired_deadline_truncates(self):
+        result = _build(False, max_wall_s=0.0).run()
+        assert result.truncated
+        assert result.truncation_reason == "max_wall_s"
+        assert result.truncated_at_cycle < 4_300
+        assert "requests over" in result.summary()
+
+    def test_fast_path_also_guarded(self):
+        result = _build(True, max_wall_s=0.0).run()
+        assert result.truncated
+        assert result.truncation_reason == "max_wall_s"
+
+    def test_generous_deadline_never_truncates(self):
+        result = _build(True, max_wall_s=60.0).run()
+        assert not result.truncated
+
+
+class TestFingerprintExclusion:
+    def test_truncation_fields_not_fingerprinted(self):
+        # The fingerprint is the bit-identity surface; wall-clock
+        # truncation metadata must never enter it.
+        full = _build(True).run()
+        fingerprint = result_fingerprint(full)
+        flat = repr(fingerprint)
+        assert "truncat" not in flat
+        assert "max_cycles" not in flat

@@ -1,0 +1,179 @@
+"""Tests for resilient sweeps: failure quarantine, journal, timeouts."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.parallel import ParallelConfig
+from repro.core.sweep import FailedPoint, Sweep, SweepJournal
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+def _eval(x, y=1):
+    if x == "bad":
+        raise InfeasibleError(f"x={x} infeasible")
+    return x * y
+
+
+def _sleepy(x):
+    if x == 3:
+        time.sleep(1.5)
+    return x * 10
+
+
+class TestFailureQuarantine:
+    def test_skip_errors_quarantines_not_drops(self):
+        sweep = Sweep(axes={"x": [1, "bad", 3]})
+        result = sweep.run(_eval, skip_errors=True)
+        assert [p.result for p in result.points] == [1, 3]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert isinstance(failure, FailedPoint)
+        assert failure.parameters == {"x": "bad"}
+        assert "InfeasibleError" in failure.error
+
+    def test_without_skip_errors_still_raises(self):
+        sweep = Sweep(axes={"x": [1, "bad"]})
+        with pytest.raises(InfeasibleError):
+            sweep.run(_eval)
+
+    def test_parallel_failures_quarantined(self):
+        sweep = Sweep(axes={"x": [1, "bad", 3, 4]})
+        result = sweep.run(
+            _eval,
+            skip_errors=True,
+            parallel=ParallelConfig(workers=2, chunk_size=1),
+        )
+        assert [p.result for p in result.points] == [1, 3, 4]
+        assert len(result.failures) == 1
+        assert result.failures[0].parameters == {"x": "bad"}
+
+    def test_timeout_quarantines_hung_point(self):
+        sweep = Sweep(axes={"x": [1, 2, 3, 4]})
+        result = sweep.run(
+            _sleepy,
+            parallel=ParallelConfig(
+                workers=2, chunk_size=1, timeout_s=0.4
+            ),
+        )
+        succeeded = {p.parameters["x"] for p in result.points}
+        assert 3 not in succeeded
+        hung = [f for f in result.failures if f.parameters == {"x": 3}]
+        assert hung and "TimeoutError" in hung[0].error
+
+
+class TestJournal:
+    def test_journal_written_and_resumed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [1, 2, 3], "y": [10, 20]})
+        calls: list = []
+
+        def evaluate(x, y):
+            calls.append((x, y))
+            return x * y
+
+        first = sweep.run(evaluate, journal=path)
+        assert len(calls) == 6
+        resumed = sweep.run(evaluate, journal=path)
+        # Every point came from the journal; nothing re-evaluated.
+        assert len(calls) == 6
+        assert [p.result for p in resumed.points] == [
+            p.result for p in first.points
+        ]
+        assert [p.parameters for p in resumed.points] == [
+            p.parameters for p in first.points
+        ]
+
+    def test_interrupted_run_resumes_from_checkpoint(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [0, 1, 2, 3, 4]})
+        calls: list = []
+
+        def crashy(x):
+            calls.append(x)
+            if x == 2:
+                raise RuntimeError("simulated crash")
+            return x * x
+
+        with pytest.raises(RuntimeError):
+            sweep.run(crashy, journal=path)
+        assert calls == [0, 1, 2]
+
+        def fixed(x):
+            calls.append(x)
+            return x * x
+
+        result = sweep.run(fixed, journal=path)
+        # Only the unjournaled points (2, 3, 4) were evaluated.
+        assert calls == [0, 1, 2, 2, 3, 4]
+        assert [p.result for p in result.points] == [0, 1, 4, 9, 16]
+
+    def test_failures_journaled_too(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [1, "bad", 3]})
+        sweep.run(_eval, skip_errors=True, journal=path)
+        calls: list = []
+
+        def never(x):
+            calls.append(x)
+            return x
+
+        resumed = sweep.run(never, skip_errors=True, journal=path)
+        assert not calls
+        assert len(resumed.failures) == 1
+        assert resumed.failures[0].parameters == {"x": "bad"}
+
+    def test_axes_change_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        Sweep(axes={"x": [1, 2]}).run(_eval, journal=path)
+        with pytest.raises(ConfigurationError):
+            Sweep(axes={"x": [1, 2, 3]}).run(_eval, journal=path)
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [1, 2, 3]})
+        sweep.run(_eval, journal=path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 99, "ok": true, "val')  # torn write
+        journal = SweepJournal(path, sweep.signature())
+        outcomes = journal.load()
+        assert set(outcomes) == {0, 1, 2}
+
+    def test_journal_is_line_oriented_json(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [1, 2]})
+        sweep.run(_eval, journal=path)
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["signature"] == sweep.signature()
+        assert len(lines) == 3
+
+    def test_parallel_run_with_journal_matches_serial(self, tmp_path):
+        sweep = Sweep(axes={"x": [1, 2, 3, 4, 5]})
+        serial = sweep.run(_eval)
+        parallel = sweep.run(
+            _eval,
+            parallel=ParallelConfig(workers=2, chunk_size=1),
+            journal=tmp_path / "par.jsonl",
+        )
+        assert [p.result for p in parallel.points] == [
+            p.result for p in serial.points
+        ]
+        resumed = sweep.run(
+            _eval,
+            parallel=ParallelConfig(workers=2, chunk_size=1),
+            journal=tmp_path / "par.jsonl",
+        )
+        assert [p.result for p in resumed.points] == [
+            p.result for p in serial.points
+        ]
+
+
+class TestSignature:
+    def test_stable_and_axis_sensitive(self):
+        a = Sweep(axes={"x": [1, 2], "y": [3]})
+        b = Sweep(axes={"y": [3], "x": [1, 2]})
+        assert a.signature() == b.signature()  # order-insensitive
+        c = Sweep(axes={"x": [1, 2], "y": [4]})
+        assert a.signature() != c.signature()
