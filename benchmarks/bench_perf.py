@@ -23,6 +23,17 @@ implementations and writes ``BENCH_perf.json``:
   (must be bit-identical to the plain run) and with injection enabled.
   The section reports the overhead ratios (documented budget: the
   disabled injector stays under 2x; see docs/RESILIENCE.md).
+* **sweep_telemetry** — the macro-evaluation sweep with the run
+  ledger + progress reporter on vs fully off.  The point results must
+  be identical; the section reports the telemetry overhead ratio (the
+  documented budget is < 5% — telemetry is per-chunk/per-event, never
+  per-simulated-cycle).
+
+Every run also appends one entry (mode, commit, the numeric metrics of
+every section) to ``BENCH_history.jsonl`` so
+``repro report --check-regression`` can gate future runs against the
+rolling baseline; ``--no-history`` skips the append, ``--history``
+points it elsewhere.
 
 Run directly::
 
@@ -229,6 +240,86 @@ def bench_parallel_sweep(report: PerfReport) -> None:
     )
 
 
+def evaluate_telemetry_point(seed: int, cycles: int) -> tuple:
+    """One sweep point of the telemetry bench: a short simulation,
+    reduced to its :func:`result_fingerprint` so the on/off comparison
+    is literally a bit-identity check."""
+    result = build_simulator(
+        cycles, cycles // 8, fast_forward=False, seed=seed
+    ).run()
+    return result_fingerprint(result)
+
+
+def bench_sweep_telemetry(
+    report: PerfReport,
+    cycles: int = 400,
+    ledger_out: str | None = None,
+) -> None:
+    """Ledger + progress on vs off over a simulation-backed sweep.
+
+    The points are short naive-loop simulations (milliseconds each) so
+    the ledger's fixed open cost — provenance, git subprocess — is
+    amortized the way a real sweep amortizes it, and the ratio measures
+    the per-point/per-event steady state.
+    """
+    import io
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro.obs.progress import ProgressReporter
+
+    sweep = Sweep(axes={"seed": list(range(24)), "cycles": [cycles]})
+    n = sweep.n_points
+    off_s, off_result = measure(
+        lambda: sweep.run(evaluate_telemetry_point, skip_errors=True),
+        repeat=3,
+    )
+    tmpdir = tempfile.mkdtemp(prefix="bench-ledger-")
+    counter = itertools.count()
+    last_ledger: list = []
+
+    def run_with_telemetry():
+        # A fresh ledger file per repeat: each run pays the full
+        # open-and-provenance cost, like a real sweep would.
+        path = os.path.join(tmpdir, f"sweep-{next(counter)}.ledger.jsonl")
+        last_ledger[:] = [path]
+        progress = ProgressReporter(
+            total=n,
+            stream=io.StringIO(),
+            enabled=True,
+            min_interval_s=0.0,
+        )
+        return sweep.run(
+            evaluate_telemetry_point,
+            skip_errors=True,
+            ledger=path,
+            progress=progress,
+        )
+
+    on_s, on_result = measure(run_with_telemetry, repeat=3)
+    identical = [
+        (p.parameters, p.result) for p in off_result.points
+    ] == [(p.parameters, p.result) for p in on_result.points]
+    if not identical:
+        raise AssertionError("telemetry changed the sweep fingerprints")
+    with open(last_ledger[0], "r", encoding="utf-8") as handle:
+        ledger_events = sum(1 for line in handle if line.strip())
+    if ledger_out is not None:
+        shutil.copyfile(last_ledger[0], ledger_out)
+    shutil.rmtree(tmpdir, ignore_errors=True)
+    report.add(
+        "sweep_telemetry",
+        points=n,
+        cycles_per_point=cycles,
+        off_seconds=off_s,
+        telemetry_seconds=on_s,
+        telemetry_overhead_ratio=on_s / off_s,
+        ledger_events=ledger_events,
+        identical=identical,
+    )
+
+
 def bench_observability(
     report: PerfReport, cycles: int, warmup: int, trace_out: str | None = None
 ) -> None:
@@ -311,7 +402,10 @@ def bench_injection(report: PerfReport, cycles: int, warmup: int) -> None:
 
 
 def run(
-    smoke: bool = False, seed: int = 0, trace_out: str | None = None
+    smoke: bool = False,
+    seed: int = 0,
+    trace_out: str | None = None,
+    ledger_out: str | None = None,
 ) -> PerfReport:
     report = PerfReport(title="Performance benchmark (fast paths)")
     if smoke:
@@ -328,6 +422,11 @@ def run(
         bench_injection(report, cycles=8_000, warmup=500)
     bench_design_space(report)
     bench_parallel_sweep(report)
+    bench_sweep_telemetry(
+        report,
+        cycles=400 if smoke else 4_000,
+        ledger_out=ledger_out,
+    )
     return report
 
 
@@ -349,6 +448,13 @@ def test_perf_smoke() -> None:
     # The documented injection budget: a disabled injector stays under
     # 2x of the plain controller.
     assert inject["disabled_overhead_ratio"] < 2.0, inject
+    telemetry = report.sections["sweep_telemetry"]
+    assert telemetry["identical"]
+    assert telemetry["ledger_events"] > 0
+    # The documented budget is < 5% sweep overhead with ledger +
+    # progress on; the smoke assertion is looser to absorb CI noise on
+    # a sub-second sweep.
+    assert telemetry["telemetry_overhead_ratio"] < 1.5, telemetry
 
 
 def test_perf_deterministic() -> None:
@@ -383,11 +489,45 @@ def main(argv: list | None = None) -> int:
         "--trace-out",
         help="also write the observability bench's Chrome trace here",
     )
+    parser.add_argument(
+        "--ledger-out",
+        help="also keep the sweep-telemetry bench's run ledger here "
+        "(CI feeds it to `repro report`)",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+        ),
+        help="bench-history JSONL the regression gate reads "
+        "(default: repo-root BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench history",
+    )
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke, seed=args.seed, trace_out=args.trace_out)
+    report = run(
+        smoke=args.smoke,
+        seed=args.seed,
+        trace_out=args.trace_out,
+        ledger_out=args.ledger_out,
+    )
     report.write_json(args.out)
     print(report.render())
     print(f"\nwrote {args.out}")
+    if not args.no_history:
+        from repro.obs.ledger import git_provenance
+        from repro.reporting.runreport import append_history
+
+        append_history(
+            args.history,
+            report.to_dict(),
+            mode="smoke" if args.smoke else "full",
+            commit=git_provenance().get("commit"),
+        )
+        print(f"appended history entry to {args.history}")
     return 0
 
 

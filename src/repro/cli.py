@@ -11,11 +11,15 @@ Usage::
     python -m repro.cli verify fuzz --seed 0 --budget 200
     python -m repro.cli trace --out mpeg2.trace.json
     python -m repro.cli metrics [--json]
+    python -m repro.cli metrics --merge a.json b.json
+    python -m repro.cli report sweep.ledger.jsonl [--html report.html]
+    python -m repro.cli report --check-regression --history BENCH_history.jsonl
 
 Each subcommand prints the corresponding reproduction table; `explore`
 runs a live design-space sweep for the given requirements; `trace` and
 `metrics` run the instrumented MPEG2-decoder workload through the
-observability layer (see docs/OBSERVABILITY.md).
+observability layer; `report` renders a run-ledger summary and hosts
+the benchmark-regression gate (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -175,6 +179,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
+    if args.merge:
+        return _merge_metrics(args)
     obs, result = _obs_run(args, trace=False)
     snapshot = obs.metrics.snapshot()
     if args.out:
@@ -192,6 +198,77 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 f"  {name}: n={hist['count']} mean={hist['mean']:.1f} "
                 f"p95={hist['p95']:.1f} max={hist['max']}"
             )
+    return 0
+
+
+def _merge_metrics(args: argparse.Namespace) -> int:
+    """Aggregate saved metrics snapshots offline (same merge() path
+    the process pool uses at run time)."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs.aggregate import merge_snapshots
+
+    snapshots = []
+    for path in args.merge:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                snapshots.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"cannot read metrics snapshot {path}: {error}"
+            ) from error
+    merged = merge_snapshots(*snapshots)
+    rendered = json.dumps(merged, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(
+            f"merged {len(snapshots)} snapshots into {args.out}"
+        )
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.reporting.runreport import (
+        check_regression,
+        load_history,
+        load_ledger,
+        render_html,
+        render_markdown,
+        render_regression,
+        summarize_ledger,
+    )
+
+    if args.ledger is None and not args.check_regression:
+        raise ConfigurationError(
+            "repro report needs a LEDGER file and/or --check-regression"
+        )
+    if args.ledger is not None:
+        summary = summarize_ledger(load_ledger(args.ledger))
+        markdown = render_markdown(summary, top=args.top)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(markdown)
+            print(f"wrote {args.out}")
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(render_html(summary, top=args.top))
+            print(f"wrote {args.html}")
+        if not args.out and not args.html:
+            print(markdown, end="")
+    if args.check_regression:
+        verdict = check_regression(
+            load_history(args.history),
+            threshold=args.threshold,
+            window=args.window,
+        )
+        print(render_regression(verdict, args.threshold))
+        if not verdict["ok"]:
+            return 1
     return 0
 
 
@@ -281,8 +358,54 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--json", action="store_true", help="print the snapshot as JSON"
     )
+    metrics.add_argument(
+        "--merge",
+        nargs="+",
+        metavar="SNAPSHOT",
+        help="skip the workload: aggregate these saved snapshot JSONs "
+        "(lossless histogram merge) and print/write the result",
+    )
     _add_obs_workload_args(metrics)
     metrics.set_defaults(func=_cmd_metrics)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run-ledger summary (Markdown/HTML) and run the "
+        "benchmark-regression gate",
+    )
+    report.add_argument(
+        "ledger", nargs="?", help="run-ledger JSONL file to summarize"
+    )
+    report.add_argument("--out", help="write the Markdown report here")
+    report.add_argument("--html", help="write a self-contained HTML here")
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="slowest chunks / quarantines to list (default 10)",
+    )
+    report.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="gate the newest BENCH_history.jsonl entry against its "
+        "rolling baseline; exit 1 on regression",
+    )
+    report.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="bench history JSONL (default: ./BENCH_history.jsonl)",
+    )
+    report.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="fractional slowdown that fails the gate (0.3 = +30%%)",
+    )
+    report.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="rolling-baseline size: prior same-mode entries (default 5)",
+    )
+    report.set_defaults(func=_cmd_report)
 
     verify = sub.add_parser(
         "verify",

@@ -11,6 +11,7 @@ discrete question too.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, InfeasibleError
@@ -171,6 +172,7 @@ class DesignSpaceExplorer:
         self,
         requirements: ApplicationRequirements,
         parallel: ParallelConfig | None = None,
+        ledger=None,
     ) -> ExplorationResult:
         """Run the full sweep for one application.
 
@@ -178,33 +180,70 @@ class DesignSpaceExplorer:
         process pool (deterministically chunked, merged back in
         enumeration order) and the results prime this explorer's
         evaluator memo, so later serial queries hit the cache.
+
+        With ``ledger`` (path or open
+        :class:`~repro.obs.ledger.RunLedger`), the exploration streams
+        ``run_start``/phase-span/``run_end`` events — enumerate,
+        evaluate and frontier each get a timed span, so ``repro
+        report`` can show where an exploration spends its time.
         """
-        macros = self.enumerate(requirements)
-        if parallel is not None and len(macros) > 1:
-            task = _EvaluateMacroTask(
-                evaluator=self.evaluator, requirements=requirements
+        from repro.obs.ledger import coerce_ledger
+
+        run_ledger, owns_ledger = coerce_ledger(ledger)
+        try:
+            return self._explore(requirements, parallel, run_ledger)
+        finally:
+            if owns_ledger and run_ledger is not None:
+                run_ledger.close()
+
+    def _explore(
+        self, requirements, parallel, ledger
+    ) -> ExplorationResult:
+        import time
+
+        started = time.perf_counter()
+        if ledger is not None:
+            ledger.event(
+                "run_start",
+                workload="explore",
+                application=requirements.name,
+                capacity_bits=requirements.capacity_bits,
+                bandwidth_bits_per_s=(
+                    requirements.sustained_bandwidth_bits_per_s
+                ),
+                parallel=parallel is not None,
             )
-            outcomes = parallel_map(task, macros, config=parallel)
-            evaluated = [outcome.value for outcome in outcomes]
-            self.evaluator.prime_macro_cache(
-                ((macro, requirements), metrics)
-                for macro, metrics in zip(macros, evaluated)
-            )
-        else:
-            evaluated = [
-                self.evaluator.evaluate_macro(macro, requirements)
-                for macro in macros
+        with _maybe_span(ledger, "enumerate"):
+            macros = self.enumerate(requirements)
+        with _maybe_span(ledger, "evaluate", n_macros=len(macros)):
+            if parallel is not None and len(macros) > 1:
+                task = _EvaluateMacroTask(
+                    evaluator=self.evaluator, requirements=requirements
+                )
+                outcomes = parallel_map(
+                    task, macros, config=parallel, ledger=ledger
+                )
+                evaluated = [outcome.value for outcome in outcomes]
+                self.evaluator.prime_macro_cache(
+                    ((macro, requirements), metrics)
+                    for macro, metrics in zip(macros, evaluated)
+                )
+            else:
+                evaluated = [
+                    self.evaluator.evaluate_macro(macro, requirements)
+                    for macro in macros
+                ]
+        with _maybe_span(ledger, "frontier"):
+            feasible = [
+                metrics
+                for metrics in evaluated
+                if self.evaluator.meets(metrics, requirements)
             ]
-        feasible = [
-            metrics
-            for metrics in evaluated
-            if self.evaluator.meets(metrics, requirements)
-        ]
-        frontier = pareto_frontier(
-            feasible,
-            lambda metrics: metrics.objective_tuple(),
-            engine=self.pareto_engine,
-        )
+            frontier = pareto_frontier(
+                feasible,
+                lambda metrics: metrics.objective_tuple(),
+                engine=self.pareto_engine,
+            )
         try:
             discrete = smallest_system(
                 requirements.capacity_bits,
@@ -216,6 +255,16 @@ class DesignSpaceExplorer:
             )
         except (ConfigurationError, InfeasibleError):
             baseline = None
+        if ledger is not None:
+            ledger.event(
+                "run_end",
+                workload="explore",
+                status="ok",
+                n_explored=len(evaluated),
+                n_feasible=len(feasible),
+                n_frontier=len(frontier),
+                s=round(time.perf_counter() - started, 6),
+            )
         return ExplorationResult(
             requirements=requirements,
             evaluated=evaluated,
@@ -239,6 +288,13 @@ class DesignSpaceExplorer:
         while rounded < width:
             rounded *= 2
         return rounded
+
+
+def _maybe_span(ledger, name: str, **fields):
+    """A ledger phase span, or a no-op context when the ledger is off."""
+    if ledger is None:
+        return nullcontext()
+    return ledger.span(name, **fields)
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,20 @@ across a process pool with
 Sweep worker telemetry (chunk wall times, pool runs, serial-path
 reasons) is recorded into :data:`repro.obs.metrics.GLOBAL_METRICS` when
 that registry is enabled; with it disabled (the default) the record
-calls hit no-op null metrics.
+calls hit no-op null metrics.  With telemetry on, the pool and serial
+paths emit the *same* canonical counter set (``parallel_map.runs`` /
+``.points`` counters, ``.workers`` / ``.chunks`` gauges, the
+``.chunk_us`` histogram) so dashboards don't go dark when a sweep
+degrades to the serial path; and worker processes snapshot their own
+``GLOBAL_METRICS`` per chunk, returning it alongside the chunk's
+outcomes, so ``parallel_map`` folds worker-side telemetry into the
+parent registry (:func:`repro.obs.aggregate.fold_snapshot`) instead of
+letting it die with the pool.
+
+``ledger=`` streams chunk timings, retries, timeouts and fallbacks to
+a :class:`repro.obs.ledger.RunLedger`; ``progress=`` feeds a
+:class:`repro.obs.progress.ProgressReporter` per merged chunk.  Both
+default to None and cost nothing when off.
 
 Per-point errors of declared types are captured as
 :class:`PointOutcome` failures instead of poisoning the whole pool, so
@@ -50,6 +63,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.aggregate import fold_snapshot
 from repro.obs.metrics import GLOBAL_METRICS
 
 #: Pool failures worth retrying: executor infrastructure breakage
@@ -150,11 +164,25 @@ def _run_chunk(fn, chunk, catch):
     return outcomes
 
 
-def _timed_run_chunk(fn, chunk, catch):
-    """Telemetry variant: also reports worker-side wall time."""
+def _instrumented_run_chunk(fn, chunk, catch):
+    """Telemetry variant: wall time + the worker's metrics snapshot.
+
+    Runs in the worker process with its ``GLOBAL_METRICS`` force-enabled
+    and reset around the chunk, so whatever the workload records there
+    (``inject.*`` counters, workload histograms) is captured per chunk
+    and shipped back for the parent to fold — instead of dying with the
+    pool.  The registry is reset first because fork-start workers
+    inherit the parent's counts, which the parent already has.
+    """
+    GLOBAL_METRICS.enabled = True
+    GLOBAL_METRICS.reset()
     start = time.perf_counter()
     outcomes = _run_chunk(fn, chunk, catch)
-    return time.perf_counter() - start, outcomes
+    elapsed = time.perf_counter() - start
+    snapshot = GLOBAL_METRICS.snapshot()
+    GLOBAL_METRICS.reset()
+    GLOBAL_METRICS.enabled = False
+    return elapsed, snapshot, outcomes
 
 
 def _chunks(items: list, chunk_size: int) -> list:
@@ -182,6 +210,8 @@ def parallel_map(
     items,
     config: ParallelConfig | None = None,
     catch: tuple = (),
+    ledger=None,
+    progress=None,
 ) -> list:
     """Evaluate ``fn`` over ``items``, optionally across processes.
 
@@ -193,6 +223,11 @@ def parallel_map(
         config: Distribution settings; None means serial.
         catch: Exception types captured per point as failed
             :class:`PointOutcome` entries instead of raised.
+        ledger: Optional :class:`~repro.obs.ledger.RunLedger` receiving
+            ``chunk``/``retry``/``timeout``/``fallback`` events.
+        progress: Optional
+            :class:`~repro.obs.progress.ProgressReporter` advanced per
+            merged chunk.
 
     Returns:
         One :class:`PointOutcome` per item, in input order.
@@ -203,26 +238,39 @@ def parallel_map(
         return []
     if config is None:
         return _serial_map(fn, items, catch)
+    telemetry = GLOBAL_METRICS.enabled
     workers = config.resolved_workers(len(items))
-    if workers <= 1:
-        GLOBAL_METRICS.counter("parallel_map.serial.single_worker").inc()
-        return _serial_map(fn, items, catch)
-    if not _picklable(fn, items[0]):
-        GLOBAL_METRICS.counter("parallel_map.serial.non_picklable").inc()
-        return _serial_map(fn, items, catch)
     chunk_size = config.chunk_size
     if chunk_size is None:
         from repro.units import ceil_div
 
         chunk_size = ceil_div(len(items), workers)
     chunks = _chunks(items, chunk_size)
-    telemetry = GLOBAL_METRICS.enabled
-    worker_fn = _timed_run_chunk if telemetry else _run_chunk
+    serial_reason = None
+    if workers <= 1:
+        serial_reason = "single_worker"
+    elif not _picklable(fn, items[0]):
+        serial_reason = "non_picklable"
+    if telemetry:
+        # The canonical counter set: identical names on the pool path
+        # and every serial path, so telemetry never silently thins out
+        # when a sweep degrades to serial execution.
+        GLOBAL_METRICS.counter("parallel_map.runs").inc()
+        GLOBAL_METRICS.counter("parallel_map.points").inc(len(items))
+        GLOBAL_METRICS.gauge("parallel_map.workers").set(
+            1 if serial_reason else workers
+        )
+        GLOBAL_METRICS.gauge("parallel_map.chunks").set(len(chunks))
+    if serial_reason is not None:
+        GLOBAL_METRICS.counter(
+            f"parallel_map.serial.{serial_reason}"
+        ).inc()
+        return _serial_chunked(
+            fn, chunks, catch, telemetry, ledger, progress
+        )
     if telemetry:
         GLOBAL_METRICS.counter("parallel_map.pool_runs").inc()
-        GLOBAL_METRICS.counter("parallel_map.points").inc(len(items))
-        GLOBAL_METRICS.gauge("parallel_map.workers").set(workers)
-        GLOBAL_METRICS.gauge("parallel_map.chunks").set(len(chunks))
+    worker_fn = _instrumented_run_chunk if telemetry else _run_chunk
     attempt = 0
     while True:
         try:
@@ -234,6 +282,8 @@ def parallel_map(
                 workers,
                 config.timeout_s,
                 telemetry,
+                ledger,
+                progress,
             )
         except TRANSIENT_POOL_ERRORS as error:
             # Spawn/resource exhaustion and broken pools are often
@@ -242,18 +292,67 @@ def parallel_map(
             if attempt < config.max_retries:
                 attempt += 1
                 GLOBAL_METRICS.counter("parallel_map.retries").inc()
+                if ledger is not None:
+                    ledger.event(
+                        "retry", attempt=attempt, error=repr(error)
+                    )
                 time.sleep(config.backoff_s * (2 ** (attempt - 1)))
                 continue
-            return _fallback_serial(fn, items, catch, error)
+            return _fallback_serial(
+                fn, chunks, catch, error, telemetry, ledger, progress
+            )
         except Exception as error:
             # A worker-side crash outside `catch` is the workload's own
             # deterministic exception: no retry, redo serially so it
             # surfaces with a clean traceback.
-            return _fallback_serial(fn, items, catch, error)
+            return _fallback_serial(
+                fn, chunks, catch, error, telemetry, ledger, progress
+            )
+
+
+def _note_chunk(index, chunk, outcomes, elapsed, ledger, progress):
+    """Report one merged chunk to the ledger and progress reporter."""
+    if ledger is None and progress is None:
+        return
+    failed = sum(1 for outcome in outcomes if not outcome.ok)
+    if ledger is not None:
+        ledger.event(
+            "chunk",
+            index=index,
+            size=len(chunk),
+            s=round(elapsed, 6),
+            failed=failed,
+        )
+    if progress is not None:
+        progress.update(done=len(outcomes) - failed, failed=failed)
+
+
+def _serial_chunked(fn, chunks, catch, telemetry, ledger, progress) -> list:
+    """Serial evaluation with the same per-chunk telemetry as the pool."""
+    merged: list = []
+    for index, chunk in enumerate(chunks):
+        start = time.perf_counter()
+        outcomes = _run_chunk(fn, chunk, catch)
+        elapsed = time.perf_counter() - start
+        if telemetry:
+            GLOBAL_METRICS.histogram("parallel_map.chunk_us").record(
+                elapsed * 1e6
+            )
+        _note_chunk(index, chunk, outcomes, elapsed, ledger, progress)
+        merged.extend(outcomes)
+    return merged
 
 
 def _pool_map(
-    worker_fn, fn, chunks, catch, workers, timeout_s, telemetry
+    worker_fn,
+    fn,
+    chunks,
+    catch,
+    workers,
+    timeout_s,
+    telemetry,
+    ledger,
+    progress,
 ) -> list:
     """One process-pool attempt; raises on pool/workload failures.
 
@@ -269,7 +368,7 @@ def _pool_map(
             pool.submit(worker_fn, fn, chunk, catch) for chunk in chunks
         ]
         merged: list = []
-        for chunk, future in zip(chunks, futures):
+        for index, (chunk, future) in enumerate(zip(chunks, futures)):
             # submission order == input order
             try:
                 payload = future.result(timeout=timeout_s)
@@ -280,17 +379,28 @@ def _pool_map(
                     f"TimeoutError: chunk of {len(chunk)} item(s) "
                     f"exceeded the {timeout_s}s deadline"
                 )
+                if ledger is not None:
+                    ledger.event(
+                        "timeout", index=index, size=len(chunk)
+                    )
+                if progress is not None:
+                    progress.update(failed=len(chunk))
                 merged.extend(
                     PointOutcome(ok=False, error=message) for _ in chunk
                 )
                 continue
             if telemetry:
-                elapsed, outcomes = payload
+                elapsed, snapshot, outcomes = payload
                 GLOBAL_METRICS.histogram("parallel_map.chunk_us").record(
                     elapsed * 1e6
                 )
+                # Fold the worker's own metrics into this process's
+                # registry — the whole point of shipping the snapshot.
+                fold_snapshot(GLOBAL_METRICS, snapshot)
             else:
+                elapsed = 0.0
                 outcomes = payload
+            _note_chunk(index, chunk, outcomes, elapsed, ledger, progress)
             merged.extend(outcomes)
         return merged
     finally:
@@ -299,17 +409,22 @@ def _pool_map(
             shutdown(wait=not abandoned, cancel_futures=abandoned)
 
 
-def _fallback_serial(fn, items, catch, error) -> list:
+def _fallback_serial(
+    fn, chunks, catch, error, telemetry, ledger, progress
+) -> list:
     """Loud serial re-run after the pool (and its retries) failed."""
     GLOBAL_METRICS.counter("parallel_map.fallbacks").inc()
+    n_items = sum(len(chunk) for chunk in chunks)
+    if ledger is not None:
+        ledger.event("fallback", error=repr(error), items=n_items)
     warnings.warn(
         f"process pool failed ({error!r}); re-running all "
-        f"{len(items)} items serially — side-effectful functions "
+        f"{n_items} items serially — side-effectful functions "
         "may execute twice",
         ParallelFallbackWarning,
         stacklevel=3,
     )
-    return _serial_map(fn, items, catch)
+    return _serial_chunked(fn, chunks, catch, telemetry, ledger, progress)
 
 
 class _NeverRaised(Exception):

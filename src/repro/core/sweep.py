@@ -19,6 +19,19 @@ Resilience (see docs/RESILIENCE.md):
   product order, so an interrupted sweep resumes instead of restarting.
   The journal header carries a signature of the axes, and resuming
   against a journal written for different axes is rejected.
+
+Telemetry (see docs/OBSERVABILITY.md):
+
+* ``Sweep.run(..., ledger=path)`` streams run/span/chunk/quarantine
+  events to a :class:`~repro.obs.ledger.RunLedger`; a resumed sweep
+  reuses the same ledger file and continues its event-id sequence, so
+  ``repro report`` sees one continuous run;
+* ``Sweep.run(..., progress=True)`` renders a live rate/ETA/failure
+  line on stderr (TTY only; see
+  :class:`~repro.obs.progress.ProgressReporter`).
+
+Neither changes a single evaluated value — bit-identity with the
+telemetry off is pinned by ``tests/test_obs_ledger.py``.
 """
 
 from __future__ import annotations
@@ -28,11 +41,15 @@ import hashlib
 import itertools
 import json
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
+from repro.obs.ledger import coerce_ledger
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.progress import ProgressReporter
 from repro.reporting.tables import Table
 
 
@@ -190,6 +207,8 @@ class Sweep:
         skip_errors: bool = False,
         parallel: ParallelConfig | None = None,
         journal: str | Path | None = None,
+        ledger=None,
+        progress=None,
     ) -> SweepResult:
         """Evaluate every axis combination.
 
@@ -213,21 +232,88 @@ class Sweep:
                 points.  A journal written for a different sweep (axes
                 changed) is rejected with
                 :class:`~repro.errors.ConfigurationError`.
+            ledger: Run-ledger path or open
+                :class:`~repro.obs.ledger.RunLedger`; the sweep streams
+                ``run_start``/``chunk``/``quarantine``/``checkpoint``/
+                ``run_end`` events there.  Reusing the path of an
+                interrupted run continues its event-id sequence.
+            progress: ``True`` for a live stderr rate/ETA line
+                (auto-disabled off-TTY), or a pre-built
+                :class:`~repro.obs.progress.ProgressReporter`.
         """
         combos = self.combinations()
+        run_ledger, owns_ledger = coerce_ledger(ledger)
+        if progress is True:
+            progress = ProgressReporter(total=self.n_points)
         journal_log: SweepJournal | None = None
         completed: dict = {}
-        if journal is not None:
-            journal_log = SweepJournal(journal, self.signature())
-            completed = journal_log.load()
+        started = time.perf_counter()
+        status = "error"
+        outcomes: dict = {}
         try:
+            if journal is not None:
+                journal_log = SweepJournal(journal, self.signature())
+                completed = journal_log.load()
+            if run_ledger is not None:
+                run_ledger.event(
+                    "run_start",
+                    workload="sweep",
+                    signature=self.signature(),
+                    n_points=self.n_points,
+                    axes={
+                        name: len(values)
+                        for name, values in self.axes.items()
+                    },
+                    skip_errors=skip_errors,
+                    parallel=(
+                        None
+                        if parallel is None
+                        else {
+                            "workers": parallel.workers,
+                            "chunk_size": parallel.chunk_size,
+                            "timeout_s": parallel.timeout_s,
+                        }
+                    ),
+                    journal=None if journal is None else str(journal),
+                    journaled_points=len(completed),
+                )
+            if progress is not None:
+                progress.start()
+                if completed:
+                    failed = sum(
+                        1 for o in completed.values() if not o.ok
+                    )
+                    progress.update(
+                        done=len(completed) - failed, failed=failed
+                    )
             outcomes = self._evaluate(
                 evaluate, combos, completed, skip_errors, parallel,
-                journal_log,
+                journal_log, run_ledger, progress,
             )
+            status = "ok"
         finally:
             if journal_log is not None:
                 journal_log.close()
+            if progress is not None:
+                progress.finish()
+            if run_ledger is not None:
+                n_failed = sum(
+                    1 for o in outcomes.values() if not o.ok
+                )
+                if GLOBAL_METRICS.enabled:
+                    run_ledger.event(
+                        "metrics", snapshot=GLOBAL_METRICS.snapshot()
+                    )
+                run_ledger.event(
+                    "run_end",
+                    workload="sweep",
+                    status=status,
+                    n_ok=len(outcomes) - n_failed,
+                    n_failed=n_failed,
+                    s=round(time.perf_counter() - started, 6),
+                )
+                if owns_ledger:
+                    run_ledger.close()
         result = SweepResult()
         for index, parameters in enumerate(combos):
             outcome = outcomes.get(index)
@@ -245,7 +331,7 @@ class Sweep:
 
     def _evaluate(
         self, evaluate, combos, completed, skip_errors, parallel,
-        journal_log,
+        journal_log, ledger=None, progress=None,
     ) -> dict:
         """Evaluate the not-yet-journaled points; return index -> outcome."""
         from repro.errors import ReproError
@@ -265,11 +351,22 @@ class Sweep:
                     [combos[index] for index in indices],
                     config=parallel,
                     catch=catch,
+                    ledger=ledger,
+                    progress=progress,
                 )
                 for index, outcome in zip(indices, round_outcomes):
                     outcomes[index] = outcome
                     if journal_log is not None:
                         journal_log.append(index, outcome)
+                    if ledger is not None and not outcome.ok:
+                        ledger.event(
+                            "quarantine",
+                            index=index,
+                            parameters=combos[index],
+                            error=outcome.error,
+                        )
+                if ledger is not None and journal_log is not None:
+                    ledger.event("checkpoint", points=len(indices))
             return outcomes
         for index in remaining:
             try:
@@ -283,6 +380,20 @@ class Sweep:
             outcomes[index] = outcome
             if journal_log is not None:
                 journal_log.append(index, outcome)
+            if ledger is not None and not outcome.ok:
+                ledger.event(
+                    "quarantine",
+                    index=index,
+                    parameters=combos[index],
+                    error=outcome.error,
+                )
+            if progress is not None:
+                progress.update(
+                    done=1 if outcome.ok else 0,
+                    failed=0 if outcome.ok else 1,
+                )
+        if ledger is not None and journal_log is not None:
+            ledger.event("checkpoint", points=len(remaining))
         return outcomes
 
 

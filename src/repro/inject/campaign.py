@@ -229,7 +229,9 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def run_campaign(config: CampaignConfig) -> CampaignReport:
+def run_campaign(
+    config: CampaignConfig, ledger=None
+) -> CampaignReport:
     """Run the march suite over every map and compare with predictions.
 
     Per map the report entry records, for each test, the measured
@@ -238,7 +240,37 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     and any false positives; plus the repair comparison: spare
     allocation over the union of measured failing cells vs over the
     ground-truth faulty cells.
+
+    With ``ledger`` (path or open
+    :class:`~repro.obs.ledger.RunLedger`), the campaign streams
+    ``run_start``, one timed span per fault map (with per-map match
+    outcomes) and a ``run_end`` carrying the overall verdict.
     """
+    from repro.obs.ledger import coerce_ledger
+
+    run_ledger, owns_ledger = coerce_ledger(ledger)
+    try:
+        return _run_campaign(config, run_ledger)
+    finally:
+        if owns_ledger and run_ledger is not None:
+            run_ledger.close()
+
+
+def _run_campaign(config: CampaignConfig, ledger) -> CampaignReport:
+    import time
+
+    started = time.perf_counter()
+    if ledger is not None:
+        ledger.event(
+            "run_start",
+            workload="campaign",
+            seed=config.seed,
+            n_maps=config.n_maps,
+            rows=config.rows,
+            cols=config.cols,
+            n_cell_faults=config.n_cell_faults,
+            n_line_faults=config.n_line_faults,
+        )
     maps: list = []
     for index in range(config.n_maps):
         reference = config.build_array(index)
@@ -273,22 +305,42 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         truth_plan = allocate_spares(
             ground_truth, config.spare_rows, config.spare_cols
         )
-        maps.append(
-            {
-                "map": index,
-                "seed": config.map_seed(index),
-                "n_faults": len(reference.faults),
-                "ground_truth_cells": len(ground_truth),
-                "tests": per_test,
-                "repair": {
-                    "measured_repaired": measured_plan.repaired,
-                    "truth_repaired": truth_plan.repaired,
-                    "verdict_match": (
-                        measured_plan.repaired == truth_plan.repaired
-                    ),
-                    "measured_spares_used": measured_plan.spares_used,
-                    "truth_spares_used": truth_plan.spares_used,
+        entry = {
+            "map": index,
+            "seed": config.map_seed(index),
+            "n_faults": len(reference.faults),
+            "ground_truth_cells": len(ground_truth),
+            "tests": per_test,
+            "repair": {
+                "measured_repaired": measured_plan.repaired,
+                "truth_repaired": truth_plan.repaired,
+                "verdict_match": (
+                    measured_plan.repaired == truth_plan.repaired
+                ),
+                "measured_spares_used": measured_plan.spares_used,
+                "truth_spares_used": truth_plan.spares_used,
+            },
+        }
+        maps.append(entry)
+        if ledger is not None:
+            ledger.event(
+                "campaign_map",
+                index=index,
+                seed=entry["seed"],
+                ground_truth_cells=entry["ground_truth_cells"],
+                matches={
+                    name: outcome["match"]
+                    for name, outcome in per_test.items()
                 },
-            }
+                repair_verdict_match=entry["repair"]["verdict_match"],
+            )
+    report = CampaignReport(config=config, maps=maps)
+    if ledger is not None:
+        ledger.event(
+            "run_end",
+            workload="campaign",
+            status="ok" if report.ok else "mismatch",
+            n_maps=len(maps),
+            s=round(time.perf_counter() - started, 6),
         )
-    return CampaignReport(config=config, maps=maps)
+    return report

@@ -22,6 +22,8 @@ differential fingerprints.
 from __future__ import annotations
 
 from repro.dram.commands import CommandType
+from repro.obs.aggregate import fold_snapshot, merge_snapshots
+from repro.obs.ledger import RunLedger
 from repro.obs.metrics import (
     BoundedHistogram,
     Counter,
@@ -30,6 +32,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRIC,
 )
+from repro.obs.progress import ProgressReporter
 from repro.obs.trace import TraceRecorder
 
 __all__ = [
@@ -40,7 +43,11 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRIC",
     "Observability",
+    "ProgressReporter",
+    "RunLedger",
     "TraceRecorder",
+    "fold_snapshot",
+    "merge_snapshots",
 ]
 
 

@@ -1,0 +1,242 @@
+"""Run ledger: structured JSONL span events for sweep-scale telemetry.
+
+The paper's contribution is the *sweep* — thousands of design points
+per exploration — yet PR 3's observability only looked inside one
+simulation.  :class:`RunLedger` instruments the pipeline itself: every
+:meth:`Sweep.run <repro.core.sweep.Sweep.run>`, explorer invocation and
+injection campaign gets a run id and streams append-only JSONL events:
+
+* ``ledger_open`` — once per file, with config+git provenance and an
+  environment fingerprint (python, platform, CPU count, numpy);
+* ``run_start`` / ``run_end`` — one pair per instrumented invocation;
+* ``span_start`` / ``span_end`` — named phases (enumerate, evaluate,
+  frontier, map N) with wall durations;
+* ``chunk`` — per-chunk worker timings from ``parallel_map``;
+* ``retry`` / ``timeout`` / ``fallback`` / ``quarantine`` — the
+  resilience machinery's decisions, now on the record;
+* ``checkpoint`` / ``resume`` — journal interactions, so an
+  interrupted-and-resumed sweep reads as one continuous story.
+
+Every event carries a monotonically increasing ``id`` and the ledger's
+``run`` id.  Re-opening an existing ledger file *continues* the id
+sequence (and emits a ``resume`` event) instead of restarting it, so a
+resumed sweep never duplicates ids — ``repro report`` and the tests
+rely on that continuity.
+
+The ledger is pure output: it never feeds back into evaluation, and
+``ledger=None`` (the default everywhere) costs one ``is not None``
+check per call site.  Lines are buffered and flushed at state-changing
+events (open/resume/checkpoint/run boundaries), so a crash loses at
+most a buffer of chunk timings, never the story's spine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Event kinds that force a flush to disk when emitted.
+FLUSH_KINDS = frozenset(
+    {
+        "ledger_open",
+        "resume",
+        "run_start",
+        "run_end",
+        "checkpoint",
+        "fallback",
+    }
+)
+
+
+def environment_fingerprint() -> dict:
+    """Where this run happened: interpreter, platform, CPUs, numpy."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is normally present
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "argv": list(sys.argv),
+    }
+
+
+def git_provenance(cwd: str | Path | None = None) -> dict:
+    """Best-effort git commit/dirty state (empty outside a checkout)."""
+    base = str(cwd) if cwd is not None else os.getcwd()
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout
+        return {"commit": commit, "dirty": bool(status.strip())}
+    except Exception:
+        return {}
+
+
+class RunLedger:
+    """Append-only JSONL event stream for one (or one resumed) run.
+
+    Opening a path that already holds a ledger *continues* it: the run
+    id and the event-id sequence carry on from the existing tail and a
+    ``resume`` event marks the seam.  Opening a fresh path writes the
+    ``ledger_open`` provenance event first.
+
+    Attributes:
+        path: The JSONL file.
+        run_id: Stable id stamped on every event (inherited on resume).
+        resumed: Whether this ledger continued an existing file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._unflushed = 0
+        self._needs_newline = False
+        self.resumed = False
+        run_id = None
+        next_id = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            run_id, next_id = self._scan_existing()
+            self.resumed = True
+        self.run_id = run_id if run_id else uuid.uuid4().hex[:12]
+        self._next_id = next_id
+        if self.resumed:
+            self.event("resume", prior_events=next_id)
+        else:
+            self.event(
+                "ledger_open",
+                environment=environment_fingerprint(),
+                git=git_provenance(),
+            )
+
+    def _scan_existing(self) -> tuple:
+        """Recover (run_id, next_event_id) from an existing ledger."""
+        run_id = None
+        max_id = -1
+        line = ""
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from an interrupted run
+                if run_id is None:
+                    run_id = record.get("run")
+                event_id = record.get("id")
+                if isinstance(event_id, int) and event_id > max_id:
+                    max_id = event_id
+        # A writer killed mid-line leaves no trailing newline; appending
+        # straight after it would corrupt the next event too.
+        self._needs_newline = bool(line) and not line.endswith("\n")
+        return run_id, max_id + 1
+
+    # -- event emission ------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> int:
+        """Emit one event; returns its id (monotonic within the file)."""
+        if not kind:
+            raise ConfigurationError("ledger event kind required")
+        event_id = self._next_id
+        self._next_id += 1
+        record = {
+            "id": event_id,
+            "t": round(time.time(), 6),
+            "run": self.run_id,
+            "kind": kind,
+        }
+        record.update(fields)
+        handle = self._open()
+        handle.write(json.dumps(record, default=str) + "\n")
+        self._unflushed += 1
+        if kind in FLUSH_KINDS or self._unflushed >= 128:
+            self.flush()
+        return event_id
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Named phase: ``span_start``/``span_end`` with wall duration."""
+        start_id = self.event("span_start", name=name, **fields)
+        started = time.perf_counter()
+        try:
+            yield start_id
+        finally:
+            self.event(
+                "span_end",
+                name=name,
+                span=start_id,
+                s=round(time.perf_counter() - started, 6),
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if self._needs_newline:
+                self._handle.write("\n")
+                self._needs_newline = False
+        return self._handle
+
+
+def coerce_ledger(ledger) -> tuple:
+    """Normalize a ``ledger=`` argument to ``(RunLedger | None, owned)``.
+
+    Callers accept ``None`` (off), a path (the common case — the callee
+    opens and closes it) or an already-open :class:`RunLedger` (shared
+    across several invocations; the caller keeps ownership).
+    """
+    if ledger is None:
+        return None, False
+    if isinstance(ledger, RunLedger):
+        return ledger, False
+    if isinstance(ledger, (str, Path)):
+        return RunLedger(ledger), True
+    raise ConfigurationError(
+        f"ledger must be a path or RunLedger, got {type(ledger).__name__}"
+    )

@@ -188,6 +188,47 @@ class BoundedHistogram:
         width = math.ldexp(1.0, exponent - 1) / self.bins_per_octave
         return lower + width / 2.0
 
+    def merge(self, other: "BoundedHistogram") -> "BoundedHistogram":
+        """Fold ``other``'s samples into this histogram, losslessly.
+
+        Two histograms with the same binning parameters partition the
+        value axis identically, so summing their bin tables yields
+        exactly the histogram the union of their samples would have
+        built — merged registries therefore compare equal (``==``) to
+        single-process ones, which is what makes cross-process
+        aggregation trustworthy.
+
+        Raises:
+            ConfigurationError: The binning parameters differ (the
+                merge would not be lossless).
+        """
+        if not isinstance(other, BoundedHistogram):
+            raise ConfigurationError(
+                f"cannot merge {type(other).__name__} into a histogram"
+            )
+        if (
+            self.exact_limit != other.exact_limit
+            or self.bins_per_octave != other.bins_per_octave
+        ):
+            raise ConfigurationError(
+                "histogram merge needs identical binning: "
+                f"({self.exact_limit}, {self.bins_per_octave}) vs "
+                f"({other.exact_limit}, {other.bins_per_octave})"
+            )
+        for key, count in other._bins.items():
+            self._bins[key] = self._bins.get(key, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+        return self
+
     def _order_statistic(self, k: int) -> float:
         """Value of the 0-based ``k``-th smallest sample (by bin)."""
         seen = 0
@@ -215,7 +256,16 @@ class BoundedHistogram:
         return low_value + (high_value - low_value) * (rank - low)
 
     def to_dict(self) -> dict:
-        """JSON-able snapshot (bins as [representative, count] pairs)."""
+        """JSON-able snapshot, lossless for :meth:`from_dict`.
+
+        Bins are ``[key, representative, count]`` triples: the *key* is
+        the internal bin index (what :meth:`from_dict` reconstructs
+        from, making the round trip exact), the *representative* the
+        human-readable bin value the old two-element format carried.
+        ``exact_limit``/``bins_per_octave`` ride along so a snapshot
+        pins its own binning and merged snapshots can be checked for
+        compatibility offline.
+        """
         return {
             "count": self.count,
             "sum": self.total,
@@ -225,11 +275,41 @@ class BoundedHistogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "exact_limit": self.exact_limit,
+            "bins_per_octave": self.bins_per_octave,
             "bins": [
-                [self._bin_value(key), self._bins[key]]
+                [key, self._bin_value(key), self._bins[key]]
                 for key in sorted(self._bins)
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BoundedHistogram":
+        """Rebuild a histogram from a :meth:`to_dict` snapshot.
+
+        The reconstruction is exact: ``from_dict(h.to_dict()) == h``
+        for every histogram, and merging reconstructed snapshots is
+        indistinguishable from having recorded all samples into one
+        registry (the aggregation layer relies on both).
+        """
+        hist = cls(
+            exact_limit=data.get("exact_limit", 4096),
+            bins_per_octave=data.get("bins_per_octave", 8),
+        )
+        for entry in data.get("bins", ()):
+            if len(entry) != 3:
+                raise ConfigurationError(
+                    "histogram snapshot bins must be "
+                    "[key, representative, count] triples "
+                    "(pre-merge two-element snapshots are not lossless)"
+                )
+            key, _representative, count = entry
+            hist._bins[int(key)] = hist._bins.get(int(key), 0) + int(count)
+        hist.count = data["count"]
+        hist.total = data["sum"]
+        hist.minimum = data.get("min")
+        hist.maximum = data.get("max")
+        return hist
 
 
 @dataclass

@@ -3,6 +3,15 @@
 from repro.reporting.tables import Table, format_si, format_bits
 from repro.reporting.report import ExperimentReport, ClaimCheck
 from repro.reporting.profiling import PerfReport, Stopwatch, measure
+from repro.reporting.runreport import (
+    append_history,
+    check_regression,
+    load_history,
+    load_ledger,
+    render_html,
+    render_markdown,
+    summarize_ledger,
+)
 
 __all__ = [
     "Table",
@@ -13,4 +22,11 @@ __all__ = [
     "PerfReport",
     "Stopwatch",
     "measure",
+    "append_history",
+    "check_regression",
+    "load_history",
+    "load_ledger",
+    "render_html",
+    "render_markdown",
+    "summarize_ledger",
 ]

@@ -202,6 +202,88 @@ class TestParallelFallback:
             global_metrics.value("parallel_map.serial.non_picklable") == 1
         )
 
+    #: Path-marker counters: legitimately present only on the path
+    #: that took them (pool entry, serial reason, resilience events).
+    PATH_MARKERS = {
+        "parallel_map.pool_runs",
+        "parallel_map.fallbacks",
+        "parallel_map.retries",
+        "parallel_map.timeouts",
+    }
+
+    @classmethod
+    def _canonical_names(cls, snapshot):
+        """Telemetry names minus the per-path markers."""
+        counters = {
+            name
+            for name in snapshot["counters"]
+            if name not in cls.PATH_MARKERS
+            and not name.startswith("parallel_map.serial.")
+        }
+        return (
+            counters,
+            set(snapshot["gauges"]),
+            set(snapshot["histograms"]),
+        )
+
+    def test_serial_paths_emit_pool_counter_set(self, global_metrics):
+        """Counter-name parity: every execution path must record the
+        same canonical telemetry, or dashboards silently go dark when
+        a sweep degrades to serial."""
+        parallel_map(
+            _square,
+            range(10),
+            config=ParallelConfig(workers=2, chunk_size=5),
+        )
+        pool = self._canonical_names(global_metrics.snapshot())
+
+        global_metrics.reset()
+        parallel_map(
+            _square,
+            range(10),
+            config=ParallelConfig(workers=1, chunk_size=5),
+        )
+        single_worker = self._canonical_names(global_metrics.snapshot())
+
+        global_metrics.reset()
+        parallel_map(
+            lambda x: x,  # noqa: E731 - deliberately unpicklable
+            range(10),
+            config=ParallelConfig(workers=2, chunk_size=5),
+        )
+        non_picklable = self._canonical_names(global_metrics.snapshot())
+
+        assert pool == single_worker == non_picklable
+        # And the canonical values line up on the serial path too.
+        assert global_metrics.value("parallel_map.runs") == 1
+        assert global_metrics.value("parallel_map.points") == 10
+        assert global_metrics.value("parallel_map.workers") == 1
+        assert global_metrics.value("parallel_map.chunks") == 2
+        assert global_metrics.value("parallel_map.chunk_us") == 2
+
+    def test_fallback_path_emits_pool_counter_set(
+        self, monkeypatch, global_metrics
+    ):
+        parallel_map(
+            _square,
+            range(10),
+            config=ParallelConfig(workers=2, chunk_size=5),
+        )
+        pool = self._canonical_names(global_metrics.snapshot())
+
+        global_metrics.reset()
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", _ExplodingPool
+        )
+        with pytest.warns(ParallelFallbackWarning):
+            parallel_map(
+                _square,
+                range(10),
+                config=ParallelConfig(workers=2, chunk_size=5),
+            )
+        fallback = self._canonical_names(global_metrics.snapshot())
+        assert pool == fallback
+
 
 class TestRetryAndTimeout:
     """Bounded retry for transient pool failures; per-chunk timeouts."""
