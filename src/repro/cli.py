@@ -75,7 +75,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         sustained_bandwidth_bits_per_s=args.bandwidth_gbs * 8e9,
         locality=args.locality,
     )
-    result = DesignSpaceExplorer().explore(requirements)
+    result = DesignSpaceExplorer(
+        batch=args.backend == "batched"
+    ).explore(requirements)
     print(
         f"explored {result.n_explored} organizations, "
         f"{len(result.feasible)} feasible, frontier "
@@ -157,9 +159,16 @@ def _obs_run(args: argparse.Namespace, *, trace: bool):
         cycles=args.cycles,
         warmup_cycles=args.warmup_cycles,
         load=args.load,
+        backend=args.backend,
         obs=obs,
     )
     result = simulator.run()
+    if simulator.backend_fallback_reason is not None:
+        print(
+            f"note: event backend fell back to cycle "
+            f"({simulator.backend_fallback_reason})",
+            file=sys.stderr,
+        )
     return obs, result
 
 
@@ -281,6 +290,15 @@ def _add_obs_workload_args(parser: argparse.ArgumentParser) -> None:
         default=1.2,
         help="offered load as a fraction of interface peak",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("cycle", "event"),
+        default="cycle",
+        help="simulator execution core; 'event' skips provably idle "
+        "cycles and falls back to 'cycle' (with a note) for "
+        "configurations it cannot prove, e.g. with observability "
+        "attached",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -314,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--bandwidth-gbs", type=float, required=True,
                          help="sustained bandwidth in GB/s")
     explore.add_argument("--locality", type=float, default=0.7)
+    explore.add_argument(
+        "--backend",
+        choices=("batched", "scalar"),
+        default="batched",
+        help="evaluation core: 'batched' evaluates the grid as numpy "
+        "array lanes (bit-identical to 'scalar', the per-point "
+        "reference loop)",
+    )
     explore.set_defaults(func=_cmd_explore)
 
     feasibility = sub.add_parser(

@@ -12,6 +12,8 @@ This package is that machinery:
 * :mod:`repro.core.requirements` — what the application needs,
 * :mod:`repro.core.metrics` — what a candidate solution delivers,
 * :mod:`repro.core.evaluator` — analytic + simulation-backed evaluation,
+* :mod:`repro.core.batch` — numpy array-lane evaluation of whole grids,
+  bit-identical to the scalar evaluator,
 * :mod:`repro.core.explorer` — enumerate and filter the configuration
   space (size x width x banks x page length),
 * :mod:`repro.core.pareto` — multi-objective frontier extraction,
@@ -25,7 +27,20 @@ from repro.core.requirements import ApplicationRequirements
 from repro.core.metrics import SolutionMetrics
 from repro.core.evaluator import Evaluator
 from repro.core.explorer import DesignSpaceExplorer, ExplorationResult
-from repro.core.pareto import pareto_frontier, dominates
+from repro.core.pareto import (
+    pareto_frontier,
+    pareto_frontier_mask,
+    dominates,
+)
+from repro.core.batch import (
+    BatchEvaluation,
+    BatchedMacroSweepTask,
+    batch_fallback_reason,
+    discrete_batch_fallback_reason,
+    evaluate_discrete_batch,
+    evaluate_macro_batch,
+    evaluate_macro_grid,
+)
 from repro.core.quantizer import Quantizer, NamedSolution
 from repro.core.advisor import Advisor, Advice
 from repro.core.tradeoffs import LogicMemoryTrade, TradePoint
@@ -52,7 +67,15 @@ __all__ = [
     "DesignSpaceExplorer",
     "ExplorationResult",
     "pareto_frontier",
+    "pareto_frontier_mask",
     "dominates",
+    "BatchEvaluation",
+    "BatchedMacroSweepTask",
+    "batch_fallback_reason",
+    "discrete_batch_fallback_reason",
+    "evaluate_discrete_batch",
+    "evaluate_macro_batch",
+    "evaluate_macro_grid",
     "Quantizer",
     "NamedSolution",
     "Advisor",

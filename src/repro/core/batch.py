@@ -1,0 +1,563 @@
+"""NumPy-batched analytic evaluation: array lanes instead of point loops.
+
+The scalar :class:`~repro.core.evaluator.Evaluator` costs ~15-20 us per
+design point, almost all of it Python interpreter overhead — the actual
+arithmetic is a few dozen flops.  A design-space exploration evaluates
+hundreds of points against one requirement, so this module evaluates
+them as *lanes of numpy arrays* instead: one vectorized pass over the
+whole grid, with results kept as a struct-of-arrays
+(:class:`BatchEvaluation`) that feeds the feasibility filter and the
+vectorized Pareto engine directly.
+
+Two entry points share the kernel:
+
+* :func:`evaluate_macro_grid` takes raw parameter lanes (sizes, widths,
+  banks, pages as arrays) and never touches a macro object — this is
+  the sweep-scale fast path (sub-microsecond per point);
+* :func:`evaluate_macro_batch` gathers the lanes from a list of
+  :class:`~repro.dram.edram.EDRAMMacro` objects, for callers that
+  already hold macros (the explorer).
+
+Bit-identity contract (pinned by ``tests/test_core_batch.py``): every
+lane reproduces the scalar evaluator's result to **exact float
+equality**, not a tolerance.  Three rules make that possible:
+
+* the vector expressions replicate the scalar code's operation order
+  exactly (IEEE-754 ``+ - * /``, ``min``/``max`` are deterministic, so
+  same order means same bits);
+* anything transcendental or control-flow-heavy — the redundancy-repair
+  yield's ``exp`` series and the gross-die truncation inside the cost
+  model — is computed by the *scalar* helpers once per unique die area
+  (a design space has few distinct areas; the values are memoized
+  module-wide, keyed by the frozen wafer/yield assumptions) and
+  scattered back;
+* per-width core power comes from the same memoized
+  ``_edram_core_power`` the scalar path uses.
+
+Inputs outside the analyzed envelope (mixed timing parameters across
+macros, mixed parts across discrete systems) are refused by
+:func:`batch_fallback_reason`; callers then fall back to the scalar
+reference loop, mirroring how the event simulator backend declines
+configurations it cannot prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.area.process import BaseProcess, DRAM_BASED_025
+from repro.core.metrics import SolutionMetrics
+from repro.core.requirements import ApplicationRequirements
+from repro.dram.timing import TimingParameters
+from repro.units import MBIT
+
+
+def batch_fallback_reason(macros) -> str | None:
+    """Why ``macros`` cannot be evaluated as one batch (None = they can).
+
+    The vector expressions assume the timing parameters are shared
+    scalars; a mixed-timing batch would need per-lane timing arrays and
+    is rare enough to serve from the scalar loop instead.
+    """
+    if not macros:
+        return "empty batch"
+    timing = macros[0].timing
+    for macro in macros:
+        if macro.timing is not timing and macro.timing != timing:
+            return "mixed timing parameters across macros"
+    return None
+
+
+def discrete_batch_fallback_reason(systems) -> str | None:
+    """Why ``systems`` cannot be evaluated as one batch (None = they can)."""
+    if not systems:
+        return "empty batch"
+    part = systems[0].part
+    for system in systems:
+        if system.part is not part and system.part != part:
+            return "mixed parts across systems"
+    return None
+
+
+@lru_cache(maxsize=4096)
+def _silicon_cost(wafer, yield_model, area_mm2: float) -> float:
+    """Memoized ``Evaluator._silicon_cost``.
+
+    Exactly the scalar computation (Poisson repair-yield series,
+    gross-die truncation and all); the memo key includes the frozen
+    wafer and yield assumptions, so evaluators with different economics
+    never share entries.  A design space revisits the same few die
+    areas hundreds of times.
+    """
+    from repro.cost.wafer import die_cost_before_test
+
+    return die_cost_before_test(
+        wafer, area_mm2, yield_model.memory_yield(area_mm2)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _macro_area_mm2(
+    size_bits: int, width: int, spares: int, process: BaseProcess
+) -> float:
+    """Memoized ``EDRAMMacro.area_mm2`` as a pure function of its key."""
+    from repro.area.macro import MacroAreaModel
+
+    model = MacroAreaModel(
+        process=process, redundancy_area_fraction=0.005 * spares
+    )
+    return model.total_area_mm2(size_bits, width)
+
+
+@lru_cache(maxsize=128)
+def _economics_lanes(
+    size_bytes: bytes,
+    width_bytes: bytes,
+    spares: int,
+    process: BaseProcess,
+    wafer,
+    yield_model,
+) -> tuple:
+    """(area, silicon-cost) lanes for one (size, width) grid.
+
+    Keyed by the raw lane bytes so a repeated grid — the common sweep
+    shape — pays one dict hit instead of a unique-scan plus per-area
+    memo lookups every call.  The returned arrays come from
+    ``np.frombuffer``-derived indexing and are treated as immutable.
+    """
+    size = np.frombuffer(size_bytes, dtype=np.int64)
+    width = np.frombuffer(width_bytes, dtype=np.int64)
+    pair_key = (size << 20) + width
+    unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+    unique_area = np.empty(len(unique_keys), dtype=np.float64)
+    unique_cost = np.empty(len(unique_keys), dtype=np.float64)
+    for index, key in enumerate(unique_keys):
+        k = int(key)
+        area_value = _macro_area_mm2(
+            k >> 20, k & ((1 << 20) - 1), spares, process
+        )
+        unique_area[index] = area_value
+        unique_cost[index] = _silicon_cost(wafer, yield_model, area_value)
+    return unique_area[inverse], unique_cost[inverse]
+
+
+@lru_cache(maxsize=128)
+def _core_power_lanes(width_bytes: bytes, read_fraction: float) -> tuple:
+    """(busy, idle) core-power lanes for one width grid.
+
+    Scalars when the grid has a single width (the usual case — the
+    array broadcast is then free); parallel lanes otherwise.  Values
+    come from the same memoized ``_edram_core_power`` the scalar
+    evaluator uses, so they are bit-identical by construction.
+    """
+    from repro.core.evaluator import _edram_core_power
+
+    width = np.frombuffer(width_bytes, dtype=np.int64)
+    unique = np.unique(width)
+    if len(unique) == 1:
+        return _edram_core_power(int(unique[0]), read_fraction)
+    pairs = {
+        int(w): _edram_core_power(int(w), read_fraction) for w in unique
+    }
+    busy = np.empty(len(width), dtype=np.float64)
+    idle = np.empty(len(width), dtype=np.float64)
+    for index, w in enumerate(width):
+        pair = pairs[int(w)]
+        busy[index] = pair[0]
+        idle[index] = pair[1]
+    return busy, idle
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Struct-of-arrays outcome of one batched evaluation.
+
+    One row per evaluated configuration, in input order.  The arrays
+    are the columns :meth:`SolutionMetrics.objective_tuple` and
+    :meth:`Evaluator.meets` consume; :meth:`metrics_list` materializes
+    the equivalent :class:`SolutionMetrics` objects on demand (that
+    costs a few us per point, so sweep-scale consumers should stay on
+    the arrays).
+
+    Attributes:
+        label_of: ``label_of(index)`` builds row ``index``'s metric
+            label (lazy: labels cost ~0.5 us each and only matter when
+            rows are materialized).
+        requirements: The requirement the batch was evaluated against.
+        capacity_bits: Installed capacity per row (int64).
+        peak: Peak bandwidth, bits/s.
+        sustained: Sustained bandwidth, bits/s.
+        latency_ns: Loaded mean latency.
+        power_w: Core + interface power.
+        area_mm2: Silicon area (0 for discrete rows).
+        n_chips: Devices per row (1 for embedded).
+        unit_cost: Unit cost.
+        embedded: Whether the rows are embedded solutions.
+    """
+
+    label_of: object
+    requirements: ApplicationRequirements
+    capacity_bits: np.ndarray
+    peak: np.ndarray
+    sustained: np.ndarray
+    latency_ns: np.ndarray
+    power_w: np.ndarray
+    area_mm2: np.ndarray
+    n_chips: np.ndarray
+    unit_cost: np.ndarray
+    embedded: bool
+
+    def __len__(self) -> int:
+        return len(self.capacity_bits)
+
+    def feasible_mask(self) -> np.ndarray:
+        """Vectorized :meth:`Evaluator.meets` over all rows."""
+        requirements = self.requirements
+        mask = (self.capacity_bits >= requirements.capacity_bits) & (
+            self.sustained >= requirements.sustained_bandwidth_bits_per_s
+        )
+        if requirements.max_latency_ns is not None:
+            mask &= self.latency_ns <= requirements.max_latency_ns
+        if requirements.power_budget_w is not None:
+            mask &= self.power_w <= requirements.power_budget_w
+        return mask
+
+    def objective_matrix(self) -> np.ndarray:
+        """Rows of :meth:`SolutionMetrics.objective_tuple`, stacked."""
+        return np.column_stack(
+            (
+                self.power_w,
+                self.area_mm2,
+                self.unit_cost,
+                -self.sustained,
+                self.latency_ns,
+            )
+        )
+
+    def metrics(self, index: int) -> SolutionMetrics:
+        """Materialize one row as a :class:`SolutionMetrics`."""
+        return SolutionMetrics(
+            label=self.label_of(index),
+            capacity_bits=int(self.capacity_bits[index]),
+            peak_bandwidth_bits_per_s=float(self.peak[index]),
+            sustained_bandwidth_bits_per_s=float(self.sustained[index]),
+            mean_latency_ns=float(self.latency_ns[index]),
+            power_w=float(self.power_w[index]),
+            area_mm2=float(self.area_mm2[index]),
+            n_chips=int(self.n_chips[index]),
+            unit_cost=float(self.unit_cost[index]),
+            embedded=self.embedded,
+        )
+
+    def metrics_list(self) -> list:
+        """Materialize every row, in input order."""
+        return [self.metrics(index) for index in range(len(self))]
+
+
+# -- embedded ----------------------------------------------------------------
+
+
+def evaluate_macro_grid(
+    evaluator,
+    requirements: ApplicationRequirements,
+    size_bits,
+    width,
+    banks,
+    page_bits,
+    timing: TimingParameters | None = None,
+    redundancy_spares: int = 4,
+    process: BaseProcess = DRAM_BASED_025,
+) -> BatchEvaluation:
+    """Vectorized ``Evaluator.evaluate_macro`` over raw parameter lanes.
+
+    Args:
+        evaluator: Scalar :class:`Evaluator` supplying the economics
+            (wafer, yield, test cost, utilization knee).
+        requirements: Requirement every lane is evaluated against.
+        size_bits, width, banks, page_bits: Equal-length integer
+            sequences — one design point per index.  Every combination
+            must be a constructible macro; this kernel computes, it
+            does not validate (use :class:`BatchedMacroSweepTask` or
+            the explorer for rule checking).
+        timing: Shared timing parameters (default: the eDRAM concept's).
+        redundancy_spares, process: Shared area-model knobs, matching
+            the :class:`EDRAMMacro` defaults.
+
+    Returns:
+        A :class:`BatchEvaluation` bit-identical, row by row, to the
+        scalar ``evaluate_macro`` over the same points.
+    """
+    from repro.power.interface import ON_CHIP_BUS
+
+    if timing is None:
+        from repro.dram.edram import EDRAM_TIMING
+
+        timing = EDRAM_TIMING
+    locality = requirements.locality
+    if not 0 <= locality <= 1:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("locality must be in [0, 1]")
+
+    size_i = np.asarray(size_bits, dtype=np.int64)
+    width_i = np.asarray(width, dtype=np.int64)
+    banks_i = np.asarray(banks, dtype=np.int64)
+    page_i = np.asarray(page_bits, dtype=np.int64)
+    width_f = width_i.astype(np.float64)
+    banks_f = banks_i.astype(np.float64)
+
+    # Die area and silicon cost: pure functions of (size, width),
+    # computed by the exact scalar models once per unique combination
+    # and memoized for the whole grid.
+    area, silicon = _economics_lanes(
+        size_i.tobytes(),
+        width_i.tobytes(),
+        redundancy_spares,
+        process,
+        evaluator.wafer,
+        evaluator.yield_model,
+    )
+
+    burst = timing.burst_length
+    # row_hit_rate: locality * max(0, 1 - burst_bits / page_bits)
+    hit = locality * np.maximum(
+        0.0, 1.0 - (width_i * burst) / page_i
+    )
+    miss = 1.0 - hit
+    # refresh_overhead = t_rfc / (64e-3 * clock_hz / n_rows)
+    n_rows = (size_i // (banks_i * page_i)).astype(np.float64)
+    refresh_overhead = timing.t_rfc / (
+        (64e-3 * timing.clock_hz) / n_rows
+    )
+    # bandwidth_efficiency
+    cycles_single = burst + miss * (timing.t_rp + timing.t_rcd)
+    overlapped = np.maximum(cycles_single / banks_f, burst)
+    efficiency = (burst / overlapped) * (
+        1.0 - np.minimum(0.5, refresh_overhead)
+    )
+    peak = width_f * timing.clock_hz
+    sustained = peak * efficiency
+    utilization = np.minimum(
+        1.0,
+        requirements.sustained_bandwidth_bits_per_s
+        / np.maximum(sustained, 1.0),
+    )
+    base_latency_ns = (
+        hit * timing.row_hit_latency_ns
+        + miss * timing.row_miss_latency_ns
+        + burst * timing.clock_period_ns
+    )
+    # _loaded_latency_ns with the utilization knee clamp
+    clamped = np.minimum(utilization, evaluator.max_utilization)
+    latency = base_latency_ns * (
+        1.0 + clamped / (2.0 * (1.0 - clamped))
+    )
+    # Core power: (busy, idle) per unique width from the shared memo.
+    busy, idle = _core_power_lanes(
+        width_i.tobytes(), requirements.read_fraction
+    )
+    core_w = utilization * busy + (1 - utilization) * idle
+    # InterfacePowerModel.power_w, same association order:
+    # (((activity * energy) * width) * freq) * u, then * (1 + overhead).
+    spec = ON_CHIP_BUS
+    line = spec.activity * spec.energy_per_line_toggle_j()
+    io_w = (((line * width_f) * timing.clock_hz) * utilization) * (
+        1.0 + spec.control_overhead
+    )
+    unit_cost = silicon + evaluator.test_cost_per_mbit * (
+        size_i / MBIT
+    )
+
+    def label_of(index: int) -> str:
+        return (
+            f"eDRAM {size_i[index] / MBIT:.2f} Mbit x{width_i[index]} "
+            f"{banks_i[index]}b/p{page_i[index]}"
+        )
+
+    return BatchEvaluation(
+        label_of=label_of,
+        requirements=requirements,
+        capacity_bits=size_i,
+        peak=peak,
+        sustained=sustained,
+        latency_ns=latency,
+        power_w=core_w + io_w,
+        area_mm2=area,
+        n_chips=np.ones(len(size_i), dtype=np.int64),
+        unit_cost=unit_cost,
+        embedded=True,
+    )
+
+
+def evaluate_macro_batch(
+    evaluator, macros, requirements: ApplicationRequirements
+) -> BatchEvaluation:
+    """Vectorized ``Evaluator.evaluate_macro`` over a list of macros.
+
+    Gathers the parameter lanes from the macro objects and delegates to
+    :func:`evaluate_macro_grid`.  Callers must first consult
+    :func:`batch_fallback_reason`.  Raises the same
+    :class:`~repro.errors.ConfigurationError` the scalar evaluator
+    would when a configuration cannot be costed (e.g. a die too large
+    for the wafer).
+
+    All macros must share ``timing`` (checked by the fallback gate) and
+    the area-model knobs; mixed ``redundancy_spares``/``process``
+    batches are evaluated in homogeneous sub-batches by the caller-
+    facing :meth:`Evaluator.evaluate_macros`, which simply falls back
+    to the scalar loop for such exotic mixes.
+    """
+    first = macros[0]
+    lanes = [
+        (macro.size_bits, macro.width, macro.banks, macro.page_bits)
+        for macro in macros
+    ]
+    size_bits, width, banks, page_bits = zip(*lanes)
+    return evaluate_macro_grid(
+        evaluator,
+        requirements,
+        size_bits=size_bits,
+        width=width,
+        banks=banks,
+        page_bits=page_bits,
+        timing=first.timing,
+        redundancy_spares=first.redundancy_spares,
+        process=first.process,
+    )
+
+
+def macro_batch_homogeneous(macros) -> bool:
+    """Whether all macros share the area-model knobs (spares, process)."""
+    first = macros[0]
+    spares = first.redundancy_spares
+    process = first.process
+    for macro in macros:
+        if macro.redundancy_spares != spares or macro.process != process:
+            return False
+    return True
+
+
+# -- discrete ----------------------------------------------------------------
+
+
+def evaluate_discrete_batch(
+    evaluator, systems, requirements: ApplicationRequirements
+) -> BatchEvaluation:
+    """Vectorized ``Evaluator.evaluate_discrete`` over many systems.
+
+    All systems must share one part (see
+    :func:`discrete_batch_fallback_reason`).
+    """
+    from repro.power.idd import PC100_IDD, CorePowerModel
+    from repro.power.interface import OFF_CHIP_BUS
+
+    part = systems[0].part
+    timing = part.timing
+    n = len(systems)
+    n_chips_i = np.array(
+        [system.n_chips for system in systems], dtype=np.int64
+    )
+    n_chips = n_chips_i.astype(np.float64)
+    total_width = n_chips_i * part.width_bits
+    burst_bits = total_width * timing.burst_length
+    page_bits = part.organization.page_bits * n_chips_i
+    hit = requirements.locality * np.maximum(
+        0.0, 1.0 - burst_bits / page_bits
+    )
+    miss = 1.0 - hit
+    refresh_overhead = timing.t_rfc / (
+        (64e-3 * timing.clock_hz) / part.organization.n_rows
+    )
+    burst = timing.burst_length
+    cycles_single = burst + miss * (timing.t_rp + timing.t_rcd)
+    overlapped = np.maximum(
+        cycles_single / part.organization.n_banks, burst
+    )
+    efficiency = (burst / overlapped) * (
+        1.0 - min(0.5, refresh_overhead)
+    )
+    peak = total_width.astype(np.float64) * timing.clock_hz
+    sustained = peak * efficiency
+    utilization = np.minimum(
+        1.0,
+        requirements.sustained_bandwidth_bits_per_s
+        / np.maximum(sustained, 1.0),
+    )
+    base_latency_ns = (
+        hit * timing.row_hit_latency_ns
+        + miss * timing.row_miss_latency_ns
+        + burst * timing.clock_period_ns
+    )
+    clamped = np.minimum(utilization, evaluator.max_utilization)
+    latency = base_latency_ns * (
+        1.0 + clamped / (2.0 * (1.0 - clamped))
+    )
+    core = CorePowerModel(PC100_IDD)
+    busy = core.busy_power_w(requirements.read_fraction)
+    idle = core.idle_power_w()
+    core_w = n_chips * (
+        utilization * busy + (1 - utilization) * idle
+    )
+    spec = OFF_CHIP_BUS
+    line = spec.activity * spec.energy_per_line_toggle_j()
+    io_w = (
+        ((line * total_width.astype(np.float64)) * timing.clock_hz)
+        * utilization
+    ) * (1.0 + spec.control_overhead)
+
+    def label_of(index: int) -> str:
+        return f"discrete {n_chips_i[index]} x {part.name}"
+
+    return BatchEvaluation(
+        label_of=label_of,
+        requirements=requirements,
+        capacity_bits=n_chips_i * part.capacity_bits,
+        peak=peak,
+        sustained=sustained,
+        latency_ns=latency,
+        power_w=core_w + io_w,
+        area_mm2=np.zeros(n, dtype=np.float64),
+        n_chips=n_chips_i,
+        unit_cost=n_chips * part.unit_price,
+        embedded=False,
+    )
+
+
+# -- sweep integration -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchedMacroSweepTask:
+    """Sweep-compatible macro evaluation with a batched fast path.
+
+    ``Sweep.run`` calls ``evaluate_batch`` with all remaining parameter
+    dicts when the callable offers one (see
+    :meth:`repro.core.sweep.Sweep.run`) and falls back to per-point
+    ``__call__`` — the scalar reference — when the batch raises.  Both
+    paths produce bit-identical :class:`SolutionMetrics`.
+
+    Attributes:
+        evaluator: Shared analytic evaluator (its memo is primed by the
+            batched path, exactly like the process-pool fan-out).
+        requirements: Requirement every point is evaluated against.
+    """
+
+    evaluator: object
+    requirements: ApplicationRequirements
+
+    def _macro(self, parameters: dict):
+        from repro.dram.edram import EDRAMMacro
+
+        return EDRAMMacro(**parameters)
+
+    def __call__(self, **parameters):
+        return self.evaluator.evaluate_macro(
+            self._macro(parameters), self.requirements
+        )
+
+    def evaluate_batch(self, points) -> list:
+        macros = [self._macro(parameters) for parameters in points]
+        return self.evaluator.evaluate_macros(macros, self.requirements)

@@ -52,14 +52,22 @@ def _edram_core_power(width: int, read_fraction: float) -> tuple:
 
 
 class _MacroCache:
-    """Mutable memo store living inside the frozen :class:`Evaluator`."""
+    """Mutable memo store living inside the frozen :class:`Evaluator`.
 
-    __slots__ = ("entries", "hits", "misses")
+    Unbounded by default; with ``maxsize`` set it behaves as an LRU —
+    dict insertion order is the recency order (hits re-insert their
+    key), and inserts beyond capacity evict the least recently used
+    entry, counted in ``evictions``.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("entries", "hits", "misses", "evictions", "maxsize")
+
+    def __init__(self, maxsize: int | None = None) -> None:
         self.entries: dict = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.maxsize = maxsize
 
 
 @dataclass(frozen=True)
@@ -80,16 +88,32 @@ class Evaluator:
             solutions.
         max_utilization: Queueing knee — utilization above this is
             treated as infeasible for latency purposes.
+        macro_cache_maxsize: Bound on the ``evaluate_macro`` memo; None
+            (the default) keeps it unbounded.  When set, the memo
+            evicts least-recently-used entries and reports the count in
+            :meth:`macro_cache_info` — for long-lived evaluators fed an
+            open-ended stream of configurations.
     """
 
     wafer: WaferSpec = WaferSpec(cost_multiplier=1.15)
     yield_model: YieldModel = field(default_factory=YieldModel)
     test_cost_per_mbit: float = 0.02
     max_utilization: float = 0.95
+    macro_cache_maxsize: int | None = None
 
     _macro_cache: _MacroCache = field(
         default_factory=_MacroCache, init=False, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        if (
+            self.macro_cache_maxsize is not None
+            and self.macro_cache_maxsize < 1
+        ):
+            raise ConfigurationError(
+                "macro_cache_maxsize must be >= 1 (or None for unbounded)"
+            )
+        self._macro_cache.maxsize = self.macro_cache_maxsize
 
     def __getstate__(self) -> dict:
         # The cache never crosses process boundaries: workers start
@@ -100,18 +124,22 @@ class Evaluator:
 
     def __setstate__(self, state: dict) -> None:
         state = dict(state)
-        state["_macro_cache"] = _MacroCache()
+        state["_macro_cache"] = _MacroCache(
+            maxsize=state.get("macro_cache_maxsize")
+        )
         self.__dict__.update(state)
 
     # -- memo cache ---------------------------------------------------------
 
     def macro_cache_info(self) -> dict:
-        """Cache statistics: ``{"size": ..., "hits": ..., "misses": ...}``."""
+        """Cache statistics: size, hits, misses, evictions, maxsize."""
         cache = self._macro_cache
         return {
             "size": len(cache.entries),
             "hits": cache.hits,
             "misses": cache.misses,
+            "evictions": cache.evictions,
+            "maxsize": cache.maxsize,
         }
 
     def clear_macro_cache(self) -> None:
@@ -119,13 +147,27 @@ class Evaluator:
         cache.entries.clear()
         cache.hits = 0
         cache.misses = 0
+        cache.evictions = 0
+
+    def _cache_store(self, key, metrics) -> None:
+        cache = self._macro_cache
+        entries = cache.entries
+        if key in entries:
+            if cache.maxsize is not None:
+                del entries[key]  # re-insert to refresh recency
+            entries[key] = metrics
+            return
+        if cache.maxsize is not None and len(entries) >= cache.maxsize:
+            del entries[next(iter(entries))]
+            cache.evictions += 1
+        entries[key] = metrics
 
     def prime_macro_cache(self, pairs) -> None:
         """Pre-populate the memo from ``((macro, requirements), metrics)``
-        pairs (e.g. results computed by worker processes)."""
-        entries = self._macro_cache.entries
+        pairs (e.g. results computed by worker processes or the batched
+        evaluator).  Respects the LRU bound when one is set."""
         for key, metrics in pairs:
-            entries[tuple(key)] = metrics
+            self._cache_store(tuple(key), metrics)
 
     # -- shared analytic kernels --------------------------------------------
 
@@ -200,11 +242,79 @@ class Evaluator:
         metrics = cache.entries.get(key)
         if metrics is not None:
             cache.hits += 1
+            if cache.maxsize is not None:
+                del cache.entries[key]  # re-insert to refresh recency
+                cache.entries[key] = metrics
             return metrics
         cache.misses += 1
         metrics = self._evaluate_macro_uncached(macro, requirements)
-        cache.entries[key] = metrics
+        self._cache_store(key, metrics)
         return metrics
+
+    def evaluate_macros(
+        self,
+        macros,
+        requirements: ApplicationRequirements,
+    ) -> list:
+        """Batched :meth:`evaluate_macro` over many macros.
+
+        Served by the numpy array-lane kernel of :mod:`repro.core.batch`
+        when the batch is homogeneous enough (shared timing and area
+        knobs), with the memo primed from the batched results — exactly
+        like the process-pool fan-out path.  Memoized points are served
+        from the cache (counted as hits) and only the misses are
+        batched, so a warm re-explore behaves like the scalar memo.
+        Falls back to the scalar per-macro loop otherwise.  Both paths
+        return bit-identical metrics, in input order.
+        """
+        from repro.core.batch import (
+            batch_fallback_reason,
+            evaluate_macro_batch,
+            macro_batch_homogeneous,
+        )
+
+        macros = list(macros)
+        reason = batch_fallback_reason(macros)
+        if reason is None and not macro_batch_homogeneous(macros):
+            reason = "mixed area-model parameters across macros"
+        if reason is not None:
+            return [
+                self.evaluate_macro(macro, requirements)
+                for macro in macros
+            ]
+        entries = self._macro_cache.entries
+        if entries:
+            misses = [
+                index
+                for index, macro in enumerate(macros)
+                if (macro, requirements) not in entries
+            ]
+        else:  # cold cache: skip the per-key hashing of the miss scan
+            misses = range(len(macros))
+        if len(misses) == len(macros):
+            results = evaluate_macro_batch(
+                self, macros, requirements
+            ).metrics_list()
+            self.prime_macro_cache(
+                ((macro, requirements), metrics)
+                for macro, metrics in zip(macros, results)
+            )
+            return results
+        results: list = [None] * len(macros)
+        if misses:
+            batched = evaluate_macro_batch(
+                self, [macros[index] for index in misses], requirements
+            ).metrics_list()
+            self.prime_macro_cache(
+                ((macros[index], requirements), metrics)
+                for index, metrics in zip(misses, batched)
+            )
+            for index, metrics in zip(misses, batched):
+                results[index] = metrics
+        for index, macro in enumerate(macros):
+            if results[index] is None:
+                results[index] = self.evaluate_macro(macro, requirements)
+        return results
 
     def _evaluate_macro_uncached(
         self,

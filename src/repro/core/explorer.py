@@ -90,6 +90,10 @@ class DesignSpaceExplorer:
             :func:`~repro.core.pareto.pareto_frontier` ("auto" picks the
             vectorized engine; "python" forces the reference loop, used
             by the perf benchmark as the baseline).
+        batch: Serve serial evaluations from the numpy-batched kernel
+            (:meth:`Evaluator.evaluate_macros`), which falls back to the
+            scalar loop for heterogeneous batches.  False forces the
+            scalar reference loop — the perf benchmark's baseline.
     """
 
     rules: SiemensConceptRules = SIEMENS_CONCEPT
@@ -98,6 +102,7 @@ class DesignSpaceExplorer:
     bank_options: tuple = (1, 2, 4, 8, 16)
     size_headroom: tuple = (1.0, 1.25)
     pareto_engine: str = "auto"
+    batch: bool = True
 
     #: (size, width, banks, page) combinations that raised
     #: ConfigurationError once — never re-attempted by ``enumerate``.
@@ -227,6 +232,10 @@ class DesignSpaceExplorer:
                 self.evaluator.prime_macro_cache(
                     ((macro, requirements), metrics)
                     for macro, metrics in zip(macros, evaluated)
+                )
+            elif self.batch:
+                evaluated = self.evaluator.evaluate_macros(
+                    macros, requirements
                 )
             else:
                 evaluated = [

@@ -130,3 +130,47 @@ def pareto_frontier(
         except (TypeError, ValueError):
             return _frontier_python(items, vectors)
     return _frontier_numpy(items, vectors)
+
+
+def pareto_frontier_mask(
+    matrix: np.ndarray, engine: str = "auto"
+) -> np.ndarray:
+    """Frontier membership mask for pre-stacked objective rows.
+
+    The array-native entry point for batched evaluation: ``matrix`` is
+    one objective vector per row (e.g.
+    :meth:`~repro.core.batch.BatchEvaluation.objective_matrix`) and the
+    returned boolean mask marks the non-dominated rows, with duplicate
+    vectors kept once (first occurrence) — the same tie/NaN/duplicate
+    semantics as :func:`pareto_frontier`, pinned by the differential
+    tests.
+    """
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown pareto engine {engine!r} (choose from {_ENGINES})"
+        )
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2:
+        raise ConfigurationError(
+            f"objective matrix must be 2-D, got shape {array.shape}"
+        )
+    n = len(array)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if engine == "python":
+        vectors = [tuple(row) for row in array]
+        indices = list(range(n))
+        kept = _frontier_python(indices, vectors)
+        mask = np.zeros(n, dtype=bool)
+        mask[kept] = True
+        return mask
+    surviving = ~_dominated_mask(array)
+    # Deduplicate: among equal rows, keep the first occurrence only.
+    seen: set = set()
+    for index in np.flatnonzero(surviving):
+        key = array[index].tobytes()
+        if key in seen:
+            surviving[index] = False
+        else:
+            seen.add(key)
+    return surviving

@@ -368,6 +368,29 @@ class Sweep:
                 if ledger is not None and journal_log is not None:
                     ledger.event("checkpoint", points=len(indices))
             return outcomes
+        evaluate_batch = getattr(evaluate, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            # Batched fast path: one vectorized call over the remaining
+            # points.  Any ReproError drops to the per-point loop below,
+            # which localizes the failing point (and quarantines it
+            # under skip_errors) exactly as before.
+            try:
+                values = evaluate_batch(
+                    [combos[index] for index in remaining]
+                )
+            except ReproError:
+                values = None
+            if values is not None and len(values) == len(remaining):
+                for index, value in zip(remaining, values):
+                    outcome = PointOutcome(ok=True, value=value)
+                    outcomes[index] = outcome
+                    if journal_log is not None:
+                        journal_log.append(index, outcome)
+                if progress is not None:
+                    progress.update(done=len(remaining))
+                if ledger is not None and journal_log is not None:
+                    ledger.event("checkpoint", points=len(remaining))
+                return outcomes
         for index in remaining:
             try:
                 value = evaluate(**combos[index])

@@ -53,6 +53,23 @@ class DRAMDevice:
     def capacity_bits(self) -> int:
         return self.organization.capacity_bits
 
+    # -- shared-constraint inspection ---------------------------------------
+
+    @property
+    def last_activate_cycle(self) -> int:
+        """Cycle of the most recent ACTIVATE (any bank), for tRRD."""
+        return self._last_activate_cycle
+
+    @property
+    def data_bus_free_cycle(self) -> int:
+        """First cycle at which the shared data bus is free again."""
+        return self._data_bus_free
+
+    @property
+    def last_data_was_read(self) -> bool | None:
+        """Direction of the last data burst (None before the first)."""
+        return self._last_data_was_read
+
     # -- command interface ------------------------------------------------
 
     def bank(self, index: int) -> Bank:

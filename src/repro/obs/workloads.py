@@ -32,6 +32,7 @@ def mpeg2_decoder_simulator(
     banks: int = 8,
     page_bits: int = 4096,
     fast_forward: bool = True,
+    backend: str = "cycle",
     obs=None,
 ) -> MemorySystemSimulator:
     """MPEG2-decoder-style five-client system on a 16-Mbit macro.
@@ -124,6 +125,7 @@ def mpeg2_decoder_simulator(
             cycles=cycles,
             warmup_cycles=warmup_cycles,
             fast_forward=fast_forward,
+            backend=backend,
         ),
         obs=obs,
     )

@@ -9,10 +9,13 @@ scheme implies.
 
 from repro.sim.stats import LatencyStats, SimulationResult
 from repro.sim.simulator import MemorySystemSimulator, SimulationConfig
+from repro.sim.event_engine import EventEngine, event_fallback_reason
 
 __all__ = [
     "LatencyStats",
     "SimulationResult",
     "MemorySystemSimulator",
     "SimulationConfig",
+    "EventEngine",
+    "event_fallback_reason",
 ]

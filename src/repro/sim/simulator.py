@@ -56,6 +56,17 @@ class SimulationConfig:
             Inherently nondeterministic — use for hang protection in
             sweeps, not for reproducible experiments.  None (default)
             means no deadline.
+        backend: Execution core.  ``"cycle"`` (default) is the stepped
+            loop (naive or fast-forward per ``fast_forward``);
+            ``"event"`` selects the event-driven engine
+            (:mod:`repro.sim.event_engine`), which advances directly
+            between state-changing timestamps so cost scales with
+            commands issued rather than cycles elapsed.  Results are
+            bit-identical to the cycle backend; configurations the
+            event engine does not support (observability attached,
+            live invariant checking, controller subclasses, custom
+            schedulers/arbiters) fall back to the cycle backend and
+            record why in ``simulator.backend_fallback_reason``.
     """
 
     cycles: int = 20_000
@@ -65,12 +76,17 @@ class SimulationConfig:
     check_invariants: str = "off"
     max_cycles: int | None = None
     max_wall_s: float | None = None
+    backend: str = "cycle"
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
             raise ConfigurationError("cycles must be >= 1")
         if self.warmup_cycles < 0:
             raise ConfigurationError("warmup must be >= 0")
+        if self.backend not in ("cycle", "event"):
+            raise ConfigurationError(
+                f"backend must be 'cycle' or 'event', got {self.backend!r}"
+            )
         if self.check_invariants not in ("off", "collect", "raise"):
             raise ConfigurationError(
                 "check_invariants must be 'off', 'collect' or 'raise', "
@@ -110,6 +126,12 @@ class MemorySystemSimulator:
     #: :class:`~repro.verify.invariants.InvariantReport` after a checked
     #: run; None when checking was off.
     invariant_report: object = field(default=None, init=False)
+    #: Backend that actually executed the last :meth:`run` ("cycle" or
+    #: "event"); None before the first run.
+    backend_used: str | None = field(default=None, init=False)
+    #: Why a requested event backend fell back to the cycle backend;
+    #: None when no fallback happened.
+    backend_fallback_reason: str | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if not self.clients:
@@ -177,7 +199,25 @@ class MemorySystemSimulator:
         quiescent — are jumped in one step; the result is bit-identical
         to the naive per-cycle loop (asserted by the equivalence grid in
         ``tests/test_sim_fastforward.py``).
+
+        With ``config.backend == "event"`` the event-driven engine is
+        used instead (bit-identical as well; see
+        :mod:`repro.sim.event_engine`), falling back to the cycle
+        backend for unsupported configurations.
         """
+        self.backend_fallback_reason = None
+        if self.config.backend == "event":
+            from repro.sim.event_engine import (
+                EventEngine,
+                event_fallback_reason,
+            )
+
+            reason = event_fallback_reason(self)
+            if reason is None:
+                self.backend_used = "event"
+                return EventEngine(self).run()
+            self.backend_fallback_reason = reason
+        self.backend_used = "cycle"
         if self.config.fast_forward:
             return self._run_fast()
         return self._run_naive()

@@ -238,6 +238,47 @@ def diff_simulations(
     )
 
 
+def diff_backend(
+    factory, label: str = "event backend vs per-cycle"
+) -> DifferentialReport:
+    """Run one workload through the event engine and the naive loop.
+
+    Args:
+        factory: ``factory(backend, record_commands)`` returning a
+            **fresh** :class:`MemorySystemSimulator` for each call;
+            the reference is ``backend="cycle"`` (the factory should
+            build it with ``fast_forward=False`` so the reference is
+            the naive stepped loop).
+        label: Report label.
+
+    Skips gracefully (reports identical) when the event engine fell
+    back to the cycle backend — there is nothing to diff then; the
+    fallback reason is recorded on the simulator.  When results
+    differ, both paths re-run with command recording and the report
+    localizes the first divergent command cycle.
+    """
+    reference = factory("cycle", False).run()
+    event_sim = factory("event", False)
+    optimized = event_sim.run()
+    if event_sim.backend_used != "event":
+        return DifferentialReport(
+            label=f"{label} (fallback: {event_sim.backend_fallback_reason})"
+        )
+    diffs = diff_results(reference, optimized)
+    first = None
+    if diffs:
+        ref_sim = factory("cycle", True)
+        ref_sim.run()
+        opt_sim = factory("event", True)
+        opt_sim.run()
+        first = first_command_divergence(
+            ref_sim.controller.command_log, opt_sim.controller.command_log
+        )
+    return DifferentialReport(
+        label=label, diffs=diffs, first_divergence=first
+    )
+
+
 def diff_serial_vs_parallel(
     fn, items, workers: int = 2, chunk_size: int | None = None
 ) -> DifferentialReport:

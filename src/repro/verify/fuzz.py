@@ -287,6 +287,7 @@ def build_simulator(
     fast_forward: bool,
     record_commands: bool = False,
     check_invariants: str = "off",
+    backend: str = "cycle",
     obs=None,
 ):
     """Instantiate a fresh simulator from a ``gen_sim_case`` dict."""
@@ -322,6 +323,7 @@ def build_simulator(
         config=SimulationConfig(
             fast_forward=fast_forward,
             check_invariants=check_invariants,
+            backend=backend,
             **params["sim"],
         ),
         obs=obs,

@@ -1,0 +1,293 @@
+"""Batched evaluator vs the scalar reference: exact float equality.
+
+The contract under test (see ``repro/core/batch.py``) is *bit-identity,
+not tolerance*: every array lane must reproduce the scalar evaluator's
+result exactly, over the full E10 design-space grid — and the wired-in
+consumers (``Evaluator.evaluate_macros``, the explorer, ``Sweep.run``,
+the Pareto mask) must be indistinguishable from their scalar paths.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchedMacroSweepTask,
+    batch_fallback_reason,
+    discrete_batch_fallback_reason,
+    evaluate_discrete_batch,
+    evaluate_macro_batch,
+    evaluate_macro_grid,
+)
+from repro.core.evaluator import Evaluator
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.pareto import pareto_frontier_mask
+from repro.core.requirements import ApplicationRequirements
+from repro.core.sweep import Sweep
+from repro.dram.catalog import COMMODITY_PARTS, DiscreteSystem
+from repro.dram.edram import EDRAMMacro
+from repro.errors import ConfigurationError
+from repro.experiments.e10_design_space import mpeg2_requirements
+from repro.units import MBIT
+
+REQ = mpeg2_requirements()
+
+
+def _grid_macros():
+    return DesignSpaceExplorer().enumerate(REQ)
+
+
+def test_macro_batch_exact_over_e10_grid():
+    """Every lane equals the scalar result to exact float equality."""
+    macros = _grid_macros()
+    assert len(macros) >= 200  # the full E10 grid, not a subsample
+    scalar_ev = Evaluator()
+    scalar = [scalar_ev.evaluate_macro(m, REQ) for m in macros]
+    batch = evaluate_macro_batch(Evaluator(), macros, REQ)
+    assert len(batch) == len(macros)
+    rows = batch.metrics_list()
+    for reference, row in zip(scalar, rows):
+        assert reference == row  # frozen dataclass: field-exact
+    mask = batch.feasible_mask()
+    matrix = batch.objective_matrix()
+    for index, reference in enumerate(scalar):
+        assert bool(mask[index]) == scalar_ev.meets(reference, REQ)
+        assert tuple(matrix[index]) == reference.objective_tuple()
+
+
+def test_macro_grid_matches_batch():
+    """The array-lane entry point equals the macro-object one."""
+    macros = _grid_macros()
+    lanes = zip(*[(m.size_bits, m.width, m.banks, m.page_bits) for m in macros])
+    size, width, banks, page = (
+        np.array(lane, dtype=np.int64) for lane in lanes
+    )
+    grid = evaluate_macro_grid(Evaluator(), REQ, size, width, banks, page)
+    batch = evaluate_macro_batch(Evaluator(), macros, REQ)
+    assert grid.metrics_list() == batch.metrics_list()
+
+
+def test_macro_batch_mixed_widths_and_requirement_limits():
+    """Latency/power limits flow into the mask; widths mix correctly."""
+    requirements = ApplicationRequirements(
+        name="limits",
+        capacity_bits=2 * MBIT,
+        sustained_bandwidth_bits_per_s=1e9,
+        max_latency_ns=120.0,
+        power_budget_w=0.15,
+    )
+    macros = [
+        EDRAMMacro(size_bits=2 * MBIT, width=w, banks=4, page_bits=2048)
+        for w in (16, 64, 256)
+    ]
+    evaluator = Evaluator()
+    scalar = [
+        Evaluator().evaluate_macro(m, requirements) for m in macros
+    ]
+    batch = evaluate_macro_batch(Evaluator(), macros, requirements)
+    assert batch.metrics_list() == scalar
+    mask = batch.feasible_mask()
+    for index, metrics in enumerate(scalar):
+        assert bool(mask[index]) == evaluator.meets(metrics, requirements)
+
+
+def test_batch_fallback_reasons():
+    assert batch_fallback_reason([]) == "empty batch"
+    macros = _grid_macros()[:2]
+    assert batch_fallback_reason(macros) is None
+    import dataclasses
+
+    from repro.dram.edram import EDRAM_TIMING
+
+    mixed = [
+        macros[0],
+        EDRAMMacro(
+            size_bits=macros[1].size_bits,
+            width=macros[1].width,
+            banks=macros[1].banks,
+            page_bits=macros[1].page_bits,
+            timing=dataclasses.replace(EDRAM_TIMING, t_cas=3),
+        ),
+    ]
+    assert batch_fallback_reason(mixed) is not None
+
+
+def test_discrete_batch_exact():
+    part = COMMODITY_PARTS[0]
+
+    def system(chips: int, which: int = 0) -> DiscreteSystem:
+        chosen = COMMODITY_PARTS[which]
+        return DiscreteSystem(
+            part=chosen,
+            n_chips=chips,
+            required_bits=chosen.capacity_bits,
+            required_width=chosen.width_bits,
+        )
+
+    systems = [system(n) for n in (1, 2, 4, 8)]
+    scalar = [
+        Evaluator().evaluate_discrete(s, REQ) for s in systems
+    ]
+    batch = evaluate_discrete_batch(Evaluator(), systems, REQ)
+    assert batch.metrics_list() == scalar
+    assert discrete_batch_fallback_reason(systems) is None
+    assert discrete_batch_fallback_reason([]) == "empty batch"
+    if len(COMMODITY_PARTS) > 1:
+        mixed = [system(1, which=0), system(1, which=1)]
+        assert discrete_batch_fallback_reason(mixed) is not None
+
+
+def test_evaluate_macros_batched_and_fallback():
+    macros = _grid_macros()
+    reference = [Evaluator().evaluate_macro(m, REQ) for m in macros]
+    evaluator = Evaluator()
+    assert evaluator.evaluate_macros(macros, REQ) == reference
+    # The batch primes the memo, exactly like the parallel fan-out.
+    assert evaluator.macro_cache_info()["size"] == len(macros)
+    evaluator.evaluate_macro(macros[0], REQ)
+    assert evaluator.macro_cache_info()["hits"] == 1
+    # Heterogeneous area knobs: scalar fallback, same results.
+    spares = EDRAMMacro(
+        size_bits=macros[0].size_bits,
+        width=macros[0].width,
+        banks=macros[0].banks,
+        page_bits=macros[0].page_bits,
+        redundancy_spares=8,
+    )
+    mixed = [macros[0], spares]
+    assert Evaluator().evaluate_macros(mixed, REQ) == [
+        Evaluator().evaluate_macro(m, REQ) for m in mixed
+    ]
+    assert Evaluator().evaluate_macros([], REQ) == []
+
+
+def test_explorer_batch_parity():
+    reference = DesignSpaceExplorer(batch=False).explore(REQ)
+    batched = DesignSpaceExplorer().explore(REQ)
+    assert batched.evaluated == reference.evaluated
+    assert batched.feasible == reference.feasible
+    assert batched.frontier == reference.frontier
+
+
+def test_sweep_batched_task_parity(tmp_path):
+    macros = _grid_macros()
+    sweep = Sweep(
+        axes={
+            "size_bits": [macros[0].size_bits],
+            "width": sorted({m.width for m in macros})[:3],
+            "banks": [4],
+            "page_bits": [2048, 4096],
+        }
+    )
+    task = BatchedMacroSweepTask(evaluator=Evaluator(), requirements=REQ)
+    scalar_task = BatchedMacroSweepTask(
+        evaluator=Evaluator(), requirements=REQ
+    )
+    batched = sweep.run(task)
+    serial = sweep.run(scalar_task.__call__)  # no evaluate_batch attr
+    assert [(p.parameters, p.result) for p in batched.points] == [
+        (p.parameters, p.result) for p in serial.points
+    ]
+    # Journaling composes with the batched path: a resumed sweep skips
+    # the journaled points and the merged outcome is unchanged.
+    journal = tmp_path / "sweep.journal.jsonl"
+    first = sweep.run(
+        BatchedMacroSweepTask(evaluator=Evaluator(), requirements=REQ),
+        journal=journal,
+    )
+    resumed = sweep.run(
+        BatchedMacroSweepTask(evaluator=Evaluator(), requirements=REQ),
+        journal=journal,
+    )
+    assert [(p.parameters, p.result) for p in first.points] == [
+        (p.parameters, p.result) for p in resumed.points
+    ]
+
+
+def test_sweep_batch_error_localizes_to_scalar_path():
+    """A grid with an unconstructible point falls back to the scalar
+    loop, which quarantines exactly that point."""
+    sweep = Sweep(
+        axes={
+            "size_bits": [2 * MBIT],
+            "width": [64],
+            "banks": [4],
+            "page_bits": [2048, 1536],  # 1536 is not a valid page
+        }
+    )
+    task = BatchedMacroSweepTask(evaluator=Evaluator(), requirements=REQ)
+    result = sweep.run(task, skip_errors=True)
+    assert len(result.points) == 1
+    assert len(result.failures) == 1
+    assert result.failures[0].parameters["page_bits"] == 1536
+
+
+def test_pareto_mask_matches_frontier():
+    from repro.core.pareto import pareto_frontier
+
+    result = DesignSpaceExplorer().explore(REQ)
+    matrix = np.array([m.objective_tuple() for m in result.feasible])
+    reference = pareto_frontier(
+        result.feasible, lambda m: m.objective_tuple(), engine="python"
+    )
+    for engine in ("python", "numpy", "auto"):
+        mask = pareto_frontier_mask(matrix, engine=engine)
+        kept = [
+            m for index, m in enumerate(result.feasible) if mask[index]
+        ]
+        assert kept == reference
+    assert pareto_frontier_mask(np.zeros((0, 3))).tolist() == []
+    with pytest.raises(ConfigurationError):
+        pareto_frontier_mask(np.zeros(4))
+    with pytest.raises(ConfigurationError):
+        pareto_frontier_mask(np.zeros((2, 2)), engine="fortran")
+
+
+def test_pareto_mask_deduplicates():
+    matrix = np.array([[1.0, 2.0], [1.0, 2.0], [0.5, 3.0]])
+    mask = pareto_frontier_mask(matrix)
+    assert mask.tolist() == [True, False, True]
+
+
+def test_macro_cache_lru_bound():
+    macros = _grid_macros()
+    evaluator = Evaluator(macro_cache_maxsize=10)
+    results = [evaluator.evaluate_macro(m, REQ) for m in macros]
+    info = evaluator.macro_cache_info()
+    assert info["size"] == 10
+    assert info["maxsize"] == 10
+    assert info["evictions"] == len(macros) - 10
+    # The last 10 points are resident; the first ones were evicted.
+    assert evaluator.evaluate_macro(macros[-1], REQ) == results[-1]
+    assert evaluator.macro_cache_info()["hits"] == 1
+    evaluator.evaluate_macro(macros[0], REQ)
+    assert evaluator.macro_cache_info()["misses"] == len(macros) + 1
+    # A hit refreshes recency: the touched entry survives an eviction.
+    touched = (macros[-1], REQ)
+    evaluator.evaluate_macro(macros[-1], REQ)
+    evaluator.evaluate_macro(macros[1], REQ)  # evicts the LRU entry
+    assert touched in evaluator._macro_cache.entries
+    # Bounded evaluators pickle (cache dropped, bound kept).
+    clone = pickle.loads(pickle.dumps(evaluator))
+    assert clone.macro_cache_info() == {
+        "size": 0,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "maxsize": 10,
+    }
+    with pytest.raises(ConfigurationError):
+        Evaluator(macro_cache_maxsize=0)
+
+
+def test_macro_cache_unbounded_by_default():
+    evaluator = Evaluator()
+    for macro in _grid_macros():
+        evaluator.evaluate_macro(macro, REQ)
+    info = evaluator.macro_cache_info()
+    assert info["maxsize"] is None
+    assert info["evictions"] == 0
+    assert info["size"] == info["misses"]

@@ -374,6 +374,8 @@ class TestEvaluatorMemo:
             "size": 0,
             "hits": 0,
             "misses": 0,
+            "evictions": 0,
+            "maxsize": None,
         }
 
     def test_cache_excluded_from_pickle_and_eq(self):

@@ -1,0 +1,172 @@
+"""Differential tests: event-driven backend vs the naive cycle loop.
+
+The event engine's whole contract is *bit-identity on
+``result_fingerprint``* with the per-cycle reference across everything
+the fuzz corpus generates — arbiters, page policies, refresh pressure,
+backpressure, truncation.  These tests pin that contract in tier 1;
+divergences are localized to the first divergent command cycle by the
+``diff_backend`` oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import EventEngine, event_fallback_reason
+from repro.sim.simulator import SimulationConfig
+from repro.verify import fuzz
+from repro.verify.differential import diff_backend, result_fingerprint
+
+
+def _diff_case(params: dict, **overrides) -> None:
+    """Assert event == cycle for one fuzz case (with sim overrides)."""
+    if overrides:
+        params = dict(params)
+        params["sim"] = {**params["sim"], **overrides}
+
+    def factory(backend, record_commands):
+        return fuzz.build_simulator(
+            params,
+            fast_forward=False,
+            backend=backend,
+            record_commands=record_commands,
+        )
+
+    report = diff_backend(factory)
+    assert report.identical, report.describe()
+
+
+def test_backend_bit_identity_fuzz_corpus():
+    """Event backend matches the naive loop across generated cases."""
+    for index in range(20):
+        rng = random.Random(f"event-backend:{index}")
+        _diff_case(fuzz.gen_sim_case(rng))
+
+
+def test_backend_bit_identity_truncated():
+    """``max_cycles`` truncation lands on the same cycle in both
+    backends — including a cap that cuts the run inside warm-up."""
+    for index in range(6):
+        rng = random.Random(f"event-truncate:{index}")
+        params = fuzz.gen_sim_case(rng)
+        total = params["sim"]["cycles"] + params["sim"]["warmup_cycles"]
+        for cap in (max(1, total // 3), max(1, total // 30)):
+            _diff_case(params, max_cycles=cap)
+
+
+def test_backend_bit_identity_refresh_deadline_edges():
+    """Tight retention makes refresh deadlines land mid-skip; the skip
+    target must stop at the drain window every time."""
+    for index in range(6):
+        rng = random.Random(f"event-refresh:{index}")
+        params = fuzz.gen_sim_case(rng)
+        params["controller"] = {
+            **params["controller"],
+            "refresh_enabled": True,
+            # Retention near the simulated horizon: a handful of rows
+            # refresh per interval and the deadlines pile up.
+            "refresh_retention_s": params["controller"][
+                "refresh_retention_s"
+            ]
+            / 4,
+        }
+        _diff_case(params)
+
+
+def test_backend_matches_fast_forward_reference():
+    """All three execution paths agree: naive, fast-forward, event."""
+    for index in range(5):
+        rng = random.Random(f"event-ff:{index}")
+        params = fuzz.gen_sim_case(rng)
+        naive = fuzz.build_simulator(params, fast_forward=False).run()
+        fast = fuzz.build_simulator(params, fast_forward=True).run()
+        event = fuzz.build_simulator(
+            params, fast_forward=False, backend="event"
+        ).run()
+        assert result_fingerprint(naive) == result_fingerprint(fast)
+        assert result_fingerprint(naive) == result_fingerprint(event)
+
+
+def test_backend_used_diagnostics():
+    rng = random.Random("event-diag")
+    params = fuzz.gen_sim_case(rng)
+    cycle_sim = fuzz.build_simulator(params, fast_forward=False)
+    cycle_sim.run()
+    assert cycle_sim.backend_used == "cycle"
+    assert cycle_sim.backend_fallback_reason is None
+    event_sim = fuzz.build_simulator(
+        params, fast_forward=False, backend="event"
+    )
+    event_sim.run()
+    assert event_sim.backend_used == "event"
+    assert event_sim.backend_fallback_reason is None
+    assert event_sim.cycles_fast_forwarded >= 0
+
+
+def test_backend_fallback_on_invariant_checking():
+    """Live invariant checking needs per-cycle observation; the event
+    backend declines and the run still completes on the cycle loop."""
+    rng = random.Random("event-invariants")
+    params = fuzz.gen_sim_case(rng)
+    sim = fuzz.build_simulator(
+        params,
+        fast_forward=False,
+        backend="event",
+        check_invariants="collect",
+    )
+    reason = event_fallback_reason(sim)
+    assert reason is not None and "invariant" in reason
+    result = sim.run()
+    assert sim.backend_used == "cycle"
+    assert sim.backend_fallback_reason == reason
+    reference = fuzz.build_simulator(params, fast_forward=False).run()
+    assert result_fingerprint(result) == result_fingerprint(reference)
+
+
+def test_backend_fallback_on_observability():
+    from repro.obs import Observability
+
+    rng = random.Random("event-obs")
+    params = fuzz.gen_sim_case(rng)
+    sim = fuzz.build_simulator(
+        params,
+        fast_forward=False,
+        backend="event",
+        obs=Observability.create(trace=False),
+    )
+    assert event_fallback_reason(sim) is not None
+    sim.run()
+    assert sim.backend_used == "cycle"
+    assert sim.backend_fallback_reason is not None
+
+
+def test_backend_fallback_on_subclassed_controller():
+    """Unknown controller subclasses may override stepped hooks the
+    skip analysis never sees — the engine must refuse them."""
+    from repro.controller.controller import MemoryController
+
+    class TracingController(MemoryController):
+        pass
+
+    rng = random.Random("event-subclass")
+    params = fuzz.gen_sim_case(rng)
+    sim = fuzz.build_simulator(params, fast_forward=False, backend="event")
+    sim.controller.__class__ = TracingController
+    reason = event_fallback_reason(sim)
+    assert reason is not None and "controller" in reason
+    sim.run()
+    assert sim.backend_used == "cycle"
+
+
+def test_backend_config_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(cycles=100, backend="quantum")
+    assert SimulationConfig(cycles=100, backend="event").backend == "event"
+
+
+def test_event_engine_exported():
+    assert EventEngine is not None
