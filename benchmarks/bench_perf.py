@@ -40,6 +40,11 @@ implementations and writes ``BENCH_perf.json``:
   be identical; the section reports the telemetry overhead ratio (the
   documented budget is < 5% — telemetry is per-chunk/per-event, never
   per-simulated-cycle).
+* **serve_cache** — the E10 MPEG2 exploration submitted twice to an
+  in-process exploration service: cold (full execution) vs warm (a
+  content-addressed cache hit).  The responses must be byte-identical
+  and the warm request must trigger zero new executions; the documented
+  target is a >= 10x warm-over-cold speedup.
 
 Every run also appends one entry (mode, commit, the numeric metrics of
 every section) to ``BENCH_history.jsonl`` so
@@ -601,6 +606,62 @@ def bench_injection(report: PerfReport, cycles: int, warmup: int) -> None:
     )
 
 
+def bench_serve(report: PerfReport) -> None:
+    """Exploration service: cold execute vs warm content-addressed hit.
+
+    One in-process service runs the E10 MPEG2 exploration cold (a full
+    ``DesignSpaceExplorer`` pass behind the job executor), then the
+    byte-identical job again warm — the second response must come
+    straight out of the result cache, with zero new executions.  The
+    documented target is a >= 10x warm-over-cold speedup (the warm path
+    is a dict lookup plus JSON decode, so in practice it is orders of
+    magnitude beyond that).
+    """
+    from repro.serve.client import InProcessClient
+    from repro.serve.handlers import ExplorationService
+    from repro.serve.protocol import canonical_json
+
+    job = {"kind": "explore", "requirements": "mpeg2"}
+    service = ExplorationService(max_workers=2)
+    client = InProcessClient(service)
+    try:
+        # repeat=1: a second cold run would hit the cache and measure
+        # the warm path twice instead.
+        cold_s, cold_envelope = measure(
+            lambda: client.run(job, timeout_s=300.0), repeat=1
+        )
+        warm_s, warm_envelope = measure(
+            lambda: client.run(job, timeout_s=300.0), repeat=5
+        )
+        identical = canonical_json(cold_envelope) == canonical_json(
+            warm_envelope
+        )
+        if not identical:
+            raise AssertionError(
+                "warm service response diverged from the cold one"
+            )
+        if service.stats["executions"] != 1:
+            raise AssertionError(
+                "warm requests re-executed the job: "
+                f"{service.stats['executions']} executions"
+            )
+        report.add(
+            "serve_cache",
+            points=cold_envelope["result"]["n_explored"],
+            cold_seconds=cold_s,
+            # Deliberately not *_seconds: warm latency is microseconds
+            # of dict lookup, so the +30% regression gate on timing
+            # metrics would trip on pure scheduler noise.
+            warm_latency_s=warm_s,
+            speedup=cold_s / warm_s,
+            cache_hits=service.stats["cache_hits"],
+            executions=service.stats["executions"],
+            identical=identical,
+        )
+    finally:
+        service.close()
+
+
 def run(
     smoke: bool = False,
     seed: int = 0,
@@ -630,6 +691,7 @@ def run(
         cycles=400 if smoke else 4_000,
         ledger_out=ledger_out,
     )
+    bench_serve(report)
     return report
 
 
@@ -664,6 +726,12 @@ def test_perf_smoke() -> None:
     # progress on; the smoke assertion is looser to absorb CI noise on
     # a sub-second sweep.
     assert telemetry["telemetry_overhead_ratio"] < 1.5, telemetry
+    serve = report.sections["serve_cache"]
+    assert serve["identical"]
+    assert serve["executions"] == 1
+    # The documented service budget: a warm content-addressed hit is at
+    # least 10x faster than the cold exploration it replays.
+    assert serve["speedup"] >= 10.0, serve
 
 
 def test_perf_deterministic() -> None:

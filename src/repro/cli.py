@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli metrics --merge a.json b.json
     python -m repro.cli report sweep.ledger.jsonl [--html report.html]
     python -m repro.cli report --check-regression --history BENCH_history.jsonl
+    python -m repro.cli serve --port 8765 --cache-path results.jsonl
+    python -m repro.cli client submit --job-file job.json --wait
 
 Each subcommand prints the corresponding reproduction table; `explore`
 runs a live design-space sweep for the given requirements; `trace` and
@@ -448,6 +450,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inject.add_argument("inject_args", nargs=argparse.REMAINDER)
     inject.set_defaults(func=_cmd_inject)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the exploration service (JSON batch API; "
+        "see docs/SERVICE.md)",
+    )
+    _add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running `repro serve` instance; "
+        "forwards to `python -m repro.serve`",
+    )
+    client.add_argument("client_args", nargs=argparse.REMAINDER)
+    client.set_defaults(func=_cmd_client)
     return parser
 
 
@@ -461,6 +479,24 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.inject.cli import main as inject_main
 
     return inject_main(args.inject_args)
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.serve.cli import add_serve_arguments
+
+    add_serve_arguments(parser)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_serve
+
+    return run_serve(args)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve.cli import client_main
+
+    return client_main(args.client_args)
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -504,6 +540,14 @@ def main(argv=None) -> int:
     from repro.errors import ConfigurationError, SimulationError
 
     parser = build_parser()
+    forwarded = list(sys.argv[1:] if argv is None else argv)
+    if forwarded and forwarded[0] == "client":
+        # Forward verbatim, bypassing argparse's REMAINDER: a leading
+        # option (`repro client --url ... submit`) would otherwise be
+        # rejected by the root parser before the remainder captures it.
+        from repro.serve.cli import client_main
+
+        return client_main(forwarded[1:])
     args = parser.parse_args(argv)
     try:
         return args.func(args)

@@ -383,6 +383,20 @@ def _pool_map(
                     ledger.event(
                         "timeout", index=index, size=len(chunk)
                     )
+                    # A completed chunk's duration reaches the report
+                    # via its `chunk` event; a quarantined chunk would
+                    # otherwise vanish from the span waterfall.  No
+                    # span_start exists — the report anchors the bar at
+                    # run start, which is when the pool submitted it —
+                    # and the duration is the full deadline, the only
+                    # lower bound we have for a worker that never
+                    # answered.
+                    ledger.event(
+                        "span_end",
+                        name=f"chunk {index} (timeout)",
+                        status="timeout",
+                        s=round(timeout_s, 6),
+                    )
                 if progress is not None:
                     progress.update(failed=len(chunk))
                 merged.extend(

@@ -201,6 +201,29 @@ class Sweep:
         digest.update(str(self.n_points).encode())
         return digest.hexdigest()[:16]
 
+    def content_key(self, **context) -> str:
+        """Content-addressed identity of this sweep plus its context.
+
+        Unlike :meth:`signature` (a short journal pin over axes alone),
+        this is a full sha256 over the *canonical JSON* of the axes —
+        in insertion order, because :meth:`combinations` enumerates in
+        axis order, so reordered axes are a different result — plus any
+        JSON-able ``context`` (workload name, backend, flags).  Two
+        sweeps share a key exactly when running them would produce the
+        same result document, which is what a shared result cache must
+        key on.  Axis values must be JSON-able scalars.
+        """
+        document = {
+            "axes": [
+                [name, list(values)] for name, values in self.axes.items()
+            ],
+            "context": context,
+        }
+        canonical = json.dumps(
+            document, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def run(
         self,
         evaluate,

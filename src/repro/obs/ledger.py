@@ -224,12 +224,74 @@ class RunLedger:
         return self._handle
 
 
+class MemoryLedger:
+    """In-memory, ledger-shaped event sink (no file, no provenance).
+
+    Quacks like :class:`RunLedger` — ``event`` / ``span`` / ``flush`` /
+    ``close`` with the same record shape — but appends dicts to
+    :attr:`events` instead of writing JSONL.  The exploration service
+    taps one per job so ledger events double as the server-sent event
+    stream; an optional ``subscriber`` callable sees each record as it
+    is emitted.
+
+    Records are plain dicts and :attr:`events` is append-only, so a
+    reader holding an index can poll for new events without locking
+    (CPython list appends are atomic).
+    """
+
+    def __init__(self, run_id: str = "mem", subscriber=None) -> None:
+        self.run_id = run_id
+        self.events: list = []
+        self._subscriber = subscriber
+        self._next_id = 0
+
+    def event(self, kind: str, **fields) -> int:
+        if not kind:
+            raise ConfigurationError("ledger event kind required")
+        event_id = self._next_id
+        self._next_id += 1
+        record = {
+            "id": event_id,
+            "t": round(time.time(), 6),
+            "run": self.run_id,
+            "kind": kind,
+        }
+        record.update(fields)
+        self.events.append(record)
+        if self._subscriber is not None:
+            self._subscriber(record)
+        return event_id
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        start_id = self.event("span_start", name=name, **fields)
+        started = time.perf_counter()
+        try:
+            yield start_id
+        finally:
+            self.event(
+                "span_end",
+                name=name,
+                span=start_id,
+                s=round(time.perf_counter() - started, 6),
+            )
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
 def coerce_ledger(ledger) -> tuple:
-    """Normalize a ``ledger=`` argument to ``(RunLedger | None, owned)``.
+    """Normalize a ``ledger=`` argument to ``(ledger | None, owned)``.
 
     Callers accept ``None`` (off), a path (the common case — the callee
-    opens and closes it) or an already-open :class:`RunLedger` (shared
-    across several invocations; the caller keeps ownership).
+    opens and closes it), an already-open :class:`RunLedger` (shared
+    across several invocations; the caller keeps ownership), or any
+    ledger-shaped object — something with callable ``event`` and
+    ``close`` — such as :class:`MemoryLedger` (never owned: the
+    provider keeps reading it after the run).
     """
     if ledger is None:
         return None, False
@@ -237,6 +299,11 @@ def coerce_ledger(ledger) -> tuple:
         return ledger, False
     if isinstance(ledger, (str, Path)):
         return RunLedger(ledger), True
+    if callable(getattr(ledger, "event", None)) and callable(
+        getattr(ledger, "close", None)
+    ):
+        return ledger, False
     raise ConfigurationError(
-        f"ledger must be a path or RunLedger, got {type(ledger).__name__}"
+        f"ledger must be a path, RunLedger or ledger-shaped object, "
+        f"got {type(ledger).__name__}"
     )

@@ -42,6 +42,12 @@ class ProgressReporter:
         enabled: Whether updates render.  ``None`` (default)
             auto-detects: on only when the stream is a TTY, so piping
             or CI disables it without any caller involvement.
+        callback: Optional observer invoked with the reporter after
+            every :meth:`update`, *independently* of ``enabled`` — the
+            exploration service streams progress this way while the
+            terminal rendering stays off.  Counting still happens only
+            when there is someone to tell (rendering or callback), so
+            a bare disabled reporter keeps its one-check hot path.
 
     The rendered line (stderr by default, overwritten in place)::
 
@@ -60,6 +66,7 @@ class ProgressReporter:
         min_interval_s: float = 0.1,
         enabled: bool | None = None,
         clock=time.monotonic,
+        callback=None,
     ) -> None:
         if total < 0:
             raise ConfigurationError("progress total must be >= 0")
@@ -73,6 +80,7 @@ class ProgressReporter:
             isatty = getattr(self.stream, "isatty", None)
             enabled = bool(isatty and isatty())
         self.enabled = enabled
+        self.callback = callback
         self._clock = clock
         self.done = 0
         self.failed = 0
@@ -87,12 +95,16 @@ class ProgressReporter:
 
     def update(self, done: int = 0, failed: int = 0) -> None:
         """Record ``done`` more successes and ``failed`` quarantines."""
-        if not self.enabled:
+        if not self.enabled and self.callback is None:
             return
         if self._started is None:
             self.start()
         self.done += done
         self.failed += failed
+        if self.callback is not None:
+            self.callback(self)
+        if not self.enabled:
+            return
         now = self._clock()
         if now - self._last_render >= self.min_interval_s:
             self._render(now)

@@ -193,6 +193,17 @@ def _md_table(headers: list, rows: list) -> list:
     return lines
 
 
+def job_report_markdown(events: list, top: int = 10) -> str:
+    """Markdown report straight from in-memory ledger events.
+
+    The exploration service's report endpoint: a served job's
+    :class:`~repro.obs.ledger.MemoryLedger` tap holds the same event
+    stream a file ledger would, so the existing summarize/render
+    pipeline applies unchanged — no JSONL round trip.
+    """
+    return render_markdown(summarize_ledger(events), top=top)
+
+
 def render_markdown(summary: dict, top: int = 10) -> str:
     """Self-contained Markdown run report."""
     lines = ["# Run report", ""]

@@ -1,0 +1,48 @@
+"""Exploration service: a JSON batch API over the design-space tools.
+
+``repro serve`` turns the library's sweep and exploration machinery
+into a long-lived process: submit jobs, stream progress, fetch Pareto
+fronts and run reports, and let a content-addressed result cache plus
+request coalescing absorb repeated and concurrent identical work.
+See docs/SERVICE.md for the API reference and cache semantics.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import InProcessClient, ServeClient, ServeClientError
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.handlers import ExplorationService, route
+from repro.serve.protocol import (
+    RequestError,
+    SCHEMA_VERSION,
+    canonical_json,
+    parse_job,
+)
+from repro.serve.server import ReproServer, run_server
+from repro.serve.workloads import (
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_names,
+    workload_parameters,
+)
+
+__all__ = [
+    "ExplorationService",
+    "InProcessClient",
+    "RequestCoalescer",
+    "RequestError",
+    "ReproServer",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "ServeClient",
+    "ServeClientError",
+    "canonical_json",
+    "get_workload",
+    "parse_job",
+    "register_workload",
+    "route",
+    "run_server",
+    "unregister_workload",
+    "workload_names",
+    "workload_parameters",
+]

@@ -1,0 +1,111 @@
+"""Content-addressed result store: memory LRU + optional JSONL spill.
+
+The store maps a job fingerprint (sha256 of the canonical job document,
+:mod:`repro.serve.protocol`) to the *canonical result text* — the exact
+bytes a cold execution serialized.  Storing text rather than objects is
+what makes the cache-correctness contract checkable: a warm response is
+byte-identical to the cold one because it literally is the same string,
+not a re-serialization that might reorder keys or reformat floats.
+
+Persistence is a dumb append-only JSONL file (one ``{"fingerprint",
+"result"}`` record per line): crash-safe by construction, merged on
+open with last-record-wins, shared between server restarts.  Eviction
+only trims the in-memory map; the spill file keeps everything (it is a
+cache of pure functions — entries never become wrong, only cold).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+class ResultCache:
+    """Thread-safe LRU of fingerprint -> canonical result text.
+
+    Attributes:
+        maxsize: In-memory entry cap (LRU eviction beyond it).
+        path: Optional JSONL spill file (loaded on construction,
+            appended on every store).
+        hits / misses / evictions: Running counters, surfaced by the
+            service's ``/v1/stats`` endpoint.
+    """
+
+    def __init__(self, maxsize: int = 256, path=None) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from an interrupted append
+                fingerprint = record.get("fingerprint")
+                result = record.get("result")
+                if isinstance(fingerprint, str) and isinstance(result, str):
+                    self._insert(fingerprint, result)
+
+    def _insert(self, fingerprint: str, text: str) -> None:
+        self._entries[fingerprint] = text
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, fingerprint: str):
+        """The stored result text, or None; refreshes LRU recency."""
+        with self._lock:
+            text = self._entries.get(fingerprint)
+            if text is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return text
+
+    def put(self, fingerprint: str, text: str) -> None:
+        """Store a result; appends to the spill file when configured."""
+        if not isinstance(text, str):
+            raise ConfigurationError("cache stores canonical text only")
+        with self._lock:
+            self._insert(fingerprint, text)
+            if self.path is not None:
+                record = {"fingerprint": fingerprint, "result": text}
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(record) + "\n")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "persistent": self.path is not None,
+            }

@@ -1,0 +1,63 @@
+"""Request coalescing: overlapping identical in-flight jobs run once.
+
+Two clients submitting the same fingerprint while the first execution
+is still running must not evaluate the design space twice — the second
+job *follows* the first and receives the same result the moment the
+primary finishes.  This is the in-flight complement of the result
+cache: the cache de-duplicates across time, the coalescer across
+concurrency.
+
+The window is admit → release, both under one lock shared with the
+follower list, so there is no race in which a follower attaches after
+the primary resolved: ``release`` atomically detaches the entry and
+snapshots the followers, after which new submissions miss the in-flight
+map and hit the (just-populated) result cache instead.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RequestCoalescer:
+    """Tracks the primary in-flight job per fingerprint.
+
+    Attributes:
+        coalesced: Total follower jobs fused onto a primary (the
+            ``serve.coalesced`` counter in ``/v1/stats``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict = {}  # fingerprint -> primary job record
+        self.coalesced = 0
+
+    def admit(self, fingerprint: str, job):
+        """Register ``job`` for execution, or attach it to the primary.
+
+        Returns the primary job when ``job`` became a follower (the
+        caller must *not* execute), or None when ``job`` is now the
+        primary (the caller owns the execution and must ``release``).
+        """
+        with self._lock:
+            primary = self._inflight.get(fingerprint)
+            if primary is not None:
+                self.coalesced += 1
+                primary.followers.append(job)
+                return primary
+            self._inflight[fingerprint] = job
+            return None
+
+    def release(self, fingerprint: str, job) -> list:
+        """Detach a finished primary; returns its followers to resolve."""
+        with self._lock:
+            if self._inflight.get(fingerprint) is job:
+                del self._inflight[fingerprint]
+            followers = list(job.followers)
+            job.followers.clear()
+            return followers
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._inflight)

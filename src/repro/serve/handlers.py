@@ -1,0 +1,538 @@
+"""The exploration service: job lifecycle, execution, routing.
+
+:class:`ExplorationService` is deliberately synchronous — jobs run on a
+:class:`~concurrent.futures.ThreadPoolExecutor`, state is guarded by
+plain locks — and the asyncio HTTP layer (:mod:`repro.serve.server`)
+is a thin wrapper over it.  That split buys the test layer its
+strongest property: :func:`route` dispatches method+path+body to the
+service exactly once for *both* the real socket server and the
+in-process test client, so contract tests pin the wire behavior
+without opening a socket.
+
+Execution path per job::
+
+    submit -> cache.get(fingerprint)   -- hit: done instantly, cached=True
+           -> coalescer.admit          -- in flight: follow the primary
+           -> executor.submit          -- cold: run it
+
+A cold run wires a :class:`~repro.obs.ledger.MemoryLedger` and a
+callback-only :class:`~repro.obs.progress.ProgressReporter` into the
+existing ``Sweep.run`` / ``DesignSpaceExplorer.explore`` machinery, so
+the job's event stream *is* the ledger the batch tooling already
+emits.  The result document is serialized once, canonically; the cache
+stores that text and the result endpoint returns it verbatim — warm
+responses are byte-identical to cold ones by construction.
+
+The evaluation-count probe: ``stats["evaluations"]`` counts actual
+workload-function calls (via :class:`_CountingEvaluate`) and explored
+points; tests assert a warm hit leaves it untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.ledger import MemoryLedger
+from repro.obs.progress import ProgressReporter
+from repro.serve.cache import ResultCache
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.protocol import (
+    RequestError,
+    SCHEMA_VERSION,
+    canonical_json,
+    error_envelope,
+    ok_envelope,
+    parse_job,
+)
+
+#: Longest the status endpoint's ``wait_s`` query may block.
+MAX_WAIT_S = 60.0
+
+
+def _metrics_document(metrics) -> dict:
+    """A SolutionMetrics as a plain JSON-able dict."""
+    import dataclasses
+
+    return dataclasses.asdict(metrics)
+
+
+class _CountingEvaluate:
+    """Wraps a workload so every evaluation increments a shared count.
+
+    The probe behind the cache-correctness acceptance criterion: a
+    warm-cache response must leave the count unchanged, proving no
+    point was re-evaluated.
+    """
+
+    def __init__(self, fn, counter) -> None:
+        self._fn = fn
+        self._counter = counter
+
+    def __call__(self, **params):
+        self._counter()
+        return self._fn(**params)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's full lifecycle state."""
+
+    job_id: str
+    spec: object
+    fingerprint: str
+    status: str = "queued"  # queued | running | done | failed
+    cached: bool = False
+    coalesced_with: str | None = None
+    result_text: str | None = None
+    error: dict | None = None
+    progress: dict | None = None
+    events: list = field(default_factory=list)
+    followers: list = field(default_factory=list)
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+
+class ExplorationService:
+    """Executes validated jobs with caching and coalescing.
+
+    Attributes:
+        cache: Content-addressed result store (shared across clients,
+            optionally persistent).
+        coalescer: In-flight de-duplicator.
+        stats: Counters — ``submitted``, ``executions`` (cold runs
+            actually performed), ``cache_hits``, ``evaluations``
+            (workload calls + explored points), plus
+            ``serve.coalesced`` via the coalescer.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        max_workers: int = 4,
+        max_wait_s: float = MAX_WAIT_S,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.cache = cache if cache is not None else ResultCache()
+        self.coalescer = RequestCoalescer()
+        self.max_wait_s = max_wait_s
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict = {}
+        self._ids = itertools.count(1)
+        self.stats = {
+            "submitted": 0,
+            "executions": 0,
+            "cache_hits": 0,
+            "evaluations": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ExplorationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload) -> dict:
+        """Validate and admit one job; returns the submit response."""
+        spec = parse_job(payload)
+        fingerprint = spec.fingerprint()
+        with self._lock:
+            job = JobRecord(
+                job_id=f"job-{next(self._ids)}",
+                spec=spec,
+                fingerprint=fingerprint,
+            )
+            self._jobs[job.job_id] = job
+            self.stats["submitted"] += 1
+            cached_text = self.cache.get(fingerprint)
+            if cached_text is not None:
+                self.stats["cache_hits"] += 1
+                job.cached = True
+                job.result_text = cached_text
+                job.status = "done"
+                job.events.append(
+                    {"kind": "cache_hit", "fingerprint": fingerprint}
+                )
+                job.done_event.set()
+            else:
+                primary = self.coalescer.admit(fingerprint, job)
+                if primary is not None:
+                    job.coalesced_with = primary.job_id
+                else:
+                    self._executor.submit(self._execute, job)
+        return ok_envelope(
+            job_id=job.job_id,
+            status=self.status_of(job),
+            fingerprint=fingerprint,
+            kind=spec.kind,
+            cached=job.cached,
+            coalesced_with=job.coalesced_with,
+        )
+
+    def status_of(self, job: JobRecord) -> str:
+        if job.coalesced_with is not None and not job.finished:
+            primary = self._jobs.get(job.coalesced_with)
+            if primary is not None:
+                return primary.status
+        return job.status
+
+    # -- execution -----------------------------------------------------------
+
+    def _count_evaluations(self, n: int = 1) -> None:
+        with self._lock:
+            self.stats["evaluations"] += n
+
+    def _execute(self, job: JobRecord) -> None:
+        job.status = "running"
+        tap = MemoryLedger(run_id=job.job_id)
+        job.events = tap.events
+        try:
+            document = self._run_spec(job, tap)
+            text = canonical_json(document)
+        except ReproError as error:
+            self._resolve(job, error={
+                "code": "evaluation_failed",
+                "message": f"{type(error).__name__}: {error}",
+            })
+            return
+        except Exception as error:  # noqa: BLE001 - jobs must not kill workers
+            self._resolve(job, error={
+                "code": "internal_error",
+                "message": f"{type(error).__name__}: {error}",
+            })
+            return
+        self.cache.put(job.fingerprint, text)
+        with self._lock:
+            self.stats["executions"] += 1
+        self._resolve(job, text=text)
+
+    def _resolve(
+        self, job: JobRecord, text: str | None = None, error=None
+    ) -> None:
+        followers = self.coalescer.release(job.fingerprint, job)
+        for record in (job, *followers):
+            if record.finished:
+                continue
+            record.result_text = text
+            record.error = error
+            record.status = "done" if error is None else "failed"
+            record.done_event.set()
+
+    def _run_spec(self, job: JobRecord, tap: MemoryLedger) -> dict:
+        spec = job.spec
+        if spec.kind == "sweep":
+            return self._run_sweep(job, spec, tap)
+        return self._run_explore(spec, tap)
+
+    def _run_sweep(self, job: JobRecord, spec, tap: MemoryLedger) -> dict:
+        from repro.core.pareto import pareto_frontier
+        from repro.core.sweep import Sweep
+        from repro.serve.workloads import get_workload
+
+        def on_progress(reporter: ProgressReporter) -> None:
+            job.progress = {
+                "done": reporter.done,
+                "failed": reporter.failed,
+                "total": reporter.total,
+            }
+            tap.event(
+                "progress",
+                done=reporter.done,
+                failed=reporter.failed,
+                total=reporter.total,
+            )
+
+        sweep = Sweep(axes=dict(spec.axes))
+        evaluate = _CountingEvaluate(
+            get_workload(spec.workload), self._count_evaluations
+        )
+        reporter = ProgressReporter(
+            total=sweep.n_points, enabled=False, callback=on_progress
+        )
+        outcome = sweep.run(
+            evaluate,
+            skip_errors=spec.skip_errors,
+            ledger=tap,
+            progress=reporter,
+        )
+        points = [
+            {"parameters": point.parameters, "result": point.result}
+            for point in outcome.points
+        ]
+        document = {
+            "kind": "sweep",
+            "schema_version": SCHEMA_VERSION,
+            "workload": spec.workload,
+            "n_points": sweep.n_points,
+            "n_ok": len(outcome.points),
+            "n_failed": len(outcome.failures),
+            "points": points,
+            "failures": [
+                {
+                    "parameters": failure.parameters,
+                    "error": str(failure.error),
+                }
+                for failure in outcome.failures
+            ],
+        }
+        # Workloads that publish an `objectives` vector get the Pareto
+        # pass for free: the frontier over successful points, returned
+        # as indices into `points`.
+        if points and all(
+            isinstance(p["result"], dict) and "objectives" in p["result"]
+            for p in points
+        ):
+            indexed = list(enumerate(points))
+            frontier = pareto_frontier(
+                indexed,
+                objectives=lambda pair: pair[1]["result"]["objectives"],
+            )
+            document["frontier_indices"] = sorted(
+                index for index, _ in frontier
+            )
+        return document
+
+    def _run_explore(self, spec, tap: MemoryLedger) -> dict:
+        from repro.core.explorer import DesignSpaceExplorer
+
+        kwargs = {"batch": spec.backend == "batched"}
+        if spec.widths is not None:
+            kwargs["widths"] = spec.widths
+        if spec.bank_options is not None:
+            kwargs["bank_options"] = spec.bank_options
+        explorer = DesignSpaceExplorer(**kwargs)
+        result = explorer.explore(spec.to_requirements(), ledger=tap)
+        self._count_evaluations(result.n_explored)
+        return {
+            "kind": "explore",
+            "schema_version": SCHEMA_VERSION,
+            "application": result.requirements.name,
+            "backend": spec.backend,
+            "n_explored": result.n_explored,
+            "n_feasible": len(result.feasible),
+            "frontier": [
+                _metrics_document(metrics) for metrics in result.frontier
+            ],
+            "discrete_baseline": (
+                _metrics_document(result.discrete_baseline)
+                if result.discrete_baseline is not None
+                else None
+            ),
+            "best": (
+                {
+                    "min_power": result.min_power.label,
+                    "min_area": result.min_area.label,
+                    "min_cost": result.min_cost.label,
+                }
+                if result.feasible
+                else None
+            ),
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    def _job(self, job_id: str) -> JobRecord:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise RequestError(
+                f"no such job {job_id!r}", code="not_found", http_status=404
+            )
+        return job
+
+    def wait(self, job_id: str, timeout_s: float | None = None) -> bool:
+        """Block until the job finishes (True) or the timeout lapses."""
+        return self._job(job_id).done_event.wait(timeout_s)
+
+    def status(self, job_id: str) -> dict:
+        job = self._job(job_id)
+        return ok_envelope(
+            job_id=job.job_id,
+            kind=job.spec.kind,
+            status=self.status_of(job),
+            fingerprint=job.fingerprint,
+            cached=job.cached,
+            coalesced_with=job.coalesced_with,
+            progress=job.progress,
+            error=job.error,
+        )
+
+    def result_text(self, job_id: str) -> str:
+        """The canonical result document text (exact cached bytes)."""
+        job = self._job(job_id)
+        if not job.finished:
+            raise RequestError(
+                f"job {job_id} is {self.status_of(job)}; result not ready",
+                code="not_ready",
+                http_status=409,
+            )
+        if job.status == "failed":
+            error = job.error or {}
+            raise RequestError(
+                error.get("message", "job failed"),
+                code=error.get("code", "job_failed"),
+                http_status=500,
+            )
+        return job.result_text
+
+    def result(self, job_id: str) -> dict:
+        # The envelope contains nothing job-specific beyond the
+        # fingerprint, so identical jobs — cold, warm or coalesced —
+        # serialize to identical bytes.
+        job = self._job(job_id)
+        return ok_envelope(
+            fingerprint=job.fingerprint,
+            result=json.loads(self.result_text(job_id)),
+        )
+
+    def report(self, job_id: str, top: int = 10) -> dict:
+        from repro.reporting.runreport import job_report_markdown
+
+        job = self._job(job_id)
+        if not job.finished:
+            raise RequestError(
+                f"job {job_id} is {self.status_of(job)}; report not ready",
+                code="not_ready",
+                http_status=409,
+            )
+        events = self.job_events(job)
+        return ok_envelope(
+            job_id=job.job_id,
+            status=job.status,
+            cached=job.cached,
+            markdown=job_report_markdown(events, top=top),
+        )
+
+    def job_events(self, job: JobRecord) -> list:
+        """The job's event list (a follower reads its primary's)."""
+        if job.coalesced_with is not None:
+            primary = self._jobs.get(job.coalesced_with)
+            if primary is not None:
+                return primary.events
+        return job.events
+
+    def events_since(self, job_id: str, cursor: int) -> tuple:
+        """``(new events, finished)`` for SSE polling from ``cursor``."""
+        job = self._job(job_id)
+        events = self.job_events(job)
+        return events[cursor:], job.finished
+
+    def stats_document(self) -> dict:
+        with self._lock:
+            counters = dict(self.stats)
+        return ok_envelope(
+            jobs=len(self._jobs),
+            in_flight=self.coalescer.in_flight,
+            coalesced=self.coalescer.coalesced,
+            cache=self.cache.stats(),
+            **counters,
+        )
+
+
+# -- routing -----------------------------------------------------------------
+
+_JOB_PATH = re.compile(
+    r"^/v1/jobs/(?P<job_id>[A-Za-z0-9_-]+)"
+    r"(?:/(?P<leaf>result|report|events))?$"
+)
+
+#: Paths that exist (for 405-vs-404 discrimination).
+_KNOWN_FIXED_PATHS = {"/v1/jobs", "/v1/healthz", "/v1/stats"}
+
+
+def parse_wait_s(query: str) -> float | None:
+    """``wait_s`` from a query string, validated and capped."""
+    if not query:
+        return None
+    for part in query.split("&"):
+        key, _, raw = part.partition("=")
+        if key != "wait_s":
+            continue
+        try:
+            wait_s = float(raw)
+        except ValueError:
+            raise RequestError(
+                f"wait_s must be a number, got {raw!r}"
+            ) from None
+        if wait_s < 0:
+            raise RequestError("wait_s must be >= 0")
+        return min(wait_s, MAX_WAIT_S)
+    return None
+
+
+def route(service: ExplorationService, method: str, path: str, body=None):
+    """Dispatch one request; returns ``(http_status, payload dict)``.
+
+    The single entry point shared by the socket server and the
+    in-process test client.  ``body`` is the decoded JSON payload (or
+    None); JSON decoding errors belong to the transport layer.
+    """
+    try:
+        return _route(service, method, path, body)
+    except RequestError as error:
+        return error.http_status, error_envelope(error.code, str(error))
+
+
+def _route(service, method, path, body):
+    path, _, query = path.partition("?")
+    if path == "/v1/jobs":
+        if method != "POST":
+            raise _method_not_allowed(method, path)
+        return 200, service.submit(body)
+    match = _JOB_PATH.match(path)
+    if match is not None:
+        if method != "GET":
+            raise _method_not_allowed(method, path)
+        job_id = match.group("job_id")
+        leaf = match.group("leaf")
+        if leaf is None:
+            wait_s = parse_wait_s(query)
+            if wait_s is not None:
+                service.wait(job_id, wait_s)
+            return 200, service.status(job_id)
+        if leaf == "result":
+            return 200, service.result(job_id)
+        if leaf == "report":
+            return 200, service.report(job_id)
+        # SSE is transport-level; the in-process client polls instead.
+        events, finished = service.events_since(job_id, 0)
+        return 200, ok_envelope(
+            job_id=job_id, events=events, finished=finished
+        )
+    if path == "/v1/healthz":
+        if method != "GET":
+            raise _method_not_allowed(method, path)
+        return 200, ok_envelope(status="healthy", jobs=len(service._jobs))
+    if path == "/v1/stats":
+        if method != "GET":
+            raise _method_not_allowed(method, path)
+        return 200, service.stats_document()
+    raise RequestError(
+        f"no such endpoint {path!r}", code="not_found", http_status=404
+    )
+
+
+def _method_not_allowed(method: str, path: str) -> RequestError:
+    return RequestError(
+        f"method {method} not allowed on {path}",
+        code="method_not_allowed",
+        http_status=405,
+    )

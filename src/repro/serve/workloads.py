@@ -1,0 +1,172 @@
+"""Named sweep workloads the service can run.
+
+A workload is a plain python function of scalar keyword parameters
+returning a JSON-able dict — exactly what :meth:`Sweep.run
+<repro.core.sweep.Sweep.run>` calls per point.  The registry maps the
+names clients put in ``job.workload`` to these functions, and exposes
+each workload's accepted parameter names so the protocol layer can
+reject a typoed axis *before* any evaluation runs.
+
+Workloads must be deterministic in their parameters: the content-
+addressed result cache serves a stored response for any identical job,
+so a nondeterministic workload would make cache hits observably differ
+from cold runs.  All built-ins are pinned (analytic evaluation, or
+seeded simulation).
+
+If a workload result dict carries an ``objectives`` list (values to
+*minimize*), the service computes the Pareto frontier over the sweep's
+successful points with :func:`repro.core.pareto.pareto_frontier` and
+returns the frontier indices alongside the points.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import ConfigurationError
+from repro.units import GBIT, MBIT
+
+#: name -> callable(**scalar params) -> JSON-able dict
+_WORKLOADS: dict = {}
+
+
+def register_workload(name: str, fn, replace: bool = False) -> None:
+    """Register a workload function under a client-visible name.
+
+    Tests register throwaway workloads (slow, failing, counting); the
+    built-ins below register themselves at import.
+    """
+    if not name:
+        raise ConfigurationError("workload name required")
+    if not replace and name in _WORKLOADS:
+        raise ConfigurationError(f"workload {name!r} already registered")
+    _WORKLOADS[name] = fn
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registered workload (test cleanup)."""
+    _WORKLOADS.pop(name, None)
+
+
+def has_workload(name: str) -> bool:
+    return name in _WORKLOADS
+
+
+def get_workload(name: str):
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown workload {name!r}") from None
+
+
+def workload_names() -> list:
+    return sorted(_WORKLOADS)
+
+
+def workload_parameters(name: str) -> tuple:
+    """Keyword parameters a workload accepts (axis-name validation)."""
+    fn = get_workload(name)
+    signature = inspect.signature(fn)
+    return tuple(signature.parameters)
+
+
+# -- built-ins ---------------------------------------------------------------
+
+
+def edram_tradeoff(
+    size_mbit: float = 16.0,
+    width: int = 64,
+    banks: int = 4,
+    page_bits: int = 2048,
+    locality: float = 0.6,
+    bandwidth_gbit_s: float = 2.0,
+) -> dict:
+    """Analytic power/area/cost/bandwidth of one eDRAM organization.
+
+    The paper's central trade-off (Sections 3-5) as a sweepable point:
+    requirements sized to the macro itself, bandwidth demand and
+    locality from the axes.  ``objectives`` orders the minimization
+    tuple (power, area, cost, -sustained bandwidth), so the service's
+    Pareto pass reproduces the E10 frontier shape over any axes subset.
+    """
+    from repro.core.evaluator import Evaluator
+    from repro.core.requirements import ApplicationRequirements
+    from repro.dram.edram import EDRAMMacro
+
+    macro = EDRAMMacro(
+        size_bits=int(size_mbit * MBIT),
+        width=width,
+        banks=banks,
+        page_bits=page_bits,
+    )
+    requirements = ApplicationRequirements(
+        name="serve point",
+        capacity_bits=macro.size_bits,
+        sustained_bandwidth_bits_per_s=bandwidth_gbit_s * GBIT,
+        locality=locality,
+    )
+    evaluator = Evaluator()
+    metrics = evaluator.evaluate_macro(macro, requirements)
+    feasible = evaluator.meets(metrics, requirements)
+    return {
+        "label": metrics.label,
+        "feasible": feasible,
+        "power_w": metrics.power_w,
+        "area_mm2": metrics.area_mm2,
+        "unit_cost": metrics.unit_cost,
+        "mean_latency_ns": metrics.mean_latency_ns,
+        "peak_bandwidth_gbit_s": metrics.peak_bandwidth_bits_per_s / GBIT,
+        "sustained_bandwidth_gbit_s": (
+            metrics.sustained_bandwidth_bits_per_s / GBIT
+        ),
+        "objectives": [
+            metrics.power_w,
+            metrics.area_mm2,
+            metrics.unit_cost,
+            -metrics.sustained_bandwidth_bits_per_s,
+        ],
+    }
+
+
+def injected_sim(
+    cycles: int = 2_000,
+    warmup_cycles: int = 200,
+    seed: int = 0,
+    cell_faults: int = 0,
+    refresh_drop_rate: float = 0.0,
+    fifo_stall_rate: float = 0.0,
+) -> dict:
+    """Seeded fault-injected simulation (PR 4's injector as a service
+    workload) — the chaos-test surface: faults on the axes, bit-exact
+    per seed.
+    """
+    from repro.inject import InjectionConfig
+    from repro.inject.runtime import build_injected_simulator
+
+    injection = None
+    if cell_faults or refresh_drop_rate or fifo_stall_rate:
+        injection = InjectionConfig(
+            seed=seed,
+            n_cell_faults=cell_faults,
+            refresh_drop_rate=refresh_drop_rate,
+            fifo_stall_rate=fifo_stall_rate,
+        )
+    simulator = build_injected_simulator(
+        injection,
+        cycles=cycles,
+        warmup_cycles=warmup_cycles,
+        seed=seed,
+    )
+    result = simulator.run()
+    return {
+        "requests_completed": result.requests_completed,
+        "data_bits_transferred": result.data_bits_transferred,
+        "row_hit_rate": result.row_hit_rate,
+        "refreshes": result.refreshes,
+        "mean_latency_cycles": result.latency.mean,
+        "injected": injection is not None,
+    }
+
+
+register_workload("edram_tradeoff", edram_tradeoff)
+register_workload("injected_sim", injected_sim)

@@ -16,7 +16,11 @@ input:
 * ``evaluator_memo`` — memoized evaluator results equal cold ones;
 * ``mapping_roundtrip`` — address decode/encode is a bijection;
 * ``pacing_plan`` — ``tick_many``/``cycles_until_wants`` are
-  bit-identical to iterated ``tick`` calls.
+  bit-identical to iterated ``tick`` calls;
+* ``serve_protocol`` — the exploration service accepts every valid job
+  payload (executes it, caches it byte-identically, re-serves it
+  without re-evaluating) and rejects every invalid one with a 4xx
+  envelope, never a crash (the ``fuzz_serve`` target).
 
 Every case derives from ``random.Random(f"{seed}:{index}")``, so a
 failure is pinned by ``(property, seed, index)`` alone; the harness
@@ -232,6 +236,119 @@ def gen_pacing_case(rng: random.Random) -> dict:
         "ticks": rng.randint(1, 400),
         "limit": rng.randint(1, 400),
     }
+
+
+#: Workload name the serve fuzzer registers for its generated jobs.
+_SERVE_FUZZ_WORKLOAD = "fuzz_point"
+
+
+def _serve_fuzz_point(a: int = 1, b: int = 2, mode: str = "ok") -> dict:
+    """Cheap deterministic workload behind the ``serve_protocol`` fuzz.
+
+    Pure arithmetic keeps thousands of fuzz evaluations fast, and the
+    ``mode`` axis gives the generator a handle on the quarantine path
+    (``mode="boom"`` raises like an unconstructible design point).
+    """
+    if mode == "boom":
+        raise ConfigurationError("fuzz point asked to fail")
+    return {
+        "value": a * 31 + b,
+        "objectives": [float(a + b), float(a - b)],
+    }
+
+
+def gen_serve_case(rng: random.Random) -> dict:
+    """A job payload for the service, labeled valid or invalid.
+
+    Valid payloads are built only from known-good constructions (the
+    label is the oracle, so it must be *correct by construction*, not
+    re-derived by the code under test); invalid ones take a valid
+    payload and apply one mutation that is invalid by the protocol's
+    documented rules.
+    """
+    payload: dict = {
+        "kind": "sweep",
+        "workload": _SERVE_FUZZ_WORKLOAD,
+        "axes": {},
+        "backend": rng.choice(["auto", "scalar"]),
+    }
+    axes = payload["axes"]
+    for axis in ("a", "b"):
+        if axis == "a" or rng.random() < 0.7:
+            axes[axis] = [
+                rng.randint(-50, 50)
+                for _ in range(rng.randint(1, 3))
+            ]
+    if rng.random() < 0.3:
+        # Exercise the quarantine path: failing points + skip_errors.
+        axes["mode"] = ["ok", "boom"]
+        payload["skip_errors"] = True
+    elif rng.random() < 0.5:
+        payload["skip_errors"] = rng.random() < 0.5
+
+    if rng.random() < 0.55:
+        return {"payload": payload, "valid": True}
+
+    mutation = rng.choice(
+        [
+            "drop_kind",
+            "bad_kind",
+            "unknown_workload",
+            "unknown_axis",
+            "empty_axes",
+            "axis_not_list",
+            "empty_axis_values",
+            "non_scalar_value",
+            "bad_backend",
+            "unknown_field",
+            "bad_skip_errors",
+            "too_large",
+            "not_an_object",
+            "explore_no_requirements",
+            "explore_bad_capacity",
+        ]
+    )
+    if mutation == "drop_kind":
+        del payload["kind"]
+    elif mutation == "bad_kind":
+        payload["kind"] = rng.choice(["sweeep", "", "job", 7])
+    elif mutation == "unknown_workload":
+        payload["workload"] = "no_such_workload"
+    elif mutation == "unknown_axis":
+        axes["no_such_parameter"] = [1]
+    elif mutation == "empty_axes":
+        payload["axes"] = {}
+    elif mutation == "axis_not_list":
+        axes["a"] = 5
+    elif mutation == "empty_axis_values":
+        axes["a"] = []
+    elif mutation == "non_scalar_value":
+        axes["a"] = [[1, 2]]
+    elif mutation == "bad_backend":
+        payload["backend"] = "warp"
+    elif mutation == "unknown_field":
+        payload["axess"] = {"a": [1]}
+    elif mutation == "bad_skip_errors":
+        payload["skip_errors"] = "yes"
+    elif mutation == "too_large":
+        payload["axes"] = {
+            "a": list(range(80)),
+            "b": list(range(80)),
+        }
+    elif mutation == "not_an_object":
+        payload = rng.choice([[], "job", 7, None])
+    elif mutation == "explore_no_requirements":
+        payload = {"kind": "explore"}
+    elif mutation == "explore_bad_capacity":
+        payload = {
+            "kind": "explore",
+            "requirements": {
+                "name": "f",
+                "capacity_mbit": -rng.randint(1, 9),
+                "bandwidth_gbit_s": 1.0,
+            },
+        }
+    return {"payload": payload, "valid": False}
 
 
 # -- builders ----------------------------------------------------------------
@@ -520,6 +637,93 @@ def check_pacing_plan(params: dict) -> list:
     return messages
 
 
+def check_serve_protocol(params: dict) -> list:
+    """The ``fuzz_serve`` target: valid jobs run + cache byte-identically,
+    invalid jobs get a 4xx envelope, and nothing ever crashes the
+    service."""
+    from repro.serve.handlers import ExplorationService, route
+    from repro.serve.protocol import SCHEMA_VERSION
+    from repro.serve.workloads import register_workload, unregister_workload
+
+    payload, valid = params["payload"], params["valid"]
+    messages: list = []
+
+    def note_envelope(status: int, body) -> None:
+        if not isinstance(body, dict):
+            messages.append(f"non-object response body: {body!r}")
+        elif body.get("schema_version") != SCHEMA_VERSION:
+            messages.append(
+                f"response missing schema_version {SCHEMA_VERSION}: {body}"
+            )
+
+    register_workload(_SERVE_FUZZ_WORKLOAD, _serve_fuzz_point, replace=True)
+    service = ExplorationService(max_workers=2)
+    try:
+        status, body = route(service, "POST", "/v1/jobs", payload)
+        note_envelope(status, body)
+        if not valid:
+            if not 400 <= status < 500:
+                messages.append(
+                    f"invalid payload got HTTP {status} (want 4xx): "
+                    f"{body} for {payload!r}"
+                )
+            elif body.get("ok") is not False:
+                messages.append(f"4xx response not marked ok=false: {body}")
+            else:
+                error = body.get("error") or {}
+                if not error.get("code") or not error.get("message"):
+                    messages.append(
+                        f"4xx envelope missing code/message: {body}"
+                    )
+            return messages
+
+        if status != 200:
+            messages.append(
+                f"valid payload rejected with HTTP {status}: {body} "
+                f"for {payload!r}"
+            )
+            return messages
+        job_id = body["job_id"]
+        if not service.wait(job_id, timeout_s=60.0):
+            messages.append(f"job {job_id} did not finish in 60s")
+            return messages
+        final, final_body = route(service, "GET", f"/v1/jobs/{job_id}")
+        note_envelope(final, final_body)
+        if final_body.get("status") != "done":
+            messages.append(
+                f"valid job ended {final_body.get('status')!r}: "
+                f"{final_body.get('error')}"
+            )
+            return messages
+        cold_text = service.result_text(job_id)
+        evaluations = service.stats["evaluations"]
+        executions = service.stats["executions"]
+
+        # Identical re-submission: a warm hit, byte-identical, free.
+        rerun, rerun_body = route(service, "POST", "/v1/jobs", payload)
+        note_envelope(rerun, rerun_body)
+        if rerun != 200 or rerun_body.get("cached") is not True:
+            messages.append(
+                f"identical resubmission not served from cache: "
+                f"HTTP {rerun} {rerun_body}"
+            )
+            return messages
+        warm_text = service.result_text(rerun_body["job_id"])
+        if warm_text.encode() != cold_text.encode():
+            messages.append("warm result bytes differ from cold result")
+        if service.stats["evaluations"] != evaluations:
+            messages.append(
+                f"warm hit re-evaluated: {service.stats['evaluations']} "
+                f"!= {evaluations}"
+            )
+        if service.stats["executions"] != executions:
+            messages.append("warm hit counted as an execution")
+        return messages
+    finally:
+        service.close()
+        unregister_workload(_SERVE_FUZZ_WORKLOAD)
+
+
 @dataclass(frozen=True)
 class FuzzProperty:
     """One fuzzable property: a generator plus a predicate.
@@ -546,6 +750,7 @@ PROPERTIES = (
     ),
     FuzzProperty("evaluator_memo", gen_macro_case, check_evaluator_memo),
     FuzzProperty("pacing_plan", gen_pacing_case, check_pacing_plan),
+    FuzzProperty("serve_protocol", gen_serve_case, check_serve_protocol),
 )
 
 PROPERTY_BY_NAME = {prop.name: prop for prop in PROPERTIES}

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite (currently: the serve layer).
+
+The serve fixtures are thin wrappers over ``tests.serve_helpers`` —
+see that module and docs/TESTING.md for what each workload/environment
+is for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.serve_helpers import contract_env, gated_env
+
+
+@pytest.fixture()
+def contract_service():
+    """(service, InProcessClient) with the ``t_contract`` workload."""
+    with contract_env() as pair:
+        yield pair
+
+
+@pytest.fixture()
+def gated_service():
+    """(service, InProcessClient) with the blockable ``t_gated``
+    workload — concurrency tests hold jobs in flight with it."""
+    with gated_env() as pair:
+        yield pair

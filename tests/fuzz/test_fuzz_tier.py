@@ -35,6 +35,14 @@ def test_per_property_focus(prop):
     _assert_ok(run_fuzz(seed=1234, budget=120, properties=[prop]))
 
 
+@pytest.mark.parametrize("seed", [11, 42])
+def test_fuzz_serve_deep(seed):
+    # The exploration service under sustained random traffic: every
+    # valid payload executes + caches byte-identically, every invalid
+    # one gets a 4xx envelope — across hundreds of in-process servers.
+    _assert_ok(run_fuzz(seed=seed, budget=150, properties=["serve_protocol"]))
+
+
 def test_sim_differential_long_runs():
     # Longer simulations widen the window for drift between the fast
     # path and the per-cycle loop (more refreshes, more skips).

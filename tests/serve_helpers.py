@@ -1,0 +1,107 @@
+"""Shared fixtures-support for the serve test layer.
+
+Importable as ``tests.serve_helpers`` (the tests directory is a
+package).  Holds the pieces several serve test modules and the golden
+generator need to agree on:
+
+* ``contract_workload`` — a pure-arithmetic workload whose results are
+  bit-identical on every platform, so golden response fixtures can pin
+  exact bytes (the analytic evaluator's floats are deterministic too,
+  but arithmetic makes the goldens human-checkable).
+* ``gated_workload`` — blocks on a named :class:`threading.Event`
+  until the test opens it; concurrency tests use it to hold a job
+  in-flight deterministically instead of sleeping and hoping.
+* ``contract_env`` / ``gated_env`` — context managers that register
+  the workload, build an in-process service+client pair, and guarantee
+  unregistration on the way out.
+
+See docs/TESTING.md ("Service tests") for the map of which test module
+uses which helper.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.serve.testing import in_process_service
+from repro.serve.workloads import register_workload, unregister_workload
+
+CONTRACT_WORKLOAD = "t_contract"
+GATED_WORKLOAD = "t_gated"
+
+#: The canonical job the golden fixtures are built around.
+CONTRACT_JOB = {
+    "kind": "sweep",
+    "workload": CONTRACT_WORKLOAD,
+    "axes": {"x": [0, 1, 2], "y": [3]},
+}
+
+GOLDENS_PATH = (
+    Path(__file__).parent / "data" / "serve" / "contract_goldens.json"
+)
+
+
+def contract_workload(x: int = 1, y: int = 2) -> dict:
+    """Deterministic arithmetic point: JSON-able, platform-independent."""
+    if x < 0:
+        raise ConfigurationError("x must be >= 0")
+    return {
+        "sum": x + y,
+        "product": x * y,
+        "objectives": [float(x + y), float(-x * y)],
+    }
+
+
+#: name -> Event; gated_workload blocks until the named gate opens.
+GATES: dict = {}
+
+
+def open_gate(name: str) -> None:
+    GATES.setdefault(name, threading.Event()).set()
+
+
+def reset_gate(name: str) -> None:
+    GATES[name] = threading.Event()
+
+
+def gated_workload(x: int = 0, gate: str = "default") -> dict:
+    event = GATES.setdefault(gate, threading.Event())
+    if not event.wait(timeout=30.0):
+        raise SimulationError(f"gate {gate!r} never opened")
+    return {"x": x}
+
+
+@contextmanager
+def contract_env(cache=None, max_workers: int = 4):
+    register_workload(CONTRACT_WORKLOAD, contract_workload, replace=True)
+    try:
+        with in_process_service(
+            cache=cache, max_workers=max_workers
+        ) as pair:
+            yield pair
+    finally:
+        unregister_workload(CONTRACT_WORKLOAD)
+
+
+@contextmanager
+def gated_env(cache=None, max_workers: int = 4):
+    register_workload(GATED_WORKLOAD, gated_workload, replace=True)
+    try:
+        with in_process_service(
+            cache=cache, max_workers=max_workers
+        ) as pair:
+            yield pair
+    finally:
+        unregister_workload(GATED_WORKLOAD)
+
+
+def scrub(document: dict, volatile) -> dict:
+    """A copy of ``document`` with the volatile top-level keys removed."""
+    return {
+        key: value
+        for key, value in document.items()
+        if key not in set(volatile)
+    }

@@ -336,6 +336,40 @@ class TestRetryAndTimeout:
         assert "TimeoutError" in outcomes[1].error
         assert global_metrics.value("parallel_map.timeouts") == 1
 
+    def test_timed_out_chunk_emits_timeout_span(self):
+        # Regression: the quarantined chunk used to leave only a bare
+        # `timeout` event, so the run report's span waterfall silently
+        # dropped the chunk that cost the most wall time.
+        from repro.obs.ledger import MemoryLedger
+        from repro.reporting.runreport import summarize_ledger
+
+        ledger = MemoryLedger(run_id="timeout-span")
+        config = ParallelConfig(workers=2, chunk_size=1, timeout_s=0.4)
+        outcomes = parallel_map(
+            _slow_square, [1, 2, 3], config=config, ledger=ledger
+        )
+        assert any(not outcome.ok for outcome in outcomes)
+        timeouts = [
+            event for event in ledger.events if event["kind"] == "timeout"
+        ]
+        span_ends = [
+            event
+            for event in ledger.events
+            if event["kind"] == "span_end"
+            and event.get("status") == "timeout"
+        ]
+        assert len(span_ends) == len(timeouts) >= 1
+        for timeout_event, span_end in zip(timeouts, span_ends):
+            assert span_end["name"] == (
+                f"chunk {timeout_event['index']} (timeout)"
+            )
+            assert span_end["s"] == pytest.approx(config.timeout_s)
+        # ...and the report pipeline now shows the lost chunk.
+        summary = summarize_ledger(ledger.events)
+        assert any(
+            "(timeout)" in span["name"] for span in summary["spans"]
+        )
+
     def test_watchdog_config_validation(self):
         with pytest.raises(ConfigurationError):
             ParallelConfig(timeout_s=0.0)

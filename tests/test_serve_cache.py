@@ -1,0 +1,313 @@
+"""Cache-correctness tests: the content-addressed store and coalescer.
+
+The service's central promise: a warm-cache response is *byte-
+identical* to the cold evaluation it stands in for, and costs zero
+evaluations.  These tests pin that promise three ways — the store
+itself (LRU/eviction/persistence semantics), the fingerprint (what
+must and must not share a key), and the service (evaluation-count
+probe, duplicate in-flight jobs sharing one execution).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import parse_job
+from tests.serve_helpers import (
+    CONTRACT_JOB,
+    contract_env,
+    gated_env,
+    open_gate,
+    reset_gate,
+)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get("k1") is None
+        cache.put("k1", '{"a":1}')
+        assert cache.get("k1") == '{"a":1}'
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"  # refresh a's recency
+        cache.put("c", "3")  # evicts b, the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+        assert cache.evictions == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(maxsize=0)
+
+    def test_only_text_is_accepted(self):
+        cache = ResultCache()
+        with pytest.raises(ConfigurationError):
+            cache.put("k", {"not": "text"})
+
+    def test_persistence_round_trip(self, tmp_path):
+        spill = tmp_path / "results.jsonl"
+        first = ResultCache(maxsize=8, path=spill)
+        first.put("k1", '{"v":1}')
+        first.put("k2", '{"v":2}')
+        reopened = ResultCache(maxsize=8, path=spill)
+        assert reopened.get("k1") == '{"v":1}'
+        assert reopened.get("k2") == '{"v":2}'
+
+    def test_persistence_last_record_wins_and_tolerates_torn_tail(
+        self, tmp_path
+    ):
+        spill = tmp_path / "results.jsonl"
+        with open(spill, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"fingerprint": "k", "result": "old"}) + "\n"
+            )
+            handle.write(
+                json.dumps({"fingerprint": "k", "result": "new"}) + "\n"
+            )
+            handle.write('{"fingerprint": "torn...')
+        cache = ResultCache(path=spill)
+        assert cache.get("k") == "new"
+
+
+class TestFingerprint:
+    def _fingerprint(self, job: dict) -> str:
+        return parse_job(job).fingerprint()
+
+    def test_identical_jobs_share_a_fingerprint(self):
+        with contract_env():
+            assert self._fingerprint(CONTRACT_JOB) == self._fingerprint(
+                json.loads(json.dumps(CONTRACT_JOB))
+            )
+
+    def test_axis_values_change_the_fingerprint(self):
+        with contract_env():
+            other = json.loads(json.dumps(CONTRACT_JOB))
+            other["axes"]["x"] = [0, 1, 3]
+            assert self._fingerprint(other) != self._fingerprint(
+                CONTRACT_JOB
+            )
+
+    def test_axis_order_changes_the_fingerprint(self):
+        # Point order follows axis order, so a reordered grid is a
+        # different result document — it must not share a cache entry.
+        with contract_env():
+            reordered = dict(CONTRACT_JOB)
+            axes = CONTRACT_JOB["axes"]
+            reordered["axes"] = dict(reversed(list(axes.items())))
+            assert self._fingerprint(reordered) != self._fingerprint(
+                CONTRACT_JOB
+            )
+
+    def test_flags_change_the_fingerprint(self):
+        with contract_env():
+            assert self._fingerprint(
+                dict(CONTRACT_JOB, skip_errors=True)
+            ) != self._fingerprint(CONTRACT_JOB)
+
+    def test_explore_requirement_key_order_is_canonical(self):
+        base = {
+            "kind": "explore",
+            "requirements": {
+                "name": "app",
+                "capacity_mbit": 8,
+                "bandwidth_gbit_s": 1.5,
+            },
+        }
+        shuffled = {
+            "kind": "explore",
+            "requirements": {
+                "bandwidth_gbit_s": 1.5,
+                "name": "app",
+                "capacity_mbit": 8,
+            },
+        }
+        assert (
+            parse_job(base).fingerprint()
+            == parse_job(shuffled).fingerprint()
+        )
+
+
+class TestServiceCache:
+    def test_warm_hit_is_byte_identical_and_free(self):
+        """The acceptance criterion: identical repeat → identical bytes,
+        zero re-evaluations (the evaluation-count probe)."""
+        with contract_env() as (service, client):
+            cold = client.submit(CONTRACT_JOB)
+            client.wait(cold["job_id"])
+            cold_text = service.result_text(cold["job_id"])
+            evaluations = service.stats["evaluations"]
+            executions = service.stats["executions"]
+            assert evaluations == 3  # one per grid point
+
+            warm = client.submit(CONTRACT_JOB)
+            assert warm["cached"] is True
+            assert warm["status"] == "done"
+            warm_text = service.result_text(warm["job_id"])
+            assert warm_text is cold_text or warm_text == cold_text
+            assert warm_text.encode() == cold_text.encode()
+            assert service.stats["evaluations"] == evaluations
+            assert service.stats["executions"] == executions
+            assert service.stats["cache_hits"] == 1
+
+    def test_shared_cache_survives_service_restart(self, tmp_path):
+        spill = tmp_path / "results.jsonl"
+        with contract_env(
+            cache=ResultCache(maxsize=8, path=spill)
+        ) as (service, client):
+            cold = client.submit(CONTRACT_JOB)
+            client.wait(cold["job_id"])
+            cold_text = service.result_text(cold["job_id"])
+        # A brand-new service over the same spill file serves the same
+        # bytes without a single evaluation.
+        with contract_env(
+            cache=ResultCache(maxsize=8, path=spill)
+        ) as (service, client):
+            warm = client.submit(CONTRACT_JOB)
+            assert warm["cached"] is True
+            assert service.result_text(warm["job_id"]) == cold_text
+            assert service.stats["evaluations"] == 0
+            assert service.stats["executions"] == 0
+
+    def test_eviction_forces_a_cold_run(self):
+        with contract_env(cache=ResultCache(maxsize=1)) as (
+            service,
+            client,
+        ):
+            first = client.submit(CONTRACT_JOB)
+            client.wait(first["job_id"])
+            other = dict(CONTRACT_JOB, axes={"x": [5]})
+            second = client.submit(other)
+            client.wait(second["job_id"])
+            assert service.cache.evictions == 1
+            third = client.submit(CONTRACT_JOB)  # evicted → cold again
+            client.wait(third["job_id"])
+            assert third["cached"] is False
+            assert service.stats["executions"] == 3
+
+
+class TestCoalescing:
+    def test_duplicate_in_flight_jobs_share_one_execution(self):
+        job = {
+            "kind": "sweep",
+            "workload": "t_gated",
+            "axes": {"x": [1, 2], "gate": ["coalesce"]},
+        }
+        with gated_env() as (service, client):
+            reset_gate("coalesce")
+            first = client.submit(job)
+            second = client.submit(job)
+            assert second["coalesced_with"] == first["job_id"]
+            assert service.coalescer.coalesced == 1
+            assert service.coalescer.in_flight == 1
+            open_gate("coalesce")
+            client.wait(first["job_id"])
+            client.wait(second["job_id"])
+            assert service.stats["executions"] == 1
+            assert service.stats["evaluations"] == 2
+            assert service.result_text(
+                first["job_id"]
+            ) == service.result_text(second["job_id"])
+            assert service.coalescer.in_flight == 0
+
+    def test_followers_inherit_a_primary_failure(self):
+        job = {
+            "kind": "sweep",
+            "workload": "t_gated",
+            # unknown-gate values come from the axes; a negative wait
+            # is impossible, so fail via a bad axis instead
+            "axes": {"x": [1], "gate": ["fail-case"]},
+        }
+        with gated_env() as (service, client):
+            reset_gate("fail-case")
+            first = client.submit(job)
+            second = client.submit(job)
+            # Fail the primary by never opening the gate and letting
+            # the workload's own timeout raise — too slow for a unit
+            # test, so resolve it directly through the service
+            # internals instead.
+            primary = service._jobs[first["job_id"]]
+            service._resolve(
+                primary,
+                error={"code": "evaluation_failed", "message": "boom"},
+            )
+            for job_id in (first["job_id"], second["job_id"]):
+                status = client.status(job_id)
+                assert status["status"] == "failed"
+                assert status["error"]["message"] == "boom"
+            open_gate("fail-case")
+
+    def test_coalesced_counter_in_stats_endpoint(self):
+        job = {
+            "kind": "sweep",
+            "workload": "t_gated",
+            "axes": {"x": [1], "gate": ["stats-case"]},
+        }
+        with gated_env() as (service, client):
+            reset_gate("stats-case")
+            first = client.submit(job)
+            client.submit(job)
+            stats = client.stats()
+            assert stats["coalesced"] == 1
+            assert stats["in_flight"] == 1
+            open_gate("stats-case")
+            client.wait(first["job_id"])
+
+
+def _hammer(client, job, results, index):
+    try:
+        results[index] = client.run(job, timeout_s=60.0)
+    except Exception as error:  # noqa: BLE001 - surface in the test
+        results[index] = error
+
+
+class TestConcurrentSubmissions:
+    def test_two_simultaneous_identical_jobs_one_execution(self):
+        """Acceptance criterion: simultaneous duplicates → one
+        execution, two identical responses."""
+        job = {
+            "kind": "sweep",
+            "workload": "t_gated",
+            "axes": {"x": [1, 2, 3], "gate": ["simultaneous"]},
+        }
+        with gated_env() as (service, client):
+            reset_gate("simultaneous")
+            results: list = [None, None]
+            threads = [
+                threading.Thread(
+                    target=_hammer, args=(client, job, results, index)
+                )
+                for index in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 30.0
+            while (
+                service.stats["submitted"] < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            open_gate("simultaneous")
+            for thread in threads:
+                thread.join(timeout=60.0)
+            for outcome in results:
+                assert isinstance(outcome, dict), outcome
+            assert results[0] == results[1]
+            assert service.stats["executions"] == 1
+            assert service.stats["evaluations"] == 3
+            assert (
+                service.coalescer.coalesced + service.stats["cache_hits"]
+                == 1
+            )

@@ -1,0 +1,78 @@
+"""Chaos test: PR 4's fault injector as a served workload.
+
+A live server sweeps the ``injected_sim`` workload across fault axes —
+dropped refreshes, stuck cells — and must stay deterministic under
+chaos: the injected runs complete, quarantine invalid corners instead
+of dying, and an identical re-submission returns byte-identical
+results (injection is seeded, so even faulty universes replay
+exactly).
+"""
+
+from __future__ import annotations
+
+from repro.serve.testing import running_server
+
+CHAOS_JOB = {
+    "kind": "sweep",
+    "workload": "injected_sim",
+    "axes": {
+        "cycles": [600],
+        "seed": [3],
+        "cell_faults": [0, 40],
+        "refresh_drop_rate": [0.0, 0.2],
+    },
+}
+
+
+class TestServeChaos:
+    def test_injected_sweep_is_deterministic_over_http(self):
+        with running_server() as (server, client):
+            first = client.submit(CHAOS_JOB)
+            final = client.wait(first["job_id"], timeout_s=120.0)
+            assert final["status"] == "done"
+            cold = client.result_bytes(first["job_id"])
+
+            document = client.result(first["job_id"])["result"]
+            assert document["n_ok"] == 4
+            assert document["n_failed"] == 0
+            by_params = {
+                (
+                    point["parameters"]["cell_faults"],
+                    point["parameters"]["refresh_drop_rate"],
+                ): point["result"]
+                for point in document["points"]
+            }
+            baseline = by_params[(0, 0.0)]
+            faulty = by_params[(40, 0.2)]
+            assert baseline["injected"] is False
+            assert faulty["injected"] is True
+            assert baseline["requests_completed"] > 0
+            assert faulty["requests_completed"] > 0
+
+            # Chaos replays exactly: same job, same bytes, no rerun.
+            second = client.submit(CHAOS_JOB)
+            assert second["cached"] is True
+            assert client.result_bytes(second["job_id"]) == cold
+            assert server.service.stats["executions"] == 1
+
+    def test_invalid_fault_corners_are_quarantined(self):
+        job = {
+            "kind": "sweep",
+            "workload": "injected_sim",
+            "axes": {
+                "cycles": [600, -5],
+                "refresh_drop_rate": [0.0, 0.2],
+            },
+            "skip_errors": True,
+        }
+        with running_server() as (server, client):
+            submitted = client.submit(job)
+            final = client.wait(submitted["job_id"], timeout_s=120.0)
+            assert final["status"] == "done"
+            document = client.result(submitted["job_id"])["result"]
+            assert document["n_ok"] == 2
+            assert document["n_failed"] == 2
+            for failure in document["failures"]:
+                assert failure["parameters"]["cycles"] == -5
+            report = client.report(submitted["job_id"])
+            assert "quarantine" in report["markdown"].lower()

@@ -1,0 +1,139 @@
+"""Concurrency tests against a *real* socket server.
+
+The in-process tests in ``test_serve_cache.py`` pin the coalescing and
+cache logic; these pin the whole deployment story: many HTTP clients
+hammering one asyncio server backed by one threaded service, with the
+bookkeeping invariant that every submitted job is accounted for as
+exactly one of executed / cache hit / coalesced follower.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.serve.testing import running_server
+from repro.serve.workloads import register_workload, unregister_workload
+from tests.serve_helpers import gated_workload, open_gate, reset_gate
+
+#: Three distinct jobs — threads pick round-robin, so every fingerprint
+#: is requested several times concurrently.
+JOBS = [
+    {
+        "kind": "sweep",
+        "workload": "edram_tradeoff",
+        "axes": {"width": [16, 32], "banks": [2, 4]},
+    },
+    {
+        "kind": "sweep",
+        "workload": "edram_tradeoff",
+        "axes": {"width": [64], "banks": [2, 4, 8]},
+    },
+    {
+        "kind": "explore",
+        "requirements": {
+            "name": "tiny",
+            "capacity_mbit": 4,
+            "bandwidth_gbit_s": 0.5,
+        },
+        "widths": [16, 32],
+        "bank_options": [2, 4],
+    },
+]
+
+
+def _worker(client, job, slot, results):
+    try:
+        results[slot] = client.run(job, timeout_s=120.0)
+    except Exception as error:  # noqa: BLE001 - surfaced by the test
+        results[slot] = error
+
+
+class TestManyClients:
+    def test_n_clients_hammering_one_server(self):
+        n_threads = 9
+        with running_server() as (server, client):
+            results: list = [None] * n_threads
+            threads = [
+                threading.Thread(
+                    target=_worker,
+                    args=(client, JOBS[slot % len(JOBS)], slot, results),
+                )
+                for slot in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+
+            for outcome in results:
+                assert isinstance(outcome, dict), outcome
+
+            # Identical jobs → identical responses, byte for byte.
+            for offset, job in enumerate(JOBS):
+                texts = {
+                    json.dumps(results[slot], sort_keys=True)
+                    for slot in range(offset, n_threads, len(JOBS))
+                }
+                assert len(texts) == 1
+
+            stats = server.service.stats
+            coalesced = server.service.coalescer.coalesced
+            assert stats["submitted"] == n_threads
+            # The bookkeeping invariant: every submission is exactly
+            # one of cold execution, cache hit, or coalesced follower.
+            assert (
+                stats["executions"] + stats["cache_hits"] + coalesced
+                == stats["submitted"]
+            )
+            # Three distinct fingerprints → exactly three cold runs.
+            assert stats["executions"] == len(JOBS)
+
+    def test_sse_stream_terminates_for_live_job(self):
+        register_workload("t_gated", gated_workload, replace=True)
+        try:
+            with running_server() as (server, client):
+                reset_gate("sse")
+                submitted = client.submit(
+                    {
+                        "kind": "sweep",
+                        "workload": "t_gated",
+                        "axes": {"x": [1, 2], "gate": ["sse"]},
+                    }
+                )
+                job_id = submitted["job_id"]
+                collected: list = []
+
+                def consume() -> None:
+                    collected.extend(client.events(job_id, timeout_s=60.0))
+
+                consumer = threading.Thread(target=consume)
+                consumer.start()
+                open_gate("sse")
+                consumer.join(timeout=60.0)
+                assert not consumer.is_alive()
+                kinds = [event["kind"] for event in collected]
+                assert kinds[0] == "run_start"
+                assert kinds[-1] == "run_end"
+        finally:
+            unregister_workload("t_gated")
+
+    def test_health_stays_responsive_while_job_runs(self):
+        register_workload("t_gated", gated_workload, replace=True)
+        try:
+            with running_server() as (server, client):
+                reset_gate("health")
+                client.submit(
+                    {
+                        "kind": "sweep",
+                        "workload": "t_gated",
+                        "axes": {"x": [1], "gate": ["health"]},
+                    }
+                )
+                # The event loop must answer instantly even though a
+                # worker thread is parked inside the job.
+                assert client.healthz()["status"] == "healthy"
+                assert client.stats()["in_flight"] == 1
+                open_gate("health")
+        finally:
+            unregister_workload("t_gated")
