@@ -525,6 +525,169 @@ def bench_sweep_telemetry(
     )
 
 
+def bench_distributed(report: PerfReport, smoke: bool = False) -> None:
+    """Work-queue executor vs the serial reference, plus kill/resume.
+
+    Three gates, in order:
+
+    1. **Identity** — a 2-worker (and, with the CPUs for it, 4-worker)
+       work-queue sweep over the simulation workload must match the
+       serial reference point for point on ``result_fingerprint``
+       values, every time, before any timing is reported.
+    2. **Scaling** — the documented targets are >= 1.7x at 2 workers
+       and >= 3x at 4 workers.  Like ``bench_parallel_sweep``, the
+       claims are only *asserted* when the machine has the cores to
+       back them (``scaling_expected_*``): a 1-CPU CI box measures
+       coordination overhead, not parallelism.
+    3. **Resume** — a run with a durable result store has one worker
+       ``SIGKILL``-ed mid-sweep; lease expiry reassigns its chunks and
+       the merged result must still be bit-identical to serial.  A
+       second run against the same store must evaluate zero fresh
+       points (the no-fingerprint-evaluated-twice probe).
+    """
+    import shutil
+    import tempfile
+    import threading
+    import time as _time
+
+    from repro.core.executor import WorkQueueExecutor
+    from repro.core.store import ResultStore
+    # Spawned workers unpickle the task function by reference, so the
+    # workload must come from an importable module — this script is
+    # ``__main__`` (or pytest's ``bench_perf``), which workers can't
+    # import.
+    from repro.serve.workloads import sim_fingerprint
+
+    n_seeds = 8 if smoke else 24
+    cycles = 200 if smoke else 1_000
+    sweep = Sweep(axes={"seed": list(range(n_seeds)), "cycles": [cycles]})
+    serial_s, serial_result = measure(
+        lambda: sweep.run(sim_fingerprint, skip_errors=True)
+    )
+    reference = [
+        (p.parameters, p.result) for p in serial_result.points
+    ]
+    cpu = os.cpu_count() or 1
+    tmpdir = tempfile.mkdtemp(prefix="bench-dist-")
+    section: dict = {
+        "points": n_seeds,
+        "cycles_per_point": cycles,
+        "cpus": cpu,
+        "serial_seconds": serial_s,
+    }
+    try:
+        worker_counts = [2] if (smoke or cpu < 4) else [2, 4]
+        for workers in worker_counts:
+            executor = WorkQueueExecutor(
+                os.path.join(tmpdir, f"queue-{workers}w"),
+                workers=workers,
+                lease_timeout_s=30.0,
+                timeout_s=600.0,
+            )
+            try:
+                dist_s, dist_result = measure(
+                    lambda: sweep.run(
+                        sim_fingerprint,
+                        skip_errors=True,
+                        executor=executor,
+                    ),
+                    repeat=1,
+                )
+            finally:
+                executor.close()
+            if [
+                (p.parameters, p.result) for p in dist_result.points
+            ] != reference:
+                raise AssertionError(
+                    f"{workers}-worker work-queue sweep diverged from "
+                    "the serial reference"
+                )
+            expected = cpu >= workers
+            speedup = serial_s / dist_s
+            section[f"seconds_{workers}w"] = dist_s
+            section[f"speedup_{workers}w"] = speedup
+            section[f"scaling_expected_{workers}w"] = expected
+            target = {2: 1.7, 4: 3.0}[workers]
+            if expected and not smoke and speedup < target:
+                raise AssertionError(
+                    f"{workers}-worker work-queue speedup {speedup:.2f}x "
+                    f"is below the documented {target}x target"
+                )
+        # -- kill/resume cycle ------------------------------------------------
+        store = ResultStore(
+            path=os.path.join(tmpdir, "results.store.jsonl")
+        )
+        executor = WorkQueueExecutor(
+            os.path.join(tmpdir, "queue-chaos"),
+            workers=2,
+            lease_timeout_s=2.0,
+            timeout_s=600.0,
+        )
+        holder: dict = {}
+
+        def chaos_run() -> None:
+            holder["result"] = sweep.run(
+                sim_fingerprint,
+                skip_errors=True,
+                executor=executor,
+                store=store,
+            )
+
+        thread = threading.Thread(target=chaos_run)
+        thread.start()
+        # SIGKILL the first spawned worker as soon as it exists: its
+        # leases must expire and its chunks be stolen by the survivor.
+        deadline = _time.monotonic() + 30.0
+        while _time.monotonic() < deadline and not executor._procs:
+            _time.sleep(0.01)
+        if executor._procs:
+            executor._procs[0].kill()
+        thread.join(timeout=600.0)
+        executor.close()
+        resumed = holder.get("result")
+        if resumed is None:
+            raise AssertionError(
+                "work-queue sweep did not recover from the killed worker"
+            )
+        resume_identical = [
+            (p.parameters, p.result) for p in resumed.points
+        ] == reference
+        if not resume_identical:
+            raise AssertionError(
+                "post-kill work-queue result diverged from serial"
+            )
+        # Warm re-run against the same store: every point served from
+        # the store, zero fresh evaluations.
+        warm = sweep.run(
+            sim_fingerprint, skip_errors=True, store=store
+        )
+        warm_identical = [
+            (p.parameters, p.result) for p in warm.points
+        ] == reference
+        if not warm_identical:
+            raise AssertionError(
+                "store-served re-run diverged from serial"
+            )
+        store_stats = store.stats()
+        if store_stats["hits"] < n_seeds:
+            raise AssertionError(
+                "warm re-run was not fully served from the store: "
+                f"{store_stats}"
+            )
+        store.close()
+        section.update(
+            identical=True,
+            resume_identical=resume_identical,
+            warm_identical=warm_identical,
+            requeued_chunks=executor.stats["requeued"],
+            store_entries=store_stats["entries"],
+            store_hits=store_stats["hits"],
+        )
+        report.add("distributed", **section)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def bench_observability(
     report: PerfReport, cycles: int, warmup: int, trace_out: str | None = None
 ) -> None:
@@ -692,6 +855,7 @@ def run(
         ledger_out=ledger_out,
     )
     bench_serve(report)
+    bench_distributed(report, smoke=smoke)
     return report
 
 
@@ -732,6 +896,16 @@ def test_perf_smoke() -> None:
     # The documented service budget: a warm content-addressed hit is at
     # least 10x faster than the cold exploration it replays.
     assert serve["speedup"] >= 10.0, serve
+    dist = report.sections["distributed"]
+    assert dist["identical"]
+    assert dist["resume_identical"]
+    assert dist["warm_identical"]
+    # Scaling targets only hold where the CPUs exist to back them; a
+    # 1-CPU CI box measures coordination overhead, not parallelism.
+    if dist.get("scaling_expected_2w"):
+        assert dist["speedup_2w"] > 1.0, dist
+    if dist.get("scaling_expected_4w"):
+        assert dist["speedup_4w"] > 1.0, dist
 
 
 def test_perf_deterministic() -> None:

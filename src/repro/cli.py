@@ -16,6 +16,8 @@ Usage::
     python -m repro.cli report --check-regression --history BENCH_history.jsonl
     python -m repro.cli serve --port 8765 --cache-path results.jsonl
     python -m repro.cli client submit --job-file job.json --wait
+    python -m repro.cli workers start --queue /shared/queue --n 2
+    python -m repro.cli workers status --queue /shared/queue
 
 Each subcommand prints the corresponding reproduction table; `explore`
 runs a live design-space sweep for the given requirements; `trace` and
@@ -466,6 +468,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument("client_args", nargs=argparse.REMAINDER)
     client.set_defaults(func=_cmd_client)
+
+    workers = sub.add_parser(
+        "workers",
+        help="work-queue sweep workers: join or inspect a shared "
+        "queue directory (see docs/DISTRIBUTED.md)",
+    )
+    workers_sub = workers.add_subparsers(
+        dest="workers_command", required=True
+    )
+    start = workers_sub.add_parser(
+        "start",
+        help="run worker process(es) against a queue directory — on "
+        "this machine or any machine sharing the directory",
+    )
+    start.add_argument(
+        "--queue", required=True, help="work-queue directory"
+    )
+    start.add_argument(
+        "--n", type=int, default=1,
+        help="worker processes to run (default 1; >1 spawns "
+        "subprocesses and waits for them)",
+    )
+    start.add_argument(
+        "--worker-id", default=None,
+        help="stable worker id (single worker only; default pid-random)",
+    )
+    start.add_argument(
+        "--max-idle-s", type=float, default=30.0,
+        help="exit after this long with nothing to claim (default 30)",
+    )
+    start.set_defaults(func=_cmd_workers_start)
+    status = workers_sub.add_parser(
+        "status",
+        help="print a JSON snapshot of the queue: pending/leased/"
+        "completed chunks, expired leases, worker heartbeats",
+    )
+    status.add_argument(
+        "--queue", required=True, help="work-queue directory"
+    )
+    status.set_defaults(func=_cmd_workers_status)
     return parser
 
 
@@ -497,6 +539,67 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve.cli import client_main
 
     return client_main(args.client_args)
+
+
+def _cmd_workers_start(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    if args.n < 1:
+        raise ConfigurationError("--n must be >= 1")
+    if args.n == 1:
+        from repro.core.worker import worker_loop
+
+        chunks = worker_loop(
+            args.queue,
+            worker_id=args.worker_id,
+            max_idle_s=args.max_idle_s,
+        )
+        print(f"worker exited after completing {chunks} chunk(s)")
+        return 0
+    if args.worker_id is not None:
+        raise ConfigurationError(
+            "--worker-id only applies to a single worker (--n 1)"
+        )
+    import subprocess
+
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.core.worker",
+                "--queue",
+                args.queue,
+                "--max-idle-s",
+                str(args.max_idle_s),
+            ]
+        )
+        for _ in range(args.n)
+    ]
+    status = 0
+    for proc in procs:
+        status = max(status, proc.wait())
+    print(f"{len(procs)} worker(s) exited")
+    return status
+
+
+def _cmd_workers_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.executor import WorkQueue
+    from repro.errors import ConfigurationError
+    from pathlib import Path
+
+    if not Path(args.queue).is_dir():
+        raise ConfigurationError(
+            f"no work-queue directory at {args.queue}"
+        )
+    print(
+        json.dumps(
+            WorkQueue(args.queue).status(), indent=2, sort_keys=True
+        )
+    )
+    return 0
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:

@@ -59,6 +59,13 @@ from repro.core.allocation import (
 )
 from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
 from repro.core.sweep import Sweep, SweepPoint, SweepResult
+from repro.core.executor import (
+    Executor,
+    LocalPoolExecutor,
+    SerialExecutor,
+    WorkQueueExecutor,
+)
+from repro.core.store import ResultStore, point_fingerprint
 
 __all__ = [
     "ApplicationRequirements",
@@ -97,4 +104,10 @@ __all__ = [
     "Sweep",
     "SweepPoint",
     "SweepResult",
+    "Executor",
+    "LocalPoolExecutor",
+    "SerialExecutor",
+    "WorkQueueExecutor",
+    "ResultStore",
+    "point_fingerprint",
 ]

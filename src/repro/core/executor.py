@@ -1,0 +1,834 @@
+"""Sweep executors: one interface, local pool to multi-node work queue.
+
+ROADMAP item 3: ``core/parallel.py`` stops at one machine's process
+pool.  This module generalizes sweep execution behind a single
+interface so :meth:`Sweep.run <repro.core.sweep.Sweep.run>` and
+:meth:`DesignSpaceExplorer.explore
+<repro.core.explorer.DesignSpaceExplorer.explore>` do not care where
+points evaluate:
+
+* :class:`SerialExecutor` — the in-process reference path;
+* :class:`LocalPoolExecutor` — the existing
+  :func:`~repro.core.parallel.parallel_map` process pool behind the
+  interface (deterministic chunking, ordered merge, retries, timeouts);
+* :class:`WorkQueueExecutor` — multiple worker *processes* (spawnable
+  on other machines) coordinated through a shared work-queue
+  directory.  See docs/DISTRIBUTED.md for the protocol walkthrough.
+
+Work-queue protocol (all filesystem, no sockets, NFS-friendly)::
+
+    queue/
+      manifest.json         run id, chunk count, lease timeout
+      task.pkl              pickled (fn, catch) every worker loads
+      pending/chunk-00007.json   unclaimed chunks
+      leases/chunk-00007.json    claimed chunks (claim = atomic rename)
+      results/chunk-00007.json   completed chunks (atomic tmp+replace)
+      store/segment-<worker>.jsonl  per-worker durable result segments
+      workers/<worker>.json      heartbeats
+      done.json                  coordinator's shutdown sentinel
+
+* **Claim-by-rename** — a worker claims a chunk by ``os.rename``-ing it
+  from ``pending/`` into ``leases/``; rename is atomic, so exactly one
+  claimant wins and the losers see ``FileNotFoundError`` and move on.
+* **Lease expiry** — a worker renews its lease's mtime after every
+  evaluated point; a lease whose mtime is older than the manifest's
+  ``lease_timeout_s`` belongs to a dead worker.
+* **Work stealing** — both the coordinator and idle workers requeue
+  expired leases (again by rename, so exactly one stealer wins), so a
+  ``SIGKILL``-ed worker's chunks are reassigned instead of lost.
+* **Durable results** — workers append every *fresh* evaluation to
+  their own fsync'd :class:`~repro.core.store.ResultStore` segment
+  before the chunk completes; a stolen chunk consults all segments
+  first, so points a dead worker already finished are served from the
+  store, never evaluated twice.  The coordinator merges segments into
+  the caller's shared store (``store=``) with ``store_merge``
+  provenance events on the run ledger.
+
+Every executor returns one :class:`~repro.core.parallel.PointOutcome`
+per item, in input order — bit-identical to the serial reference path
+(pinned by ``tests/test_core_executor.py``).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.parallel import ParallelConfig, _NeverRaised, parallel_map
+from repro.core.store import decode_outcome, encode_outcome
+from repro.obs.metrics import GLOBAL_METRICS
+
+#: Subdirectories of a work-queue directory.
+PENDING, LEASES, RESULTS, SEGMENTS, WORKERS = (
+    "pending",
+    "leases",
+    "results",
+    "store",
+    "workers",
+)
+MANIFEST, TASK_FILE, DONE_FILE = "manifest.json", "task.pkl", "done.json"
+
+
+class ExecutorError(SimulationError):
+    """Distributed execution failed (lost workers, deadline, bad queue)."""
+
+
+class Executor:
+    """Interface every sweep executor implements.
+
+    ``map`` evaluates ``fn`` over ``items`` and returns one
+    :class:`PointOutcome` per item in input order.  ``keys`` is an
+    optional parallel list of content fingerprints (one per item) that
+    store-backed executors use for durable de-duplication; executors
+    without a store ignore it.
+    """
+
+    name = "executor"
+
+    def map(
+        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+    ) -> list:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-able self-description for ``run_start`` ledger events."""
+        return {"executor": self.name}
+
+    def close(self) -> None:
+        """Release any resources (spawned workers, open stores)."""
+
+
+@dataclass
+class SerialExecutor(Executor):
+    """The in-process reference path behind the executor interface."""
+
+    name = "serial"
+
+    def map(
+        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+    ) -> list:
+        # workers=0 selects parallel_map's serial path, which still
+        # emits the canonical telemetry counter set and notes progress
+        # per chunk — executor parity with the pool paths.
+        return parallel_map(
+            fn,
+            items,
+            config=ParallelConfig(workers=0),
+            catch=catch,
+            ledger=ledger,
+            progress=progress,
+        )
+
+
+@dataclass
+class LocalPoolExecutor(Executor):
+    """One machine's process pool (:func:`parallel_map`) as an executor."""
+
+    config: ParallelConfig = dataclass_field(default_factory=ParallelConfig)
+
+    name = "local_pool"
+
+    def map(
+        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+    ) -> list:
+        return parallel_map(
+            fn,
+            items,
+            config=self.config,
+            catch=catch,
+            ledger=ledger,
+            progress=progress,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "executor": self.name,
+            "workers": self.config.workers,
+            "chunk_size": self.config.chunk_size,
+            "timeout_s": self.config.timeout_s,
+        }
+
+
+def coerce_executor(executor, parallel=None) -> Executor | None:
+    """Normalize ``Sweep.run``'s execution arguments to one executor.
+
+    ``parallel=ParallelConfig(...)`` (the pre-PR-8 spelling) becomes a
+    :class:`LocalPoolExecutor`; passing both is rejected; None/None
+    means the caller's own serial path.
+    """
+    if executor is not None and parallel is not None:
+        raise ConfigurationError(
+            "pass either executor= or parallel=, not both"
+        )
+    if executor is not None:
+        if not callable(getattr(executor, "map", None)):
+            raise ConfigurationError(
+                f"executor must provide .map(), got "
+                f"{type(executor).__name__}"
+            )
+        return executor
+    if parallel is not None:
+        return LocalPoolExecutor(config=parallel)
+    return None
+
+
+# -- work-queue plumbing -----------------------------------------------------
+
+
+def atomic_write_json(path: Path, document: dict) -> None:
+    """Write a JSON file so readers never see a partial document."""
+    tmp_path = path.with_name(path.name + f".tmp-{uuid.uuid4().hex[:8]}")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def read_json(path: Path):
+    """A JSON document, or None if missing/torn (concurrent writer)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def chunk_file_name(index: int) -> str:
+    return f"chunk-{index:05d}.json"
+
+
+class WorkQueue:
+    """The shared work-queue directory: layout, claims, leases, results.
+
+    Used from both sides — the coordinator
+    (:class:`WorkQueueExecutor`) publishes chunks and collects results;
+    workers (:mod:`repro.core.worker`) claim, evaluate and publish.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- layout --------------------------------------------------------------
+
+    def directory(self, name: str) -> Path:
+        return self.root / name
+
+    def create_layout(self) -> None:
+        for name in (PENDING, LEASES, RESULTS, SEGMENTS, WORKERS):
+            self.directory(name).mkdir(parents=True, exist_ok=True)
+
+    def reset(self) -> None:
+        """Clear any previous run's state (a queue runs one map at a time)."""
+        import shutil
+
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.create_layout()
+
+    def manifest(self) -> dict | None:
+        return read_json(self.root / MANIFEST)
+
+    def done(self) -> bool:
+        return (self.root / DONE_FILE).exists()
+
+    def mark_done(self, queue_id: str) -> None:
+        atomic_write_json(self.root / DONE_FILE, {"queue": queue_id})
+
+    # -- task ----------------------------------------------------------------
+
+    def write_task(self, fn, catch: tuple) -> None:
+        payload = pickle.dumps({"fn": fn, "catch": tuple(catch)})
+        tmp = self.root / (TASK_FILE + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.root / TASK_FILE)
+
+    def load_task(self) -> tuple:
+        with open(self.root / TASK_FILE, "rb") as handle:
+            payload = pickle.load(handle)
+        return payload["fn"], tuple(payload["catch"])
+
+    # -- chunks --------------------------------------------------------------
+
+    def publish_chunk(
+        self, index: int, indices: list, items: list, keys: list | None
+    ) -> None:
+        document = {
+            "chunk": index,
+            "indices": list(indices),
+            "items": base64.b64encode(pickle.dumps(list(items))).decode(
+                "ascii"
+            ),
+            "keys": list(keys) if keys is not None else None,
+        }
+        atomic_write_json(
+            self.directory(PENDING) / chunk_file_name(index), document
+        )
+
+    def claim_chunk(self, name: str, worker_id: str) -> dict | None:
+        """Atomically move one pending chunk into ``leases/``.
+
+        Returns the chunk document, or None if another worker won the
+        rename race (or the file vanished).
+        """
+        source = self.directory(PENDING) / name
+        target = self.directory(LEASES) / name
+        try:
+            os.rename(source, target)
+        except OSError:
+            return None
+        document = read_json(target)
+        if document is None:
+            return None
+        document["_lease_path"] = str(target)
+        return document
+
+    def claim_next(self, worker_id: str, lease_timeout_s: float):
+        """Claim the lowest pending chunk, stealing expired leases.
+
+        Pending chunks first (lowest index, so input order is roughly
+        preserved); with none pending, expired leases are requeued and
+        the claim retried once — the work-stealing path.
+        """
+        for name in sorted(os.listdir(self.directory(PENDING))):
+            document = self.claim_chunk(name, worker_id)
+            if document is not None:
+                return document
+        if self.requeue_expired(lease_timeout_s):
+            for name in sorted(os.listdir(self.directory(PENDING))):
+                document = self.claim_chunk(name, worker_id)
+                if document is not None:
+                    return document
+        return None
+
+    def renew_lease(self, lease_path: str) -> None:
+        try:
+            os.utime(lease_path)
+        except OSError:
+            pass  # stolen from under us; the result write still lands
+
+    def expired_leases(self, lease_timeout_s: float) -> list:
+        """Lease file names whose worker has stopped renewing."""
+        now = time.time()
+        expired = []
+        leases = self.directory(LEASES)
+        for name in sorted(os.listdir(leases)):
+            try:
+                age = now - (leases / name).stat().st_mtime
+            except OSError:
+                continue  # completed or stolen mid-scan
+            if age > lease_timeout_s:
+                expired.append(name)
+        return expired
+
+    def requeue_expired(self, lease_timeout_s: float) -> int:
+        """Move expired leases back to ``pending/``; returns how many."""
+        requeued = 0
+        for name in self.expired_leases(lease_timeout_s):
+            # A chunk whose result already landed is finished even if
+            # its lease lingers (worker died between publish and
+            # release): drop the lease instead of re-running it.
+            if (self.directory(RESULTS) / name).exists():
+                try:
+                    os.unlink(self.directory(LEASES) / name)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.rename(
+                    self.directory(LEASES) / name,
+                    self.directory(PENDING) / name,
+                )
+            except OSError:
+                continue  # another stealer won
+            requeued += 1
+        return requeued
+
+    def release_lease(self, lease_path: str) -> None:
+        try:
+            os.unlink(lease_path)
+        except OSError:
+            pass  # already stolen/requeued; harmless
+
+    # -- results -------------------------------------------------------------
+
+    def publish_result(
+        self,
+        chunk: dict,
+        worker_id: str,
+        outcomes: list,
+        sources: list,
+        elapsed: float,
+    ) -> None:
+        document = {
+            "chunk": chunk["chunk"],
+            "indices": chunk["indices"],
+            "worker": worker_id,
+            "outcomes": [encode_outcome(outcome) for outcome in outcomes],
+            "sources": sources,
+            "elapsed": round(elapsed, 6),
+        }
+        atomic_write_json(
+            self.directory(RESULTS) / chunk_file_name(chunk["chunk"]),
+            document,
+        )
+
+    def read_result(self, index: int) -> dict | None:
+        return read_json(self.directory(RESULTS) / chunk_file_name(index))
+
+    # -- segments ------------------------------------------------------------
+
+    def segment_path(self, worker_id: str) -> Path:
+        return self.directory(SEGMENTS) / f"segment-{worker_id}.jsonl"
+
+    def segment_paths(self) -> list:
+        segments = self.directory(SEGMENTS)
+        if not segments.exists():
+            return []
+        return sorted(segments.glob("segment-*.jsonl"))
+
+    def load_segment_snapshot(self) -> dict:
+        """fingerprint -> encoded outcome across all worker segments."""
+        snapshot: dict = {}
+        for path in self.segment_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        if not line.strip():
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn tail of a killed worker
+                        fingerprint = record.get("fingerprint")
+                        result = record.get("result")
+                        if isinstance(fingerprint, str) and isinstance(
+                            result, str
+                        ):
+                            snapshot[fingerprint] = result
+            except OSError:
+                continue
+        return snapshot
+
+    # -- workers -------------------------------------------------------------
+
+    def heartbeat(self, worker_id: str, chunks_done: int) -> None:
+        atomic_write_json(
+            self.directory(WORKERS) / f"{worker_id}.json",
+            {
+                "worker": worker_id,
+                "pid": os.getpid(),
+                "t": round(time.time(), 3),
+                "chunks_done": chunks_done,
+            },
+        )
+
+    def worker_records(self) -> list:
+        workers = self.directory(WORKERS)
+        if not workers.exists():
+            return []
+        records = []
+        for path in sorted(workers.glob("*.json")):
+            record = read_json(path)
+            if record is not None:
+                records.append(record)
+        return records
+
+    # -- status --------------------------------------------------------------
+
+    def status(self, lease_timeout_s: float | None = None) -> dict:
+        """JSON-able queue snapshot for ``repro workers status``."""
+        manifest = self.manifest() or {}
+        if lease_timeout_s is None:
+            lease_timeout_s = manifest.get("lease_timeout_s", 30.0)
+        pending = (
+            sorted(os.listdir(self.directory(PENDING)))
+            if self.directory(PENDING).exists()
+            else []
+        )
+        leases = (
+            sorted(os.listdir(self.directory(LEASES)))
+            if self.directory(LEASES).exists()
+            else []
+        )
+        results = (
+            sorted(os.listdir(self.directory(RESULTS)))
+            if self.directory(RESULTS).exists()
+            else []
+        )
+        segment_records = sum(
+            1
+            for path in self.segment_paths()
+            for line in open(path, "r", encoding="utf-8")
+            if line.strip()
+        )
+        return {
+            "queue": manifest.get("queue"),
+            "n_chunks": manifest.get("n_chunks"),
+            "n_items": manifest.get("n_items"),
+            "pending": len(pending),
+            "leased": len(leases),
+            "expired": len(self.expired_leases(lease_timeout_s))
+            if leases
+            else 0,
+            "completed": len(results),
+            "done": self.done(),
+            "segment_records": segment_records,
+            "workers": self.worker_records(),
+        }
+
+
+class WorkQueueExecutor(Executor):
+    """Multi-process (and multi-node) execution over a shared directory.
+
+    The coordinator publishes deterministic contiguous chunks into the
+    queue, optionally spawns ``workers`` local worker processes
+    (``python -m repro.core.worker``), and collects results as they
+    land — requeueing expired leases so dead workers' chunks are
+    reassigned.  Additional workers on other machines join the same
+    queue with ``repro workers start --queue DIR``.
+
+    With ``store=`` (path or open
+    :class:`~repro.core.store.ResultStore`), items whose ``keys`` are
+    already stored are served without enqueueing, and every fresh
+    worker-side evaluation is folded back in at the end — across runs
+    and nodes, no fingerprint is evaluated twice.
+    """
+
+    name = "work_queue"
+
+    def __init__(
+        self,
+        queue_dir,
+        workers: int = 2,
+        chunk_size: int | None = None,
+        lease_timeout_s: float = 10.0,
+        poll_s: float = 0.05,
+        timeout_s: float | None = None,
+        store=None,
+        spawn_workers: bool = True,
+        max_respawns: int = 2,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if workers == 0 and spawn_workers:
+            raise ConfigurationError(
+                "workers=0 requires spawn_workers=False "
+                "(external workers drive the queue)"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        if lease_timeout_s <= 0:
+            raise ConfigurationError("lease_timeout_s must be positive")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        self.queue = WorkQueue(queue_dir)
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.lease_timeout_s = lease_timeout_s
+        self.poll_s = poll_s
+        self.timeout_s = timeout_s
+        self.spawn_workers = spawn_workers
+        self.max_respawns = max_respawns
+        from repro.core.store import coerce_store
+
+        self.store, self._owns_store = coerce_store(store)
+        self._procs: list = []
+        self._respawns = 0
+        self.stats = {
+            "chunks": 0,
+            "store_hits": 0,
+            "fresh": 0,
+            "requeued": 0,
+            "respawns": 0,
+            "merged_records": 0,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "executor": self.name,
+            "queue": str(self.queue.root),
+            "workers": self.workers,
+            "lease_timeout_s": self.lease_timeout_s,
+            "store": self.store is not None,
+        }
+
+    # -- worker process management ------------------------------------------
+
+    def spawn_worker(self) -> subprocess.Popen:
+        """One local worker process attached to this queue."""
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        workers_dir = self.queue.directory(WORKERS)
+        workers_dir.mkdir(parents=True, exist_ok=True)
+        log_path = workers_dir / f"spawn-{len(self._procs)}.log"
+        log_handle = open(log_path, "a")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.core.worker",
+                "--queue",
+                str(self.queue.root),
+                "--max-idle-s",
+                str(max(self.lease_timeout_s * 4, 10.0)),
+                "--poll-s",
+                str(self.poll_s),
+            ],
+            env=env,
+            stdout=log_handle,
+            stderr=subprocess.STDOUT,
+        )
+        log_handle.close()  # the child holds its own descriptor
+        self._procs.append(proc)
+        return proc
+
+    def _alive_workers(self) -> int:
+        return sum(1 for proc in self._procs if proc.poll() is None)
+
+    def close(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5)
+            except Exception:
+                proc.kill()
+        self._procs = []
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    # -- the map -------------------------------------------------------------
+
+    def map(
+        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+    ) -> list:
+        items = list(items)
+        catch = tuple(catch) or (_NeverRaised,)
+        if keys is not None and len(keys) != len(items):
+            raise ConfigurationError(
+                "keys must match items one-to-one when provided"
+            )
+        if not items:
+            return []
+        outcomes: dict = {}
+        remaining = list(range(len(items)))
+        # Store pre-filter: fingerprints already evaluated (this run,
+        # a previous run, or another node) never reach the queue.
+        if self.store is not None and keys is not None:
+            still = []
+            for index in remaining:
+                text = self.store.get(keys[index])
+                outcome = decode_outcome(text) if text is not None else None
+                if outcome is not None:
+                    outcomes[index] = outcome
+                    self.stats["store_hits"] += 1
+                else:
+                    still.append(index)
+            remaining = still
+            if progress is not None and outcomes:
+                failed = sum(
+                    1 for o in outcomes.values() if not o.ok
+                )
+                progress.prefill(
+                    done=len(outcomes) - failed, failed=failed
+                )
+        if not remaining:
+            return [outcomes[index] for index in range(len(items))]
+        queue_id = uuid.uuid4().hex[:12]
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            from repro.units import ceil_div
+
+            fanout = max(self.workers, 1)
+            chunk_size = max(1, ceil_div(len(remaining), fanout * 4))
+        chunks = [
+            remaining[start : start + chunk_size]
+            for start in range(0, len(remaining), chunk_size)
+        ]
+        self.queue.reset()
+        self.queue.write_task(fn, catch)
+        for chunk_index, indices in enumerate(chunks):
+            self.queue.publish_chunk(
+                chunk_index,
+                indices,
+                [items[index] for index in indices],
+                [keys[index] for index in indices]
+                if keys is not None
+                else None,
+            )
+        atomic_write_json(
+            self.queue.root / MANIFEST,
+            {
+                "queue": queue_id,
+                "n_chunks": len(chunks),
+                "n_items": len(remaining),
+                "chunk_size": chunk_size,
+                "lease_timeout_s": self.lease_timeout_s,
+                "created_t": round(time.time(), 3),
+            },
+        )
+        if ledger is not None:
+            ledger.event(
+                "queue_start",
+                queue=queue_id,
+                n_chunks=len(chunks),
+                n_items=len(remaining),
+                workers=self.workers,
+                store_hits=self.stats["store_hits"],
+            )
+        if self.spawn_workers:
+            for _ in range(self.workers):
+                self.spawn_worker()
+        try:
+            self._collect(chunks, items, outcomes, ledger, progress)
+        finally:
+            self.queue.mark_done(queue_id)
+        self._merge_segments(ledger)
+        if ledger is not None:
+            ledger.event(
+                "queue_end",
+                queue=queue_id,
+                chunks=self.stats["chunks"],
+                requeued=self.stats["requeued"],
+                store_hits=self.stats["store_hits"],
+                fresh=self.stats["fresh"],
+            )
+        if GLOBAL_METRICS.enabled:
+            GLOBAL_METRICS.counter("work_queue.runs").inc()
+            GLOBAL_METRICS.counter("work_queue.chunks").inc(len(chunks))
+            GLOBAL_METRICS.counter("work_queue.requeued").inc(
+                self.stats["requeued"]
+            )
+        return [outcomes[index] for index in range(len(items))]
+
+    def _collect(
+        self, chunks, items, outcomes, ledger, progress
+    ) -> None:
+        started = time.monotonic()
+        last_progress = started
+        pending_chunks = set(range(len(chunks)))
+        while pending_chunks:
+            landed = []
+            for chunk_index in sorted(pending_chunks):
+                result = self.queue.read_result(chunk_index)
+                if result is None:
+                    continue
+                self._merge_result(chunks, result, outcomes, ledger, progress)
+                landed.append(chunk_index)
+                last_progress = time.monotonic()
+            for chunk_index in landed:
+                pending_chunks.discard(chunk_index)
+            if not pending_chunks:
+                break
+            requeued = self.queue.requeue_expired(self.lease_timeout_s)
+            if requeued:
+                self.stats["requeued"] += requeued
+                if ledger is not None:
+                    ledger.event("lease_expired", requeued=requeued)
+            self._ensure_workers()
+            if (
+                self.timeout_s is not None
+                and time.monotonic() - started > self.timeout_s
+            ):
+                raise ExecutorError(
+                    f"work queue {self.queue.root} missed its "
+                    f"{self.timeout_s}s deadline with "
+                    f"{len(pending_chunks)} chunk(s) outstanding"
+                )
+            if (
+                self.spawn_workers
+                and self._alive_workers() == 0
+                and self._respawns >= self.max_respawns
+            ):
+                stalled_s = time.monotonic() - last_progress
+                if stalled_s > self.lease_timeout_s * 2:
+                    raise ExecutorError(
+                        "all work-queue workers died and the respawn "
+                        f"budget ({self.max_respawns}) is exhausted; "
+                        f"{len(pending_chunks)} chunk(s) outstanding"
+                    )
+            time.sleep(self.poll_s)
+
+    def _merge_result(
+        self, chunks, result, outcomes, ledger, progress
+    ) -> None:
+        indices = result.get("indices", [])
+        encoded = result.get("outcomes", [])
+        if len(indices) != len(encoded):
+            raise ExecutorError(
+                f"chunk {result.get('chunk')} result is corrupt: "
+                f"{len(indices)} indices vs {len(encoded)} outcomes"
+            )
+        failed = 0
+        for index, text, source in zip(
+            indices, encoded, result.get("sources", [])
+            or ["fresh"] * len(indices)
+        ):
+            outcome = decode_outcome(text)
+            if outcome is None:
+                raise ExecutorError(
+                    f"chunk {result.get('chunk')}: undecodable outcome "
+                    f"for item {index}"
+                )
+            outcomes[index] = outcome
+            if not outcome.ok:
+                failed += 1
+            if source == "store":
+                self.stats["store_hits"] += 1
+            else:
+                self.stats["fresh"] += 1
+        self.stats["chunks"] += 1
+        if ledger is not None:
+            ledger.event(
+                "chunk",
+                index=result.get("chunk"),
+                size=len(indices),
+                s=result.get("elapsed", 0.0),
+                failed=failed,
+                worker=result.get("worker"),
+            )
+        if progress is not None:
+            progress.update(done=len(indices) - failed, failed=failed)
+
+    def _ensure_workers(self) -> None:
+        """Respawn (bounded) when every spawned worker has died."""
+        if not self.spawn_workers:
+            return
+        if self._alive_workers() > 0:
+            return
+        if self._respawns >= self.max_respawns:
+            return
+        self._respawns += 1
+        self.stats["respawns"] += 1
+        self.spawn_worker()
+
+    def _merge_segments(self, ledger) -> None:
+        if self.store is None:
+            return
+        for path in self.queue.segment_paths():
+            self.stats["merged_records"] += self.store.merge_file(
+                path, ledger=ledger
+            )

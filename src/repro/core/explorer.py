@@ -18,7 +18,7 @@ from repro.errors import ConfigurationError, InfeasibleError
 from repro.units import MBIT, ceil_div
 from repro.core.evaluator import Evaluator
 from repro.core.metrics import SolutionMetrics
-from repro.core.parallel import ParallelConfig, parallel_map
+from repro.core.parallel import ParallelConfig
 from repro.core.pareto import pareto_frontier
 from repro.core.requirements import ApplicationRequirements
 from repro.dram.catalog import COMMODITY_PARTS, smallest_system
@@ -178,6 +178,7 @@ class DesignSpaceExplorer:
         requirements: ApplicationRequirements,
         parallel: ParallelConfig | None = None,
         ledger=None,
+        executor=None,
     ) -> ExplorationResult:
         """Run the full sweep for one application.
 
@@ -185,6 +186,11 @@ class DesignSpaceExplorer:
         process pool (deterministically chunked, merged back in
         enumeration order) and the results prime this explorer's
         evaluator memo, so later serial queries hit the cache.
+        ``executor`` generalizes this to any
+        :class:`~repro.core.executor.Executor` — including the
+        work-queue executor that distributes macro evaluations across
+        worker processes on multiple machines; the two arguments are
+        mutually exclusive.
 
         With ``ledger`` (path or open
         :class:`~repro.obs.ledger.RunLedger`), the exploration streams
@@ -192,17 +198,19 @@ class DesignSpaceExplorer:
         evaluate and frontier each get a timed span, so ``repro
         report`` can show where an exploration spends its time.
         """
+        from repro.core.executor import coerce_executor
         from repro.obs.ledger import coerce_ledger
 
+        run_executor = coerce_executor(executor, parallel)
         run_ledger, owns_ledger = coerce_ledger(ledger)
         try:
-            return self._explore(requirements, parallel, run_ledger)
+            return self._explore(requirements, run_executor, run_ledger)
         finally:
             if owns_ledger and run_ledger is not None:
                 run_ledger.close()
 
     def _explore(
-        self, requirements, parallel, ledger
+        self, requirements, executor, ledger
     ) -> ExplorationResult:
         import time
 
@@ -216,18 +224,18 @@ class DesignSpaceExplorer:
                 bandwidth_bits_per_s=(
                     requirements.sustained_bandwidth_bits_per_s
                 ),
-                parallel=parallel is not None,
+                executor=(
+                    None if executor is None else executor.describe()
+                ),
             )
         with _maybe_span(ledger, "enumerate"):
             macros = self.enumerate(requirements)
         with _maybe_span(ledger, "evaluate", n_macros=len(macros)):
-            if parallel is not None and len(macros) > 1:
+            if executor is not None and len(macros) > 1:
                 task = _EvaluateMacroTask(
                     evaluator=self.evaluator, requirements=requirements
                 )
-                outcomes = parallel_map(
-                    task, macros, config=parallel, ledger=ledger
-                )
+                outcomes = executor.map(task, macros, ledger=ledger)
                 evaluated = [outcome.value for outcome in outcomes]
                 self.evaluator.prime_macro_cache(
                     ((macro, requirements), metrics)

@@ -272,6 +272,14 @@ def parallel_map(
         GLOBAL_METRICS.counter("parallel_map.pool_runs").inc()
     worker_fn = _instrumented_run_chunk if telemetry else _run_chunk
     attempt = 0
+    # One accounting notebook for the whole map call: a retried pool
+    # attempt (or the serial fallback) re-processes chunks the failed
+    # attempt already reported, and without this dedup the ledger,
+    # progress line and quarantine counters double-count them — the
+    # pool and serial-fallback paths then disagree on
+    # `parallel_map.timeouts` for a chunk that timed out before a
+    # transient retry.
+    noted: set = set()
     while True:
         try:
             return _pool_map(
@@ -284,6 +292,7 @@ def parallel_map(
                 telemetry,
                 ledger,
                 progress,
+                noted,
             )
         except TRANSIENT_POOL_ERRORS as error:
             # Spawn/resource exhaustion and broken pools are often
@@ -299,19 +308,64 @@ def parallel_map(
                 time.sleep(config.backoff_s * (2 ** (attempt - 1)))
                 continue
             return _fallback_serial(
-                fn, chunks, catch, error, telemetry, ledger, progress
+                fn, chunks, catch, error, telemetry, ledger, progress,
+                noted,
             )
         except Exception as error:
             # A worker-side crash outside `catch` is the workload's own
             # deterministic exception: no retry, redo serially so it
             # surfaces with a clean traceback.
             return _fallback_serial(
-                fn, chunks, catch, error, telemetry, ledger, progress
+                fn, chunks, catch, error, telemetry, ledger, progress,
+                noted,
             )
 
 
-def _note_chunk(index, chunk, outcomes, elapsed, ledger, progress):
-    """Report one merged chunk to the ledger and progress reporter."""
+def _note_chunk(
+    index,
+    chunk,
+    outcomes,
+    elapsed,
+    ledger,
+    progress,
+    noted=None,
+    status="ok",
+    timeout_s=None,
+):
+    """Report one merged chunk to telemetry — exactly once per map call.
+
+    All chunk-level accounting funnels through here: the regular
+    ``chunk`` event/progress note *and* the quarantine path
+    (``status="timeout"``: the ``parallel_map.timeouts`` counter, the
+    ``timeout``/``span_end`` ledger events, the failed-progress note).
+    ``noted`` is the map-level set of already-reported chunk indices;
+    a chunk re-processed by a retry attempt or the serial fallback is
+    merged again but never reported twice.
+    """
+    if noted is not None:
+        if index in noted:
+            return
+        noted.add(index)
+    if status == "timeout":
+        GLOBAL_METRICS.counter("parallel_map.timeouts").inc()
+        if ledger is not None:
+            ledger.event("timeout", index=index, size=len(chunk))
+            # A completed chunk's duration reaches the report via its
+            # `chunk` event; a quarantined chunk would otherwise vanish
+            # from the span waterfall.  No span_start exists — the
+            # report anchors the bar at run start, which is when the
+            # pool submitted it — and the duration is the full
+            # deadline, the only lower bound we have for a worker that
+            # never answered.
+            ledger.event(
+                "span_end",
+                name=f"chunk {index} (timeout)",
+                status="timeout",
+                s=round(timeout_s, 6),
+            )
+        if progress is not None:
+            progress.update(failed=len(chunk))
+        return
     if ledger is None and progress is None:
         return
     failed = sum(1 for outcome in outcomes if not outcome.ok)
@@ -327,7 +381,9 @@ def _note_chunk(index, chunk, outcomes, elapsed, ledger, progress):
         progress.update(done=len(outcomes) - failed, failed=failed)
 
 
-def _serial_chunked(fn, chunks, catch, telemetry, ledger, progress) -> list:
+def _serial_chunked(
+    fn, chunks, catch, telemetry, ledger, progress, noted=None
+) -> list:
     """Serial evaluation with the same per-chunk telemetry as the pool."""
     merged: list = []
     for index, chunk in enumerate(chunks):
@@ -338,7 +394,9 @@ def _serial_chunked(fn, chunks, catch, telemetry, ledger, progress) -> list:
             GLOBAL_METRICS.histogram("parallel_map.chunk_us").record(
                 elapsed * 1e6
             )
-        _note_chunk(index, chunk, outcomes, elapsed, ledger, progress)
+        _note_chunk(
+            index, chunk, outcomes, elapsed, ledger, progress, noted
+        )
         merged.extend(outcomes)
     return merged
 
@@ -353,6 +411,7 @@ def _pool_map(
     telemetry,
     ledger,
     progress,
+    noted=None,
 ) -> list:
     """One process-pool attempt; raises on pool/workload failures.
 
@@ -374,31 +433,21 @@ def _pool_map(
                 payload = future.result(timeout=timeout_s)
             except FuturesTimeout:
                 abandoned = True
-                GLOBAL_METRICS.counter("parallel_map.timeouts").inc()
                 message = (
                     f"TimeoutError: chunk of {len(chunk)} item(s) "
                     f"exceeded the {timeout_s}s deadline"
                 )
-                if ledger is not None:
-                    ledger.event(
-                        "timeout", index=index, size=len(chunk)
-                    )
-                    # A completed chunk's duration reaches the report
-                    # via its `chunk` event; a quarantined chunk would
-                    # otherwise vanish from the span waterfall.  No
-                    # span_start exists — the report anchors the bar at
-                    # run start, which is when the pool submitted it —
-                    # and the duration is the full deadline, the only
-                    # lower bound we have for a worker that never
-                    # answered.
-                    ledger.event(
-                        "span_end",
-                        name=f"chunk {index} (timeout)",
-                        status="timeout",
-                        s=round(timeout_s, 6),
-                    )
-                if progress is not None:
-                    progress.update(failed=len(chunk))
+                _note_chunk(
+                    index,
+                    chunk,
+                    None,
+                    0.0,
+                    ledger,
+                    progress,
+                    noted,
+                    status="timeout",
+                    timeout_s=timeout_s,
+                )
                 merged.extend(
                     PointOutcome(ok=False, error=message) for _ in chunk
                 )
@@ -414,7 +463,9 @@ def _pool_map(
             else:
                 elapsed = 0.0
                 outcomes = payload
-            _note_chunk(index, chunk, outcomes, elapsed, ledger, progress)
+            _note_chunk(
+                index, chunk, outcomes, elapsed, ledger, progress, noted
+            )
             merged.extend(outcomes)
         return merged
     finally:
@@ -424,7 +475,7 @@ def _pool_map(
 
 
 def _fallback_serial(
-    fn, chunks, catch, error, telemetry, ledger, progress
+    fn, chunks, catch, error, telemetry, ledger, progress, noted=None
 ) -> list:
     """Loud serial re-run after the pool (and its retries) failed."""
     GLOBAL_METRICS.counter("parallel_map.fallbacks").inc()
@@ -438,7 +489,9 @@ def _fallback_serial(
         ParallelFallbackWarning,
         stacklevel=3,
     )
-    return _serial_chunked(fn, chunks, catch, telemetry, ledger, progress)
+    return _serial_chunked(
+        fn, chunks, catch, telemetry, ledger, progress, noted
+    )
 
 
 class _NeverRaised(Exception):

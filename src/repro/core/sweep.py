@@ -40,6 +40,7 @@ import base64
 import hashlib
 import itertools
 import json
+import os
 import pickle
 import time
 from dataclasses import dataclass, field
@@ -201,6 +202,25 @@ class Sweep:
         digest.update(str(self.n_points).encode())
         return digest.hexdigest()[:16]
 
+    def point_key(self, parameters: dict, **context) -> str:
+        """Content fingerprint of one point for the durable result store.
+
+        Combines the sweep's signature, any JSON-able ``context``
+        (workload name, backend, flags — the same inputs
+        :meth:`content_key` takes) and the point's parameters, via
+        :func:`repro.core.store.point_fingerprint`.  Two points share a
+        key exactly when evaluating them must produce the same result,
+        which is the contract that lets a
+        :class:`~repro.core.store.ResultStore` serve one's result for
+        the other — locally or across nodes.
+        """
+        from repro.core.store import point_fingerprint
+
+        return point_fingerprint(
+            {"signature": self.signature(), "context": context},
+            parameters,
+        )
+
     def content_key(self, **context) -> str:
         """Content-addressed identity of this sweep plus its context.
 
@@ -232,6 +252,9 @@ class Sweep:
         journal: str | Path | None = None,
         ledger=None,
         progress=None,
+        executor=None,
+        store=None,
+        store_context: dict | None = None,
     ) -> SweepResult:
         """Evaluate every axis combination.
 
@@ -263,8 +286,38 @@ class Sweep:
             progress: ``True`` for a live stderr rate/ETA line
                 (auto-disabled off-TTY), or a pre-built
                 :class:`~repro.obs.progress.ProgressReporter`.
+            executor: A :class:`~repro.core.executor.Executor`
+                (:class:`~repro.core.executor.LocalPoolExecutor`,
+                :class:`~repro.core.executor.WorkQueueExecutor`, ...)
+                to evaluate the points through.  Mutually exclusive
+                with ``parallel`` (which is shorthand for a
+                :class:`~repro.core.executor.LocalPoolExecutor`).
+            store: Durable content-addressed result store — a path or
+                open :class:`~repro.core.store.ResultStore`.  Points
+                whose :meth:`point_key` is already stored are served
+                without evaluation (across runs and across nodes);
+                fresh evaluations are stored as they complete.
+            store_context: Extra JSON-able context folded into each
+                point's :meth:`point_key` (workload name, backend,
+                flags) so stores shared across workloads never collide.
         """
+        from repro.core.executor import coerce_executor
+        from repro.core.store import coerce_store
+
         combos = self.combinations()
+        # `parallel=` stays on its dedicated path (checkpoint rounds
+        # sized from the config); coerce_executor still arbitrates the
+        # two spellings so passing both is rejected.
+        run_executor = (
+            coerce_executor(executor, parallel)
+            if executor is not None
+            else None
+        )
+        run_store, owns_store = coerce_store(store)
+        if store_context and run_store is None:
+            raise ConfigurationError(
+                "store_context requires store= to be set"
+            )
         run_ledger, owns_ledger = coerce_ledger(ledger)
         if progress is True:
             progress = ProgressReporter(total=self.n_points)
@@ -297,6 +350,12 @@ class Sweep:
                             "timeout_s": parallel.timeout_s,
                         }
                     ),
+                    executor=(
+                        None
+                        if run_executor is None
+                        else run_executor.describe()
+                    ),
+                    store=run_store is not None,
                     journal=None if journal is None else str(journal),
                     journaled_points=len(completed),
                 )
@@ -306,37 +365,58 @@ class Sweep:
                     failed = sum(
                         1 for o in completed.values() if not o.ok
                     )
-                    progress.update(
+                    # prefill, not update: journal-resumed points must
+                    # advance the bar without polluting the measured
+                    # rate (an all-cached resume would otherwise render
+                    # a garbage ETA from an instantaneous burst).
+                    progress.prefill(
                         done=len(completed) - failed, failed=failed
                     )
             outcomes = self._evaluate(
                 evaluate, combos, completed, skip_errors, parallel,
                 journal_log, run_ledger, progress,
+                executor=run_executor, store=run_store,
+                store_context=store_context or {},
             )
             status = "ok"
         finally:
-            if journal_log is not None:
-                journal_log.close()
-            if progress is not None:
-                progress.finish()
-            if run_ledger is not None:
-                n_failed = sum(
-                    1 for o in outcomes.values() if not o.ok
-                )
-                if GLOBAL_METRICS.enabled:
-                    run_ledger.event(
-                        "metrics", snapshot=GLOBAL_METRICS.snapshot()
-                    )
-                run_ledger.event(
-                    "run_end",
-                    workload="sweep",
-                    status=status,
-                    n_ok=len(outcomes) - n_failed,
-                    n_failed=n_failed,
-                    s=round(time.perf_counter() - started, 6),
-                )
-                if owns_ledger:
-                    run_ledger.close()
+            # Every resource releases even when another's release (or
+            # the sweep itself) raised: a journal close failure must
+            # not leak the ledger handle, and vice versa — resume
+            # depends on the journal's buffered tail reaching disk.
+            try:
+                if journal_log is not None:
+                    journal_log.close()
+            finally:
+                try:
+                    if progress is not None:
+                        progress.finish()
+                finally:
+                    try:
+                        if owns_store and run_store is not None:
+                            run_store.close()
+                    finally:
+                        if run_ledger is not None:
+                            n_failed = sum(
+                                1 for o in outcomes.values() if not o.ok
+                            )
+                            if GLOBAL_METRICS.enabled:
+                                run_ledger.event(
+                                    "metrics",
+                                    snapshot=GLOBAL_METRICS.snapshot(),
+                                )
+                            run_ledger.event(
+                                "run_end",
+                                workload="sweep",
+                                status=status,
+                                n_ok=len(outcomes) - n_failed,
+                                n_failed=n_failed,
+                                s=round(
+                                    time.perf_counter() - started, 6
+                                ),
+                            )
+                            if owns_ledger:
+                                run_ledger.close()
         result = SweepResult()
         for index, parameters in enumerate(combos):
             outcome = outcomes.get(index)
@@ -354,7 +434,8 @@ class Sweep:
 
     def _evaluate(
         self, evaluate, combos, completed, skip_errors, parallel,
-        journal_log, ledger=None, progress=None,
+        journal_log, ledger=None, progress=None, executor=None,
+        store=None, store_context=None,
     ) -> dict:
         """Evaluate the not-yet-journaled points; return index -> outcome."""
         from repro.errors import ReproError
@@ -364,6 +445,84 @@ class Sweep:
             index for index in range(len(combos)) if index not in outcomes
         ]
         if not remaining:
+            return outcomes
+        keys: dict | None = None
+        record = None
+        if store is not None:
+            from repro.core.store import decode_outcome, encode_outcome
+
+            keys = {
+                index: self.point_key(
+                    combos[index], **(store_context or {})
+                )
+                for index in remaining
+            }
+
+            def record(index, outcome):
+                store.put(keys[index], encode_outcome(outcome))
+
+            # Store pre-filter: fingerprints already evaluated — by a
+            # previous run, another process, or another node — are
+            # served without evaluation.
+            served_ok = served_failed = 0
+            fresh = []
+            for index in remaining:
+                text = store.get(keys[index])
+                outcome = (
+                    decode_outcome(text) if text is not None else None
+                )
+                if outcome is None:
+                    fresh.append(index)
+                    continue
+                outcomes[index] = outcome
+                if journal_log is not None:
+                    journal_log.append(index, outcome)
+                if outcome.ok:
+                    served_ok += 1
+                else:
+                    served_failed += 1
+            remaining = fresh
+            if served_ok or served_failed:
+                if progress is not None:
+                    progress.prefill(
+                        done=served_ok, failed=served_failed
+                    )
+                if ledger is not None:
+                    ledger.event(
+                        "store_hits", points=served_ok + served_failed
+                    )
+            if not remaining:
+                return outcomes
+        if executor is not None:
+            catch = (ReproError,) if skip_errors else ()
+            task = _KwargsTask(evaluate)
+            round_outcomes = executor.map(
+                task,
+                [combos[index] for index in remaining],
+                catch=catch,
+                keys=(
+                    [keys[index] for index in remaining]
+                    if keys is not None
+                    else None
+                ),
+                ledger=ledger,
+                progress=progress,
+            )
+            for index, outcome in zip(remaining, round_outcomes):
+                outcomes[index] = outcome
+                if journal_log is not None:
+                    journal_log.append(index, outcome)
+                if record is not None:
+                    record(index, outcome)
+                if ledger is not None and not outcome.ok:
+                    ledger.event(
+                        "quarantine",
+                        index=index,
+                        parameters=combos[index],
+                        error=outcome.error,
+                    )
+            if ledger is not None and journal_log is not None:
+                ledger.event("checkpoint", points=len(remaining))
             return outcomes
         if parallel is not None:
             catch = (ReproError,) if skip_errors else ()
@@ -381,6 +540,8 @@ class Sweep:
                     outcomes[index] = outcome
                     if journal_log is not None:
                         journal_log.append(index, outcome)
+                    if record is not None:
+                        record(index, outcome)
                     if ledger is not None and not outcome.ok:
                         ledger.event(
                             "quarantine",
@@ -409,6 +570,8 @@ class Sweep:
                     outcomes[index] = outcome
                     if journal_log is not None:
                         journal_log.append(index, outcome)
+                    if record is not None:
+                        record(index, outcome)
                 if progress is not None:
                     progress.update(done=len(remaining))
                 if ledger is not None and journal_log is not None:
@@ -426,6 +589,8 @@ class Sweep:
             outcomes[index] = outcome
             if journal_log is not None:
                 journal_log.append(index, outcome)
+            if record is not None:
+                record(index, outcome)
             if ledger is not None and not outcome.ok:
                 ledger.event(
                     "quarantine",
@@ -552,9 +717,23 @@ class SweepJournal:
         handle.flush()
 
     def close(self) -> None:
+        """Flush, fsync and release the journal handle.
+
+        Runs from ``Sweep.run``'s finally block on *every* exit path —
+        success, quarantined failure, or a raised exception mid-sweep —
+        so the buffered tail records a resume depends on always reach
+        disk.  fsync failures (e.g. pipes in tests) must not mask the
+        sweep's own exception, but the handle is released regardless.
+        """
         if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            finally:
+                self._handle.close()
+                self._handle = None
 
     def _open(self):
         if self._handle is None:

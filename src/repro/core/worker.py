@@ -1,0 +1,178 @@
+"""Work-queue worker process: claim, evaluate, publish, repeat.
+
+Run as ``python -m repro.core.worker --queue DIR`` (or via
+``repro workers start``).  Any number of workers — on this machine or
+on any machine sharing the queue directory — cooperate on one
+:class:`~repro.core.executor.WorkQueueExecutor` map:
+
+1. claim the lowest pending chunk by atomic rename (losing a rename
+   race is normal: move to the next file);
+2. with no pending chunks, requeue expired leases (work stealing) and
+   try again;
+3. evaluate the chunk point by point, renewing the lease's mtime after
+   every point so a live worker on a slow chunk is never robbed;
+4. append every fresh evaluation to this worker's own fsync'd
+   :class:`~repro.core.store.ResultStore` segment *before* moving on —
+   a ``SIGKILL`` at any instant loses at most the point in flight;
+5. for chunks that carry content keys (stolen chunks especially),
+   consult the combined segment snapshot first so points a dead worker
+   already finished are served from the store, not evaluated twice;
+6. publish the chunk result atomically and release the lease.
+
+The worker exits when the coordinator writes the ``done`` sentinel,
+when the queue has been idle longer than ``--max-idle-s``, or after one
+chunk with ``--once`` (used by the chaos tests to step workers
+deterministically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import os
+import pickle
+import sys
+import time
+import uuid
+
+from repro.core.executor import WorkQueue
+from repro.core.parallel import PointOutcome
+from repro.core.store import ResultStore, decode_outcome, encode_outcome
+
+
+def evaluate_chunk(
+    queue: WorkQueue,
+    chunk: dict,
+    fn,
+    catch: tuple,
+    worker_id: str,
+    segment: ResultStore,
+) -> tuple:
+    """Evaluate one claimed chunk; returns (outcomes, sources, elapsed).
+
+    ``sources[i]`` is ``"store"`` when the point was served from a
+    worker segment (its fingerprint was already evaluated — typically
+    by the dead worker this chunk was stolen from) and ``"fresh"``
+    when this worker evaluated it.
+    """
+    items = pickle.loads(base64.b64decode(chunk["items"]))
+    keys = chunk.get("keys")
+    snapshot = queue.load_segment_snapshot() if keys else {}
+    lease_path = chunk.get("_lease_path")
+    outcomes = []
+    sources = []
+    start = time.perf_counter()
+    for position, item in enumerate(items):
+        key = keys[position] if keys else None
+        outcome = None
+        if key is not None:
+            stored = snapshot.get(key)
+            if stored is not None:
+                outcome = decode_outcome(stored)
+        if outcome is not None:
+            sources.append("store")
+        else:
+            try:
+                outcome = PointOutcome(ok=True, value=fn(item))
+            except catch as error:
+                outcome = PointOutcome(ok=False, error=repr(error))
+            sources.append("fresh")
+            if key is not None:
+                segment.put(key, encode_outcome(outcome))
+        outcomes.append(outcome)
+        if lease_path is not None:
+            queue.renew_lease(lease_path)
+    return outcomes, sources, time.perf_counter() - start
+
+
+def worker_loop(
+    queue_dir,
+    worker_id: str | None = None,
+    max_idle_s: float = 30.0,
+    poll_s: float = 0.05,
+    once: bool = False,
+) -> int:
+    """Main loop; returns the number of chunks this worker completed."""
+    worker_id = worker_id or f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    queue = WorkQueue(queue_dir)
+    manifest = None
+    idle_since = time.monotonic()
+    # The coordinator may still be publishing: wait for the manifest.
+    while manifest is None:
+        manifest = queue.manifest()
+        if manifest is not None:
+            break
+        if queue.done():
+            return 0
+        if time.monotonic() - idle_since > max_idle_s:
+            return 0
+        time.sleep(poll_s)
+    lease_timeout_s = float(manifest.get("lease_timeout_s", 10.0))
+    fn, catch = queue.load_task()
+    chunks_done = 0
+    # fsync per append: this segment is exactly what survives SIGKILL.
+    with ResultStore(
+        path=queue.segment_path(worker_id), fsync=True
+    ) as segment:
+        queue.heartbeat(worker_id, chunks_done)
+        idle_since = time.monotonic()
+        while True:
+            if queue.done():
+                break
+            chunk = queue.claim_next(worker_id, lease_timeout_s)
+            if chunk is None:
+                if time.monotonic() - idle_since > max_idle_s:
+                    break
+                time.sleep(poll_s)
+                continue
+            idle_since = time.monotonic()
+            outcomes, sources, elapsed = evaluate_chunk(
+                queue, chunk, fn, catch, worker_id, segment
+            )
+            queue.publish_result(
+                chunk, worker_id, outcomes, sources, elapsed
+            )
+            queue.release_lease(chunk["_lease_path"])
+            chunks_done += 1
+            queue.heartbeat(worker_id, chunks_done)
+            if once:
+                break
+    return chunks_done
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Work-queue sweep worker (see docs/DISTRIBUTED.md)",
+    )
+    parser.add_argument("--queue", required=True, help="queue directory")
+    parser.add_argument(
+        "--worker-id", default=None, help="stable id (default: pid-random)"
+    )
+    parser.add_argument(
+        "--max-idle-s",
+        type=float,
+        default=30.0,
+        help="exit after this long with nothing to claim",
+    )
+    parser.add_argument(
+        "--poll-s", type=float, default=0.05, help="claim poll interval"
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after completing one chunk (testing)",
+    )
+    args = parser.parse_args(argv)
+    worker_loop(
+        args.queue,
+        worker_id=args.worker_id,
+        max_idle_s=args.max_idle_s,
+        poll_s=args.poll_s,
+        once=args.once,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,7 @@ class ProgressReporter:
         self._clock = clock
         self.done = 0
         self.failed = 0
+        self.prefilled = 0
         self._started: float | None = None
         self._last_render: float = float("-inf")
         self._rendered = False
@@ -92,6 +93,18 @@ class ProgressReporter:
         """Mark the workload start (rate/ETA measure from here)."""
         if self._started is None:
             self._started = self._clock()
+
+    def prefill(self, done: int = 0, failed: int = 0) -> None:
+        """Record points that were completed *before* this run started.
+
+        Journal-resumed and store-served points advance the bar but are
+        excluded from the rate — otherwise a resume that skips
+        thousands of points in the first throttle window reports an
+        astronomically wrong rate, and an all-cached resume (zero fresh
+        points) renders a garbage ETA from a rate measured over nothing.
+        """
+        self.prefilled += done + failed
+        self.update(done=done, failed=failed)
 
     def update(self, done: int = 0, failed: int = 0) -> None:
         """Record ``done`` more successes and ``failed`` quarantines."""
@@ -120,9 +133,20 @@ class ProgressReporter:
     def _render(self, now: float, force: bool = False) -> None:
         processed = min(self.done + self.failed, self.total)
         elapsed = max(now - (self._started or now), 1e-9)
-        rate = (self.done + self.failed) / elapsed
+        # Rate over freshly evaluated points only: prefilled ones
+        # (journal resume, store hits) arrived in one burst and would
+        # otherwise dominate the window and corrupt the ETA.
+        fresh = max(self.done + self.failed - self.prefilled, 0)
+        rate = fresh / elapsed
         remaining = max(self.total - processed, 0)
-        eta = _format_eta(remaining / rate) if rate > 0 else "?"
+        if remaining == 0:
+            eta = "0:00"
+        elif rate > 0:
+            eta = _format_eta(remaining / rate)
+        else:
+            # No fresh point has completed yet (e.g. an all-cached
+            # resume): there is no measured rate to extrapolate from.
+            eta = "—"
         percent = 100 * processed // self.total if self.total else 100
         line = (
             f"{self.label}: {processed}/{self.total} {percent}% | "

@@ -1,36 +1,38 @@
-"""Content-addressed result store: memory LRU + optional JSONL spill.
+"""Content-addressed result cache for the exploration service.
 
-The store maps a job fingerprint (sha256 of the canonical job document,
+The cache maps a job fingerprint (sha256 of the canonical job document,
 :mod:`repro.serve.protocol`) to the *canonical result text* — the exact
 bytes a cold execution serialized.  Storing text rather than objects is
 what makes the cache-correctness contract checkable: a warm response is
 byte-identical to the cold one because it literally is the same string,
 not a re-serialization that might reorder keys or reformat floats.
 
-Persistence is a dumb append-only JSONL file (one ``{"fingerprint",
-"result"}`` record per line): crash-safe by construction, merged on
-open with last-record-wins, shared between server restarts.  Eviction
-only trims the in-memory map; the spill file keeps everything (it is a
-cache of pure functions — entries never become wrong, only cold).
+Since PR 8 the implementation is the durable, content-addressed
+:class:`~repro.core.store.ResultStore` with an LRU bound: the JSONL
+spill is loaded on open (last record wins, torn tails skipped) and
+**compacted** — rewritten through a temp file and ``os.replace`` — when
+dead records (superseded duplicates, LRU-evicted entries) dominate.
+The old append-only spill grew without bound and resurrected evicted
+keys on restart; now the spill always converges back to the live LRU
+set, in recency order, so a restart reconstructs exactly the entries
+the cache would have kept in memory.
 """
 
 from __future__ import annotations
 
-import json
-import threading
-from collections import OrderedDict
-from pathlib import Path
-
+from repro.core.store import ResultStore
 from repro.errors import ConfigurationError
 
 
-class ResultCache:
+class ResultCache(ResultStore):
     """Thread-safe LRU of fingerprint -> canonical result text.
 
     Attributes:
-        maxsize: In-memory entry cap (LRU eviction beyond it).
+        maxsize: In-memory entry cap (LRU eviction beyond it; the
+            spill is compacted to match, so eviction is durable).
         path: Optional JSONL spill file (loaded on construction,
-            appended on every store).
+            appended on every store, compacted when dead records
+            accumulate).
         hits / misses / evictions: Running counters, surfaced by the
             service's ``/v1/stats`` endpoint.
     """
@@ -38,74 +40,4 @@ class ResultCache:
     def __init__(self, maxsize: int = 256, path=None) -> None:
         if maxsize < 1:
             raise ConfigurationError("cache maxsize must be >= 1")
-        self.maxsize = maxsize
-        self.path = Path(path) if path is not None else None
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._lock = threading.Lock()
-        self._entries: OrderedDict = OrderedDict()
-        if self.path is not None and self.path.exists():
-            self._load()
-
-    def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                if not line.strip():
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail from an interrupted append
-                fingerprint = record.get("fingerprint")
-                result = record.get("result")
-                if isinstance(fingerprint, str) and isinstance(result, str):
-                    self._insert(fingerprint, result)
-
-    def _insert(self, fingerprint: str, text: str) -> None:
-        self._entries[fingerprint] = text
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-
-    def get(self, fingerprint: str):
-        """The stored result text, or None; refreshes LRU recency."""
-        with self._lock:
-            text = self._entries.get(fingerprint)
-            if text is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(fingerprint)
-            self.hits += 1
-            return text
-
-    def put(self, fingerprint: str, text: str) -> None:
-        """Store a result; appends to the spill file when configured."""
-        if not isinstance(text, str):
-            raise ConfigurationError("cache stores canonical text only")
-        with self._lock:
-            self._insert(fingerprint, text)
-            if self.path is not None:
-                record = {"fingerprint": fingerprint, "result": text}
-                with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(json.dumps(record) + "\n")
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, fingerprint: str) -> bool:
-        with self._lock:
-            return fingerprint in self._entries
-
-    def stats(self) -> dict:
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "persistent": self.path is not None,
-            }
+        super().__init__(path=path, maxsize=maxsize)

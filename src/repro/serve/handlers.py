@@ -262,9 +262,26 @@ class ExplorationService:
             )
 
         sweep = Sweep(axes=dict(spec.axes))
-        evaluate = _CountingEvaluate(
-            get_workload(spec.workload), self._count_evaluations
-        )
+        workers = getattr(spec, "workers", 0)
+        parallel = None
+        if workers >= 2:
+            # The `workers:` execution hint fans the sweep across a
+            # local process pool.  The raw workload function goes to
+            # the pool (it is module-level, hence picklable; the
+            # counting wrapper holds service state and is not — it
+            # would silently force the serial path), so the
+            # evaluation-count probe is credited wholesale after the
+            # run instead of per call.  `workers` is excluded from the
+            # job fingerprint: the result document is byte-identical
+            # to the serial run's, so both share one cache entry.
+            from repro.core.parallel import ParallelConfig
+
+            parallel = ParallelConfig(workers=workers)
+            evaluate = get_workload(spec.workload)
+        else:
+            evaluate = _CountingEvaluate(
+                get_workload(spec.workload), self._count_evaluations
+            )
         reporter = ProgressReporter(
             total=sweep.n_points, enabled=False, callback=on_progress
         )
@@ -273,7 +290,10 @@ class ExplorationService:
             skip_errors=spec.skip_errors,
             ledger=tap,
             progress=reporter,
+            parallel=parallel,
         )
+        if parallel is not None:
+            self._count_evaluations(sweep.n_points)
         points = [
             {"parameters": point.parameters, "result": point.result}
             for point in outcome.points

@@ -166,6 +166,12 @@ class SweepJobSpec:
     axes: tuple  # ((name, (value, ...)), ...) in request order
     backend: str = "auto"
     skip_errors: bool = False
+    #: Execution hint only: fan the sweep across this many local worker
+    #: processes (0 = serial).  Deliberately excluded from
+    #: :meth:`canonical` and :meth:`fingerprint` — where a job runs
+    #: must not change what it computes, so a 4-worker run shares its
+    #: cache entry (byte-identically) with the serial run.
+    workers: int = field(default=0, compare=False)
 
     kind = "sweep"
 
@@ -258,7 +264,18 @@ class ExploreJobSpec:
 
 # -- parsing -----------------------------------------------------------------
 
-_SWEEP_FIELDS = ("kind", "workload", "axes", "backend", "skip_errors")
+_SWEEP_FIELDS = (
+    "kind",
+    "workload",
+    "axes",
+    "backend",
+    "skip_errors",
+    "workers",
+)
+
+#: Cap on the `workers:` execution hint — a service must bound the
+#: processes one request can spawn.
+MAX_SWEEP_WORKERS = 8
 _EXPLORE_FIELDS = ("kind", "requirements", "backend", "widths", "bank_options")
 _REQUIREMENT_FIELDS = (
     "name",
@@ -338,11 +355,25 @@ def _parse_sweep(payload: dict) -> SweepJobSpec:
         raise RequestError(
             f"job.backend must be one of {SWEEP_BACKENDS}, got {backend!r}"
         )
+    workers = payload.get("workers", 0)
+    if (
+        isinstance(workers, bool)
+        or not isinstance(workers, int)
+        or workers < 0
+    ):
+        raise RequestError("job.workers must be a nonnegative integer")
+    if workers > MAX_SWEEP_WORKERS:
+        raise RequestError(
+            f"job.workers is capped at {MAX_SWEEP_WORKERS}, got {workers}",
+            code="too_large",
+            http_status=413,
+        )
     spec = SweepJobSpec(
         workload=workload,
         axes=_parse_axes(payload, workload),
         backend=backend,
         skip_errors=_bool_field(payload, "skip_errors", "job", False),
+        workers=workers,
     )
     if spec.n_points > MAX_SWEEP_POINTS:
         raise RequestError(

@@ -168,5 +168,28 @@ def injected_sim(
     }
 
 
+def sim_fingerprint(seed: int = 0, cycles: int = 1_000) -> tuple:
+    """Seeded baseline simulation reduced to its result fingerprint.
+
+    Work-queue workers unpickle task functions *by reference*
+    (``module.qualname``), so anything swept through
+    :class:`~repro.core.executor.WorkQueueExecutor` must live in an
+    importable module — not a benchmark script or ``__main__``.  This
+    is that workload: the distributed bench and the CI smoke sweep it
+    and compare fingerprints bit-for-bit against a serial run.
+    """
+    from repro.inject.runtime import build_injected_simulator
+    from repro.verify.differential import result_fingerprint
+
+    simulator = build_injected_simulator(
+        None,
+        cycles=cycles,
+        warmup_cycles=max(1, cycles // 8),
+        seed=seed,
+    )
+    return result_fingerprint(simulator.run())
+
+
 register_workload("edram_tradeoff", edram_tradeoff)
 register_workload("injected_sim", injected_sim)
+register_workload("sim_fingerprint", sim_fingerprint)

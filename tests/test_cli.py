@@ -74,3 +74,63 @@ class TestCommands:
 
     def test_partition_infeasible_budget(self, capsys):
         assert main(["partition", "--area-budget-mm2", "1"]) == 1
+
+
+class TestWorkersCommand:
+    def test_status_requires_existing_queue(self, tmp_path, capsys):
+        code = main(
+            ["workers", "status", "--queue", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "no work-queue directory" in capsys.readouterr().err
+
+    def test_status_reports_queue_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.core.executor import WorkQueue
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.reset()
+        queue.publish_chunk(0, [0], [0], None)
+        code = main(["workers", "status", "--queue", str(tmp_path / "q")])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["pending"] == 1
+        assert snapshot["completed"] == 0
+        assert not snapshot["done"]
+
+    def test_start_single_worker_exits_on_done_queue(
+        self, tmp_path, capsys
+    ):
+        from repro.core.executor import WorkQueue
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.reset()
+        queue.mark_done("test")
+        code = main(
+            [
+                "workers",
+                "start",
+                "--queue",
+                str(tmp_path / "q"),
+                "--max-idle-s",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        assert "0 chunk(s)" in capsys.readouterr().out
+
+    def test_start_rejects_worker_id_with_multiple_workers(self):
+        code = main(
+            [
+                "workers",
+                "start",
+                "--queue",
+                "ignored",
+                "--n",
+                "2",
+                "--worker-id",
+                "w1",
+            ]
+        )
+        assert code == 2

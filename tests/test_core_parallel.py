@@ -379,6 +379,114 @@ class TestRetryAndTimeout:
             ParallelConfig(backoff_s=-0.1)
 
 
+class _FirstChunkThenFailPool:
+    """Inline pool: the first submitted chunk resolves, the rest fail
+    transiently at result time — deterministically models a pool
+    attempt that already reported chunk 0 before dying."""
+
+    def __init__(self, max_workers=None):
+        self._submissions = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+
+        future = Future()
+        if self._submissions == 0:
+            future.set_result(fn(*args))
+        else:
+            future.set_exception(OSError("transient pool failure"))
+        self._submissions += 1
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestChunkAccountingParity:
+    """Regression: retries and the serial fallback used to re-report
+    chunks the failed pool attempt had already counted, so the ledger
+    showed more chunks than existed and progress (and its ETA) ran
+    past 100%.  All accounting now funnels through ``_note_chunk``
+    with a per-map dedup set."""
+
+    def _progress(self, total):
+        from repro.obs.progress import ProgressReporter
+
+        return ProgressReporter(
+            total=total, enabled=False, callback=lambda reporter: None
+        )
+
+    def test_fallback_does_not_double_count_reported_chunks(
+        self, monkeypatch, global_metrics
+    ):
+        from repro.obs.ledger import MemoryLedger
+
+        monkeypatch.setattr(
+            parallel_module,
+            "ProcessPoolExecutor",
+            _FirstChunkThenFailPool,
+        )
+        ledger = MemoryLedger(run_id="parity")
+        progress = self._progress(total=6)
+        config = ParallelConfig(
+            workers=2, chunk_size=2, max_retries=1, backoff_s=0.0
+        )
+        with pytest.warns(ParallelFallbackWarning):
+            outcomes = parallel_map(
+                _square,
+                range(6),
+                config=config,
+                ledger=ledger,
+                progress=progress,
+            )
+        # The results themselves were always correct...
+        assert [o.value for o in outcomes] == [x * x for x in range(6)]
+        # ...but chunk 0 was reported by the pool attempt *and* again
+        # by each retry and the serial fallback.  Exactly one report
+        # per chunk now:
+        chunk_events = [
+            event for event in ledger.events if event["kind"] == "chunk"
+        ]
+        assert sorted(e["index"] for e in chunk_events) == [0, 1, 2]
+        # ...and progress counts every point exactly once.
+        assert progress.done + progress.failed == 6
+        assert progress.failed == 0
+
+    def test_timeout_accounting_counts_each_chunk_once(
+        self, global_metrics
+    ):
+        from repro.obs.ledger import MemoryLedger
+
+        ledger = MemoryLedger(run_id="timeout-parity")
+        progress = self._progress(total=3)
+        config = ParallelConfig(workers=2, chunk_size=1, timeout_s=0.4)
+        outcomes = parallel_map(
+            _slow_square,
+            [1, 2, 3],
+            config=config,
+            ledger=ledger,
+            progress=progress,
+        )
+        # Counter parity: quarantined + completed covers every point
+        # exactly once, and every chunk index is reported exactly once
+        # across the ok/timeout event kinds.
+        assert progress.done + progress.failed == 3
+        assert progress.failed == sum(1 for o in outcomes if not o.ok)
+        reported = [
+            event["index"]
+            for event in ledger.events
+            if event["kind"] in ("chunk", "timeout")
+        ]
+        assert sorted(reported) == [0, 1, 2]
+        assert global_metrics.value("parallel_map.timeouts") == 1
+
+
 class TestEvaluatorMemo:
     def test_memo_hit_returns_same_object(self):
         evaluator = Evaluator()

@@ -188,6 +188,54 @@ class TestProgressReporter:
         assert _format_eta(3600) == "1:00:00"
         assert _format_eta(0) == "0:00"
 
+    def test_prefilled_points_excluded_from_rate(self):
+        # Regression: a journal/store resume that skipped thousands of
+        # points in the first throttle window used to count them as
+        # measured rate and extrapolate a garbage ETA from the burst.
+        stream = io.StringIO()
+        ticks = iter([10.0, 11.0, 12.0, 12.0])
+        reporter = ProgressReporter(
+            total=100,
+            stream=stream,
+            enabled=True,
+            min_interval_s=0.0,
+            clock=lambda: next(ticks),
+        )
+        reporter.start()
+        reporter.prefill(done=50)
+        # No fresh point yet: no rate to extrapolate, ETA is unknown —
+        # not "50 points in one second, done in a second".
+        first = stream.getvalue()
+        assert "0.0/s" in first
+        assert "eta —" in first
+        reporter.update(done=10)
+        # Rate covers only the 10 fresh points over 2s: 5.0/s, so the
+        # 40 remaining points are 8 seconds out.
+        second = stream.getvalue()
+        assert "5.0/s" in second
+        assert "eta 0:08" in second
+
+    def test_all_cached_resume_renders_clean_completion(self):
+        # The all-journal-skipped first window: every point arrives
+        # via prefill, zero remain — the final line must pin 100% and
+        # eta 0:00, never a division-shaped garbage value.
+        stream = io.StringIO()
+        ticks = iter([0.0, 1.0, 1.0, 1.0])
+        reporter = ProgressReporter(
+            total=8,
+            stream=stream,
+            enabled=True,
+            min_interval_s=0.0,
+            clock=lambda: next(ticks),
+        )
+        reporter.start()
+        reporter.prefill(done=6, failed=2)
+        reporter.finish()
+        output = stream.getvalue()
+        assert "8/8 100%" in output
+        assert "eta 0:00" in output
+        assert "failed 2" in output
+
 
 class TestSweepLedger:
     AXES = {"x": [1, 2, 3], "y": [10, 20]}

@@ -66,6 +66,32 @@ class TestResultCache:
         assert reopened.get("k1") == '{"v":1}'
         assert reopened.get("k2") == '{"v":2}'
 
+    def test_restart_after_evictions_regression(self, tmp_path):
+        # Regression: the append-only spill used to keep every evicted
+        # record and replay them all on restart, so a bounded cache
+        # came back resurrecting entries it had evicted and the spill
+        # file grew without bound across restarts.
+        spill = tmp_path / "results.jsonl"
+        cache = ResultCache(maxsize=2, path=spill)
+        for key in "abcde":
+            cache.put(key, key.upper())
+        assert cache.evictions == 3
+        cache.close()
+        reopened = ResultCache(maxsize=2, path=spill)
+        assert len(reopened) == 2
+        assert reopened.get("a") is None
+        assert reopened.get("d") == "D"
+        assert reopened.get("e") == "E"
+        # The spill can be pinned to exactly the live entries.
+        reopened.compact()
+        reopened.close()
+        lines = [
+            line
+            for line in spill.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 2
+
     def test_persistence_last_record_wins_and_tolerates_torn_tail(
         self, tmp_path
     ):

@@ -170,6 +170,76 @@ class TestJournal:
         ]
 
 
+class TestJournalCrashSafety:
+    """Regression: ``SweepJournal.close()`` used to let an fsync error
+    mask the sweep's own exception and leak the handle; and a journal
+    killed before close must still resume from every appended record
+    (each append is flushed)."""
+
+    def test_unclosed_journal_resumes_every_appended_record(
+        self, tmp_path
+    ):
+        # Simulate SIGKILL: append without ever calling close().  The
+        # per-append flush means a fresh process sees every record.
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [0, 1, 2, 3]})
+        journal = SweepJournal(path, sweep.signature())
+        from repro.core.parallel import PointOutcome
+
+        journal.append(0, PointOutcome(ok=True, value=0))
+        journal.append(1, PointOutcome(ok=False, error="boom"))
+        # no close() — the handle dies with the "process"
+        calls: list = []
+
+        def spy(x):
+            calls.append(x)
+            return x * x
+
+        result = sweep.run(spy, skip_errors=True, journal=path)
+        assert calls == [2, 3]
+        assert [p.result for p in result.points] == [0, 4, 9]
+        assert len(result.failures) == 1
+
+    def test_close_survives_fsync_failure(self, tmp_path, monkeypatch):
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [0, 1]})
+        journal = SweepJournal(path, sweep.signature())
+        from repro.core.parallel import PointOutcome
+
+        journal.append(0, PointOutcome(ok=True, value=0))
+
+        def exploding_fsync(fd):
+            raise OSError("fsync not supported here")
+
+        monkeypatch.setattr("repro.core.sweep.os.fsync", exploding_fsync)
+        journal.close()  # must not raise...
+        assert journal._handle is None  # ...and must release the handle
+        assert journal.load() == {0: PointOutcome(ok=True, value=0)}
+
+    def test_failing_close_does_not_mask_sweep_error(
+        self, tmp_path, monkeypatch
+    ):
+        # A sweep that dies mid-run must surface ITS error even when
+        # the journal's final fsync fails on the way out.
+        path = tmp_path / "sweep.jsonl"
+        sweep = Sweep(axes={"x": [0, 1, 2]})
+
+        def crashy(x):
+            if x == 1:
+                raise RuntimeError("simulated crash")
+            return x
+
+        def exploding_fsync(fd):
+            raise OSError("fsync not supported here")
+
+        monkeypatch.setattr("repro.core.sweep.os.fsync", exploding_fsync)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            sweep.run(crashy, journal=path)
+        # The flushed prefix is intact for the resume.
+        journal = SweepJournal(path, sweep.signature())
+        assert 0 in journal.load()
+
+
 class TestSignature:
     def test_stable_and_axis_sensitive(self):
         a = Sweep(axes={"x": [1, 2], "y": [3]})
