@@ -498,6 +498,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-idle-s", type=float, default=30.0,
         help="exit after this long with nothing to claim (default 30)",
     )
+    start.add_argument(
+        "--supervise", action="store_true",
+        help="run the workers under a WorkerSupervisor: respawn "
+        "crashed workers (bounded backoff), kill+respawn frozen ones "
+        "(stale heartbeat), drain gracefully on SIGTERM/Ctrl-C "
+        "(see docs/RESILIENCE.md)",
+    )
+    start.add_argument(
+        "--heartbeat-timeout-s", type=float, default=10.0,
+        help="supervised only: a live worker silent this long is "
+        "considered frozen and killed (default 10)",
+    )
+    start.add_argument(
+        "--max-respawns", type=int, default=5,
+        help="supervised only: respawn budget per worker slot "
+        "(default 5)",
+    )
+    start.add_argument(
+        "--backoff-s", type=float, default=0.2,
+        help="supervised only: initial respawn backoff, doubled per "
+        "respawn (default 0.2)",
+    )
     start.set_defaults(func=_cmd_workers_start)
     status = workers_sub.add_parser(
         "status",
@@ -546,6 +568,29 @@ def _cmd_workers_start(args: argparse.Namespace) -> int:
 
     if args.n < 1:
         raise ConfigurationError("--n must be >= 1")
+    if args.supervise:
+        if args.worker_id is not None:
+            raise ConfigurationError(
+                "--worker-id conflicts with --supervise (the "
+                "supervisor names its worker slots)"
+            )
+        from repro.core.supervisor import WorkerSupervisor
+
+        stats = WorkerSupervisor(
+            args.queue,
+            n_workers=args.n,
+            max_respawns=args.max_respawns,
+            backoff_s=args.backoff_s,
+            heartbeat_timeout_s=args.heartbeat_timeout_s,
+            max_idle_s=args.max_idle_s,
+        ).run()
+        print(
+            "supervisor exited: "
+            f"spawned={stats['spawned']} respawned={stats['respawned']} "
+            f"killed_frozen={stats['killed_frozen']} "
+            f"drained={stats['drained']}"
+        )
+        return 0
     if args.n == 1:
         from repro.core.worker import worker_loop
 
@@ -560,25 +605,47 @@ def _cmd_workers_start(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             "--worker-id only applies to a single worker (--n 1)"
         )
+    import signal
     import subprocess
 
-    procs = [
-        subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.core.worker",
-                "--queue",
-                args.queue,
-                "--max-idle-s",
-                str(args.max_idle_s),
-            ]
-        )
-        for _ in range(args.n)
-    ]
+    procs = []
     status = 0
-    for proc in procs:
-        status = max(status, proc.wait())
+    try:
+        for _ in range(args.n):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.core.worker",
+                        "--queue",
+                        args.queue,
+                        "--max-idle-s",
+                        str(args.max_idle_s),
+                    ]
+                )
+            )
+        print(
+            f"starting {args.n} worker(s) on {args.queue}", flush=True
+        )
+        for proc in procs:
+            status = max(status, proc.wait())
+    except KeyboardInterrupt:
+        # Graceful drain: each worker finishes its in-flight chunk,
+        # publishes, releases its lease and exits (SIGTERM handler in
+        # repro.core.worker).  Then re-raise for the one-line exit.
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except Exception:
+                proc.kill()
+        raise
     print(f"{len(procs)} worker(s) exited")
     return status
 
@@ -654,6 +721,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Long-running subcommands (serve, workers) are routinely
+        # stopped with Ctrl-C; that is an outcome, not a crash — one
+        # line, conventional 130 exit, never a stack trace.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except (ConfigurationError, SimulationError) as error:
         if args.debug:
             raise

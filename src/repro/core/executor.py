@@ -64,7 +64,12 @@ from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.core.parallel import ParallelConfig, _NeverRaised, parallel_map
+from repro.core.parallel import (
+    ParallelConfig,
+    _NeverRaised,
+    check_cancelled,
+    parallel_map,
+)
 from repro.core.store import decode_outcome, encode_outcome
 from repro.obs.metrics import GLOBAL_METRICS
 
@@ -90,13 +95,17 @@ class Executor:
     :class:`PointOutcome` per item in input order.  ``keys`` is an
     optional parallel list of content fingerprints (one per item) that
     store-backed executors use for durable de-duplication; executors
-    without a store ignore it.
+    without a store ignore it.  ``cancel`` is an optional cooperative
+    cancellation token (boolean ``cancelled`` attribute) checked at
+    chunk boundaries; a fired token raises
+    :class:`~repro.errors.CancelledError`.
     """
 
     name = "executor"
 
     def map(
-        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+        self, fn, items, *, catch=(), keys=None, ledger=None,
+        progress=None, cancel=None,
     ) -> list:
         raise NotImplementedError
 
@@ -115,7 +124,8 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def map(
-        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+        self, fn, items, *, catch=(), keys=None, ledger=None,
+        progress=None, cancel=None,
     ) -> list:
         # workers=0 selects parallel_map's serial path, which still
         # emits the canonical telemetry counter set and notes progress
@@ -127,6 +137,7 @@ class SerialExecutor(Executor):
             catch=catch,
             ledger=ledger,
             progress=progress,
+            cancel=cancel,
         )
 
 
@@ -139,7 +150,8 @@ class LocalPoolExecutor(Executor):
     name = "local_pool"
 
     def map(
-        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+        self, fn, items, *, catch=(), keys=None, ledger=None,
+        progress=None, cancel=None,
     ) -> list:
         return parallel_map(
             fn,
@@ -148,6 +160,7 @@ class LocalPoolExecutor(Executor):
             catch=catch,
             ledger=ledger,
             progress=progress,
+            cancel=cancel,
         )
 
     def describe(self) -> dict:
@@ -218,6 +231,9 @@ class WorkQueue:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        # Lease-aging observations: name -> (mtime, baseline_age,
+        # monotonic anchor).  See expired_leases.
+        self._lease_seen: dict = {}
 
     # -- layout --------------------------------------------------------------
 
@@ -291,6 +307,13 @@ class WorkQueue:
             os.rename(source, target)
         except OSError:
             return None
+        try:
+            # Start the lease clock at *claim* time: the rename keeps
+            # the chunk file's publish-time mtime, which for a chunk
+            # claimed late in a long run would look expired at once.
+            os.utime(target)
+        except OSError:
+            pass  # already stolen; its renewals restart the clock
         document = read_json(target)
         if document is None:
             return None
@@ -322,17 +345,46 @@ class WorkQueue:
             pass  # stolen from under us; the result write still lands
 
     def expired_leases(self, lease_timeout_s: float) -> list:
-        """Lease file names whose worker has stopped renewing."""
+        """Lease file names whose worker has stopped renewing.
+
+        Lease mtimes are written by *other* nodes whose wall clocks may
+        be skewed against ours (NFS queues), so ``now - mtime`` alone
+        misjudges liveness in both directions: a renewing worker on a
+        slow clock looks expired, and a dead worker's future-dated
+        mtime from a fast clock never expires.  Ages are therefore
+        anchored to this observer's monotonic clock: the first sighting
+        of a lease takes its wall-clock age — clamped to >= 0 — as the
+        baseline, an mtime *change* re-anchors the baseline at zero
+        (the renewal itself proves the worker alive, whatever the
+        clocks say), and between renewals the age grows by monotonic
+        time since the sighting.
+        """
+        mono_now = time.monotonic()
         now = time.time()
         expired = []
         leases = self.directory(LEASES)
-        for name in sorted(os.listdir(leases)):
+        names = set(os.listdir(leases))
+        for name in sorted(names):
             try:
-                age = now - (leases / name).stat().st_mtime
+                mtime = (leases / name).stat().st_mtime
             except OSError:
+                self._lease_seen.pop(name, None)
                 continue  # completed or stolen mid-scan
+            seen = self._lease_seen.get(name)
+            if seen is None:
+                age = max(0.0, now - mtime)
+                self._lease_seen[name] = (mtime, age, mono_now)
+            elif seen[0] != mtime:
+                age = 0.0
+                self._lease_seen[name] = (mtime, age, mono_now)
+            else:
+                _, baseline, anchor = seen
+                age = baseline + (mono_now - anchor)
             if age > lease_timeout_s:
                 expired.append(name)
+        for name in list(self._lease_seen):
+            if name not in names:
+                del self._lease_seen[name]
         return expired
 
     def requeue_expired(self, lease_timeout_s: float) -> int:
@@ -623,7 +675,8 @@ class WorkQueueExecutor(Executor):
     # -- the map -------------------------------------------------------------
 
     def map(
-        self, fn, items, *, catch=(), keys=None, ledger=None, progress=None
+        self, fn, items, *, catch=(), keys=None, ledger=None,
+        progress=None, cancel=None,
     ) -> list:
         items = list(items)
         catch = tuple(catch) or (_NeverRaised,)
@@ -703,8 +756,14 @@ class WorkQueueExecutor(Executor):
             for _ in range(self.workers):
                 self.spawn_worker()
         try:
-            self._collect(chunks, items, outcomes, ledger, progress)
+            self._collect(
+                chunks, items, outcomes, ledger, progress, cancel
+            )
         finally:
+            # Runs on cancellation too: the done sentinel tells workers
+            # to finish their current chunk and exit, and the segments
+            # they flushed keep whatever completed (resumable, never
+            # double-evaluated).
             self.queue.mark_done(queue_id)
         self._merge_segments(ledger)
         if ledger is not None:
@@ -725,12 +784,13 @@ class WorkQueueExecutor(Executor):
         return [outcomes[index] for index in range(len(items))]
 
     def _collect(
-        self, chunks, items, outcomes, ledger, progress
+        self, chunks, items, outcomes, ledger, progress, cancel=None
     ) -> None:
         started = time.monotonic()
         last_progress = started
         pending_chunks = set(range(len(chunks)))
         while pending_chunks:
+            check_cancelled(cancel)
             landed = []
             for chunk_index in sorted(pending_chunks):
                 result = self.queue.read_result(chunk_index)

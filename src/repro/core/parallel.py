@@ -62,7 +62,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import CancelledError, ConfigurationError
 from repro.obs.aggregate import fold_snapshot
 from repro.obs.metrics import GLOBAL_METRICS
 
@@ -71,6 +71,22 @@ from repro.obs.metrics import GLOBAL_METRICS
 #: Anything else that escapes a worker is the workload's own exception
 #: and is deterministic — retrying would just re-raise it.
 TRANSIENT_POOL_ERRORS = (OSError, BrokenExecutor)
+
+
+def check_cancelled(cancel) -> None:
+    """Raise :class:`~repro.errors.CancelledError` if ``cancel`` fired.
+
+    ``cancel`` is duck-typed — any object with a boolean ``cancelled``
+    attribute (and optionally a ``reason``), typically a
+    :class:`~repro.serve.resilience.CancelToken`.  Core never imports
+    the serve layer; this helper is the one cancellation check shared
+    by the sweep/parallel/executor chunk boundaries.
+    """
+    if cancel is None:
+        return
+    if cancel.cancelled:
+        reason = getattr(cancel, "reason", None) or "cancelled"
+        raise CancelledError(f"cancelled ({reason})")
 
 
 class ParallelFallbackWarning(UserWarning):
@@ -212,6 +228,7 @@ def parallel_map(
     catch: tuple = (),
     ledger=None,
     progress=None,
+    cancel=None,
 ) -> list:
     """Evaluate ``fn`` over ``items``, optionally across processes.
 
@@ -228,6 +245,10 @@ def parallel_map(
         progress: Optional
             :class:`~repro.obs.progress.ProgressReporter` advanced per
             merged chunk.
+        cancel: Cooperative cancellation token (boolean ``cancelled``
+            attribute).  Checked at chunk boundaries; a fired token
+            raises :class:`~repro.errors.CancelledError` — never
+            retried, never degraded to the serial fallback.
 
     Returns:
         One :class:`PointOutcome` per item, in input order.
@@ -237,7 +258,13 @@ def parallel_map(
     if not items:
         return []
     if config is None:
-        return _serial_map(fn, items, catch)
+        if cancel is None:
+            return _serial_map(fn, items, catch)
+        merged: list = []
+        for item in items:
+            check_cancelled(cancel)
+            merged.extend(_run_chunk(fn, [item], catch))
+        return merged
     telemetry = GLOBAL_METRICS.enabled
     workers = config.resolved_workers(len(items))
     chunk_size = config.chunk_size
@@ -266,7 +293,7 @@ def parallel_map(
             f"parallel_map.serial.{serial_reason}"
         ).inc()
         return _serial_chunked(
-            fn, chunks, catch, telemetry, ledger, progress
+            fn, chunks, catch, telemetry, ledger, progress, cancel=cancel
         )
     if telemetry:
         GLOBAL_METRICS.counter("parallel_map.pool_runs").inc()
@@ -293,7 +320,14 @@ def parallel_map(
                 ledger,
                 progress,
                 noted,
+                cancel=cancel,
             )
+        except CancelledError:
+            # Cancellation is a request to stop, not a pool failure:
+            # it must reach the caller before the transient-retry and
+            # serial-fallback handlers get a chance to re-run the
+            # remaining chunks.
+            raise
         except TRANSIENT_POOL_ERRORS as error:
             # Spawn/resource exhaustion and broken pools are often
             # transient (fork storms, momentary fd pressure): back off
@@ -309,7 +343,7 @@ def parallel_map(
                 continue
             return _fallback_serial(
                 fn, chunks, catch, error, telemetry, ledger, progress,
-                noted,
+                noted, cancel=cancel,
             )
         except Exception as error:
             # A worker-side crash outside `catch` is the workload's own
@@ -317,7 +351,7 @@ def parallel_map(
             # surfaces with a clean traceback.
             return _fallback_serial(
                 fn, chunks, catch, error, telemetry, ledger, progress,
-                noted,
+                noted, cancel=cancel,
             )
 
 
@@ -382,11 +416,12 @@ def _note_chunk(
 
 
 def _serial_chunked(
-    fn, chunks, catch, telemetry, ledger, progress, noted=None
+    fn, chunks, catch, telemetry, ledger, progress, noted=None, cancel=None
 ) -> list:
     """Serial evaluation with the same per-chunk telemetry as the pool."""
     merged: list = []
     for index, chunk in enumerate(chunks):
+        check_cancelled(cancel)
         start = time.perf_counter()
         outcomes = _run_chunk(fn, chunk, catch)
         elapsed = time.perf_counter() - start
@@ -412,6 +447,7 @@ def _pool_map(
     ledger,
     progress,
     noted=None,
+    cancel=None,
 ) -> list:
     """One process-pool attempt; raises on pool/workload failures.
 
@@ -429,6 +465,11 @@ def _pool_map(
         merged: list = []
         for index, (chunk, future) in enumerate(zip(chunks, futures)):
             # submission order == input order
+            if cancel is not None and cancel.cancelled:
+                # Abandon the pool exactly like a timed-out chunk: no
+                # waiting on stragglers, pending futures cancelled.
+                abandoned = True
+                check_cancelled(cancel)
             try:
                 payload = future.result(timeout=timeout_s)
             except FuturesTimeout:
@@ -475,7 +516,8 @@ def _pool_map(
 
 
 def _fallback_serial(
-    fn, chunks, catch, error, telemetry, ledger, progress, noted=None
+    fn, chunks, catch, error, telemetry, ledger, progress, noted=None,
+    cancel=None,
 ) -> list:
     """Loud serial re-run after the pool (and its retries) failed."""
     GLOBAL_METRICS.counter("parallel_map.fallbacks").inc()
@@ -490,7 +532,8 @@ def _fallback_serial(
         stacklevel=3,
     )
     return _serial_chunked(
-        fn, chunks, catch, telemetry, ledger, progress, noted
+        fn, chunks, catch, telemetry, ledger, progress, noted,
+        cancel=cancel,
     )
 
 

@@ -1,0 +1,253 @@
+"""Worker supervision for the distributed work queue.
+
+``repro workers start --supervise`` keeps a fixed-size fleet of worker
+processes attached to one queue directory and healthy:
+
+* **liveness** — every worker writes a heartbeat file
+  (``workers/<id>.json``, see :meth:`WorkQueue.heartbeat
+  <repro.core.executor.WorkQueue.heartbeat>`) at least once a second
+  while it is making progress; the supervisor watches the file mtimes.
+* **crash recovery** — a worker process that exits (crash, OOM,
+  ``SIGKILL``) is respawned with bounded exponential backoff, so a
+  workload that kills its worker on startup cannot fork-bomb the host.
+* **freeze detection** — a worker that is *alive but not beating*
+  (``SIGSTOP``, a hung filesystem, a deadlock) past
+  ``heartbeat_timeout_s`` is killed and respawned; its chunk's lease
+  expires and is stolen by a sibling, and the points it already
+  evaluated are served from its fsync'd segment — never lost, never
+  evaluated twice.
+* **graceful drain** — on ``SIGTERM`` (or :meth:`request_drain`) the
+  supervisor forwards ``SIGTERM`` to the fleet; each worker finishes
+  its current chunk, flushes its ResultStore segment, releases its
+  lease and exits (see :mod:`repro.core.worker`).  Stragglers past the
+  drain timeout are killed.
+
+The supervisor owns *processes*, not work: all work distribution stays
+in the queue directory protocol, so supervised and unsupervised
+workers mix freely on one queue.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.core.executor import WORKERS, WorkQueue
+
+
+class _Slot:
+    """One supervised worker position: process + respawn bookkeeping."""
+
+    __slots__ = ("worker_id", "proc", "respawns", "retry_at")
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.proc: subprocess.Popen | None = None
+        self.respawns = 0
+        self.retry_at = 0.0
+
+
+class WorkerSupervisor:
+    """Keeps ``n_workers`` queue workers alive, unfrozen and drainable.
+
+    Attributes:
+        stats: Counters — ``spawned`` (all process launches),
+            ``respawned`` (launches replacing a dead worker),
+            ``killed_frozen`` (live-but-silent workers killed).
+    """
+
+    def __init__(
+        self,
+        queue_dir,
+        n_workers: int = 2,
+        max_respawns: int = 5,
+        backoff_s: float = 0.2,
+        heartbeat_timeout_s: float = 10.0,
+        poll_s: float = 0.2,
+        max_idle_s: float = 30.0,
+        worker_poll_s: float = 0.05,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if max_respawns < 0:
+            raise ConfigurationError("max_respawns must be >= 0")
+        if backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
+        if heartbeat_timeout_s <= 0:
+            raise ConfigurationError("heartbeat_timeout_s must be positive")
+        if poll_s <= 0:
+            raise ConfigurationError("poll_s must be positive")
+        self.queue = WorkQueue(queue_dir)
+        self.n_workers = n_workers
+        self.max_respawns = max_respawns
+        self.backoff_s = backoff_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.poll_s = poll_s
+        self.max_idle_s = max_idle_s
+        self.worker_poll_s = worker_poll_s
+        self._slots = [
+            _Slot(f"sup-{os.getpid()}-{index}") for index in range(n_workers)
+        ]
+        self._drain_requested = False
+        self.stats = {"spawned": 0, "respawned": 0, "killed_frozen": 0}
+
+    # -- process management ---------------------------------------------------
+
+    def _spawn(self, slot: _Slot) -> None:
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        workers_dir = self.queue.directory(WORKERS)
+        workers_dir.mkdir(parents=True, exist_ok=True)
+        log_handle = open(workers_dir / f"{slot.worker_id}.log", "a")
+        slot.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.core.worker",
+                "--queue",
+                str(self.queue.root),
+                "--worker-id",
+                slot.worker_id,
+                "--max-idle-s",
+                str(self.max_idle_s),
+                "--poll-s",
+                str(self.worker_poll_s),
+            ],
+            env=env,
+            stdout=log_handle,
+            stderr=subprocess.STDOUT,
+        )
+        log_handle.close()  # the child holds its own descriptor
+        self.stats["spawned"] += 1
+
+    def start(self) -> None:
+        """Launch the full fleet."""
+        for slot in self._slots:
+            if slot.proc is None:
+                self._spawn(slot)
+
+    def heartbeat_age_s(self, worker_id: str) -> float | None:
+        """Seconds since the worker last beat; None = never seen.
+
+        Supervisor and workers share one machine (the supervisor
+        spawned them), so file mtime vs ``time.time()`` is safe here —
+        cross-node skew is the *lease* protocol's problem, handled in
+        :meth:`WorkQueue.expired_leases
+        <repro.core.executor.WorkQueue.expired_leases>`.
+        """
+        path = self.queue.directory(WORKERS) / f"{worker_id}.json"
+        try:
+            return max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return None
+
+    def _respawn(self, slot: _Slot, now: float) -> None:
+        if slot.respawns >= self.max_respawns:
+            return
+        if now < slot.retry_at:
+            return
+        slot.respawns += 1
+        slot.retry_at = now + self.backoff_s * (2 ** (slot.respawns - 1))
+        self._spawn(slot)
+        self.stats["respawned"] += 1
+
+    def poll(self) -> None:
+        """One supervision pass: respawn the dead, kill the frozen."""
+        now = time.monotonic()
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is None or proc.poll() is not None:
+                self._respawn(slot, now)
+                continue
+            age = self.heartbeat_age_s(slot.worker_id)
+            if age is not None and age > self.heartbeat_timeout_s:
+                # Alive but silent: SIGSTOP'd, deadlocked, or stuck on
+                # I/O.  SIGKILL (a frozen process cannot honor
+                # SIGTERM); the lease protocol recovers its chunk.
+                try:
+                    proc.kill()
+                    proc.wait(timeout=5)
+                except OSError:
+                    pass
+                self.stats["killed_frozen"] += 1
+                self._respawn(slot, now)
+
+    def alive_workers(self) -> int:
+        return sum(
+            1
+            for slot in self._slots
+            if slot.proc is not None and slot.proc.poll() is None
+        )
+
+    # -- drain ----------------------------------------------------------------
+
+    def request_drain(self) -> None:
+        self._drain_requested = True
+
+    def drain(self, timeout_s: float = 30.0) -> None:
+        """SIGTERM the fleet, wait for graceful exits, kill stragglers.
+
+        Workers finish their current chunk, flush their segment and
+        release their lease before exiting (the SIGTERM handler in
+        :func:`repro.core.worker.worker_loop`); anything still running
+        after ``timeout_s`` is killed — its lease expires and its
+        completed points survive in the segment.
+        """
+        for slot in self._slots:
+            if slot.proc is not None and slot.proc.poll() is None:
+                try:
+                    slot.proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout_s
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                slot.proc.wait(timeout=remaining)
+            except Exception:
+                slot.proc.kill()
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, install_signal_handlers: bool = True) -> dict:
+        """Supervise until the queue is done or a drain is requested.
+
+        Returns the final :attr:`stats` (plus ``drained``) for the CLI
+        to print.
+        """
+        previous = None
+        if install_signal_handlers:
+            try:
+                previous = signal.signal(
+                    signal.SIGTERM, lambda signum, frame: self.request_drain()
+                )
+            except ValueError:
+                previous = None  # not the main thread (tests)
+        self.start()
+        try:
+            while not self._drain_requested:
+                if self.queue.done():
+                    break
+                self.poll()
+                time.sleep(self.poll_s)
+        except KeyboardInterrupt:
+            self.request_drain()
+        finally:
+            self.drain()
+            if previous is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous)
+                except ValueError:
+                    pass
+        return dict(self.stats, drained=self._drain_requested)

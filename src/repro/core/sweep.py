@@ -46,8 +46,13 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import ConfigurationError
-from repro.core.parallel import ParallelConfig, PointOutcome, parallel_map
+from repro.errors import CancelledError, ConfigurationError
+from repro.core.parallel import (
+    ParallelConfig,
+    PointOutcome,
+    check_cancelled,
+    parallel_map,
+)
 from repro.obs.ledger import coerce_ledger
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.progress import ProgressReporter
@@ -255,6 +260,7 @@ class Sweep:
         executor=None,
         store=None,
         store_context: dict | None = None,
+        cancel=None,
     ) -> SweepResult:
         """Evaluate every axis combination.
 
@@ -300,6 +306,15 @@ class Sweep:
             store_context: Extra JSON-able context folded into each
                 point's :meth:`point_key` (workload name, backend,
                 flags) so stores shared across workloads never collide.
+            cancel: Cooperative cancellation token (any object with a
+                boolean ``cancelled`` attribute, e.g.
+                :class:`~repro.serve.resilience.CancelToken`).  Checked
+                at every point/round/chunk boundary; when it fires the
+                sweep raises :class:`~repro.errors.CancelledError`
+                after journaling the points already completed, so an
+                identical rerun against the same journal resumes from
+                the prefix.  The run-ledger's ``run_end`` records
+                ``status="cancelled"``.
         """
         from repro.core.executor import coerce_executor
         from repro.core.store import coerce_store
@@ -377,8 +392,12 @@ class Sweep:
                 journal_log, run_ledger, progress,
                 executor=run_executor, store=run_store,
                 store_context=store_context or {},
+                cancel=cancel,
             )
             status = "ok"
+        except CancelledError:
+            status = "cancelled"
+            raise
         finally:
             # Every resource releases even when another's release (or
             # the sweep itself) raised: a journal close failure must
@@ -435,11 +454,12 @@ class Sweep:
     def _evaluate(
         self, evaluate, combos, completed, skip_errors, parallel,
         journal_log, ledger=None, progress=None, executor=None,
-        store=None, store_context=None,
+        store=None, store_context=None, cancel=None,
     ) -> dict:
         """Evaluate the not-yet-journaled points; return index -> outcome."""
         from repro.errors import ReproError
 
+        check_cancelled(cancel)
         outcomes = dict(completed)
         remaining = [
             index for index in range(len(combos)) if index not in outcomes
@@ -507,6 +527,7 @@ class Sweep:
                 ),
                 ledger=ledger,
                 progress=progress,
+                cancel=cancel,
             )
             for index, outcome in zip(remaining, round_outcomes):
                 outcomes[index] = outcome
@@ -528,6 +549,7 @@ class Sweep:
             catch = (ReproError,) if skip_errors else ()
             task = _KwargsTask(evaluate)
             for indices in _rounds(remaining, parallel, journal_log):
+                check_cancelled(cancel)
                 round_outcomes = parallel_map(
                     task,
                     [combos[index] for index in indices],
@@ -535,6 +557,7 @@ class Sweep:
                     catch=catch,
                     ledger=ledger,
                     progress=progress,
+                    cancel=cancel,
                 )
                 for index, outcome in zip(indices, round_outcomes):
                     outcomes[index] = outcome
@@ -578,6 +601,7 @@ class Sweep:
                     ledger.event("checkpoint", points=len(remaining))
                 return outcomes
         for index in remaining:
+            check_cancelled(cancel)
             try:
                 value = evaluate(**combos[index])
             except ReproError as error:

@@ -23,6 +23,14 @@ The worker exits when the coordinator writes the ``done`` sentinel,
 when the queue has been idle longer than ``--max-idle-s``, or after one
 chunk with ``--once`` (used by the chaos tests to step workers
 deterministically).
+
+``SIGTERM`` requests a *graceful drain*: the worker finishes the chunk
+it is evaluating, publishes its result, releases its lease, lets the
+segment's context manager flush, and exits — the contract
+:class:`~repro.core.supervisor.WorkerSupervisor` relies on.  While
+running it also refreshes its heartbeat file at least once a second
+(idle polls and per evaluated point), so a supervisor can tell a
+frozen worker from a busy one.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import argparse
 import base64
 import os
 import pickle
+import signal
 import sys
 import time
 import uuid
@@ -47,13 +56,16 @@ def evaluate_chunk(
     catch: tuple,
     worker_id: str,
     segment: ResultStore,
+    heartbeat=None,
 ) -> tuple:
     """Evaluate one claimed chunk; returns (outcomes, sources, elapsed).
 
     ``sources[i]`` is ``"store"`` when the point was served from a
     worker segment (its fingerprint was already evaluated — typically
     by the dead worker this chunk was stolen from) and ``"fresh"``
-    when this worker evaluated it.
+    when this worker evaluated it.  ``heartbeat`` (optional callable)
+    is invoked after every point so liveness stays visible on slow
+    chunks; callers throttle it.
     """
     items = pickle.loads(base64.b64decode(chunk["items"]))
     keys = chunk.get("keys")
@@ -82,6 +94,8 @@ def evaluate_chunk(
         outcomes.append(outcome)
         if lease_path is not None:
             queue.renew_lease(lease_path)
+        if heartbeat is not None:
+            heartbeat()
     return outcomes, sources, time.perf_counter() - start
 
 
@@ -91,53 +105,92 @@ def worker_loop(
     max_idle_s: float = 30.0,
     poll_s: float = 0.05,
     once: bool = False,
+    heartbeat_s: float = 1.0,
 ) -> int:
-    """Main loop; returns the number of chunks this worker completed."""
+    """Main loop; returns the number of chunks this worker completed.
+
+    Installs a ``SIGTERM`` handler (main thread only) that requests a
+    graceful drain: the in-flight chunk completes, publishes and
+    releases before the loop exits.
+    """
     worker_id = worker_id or f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
     queue = WorkQueue(queue_dir)
-    manifest = None
-    idle_since = time.monotonic()
-    # The coordinator may still be publishing: wait for the manifest.
-    while manifest is None:
-        manifest = queue.manifest()
-        if manifest is not None:
-            break
-        if queue.done():
-            return 0
-        if time.monotonic() - idle_since > max_idle_s:
-            return 0
-        time.sleep(poll_s)
-    lease_timeout_s = float(manifest.get("lease_timeout_s", 10.0))
-    fn, catch = queue.load_task()
-    chunks_done = 0
-    # fsync per append: this segment is exactly what survives SIGKILL.
-    with ResultStore(
-        path=queue.segment_path(worker_id), fsync=True
-    ) as segment:
-        queue.heartbeat(worker_id, chunks_done)
+    draining = {"flag": False}
+
+    def _request_drain(signum, frame):
+        draining["flag"] = True
+
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _request_drain)
+    except ValueError:
+        previous_handler = None  # not the main thread (in-process tests)
+    try:
+        manifest = None
         idle_since = time.monotonic()
-        while True:
-            if queue.done():
+        # The coordinator may still be publishing: wait for the manifest.
+        while manifest is None:
+            manifest = queue.manifest()
+            if manifest is not None:
                 break
-            chunk = queue.claim_next(worker_id, lease_timeout_s)
-            if chunk is None:
-                if time.monotonic() - idle_since > max_idle_s:
-                    break
-                time.sleep(poll_s)
-                continue
-            idle_since = time.monotonic()
-            outcomes, sources, elapsed = evaluate_chunk(
-                queue, chunk, fn, catch, worker_id, segment
-            )
-            queue.publish_result(
-                chunk, worker_id, outcomes, sources, elapsed
-            )
-            queue.release_lease(chunk["_lease_path"])
-            chunks_done += 1
+            if queue.done() or draining["flag"]:
+                return 0
+            if time.monotonic() - idle_since > max_idle_s:
+                return 0
+            time.sleep(poll_s)
+        lease_timeout_s = float(manifest.get("lease_timeout_s", 10.0))
+        fn, catch = queue.load_task()
+        chunks_done = 0
+        last_beat = 0.0
+
+        def beat() -> None:
+            # Throttled: at most one heartbeat write per heartbeat_s,
+            # called from idle polls and per evaluated point — a
+            # supervisor reading the file's mtime can tell frozen
+            # (silent) from busy (beating) at that resolution.
+            nonlocal last_beat
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_s:
+                queue.heartbeat(worker_id, chunks_done)
+                last_beat = now
+
+        # fsync per append: this segment is exactly what survives SIGKILL.
+        with ResultStore(
+            path=queue.segment_path(worker_id), fsync=True
+        ) as segment:
             queue.heartbeat(worker_id, chunks_done)
-            if once:
-                break
-    return chunks_done
+            last_beat = time.monotonic()
+            idle_since = time.monotonic()
+            while True:
+                if queue.done() or draining["flag"]:
+                    break
+                chunk = queue.claim_next(worker_id, lease_timeout_s)
+                if chunk is None:
+                    beat()
+                    if time.monotonic() - idle_since > max_idle_s:
+                        break
+                    time.sleep(poll_s)
+                    continue
+                idle_since = time.monotonic()
+                outcomes, sources, elapsed = evaluate_chunk(
+                    queue, chunk, fn, catch, worker_id, segment,
+                    heartbeat=beat,
+                )
+                queue.publish_result(
+                    chunk, worker_id, outcomes, sources, elapsed
+                )
+                queue.release_lease(chunk["_lease_path"])
+                chunks_done += 1
+                queue.heartbeat(worker_id, chunks_done)
+                last_beat = time.monotonic()
+                if once:
+                    break
+        return chunks_done
+    finally:
+        if previous_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_handler)
+            except ValueError:
+                pass
 
 
 def main(argv=None) -> int:

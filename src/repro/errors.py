@@ -44,6 +44,18 @@ class VerificationError(SimulationError):
     """
 
 
+class CancelledError(ReproError):
+    """Cooperative cancellation was requested and honored.
+
+    Raised by the sweep/parallel/executor chunk-boundary checks when a
+    :class:`~repro.serve.resilience.CancelToken` fires (client cancel
+    or a lapsed ``deadline_s``).  Deliberately *not* a subclass of
+    :class:`ConfigurationError`: a cancelled run is neither a bad input
+    nor a workload failure, so ``skip_errors`` quarantine and circuit
+    breakers must not swallow it.
+    """
+
+
 class RepairError(ReproError):
     """Redundancy repair allocation failed or was given invalid inputs."""
 

@@ -36,6 +36,65 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         default=4,
         help="job executor threads",
     )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="admission limit: queued+running jobs beyond this are "
+        "shed with 429 (default 64; see docs/SERVICE.md)",
+    )
+    parser.add_argument(
+        "--per-workload",
+        type=int,
+        default=None,
+        help="per-workload admission limit (default: no per-workload "
+        "cap)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="consecutive failures that open a workload's circuit "
+        "breaker (default 5; 0 disables breakers)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=None,
+        help="seconds an open breaker waits before a half-open probe "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="disable admission control and circuit breakers entirely",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for per-job sweep checkpoints: cancelled jobs "
+        "leave a resumable journal here",
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """False to disable, None for defaults, or an explicit config."""
+    if args.no_resilience:
+        return False
+    overrides = {}
+    if args.max_depth is not None:
+        overrides["max_depth"] = args.max_depth
+    if args.per_workload is not None:
+        overrides["per_workload"] = args.per_workload
+    if args.breaker_threshold is not None:
+        overrides["breaker_threshold"] = args.breaker_threshold
+    if args.breaker_cooldown_s is not None:
+        overrides["breaker_cooldown_s"] = args.breaker_cooldown_s
+    if not overrides:
+        return None
+    from repro.serve.resilience import ResilienceConfig
+
+    return ResilienceConfig(**overrides)
 
 
 def run_serve(args: argparse.Namespace) -> int:
@@ -52,6 +111,8 @@ def run_serve(args: argparse.Namespace) -> int:
         cache_path=args.cache_path,
         max_workers=args.workers,
         ready=ready,
+        resilience=_resilience_from_args(args),
+        journal_dir=args.journal_dir,
     )
     return 0
 
@@ -107,6 +168,7 @@ def build_client_parser() -> argparse.ArgumentParser:
         ("result", "job result document"),
         ("report", "job run report (markdown inside JSON)"),
         ("events", "stream the job's events until it finishes"),
+        ("cancel", "request cooperative cancellation of a running job"),
     ):
         command = sub.add_parser(name, help=help_text)
         command.add_argument("job_id")
@@ -115,6 +177,11 @@ def build_client_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("stats", help="service counters and cache stats")
     sub.add_parser("healthz", help="liveness check")
+    sub.add_parser(
+        "readyz",
+        help="readiness / overload snapshot (admission depth, "
+        "breaker states)",
+    )
     return parser
 
 
@@ -143,10 +210,14 @@ def client_main(argv=None) -> int:
         elif args.command == "events":
             for event in client.events(args.job_id):
                 print(json.dumps(event), flush=True)
+        elif args.command == "cancel":
+            _emit(client.cancel(args.job_id), args.out)
         elif args.command == "stats":
             _emit(client.stats(), None)
         elif args.command == "healthz":
             _emit(client.healthz(), None)
+        elif args.command == "readyz":
+            _emit(client.readyz(), None)
     except ServeClientError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -162,11 +233,17 @@ def client_main(argv=None) -> int:
 def main(argv=None) -> int:
     """`python -m repro.serve` entry: `serve` or any client command."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "serve":
-        parser = argparse.ArgumentParser(prog="python -m repro.serve serve")
-        add_serve_arguments(parser)
-        return run_serve(parser.parse_args(argv[1:]))
-    return client_main(argv)
+    try:
+        if argv and argv[0] == "serve":
+            parser = argparse.ArgumentParser(
+                prog="python -m repro.serve serve"
+            )
+            add_serve_arguments(parser)
+            return run_serve(parser.parse_args(argv[1:]))
+        return client_main(argv)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

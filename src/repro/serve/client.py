@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 
@@ -74,11 +75,31 @@ class _ClientCore:
     def healthz(self) -> dict:
         return self._call("GET", "/v1/healthz")
 
+    def readyz(self) -> dict:
+        """Readiness snapshot; a 503 (over capacity) still returns the
+        document — not-ready is an answer, not a failure."""
+        status, payload = self.request("GET", "/v1/readyz")
+        if status not in (200, 503):
+            raise ServeClientError(status, payload)
+        return payload
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cooperative cancellation of a running job."""
+        return self._call("POST", f"/v1/jobs/{job_id}/cancel")
+
     def wait(
         self, job_id: str, timeout_s: float = 60.0, poll_s: float = 0.05
     ) -> dict:
-        """Block until the job finishes; returns its final status."""
+        """Block until the job finishes; returns its final status.
+
+        Polls with exponential backoff (``poll_s`` doubling to at most
+        1 s, jittered) on top of the server's long-poll ``wait_s`` —
+        a long-running job costs a bounded handful of requests, and a
+        thundering herd of waiters decorrelates instead of beating on
+        the service in lockstep.
+        """
         deadline = time.monotonic() + timeout_s
+        delay = max(poll_s, 1e-4)
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -93,17 +114,44 @@ class _ClientCore:
                     },
                 )
             status = self.status(job_id, wait_s=min(remaining, 5.0))
-            if status["status"] in ("done", "failed"):
+            if status["status"] in ("done", "failed", "cancelled"):
                 return status
-            time.sleep(poll_s)
+            time.sleep(min(remaining, delay * random.uniform(0.5, 1.0)))
+            delay = min(delay * 2.0, 1.0)
 
     def run(self, job: dict, timeout_s: float = 60.0) -> dict:
-        """Submit, wait, and return the result envelope."""
-        submitted = self.submit(job)
+        """Submit, wait, and return the result envelope.
+
+        A 429 ``overloaded`` rejection is retried until ``timeout_s``
+        runs out, sleeping the server-suggested ``retry_after_s``
+        (jittered upward) between attempts; 503 ``circuit_open`` and
+        every other error propagate immediately.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                submitted = self.submit(job)
+                break
+            except ServeClientError as error:
+                if error.status != 429:
+                    raise
+                retry_after = float(
+                    ((error.payload or {}).get("error") or {}).get(
+                        "retry_after_s", 0.05
+                    )
+                )
+                pause = retry_after * random.uniform(1.0, 1.5)
+                if time.monotonic() + pause >= deadline:
+                    raise
+                time.sleep(pause)
         job_id = submitted["job_id"]
-        final = self.wait(job_id, timeout_s=timeout_s)
+        final = self.wait(
+            job_id, timeout_s=max(0.0, deadline - time.monotonic())
+        )
         if final["status"] == "failed":
             raise ServeClientError(500, final)
+        if final["status"] == "cancelled":
+            raise ServeClientError(409, final)
         return self.result(job_id)
 
 

@@ -13,7 +13,25 @@ Execution path per job::
 
     submit -> cache.get(fingerprint)   -- hit: done instantly, cached=True
            -> coalescer.admit          -- in flight: follow the primary
+           -> breaker.allow            -- workload broken: 503 circuit_open
+           -> admission.try_admit      -- at capacity: 429 overloaded
            -> executor.submit          -- cold: run it
+
+Only a *cold primary* occupies an executor slot, so only it is subject
+to the breaker and admission checks: cache hits and coalesced
+followers are answered even when the service is saturated.  Rejected
+submissions create no job record and do not count as ``submitted`` —
+the bookkeeping invariant ``submitted == executions + cache_hits +
+coalesced`` holds with resilience enabled.
+
+Every cold primary carries a :class:`~repro.serve.resilience.CancelToken`
+(armed with the job's optional ``deadline_s``).  ``POST
+/v1/jobs/<id>/cancel`` or a lapsed deadline flips it; the sweep /
+parallel / executor chunk boundaries and the simulator watchdog
+observe it and unwind with :class:`~repro.errors.CancelledError`.  A
+cancelled job reaches the terminal ``cancelled`` state, frees its
+admission slot, journals partial progress (resumable via the service's
+``journal_dir``), and never touches the result cache.
 
 A cold run wires a :class:`~repro.obs.ledger.MemoryLedger` and a
 callback-only :class:`~repro.obs.progress.ProgressReporter` into the
@@ -36,12 +54,20 @@ import re
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import CancelledError, ConfigurationError, ReproError
 from repro.obs.ledger import MemoryLedger
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.progress import ProgressReporter
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import RequestCoalescer
+from repro.serve.resilience import (
+    AdmissionController,
+    CancelToken,
+    CircuitBreaker,
+    ResilienceConfig,
+)
 from repro.serve.protocol import (
     RequestError,
     SCHEMA_VERSION,
@@ -86,7 +112,7 @@ class JobRecord:
     job_id: str
     spec: object
     fingerprint: str
-    status: str = "queued"  # queued | running | done | failed
+    status: str = "queued"  # queued | running | done | failed | cancelled
     cached: bool = False
     coalesced_with: str | None = None
     result_text: str | None = None
@@ -95,10 +121,11 @@ class JobRecord:
     events: list = field(default_factory=list)
     followers: list = field(default_factory=list)
     done_event: threading.Event = field(default_factory=threading.Event)
+    cancel_token: CancelToken | None = None
 
     @property
     def finished(self) -> bool:
-        return self.status in ("done", "failed")
+        return self.status in ("done", "failed", "cancelled")
 
 
 class ExplorationService:
@@ -110,8 +137,21 @@ class ExplorationService:
         coalescer: In-flight de-duplicator.
         stats: Counters — ``submitted``, ``executions`` (cold runs
             actually performed), ``cache_hits``, ``evaluations``
-            (workload calls + explored points), plus
-            ``serve.coalesced`` via the coalescer.
+            (workload calls + explored points), ``shed`` (submissions
+            rejected 429), ``cancelled`` (jobs reaching the cancelled
+            terminal state), plus ``serve.coalesced`` via the
+            coalescer.
+        resilience: The :class:`ResilienceConfig` in force, or None
+            when overload protection is disabled (``resilience=False``).
+        admission: The :class:`AdmissionController` (None when
+            disabled).
+        breakers: The :class:`CircuitBreaker` registry (None when
+            disabled).
+        journal_dir: Directory for per-job sweep journals.  When set,
+            cold sweep jobs checkpoint per-point results there; a
+            cancelled job's journal is kept so a resubmission resumes
+            from the completed prefix, a finished job's is deleted
+            (the cache owns complete results).
     """
 
     def __init__(
@@ -119,12 +159,24 @@ class ExplorationService:
         cache: ResultCache | None = None,
         max_workers: int = 4,
         max_wait_s: float = MAX_WAIT_S,
+        resilience: ResilienceConfig | None | bool = None,
+        journal_dir=None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
         self.cache = cache if cache is not None else ResultCache()
         self.coalescer = RequestCoalescer()
         self.max_wait_s = max_wait_s
+        if resilience is None or resilience is True:
+            resilience = ResilienceConfig()
+        elif resilience is False:
+            resilience = None
+        self.resilience = resilience
+        self.admission = (
+            AdmissionController(resilience) if resilience else None
+        )
+        self.breakers = CircuitBreaker(resilience) if resilience else None
+        self.journal_dir = Path(journal_dir) if journal_dir else None
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -136,6 +188,8 @@ class ExplorationService:
             "executions": 0,
             "cache_hits": 0,
             "evaluations": 0,
+            "shed": 0,
+            "cancelled": 0,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -152,7 +206,13 @@ class ExplorationService:
     # -- submission ----------------------------------------------------------
 
     def submit(self, payload) -> dict:
-        """Validate and admit one job; returns the submit response."""
+        """Validate and admit one job; returns the submit response.
+
+        Raises :class:`RequestError` 429 ``overloaded`` when admission
+        is full and 503 ``circuit_open`` when the workload's breaker is
+        open — both carry ``retry_after_s`` in the error envelope, and
+        neither registers a job record.
+        """
         spec = parse_job(payload)
         fingerprint = spec.fingerprint()
         with self._lock:
@@ -161,9 +221,8 @@ class ExplorationService:
                 spec=spec,
                 fingerprint=fingerprint,
             )
-            self._jobs[job.job_id] = job
-            self.stats["submitted"] += 1
             cached_text = self.cache.get(fingerprint)
+            execute = False
             if cached_text is not None:
                 self.stats["cache_hits"] += 1
                 job.cached = True
@@ -178,7 +237,19 @@ class ExplorationService:
                 if primary is not None:
                     job.coalesced_with = primary.job_id
                 else:
-                    self._executor.submit(self._execute, job)
+                    try:
+                        self._check_capacity(self._breaker_key(spec))
+                    except RequestError:
+                        self.coalescer.release(fingerprint, job)
+                        raise
+                    job.cancel_token = CancelToken(
+                        deadline_s=spec.deadline_s
+                    )
+                    execute = True
+            self._jobs[job.job_id] = job
+            self.stats["submitted"] += 1
+            if execute:
+                self._executor.submit(self._execute, job)
         return ok_envelope(
             job_id=job.job_id,
             status=self.status_of(job),
@@ -195,6 +266,123 @@ class ExplorationService:
                 return primary.status
         return job.status
 
+    # -- overload protection -------------------------------------------------
+
+    @staticmethod
+    def _breaker_key(spec) -> str:
+        """Admission/breaker bucket: the workload name, or ``explore``."""
+        return spec.workload if spec.kind == "sweep" else "explore"
+
+    def _check_capacity(self, key: str) -> None:
+        """Claim an admission slot for ``key`` or raise 429/503.
+
+        Admission is claimed *before* the breaker is consulted so a
+        half-open probe admitted by the breaker can never be shed
+        afterwards (which would strand the breaker half-open with no
+        probe in flight); a breaker rejection releases the slot again.
+        """
+        if self.admission is not None:
+            if not self.admission.try_admit(key):
+                self.stats["shed"] += 1
+                if GLOBAL_METRICS.enabled:
+                    GLOBAL_METRICS.counter("serve.shed").inc()
+                raise RequestError(
+                    f"service at capacity "
+                    f"(depth {self.admission.depth}/"
+                    f"{self.resilience.max_depth}); retry later",
+                    code="overloaded",
+                    http_status=429,
+                    extra={
+                        "retry_after_s": self.resilience.shed_retry_after_s
+                    },
+                )
+            if GLOBAL_METRICS.enabled:
+                GLOBAL_METRICS.gauge("serve.queue_depth").set(
+                    self.admission.depth
+                )
+        if self.breakers is not None:
+            allowed, retry_after_s = self.breakers.allow(key)
+            if not allowed:
+                if self.admission is not None:
+                    self.admission.release(key)
+                if GLOBAL_METRICS.enabled:
+                    GLOBAL_METRICS.counter("serve.breaker_rejected").inc()
+                raise RequestError(
+                    f"circuit breaker open for workload {key!r}; "
+                    f"retry later",
+                    code="circuit_open",
+                    http_status=503,
+                    extra={"retry_after_s": round(retry_after_s, 3)},
+                )
+
+    def cancel_job(self, job_id: str, reason: str = "client_cancel") -> dict:
+        """Request cooperative cancellation of a job (idempotent).
+
+        A coalesced follower is detached immediately (the primary and
+        its other followers keep running); a cold primary has its
+        token flipped and unwinds at the next chunk/watchdog boundary.
+        A finished job reports ``cancelled: false`` with its terminal
+        status.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.finished:
+                return ok_envelope(
+                    job_id=job.job_id,
+                    status=self.status_of(job),
+                    cancelled=False,
+                )
+            if job.coalesced_with is not None:
+                job.status = "cancelled"
+                job.error = {
+                    "code": "cancelled",
+                    "message": f"job cancelled ({reason})",
+                }
+                job.done_event.set()
+                self.stats["cancelled"] += 1
+                return ok_envelope(
+                    job_id=job.job_id, status="cancelled", cancelled=True
+                )
+            token = job.cancel_token
+        if token is None:
+            return ok_envelope(
+                job_id=job.job_id,
+                status=self.status_of(job),
+                cancelled=False,
+            )
+        token.cancel(reason)
+        return ok_envelope(
+            job_id=job.job_id, status=self.status_of(job), cancelled=True
+        )
+
+    def readyz_document(self) -> tuple:
+        """``(http_status, payload)`` for ``GET /v1/readyz``.
+
+        503 once the admission queue is full — load balancers should
+        stop routing here; 200 otherwise.  The payload carries the
+        admission and breaker snapshots either way.
+        """
+        admission = (
+            self.admission.snapshot() if self.admission is not None else None
+        )
+        breakers = (
+            self.breakers.snapshot() if self.breakers is not None else None
+        )
+        ready = True
+        if admission is not None and admission["depth"] >= admission[
+            "max_depth"
+        ]:
+            ready = False
+        payload = ok_envelope(
+            ready=ready,
+            admission=admission,
+            breakers=breakers,
+            in_flight=self.coalescer.in_flight,
+            shed=self.stats["shed"],
+            cancelled=self.stats["cancelled"],
+        )
+        return (200 if ready else 503), payload
+
     # -- execution -----------------------------------------------------------
 
     def _count_evaluations(self, n: int = 1) -> None:
@@ -202,39 +390,98 @@ class ExplorationService:
             self.stats["evaluations"] += n
 
     def _execute(self, job: JobRecord) -> None:
-        job.status = "running"
-        tap = MemoryLedger(run_id=job.job_id)
-        job.events = tap.events
+        key = self._breaker_key(job.spec)
+        token = job.cancel_token
         try:
-            document = self._run_spec(job, tap)
-            text = canonical_json(document)
-        except ReproError as error:
-            self._resolve(job, error={
-                "code": "evaluation_failed",
-                "message": f"{type(error).__name__}: {error}",
-            })
-            return
-        except Exception as error:  # noqa: BLE001 - jobs must not kill workers
-            self._resolve(job, error={
-                "code": "internal_error",
-                "message": f"{type(error).__name__}: {error}",
-            })
-            return
-        self.cache.put(job.fingerprint, text)
+            if token is not None and token.cancelled:
+                # Cancelled (or deadline-expired) while queued behind
+                # other jobs — never start the run.
+                self._resolve_cancelled(job)
+                return
+            job.status = "running"
+            tap = MemoryLedger(run_id=job.job_id)
+            job.events = tap.events
+            try:
+                document = self._run_spec(job, tap)
+                text = canonical_json(document)
+            except CancelledError:
+                self._resolve_cancelled(job)
+                return
+            except ReproError as error:
+                if self.breakers is not None:
+                    self.breakers.record_failure(key)
+                self._resolve(job, error={
+                    "code": "evaluation_failed",
+                    "message": f"{type(error).__name__}: {error}",
+                })
+                return
+            except Exception as error:  # noqa: BLE001 - jobs must not kill workers
+                if self.breakers is not None:
+                    self.breakers.record_failure(key)
+                self._resolve(job, error={
+                    "code": "internal_error",
+                    "message": f"{type(error).__name__}: {error}",
+                })
+                return
+            if self.breakers is not None:
+                self.breakers.record_success(key)
+            self.cache.put(job.fingerprint, text)
+            with self._lock:
+                self.stats["executions"] += 1
+            self._resolve(job, text=text)
+        finally:
+            if self.admission is not None:
+                self.admission.release(key)
+                if GLOBAL_METRICS.enabled:
+                    GLOBAL_METRICS.gauge("serve.queue_depth").set(
+                        self.admission.depth
+                    )
+
+    def _resolve_cancelled(self, job: JobRecord) -> None:
+        """Move a cold primary (and its followers) to ``cancelled``.
+
+        Not a breaker failure (the workload did nothing wrong) — but a
+        cancelled half-open probe re-opens the breaker so it is not
+        stranded waiting for a probe verdict that will never come.
+        The result cache is never touched; a journaled partial stays
+        on disk for resumption.
+        """
+        token = job.cancel_token
+        reason = (token.reason if token is not None else None) or "cancelled"
+        if self.breakers is not None:
+            self.breakers.record_cancelled(self._breaker_key(job.spec))
+        if GLOBAL_METRICS.enabled:
+            GLOBAL_METRICS.counter("serve.cancelled").inc()
+        job.events.append(
+            {"kind": "cancelled", "reason": reason, "partial": job.progress}
+        )
         with self._lock:
-            self.stats["executions"] += 1
-        self._resolve(job, text=text)
+            self.stats["cancelled"] += 1
+        self._resolve(
+            job,
+            error={
+                "code": "cancelled",
+                "message": f"job cancelled ({reason})",
+            },
+            status="cancelled",
+        )
 
     def _resolve(
-        self, job: JobRecord, text: str | None = None, error=None
+        self,
+        job: JobRecord,
+        text: str | None = None,
+        error=None,
+        status: str | None = None,
     ) -> None:
+        if status is None:
+            status = "done" if error is None else "failed"
         followers = self.coalescer.release(job.fingerprint, job)
         for record in (job, *followers):
             if record.finished:
                 continue
             record.result_text = text
             record.error = error
-            record.status = "done" if error is None else "failed"
+            record.status = status
             record.done_event.set()
 
     def _run_spec(self, job: JobRecord, tap: MemoryLedger) -> dict:
@@ -285,13 +532,28 @@ class ExplorationService:
         reporter = ProgressReporter(
             total=sweep.n_points, enabled=False, callback=on_progress
         )
+        journal = None
+        if self.journal_dir is not None:
+            # One journal per fingerprint: a cancelled job leaves its
+            # completed prefix behind, and an identical resubmission
+            # resumes from it instead of re-evaluating.
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+            journal = self.journal_dir / f"{job.fingerprint}.jsonl"
         outcome = sweep.run(
             evaluate,
             skip_errors=spec.skip_errors,
             ledger=tap,
             progress=reporter,
             parallel=parallel,
+            journal=journal,
+            cancel=job.cancel_token,
         )
+        if journal is not None:
+            # Complete: the cache owns the canonical result from here.
+            try:
+                journal.unlink()
+            except OSError:
+                pass
         if parallel is not None:
             self._count_evaluations(sweep.n_points)
         points = [
@@ -404,6 +666,13 @@ class ExplorationService:
                 code="not_ready",
                 http_status=409,
             )
+        if job.status == "cancelled":
+            error = job.error or {}
+            raise RequestError(
+                error.get("message", "job cancelled"),
+                code="cancelled",
+                http_status=409,
+            )
         if job.status == "failed":
             error = job.error or {}
             raise RequestError(
@@ -463,6 +732,16 @@ class ExplorationService:
             in_flight=self.coalescer.in_flight,
             coalesced=self.coalescer.coalesced,
             cache=self.cache.stats(),
+            admission=(
+                self.admission.snapshot()
+                if self.admission is not None
+                else None
+            ),
+            breakers=(
+                self.breakers.snapshot()
+                if self.breakers is not None
+                else None
+            ),
             **counters,
         )
 
@@ -471,11 +750,11 @@ class ExplorationService:
 
 _JOB_PATH = re.compile(
     r"^/v1/jobs/(?P<job_id>[A-Za-z0-9_-]+)"
-    r"(?:/(?P<leaf>result|report|events))?$"
+    r"(?:/(?P<leaf>result|report|events|cancel))?$"
 )
 
 #: Paths that exist (for 405-vs-404 discrimination).
-_KNOWN_FIXED_PATHS = {"/v1/jobs", "/v1/healthz", "/v1/stats"}
+_KNOWN_FIXED_PATHS = {"/v1/jobs", "/v1/healthz", "/v1/readyz", "/v1/stats"}
 
 
 def parse_wait_s(query: str) -> float | None:
@@ -508,7 +787,9 @@ def route(service: ExplorationService, method: str, path: str, body=None):
     try:
         return _route(service, method, path, body)
     except RequestError as error:
-        return error.http_status, error_envelope(error.code, str(error))
+        return error.http_status, error_envelope(
+            error.code, str(error), **error.extra
+        )
 
 
 def _route(service, method, path, body):
@@ -519,10 +800,14 @@ def _route(service, method, path, body):
         return 200, service.submit(body)
     match = _JOB_PATH.match(path)
     if match is not None:
-        if method != "GET":
-            raise _method_not_allowed(method, path)
         job_id = match.group("job_id")
         leaf = match.group("leaf")
+        if leaf == "cancel":
+            if method != "POST":
+                raise _method_not_allowed(method, path)
+            return 200, service.cancel_job(job_id)
+        if method != "GET":
+            raise _method_not_allowed(method, path)
         if leaf is None:
             wait_s = parse_wait_s(query)
             if wait_s is not None:
@@ -541,6 +826,10 @@ def _route(service, method, path, body):
         if method != "GET":
             raise _method_not_allowed(method, path)
         return 200, ok_envelope(status="healthy", jobs=len(service._jobs))
+    if path == "/v1/readyz":
+        if method != "GET":
+            raise _method_not_allowed(method, path)
+        return service.readyz_document()
     if path == "/v1/stats":
         if method != "GET":
             raise _method_not_allowed(method, path)

@@ -57,11 +57,18 @@ class RequestError(ConfigurationError):
     """
 
     def __init__(
-        self, message: str, code: str = "bad_request", http_status: int = 400
+        self,
+        message: str,
+        code: str = "bad_request",
+        http_status: int = 400,
+        extra: dict | None = None,
     ) -> None:
         super().__init__(message)
         self.code = code
         self.http_status = http_status
+        #: Extra machine-readable fields folded into the error envelope
+        #: (e.g. ``retry_after_s`` on 429/503 rejections).
+        self.extra = extra or {}
 
 
 def canonical_json(document) -> str:
@@ -172,6 +179,13 @@ class SweepJobSpec:
     #: must not change what it computes, so a 4-worker run shares its
     #: cache entry (byte-identically) with the serial run.
     workers: int = field(default=0, compare=False)
+    #: Server-side deadline in seconds; the job is cooperatively
+    #: cancelled once it lapses.  Excluded from the fingerprint for the
+    #: same reason as ``workers``: how long a job may run does not
+    #: change what it computes, so a deadline-bearing request still
+    #: coalesces with (and is served from the cache of) the same job
+    #: submitted without one.
+    deadline_s: float | None = field(default=None, compare=False)
 
     kind = "sweep"
 
@@ -219,6 +233,9 @@ class ExploreJobSpec:
     backend: str = "batched"
     widths: tuple | None = None
     bank_options: tuple | None = None
+    #: Server-side deadline (see :class:`SweepJobSpec.deadline_s`);
+    #: excluded from the fingerprint.
+    deadline_s: float | None = field(default=None, compare=False)
 
     kind = "explore"
 
@@ -271,12 +288,20 @@ _SWEEP_FIELDS = (
     "backend",
     "skip_errors",
     "workers",
+    "deadline_s",
 )
 
 #: Cap on the `workers:` execution hint — a service must bound the
 #: processes one request can spawn.
 MAX_SWEEP_WORKERS = 8
-_EXPLORE_FIELDS = ("kind", "requirements", "backend", "widths", "bank_options")
+_EXPLORE_FIELDS = (
+    "kind",
+    "requirements",
+    "backend",
+    "widths",
+    "bank_options",
+    "deadline_s",
+)
 _REQUIREMENT_FIELDS = (
     "name",
     "capacity_mbit",
@@ -374,6 +399,7 @@ def _parse_sweep(payload: dict) -> SweepJobSpec:
         backend=backend,
         skip_errors=_bool_field(payload, "skip_errors", "job", False),
         workers=workers,
+        deadline_s=_number_field(payload, "deadline_s", "job"),
     )
     if spec.n_points > MAX_SWEEP_POINTS:
         raise RequestError(
@@ -442,6 +468,7 @@ def _parse_explore(payload: dict) -> ExploreJobSpec:
         backend=backend,
         widths=_int_tuple_field(payload, "widths", "job"),
         bank_options=_int_tuple_field(payload, "bank_options", "job"),
+        deadline_s=_number_field(payload, "deadline_s", "job"),
     )
 
 
@@ -471,9 +498,13 @@ def ok_envelope(**fields) -> dict:
     return envelope
 
 
-def error_envelope(code: str, message: str) -> dict:
+def error_envelope(code: str, message: str, **extra) -> dict:
+    """The error response document; ``extra`` fields (``retry_after_s``
+    on overload/breaker rejections) land inside the ``error`` object."""
+    error = {"code": code, "message": message}
+    error.update(extra)
     return {
         "schema_version": SCHEMA_VERSION,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
     }

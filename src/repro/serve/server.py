@@ -38,7 +38,9 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -76,6 +78,9 @@ class ReproServer:
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
+        #: Live SSE streams right now — observable from tests so a
+        #: client disconnect can be shown to reap its server-side loop.
+        self.sse_streams = 0
 
     @property
     def address(self) -> tuple:
@@ -177,22 +182,32 @@ class ReproServer:
         )
         writer.write(head.encode("ascii"))
         cursor = 0
-        while True:
-            events, finished = self.service.events_since(job_id, cursor)
-            for event in events:
-                frame = (
-                    f"event: {event.get('kind', 'message')}\n"
-                    f"data: {json.dumps(event)}\n\n"
-                )
-                writer.write(frame.encode("utf-8"))
-            cursor += len(events)
-            await writer.drain()
-            if finished and not events:
-                writer.write(b"event: end\ndata: {}\n\n")
+        self.sse_streams += 1
+        try:
+            while True:
+                events, finished = self.service.events_since(job_id, cursor)
+                for event in events:
+                    frame = (
+                        f"event: {event.get('kind', 'message')}\n"
+                        f"data: {json.dumps(event)}\n\n"
+                    )
+                    writer.write(frame.encode("utf-8"))
+                cursor += len(events)
+                if not events:
+                    # SSE comment frame: ignored by clients, but the
+                    # write + drain below surfaces a peer disconnect as
+                    # ConnectionError even while the job is quiet — the
+                    # stream is reaped instead of polling forever.
+                    writer.write(b": keepalive\n\n")
                 await writer.drain()
-                break
-            await asyncio.sleep(SSE_POLL_S)
-        writer.close()
+                if finished and not events:
+                    writer.write(b"event: end\ndata: {}\n\n")
+                    await writer.drain()
+                    break
+                await asyncio.sleep(SSE_POLL_S)
+        finally:
+            self.sse_streams -= 1
+            writer.close()
 
 
 class _BadRequest(Exception):
@@ -208,18 +223,25 @@ def run_server(
     cache_path=None,
     max_workers: int = 4,
     ready=None,
+    resilience=None,
+    journal_dir=None,
 ) -> None:
     """Blocking entry point behind ``repro serve``.
 
     ``ready``, when given, is called with the bound ``(host, port)``
     once the socket listens — the test harness and CLI use it to print
-    the resolved port before blocking.
+    the resolved port before blocking.  ``resilience`` is a
+    :class:`~repro.serve.resilience.ResilienceConfig` (or ``False`` to
+    disable admission control and breakers); ``journal_dir`` enables
+    per-job sweep checkpoints for resumable cancellation.
     """
     from repro.serve.cache import ResultCache
 
     service = ExplorationService(
         cache=ResultCache(maxsize=cache_size, path=cache_path),
         max_workers=max_workers,
+        resilience=resilience,
+        journal_dir=journal_dir,
     )
     server = ReproServer(service=service, host=host, port=port)
 
@@ -232,7 +254,8 @@ def run_server(
         finally:
             await server.aclose()
 
-    try:
-        asyncio.run(main())
-    except KeyboardInterrupt:
-        pass
+    # KeyboardInterrupt propagates: the CLI entry points translate it
+    # into a one-line message and exit code 130.  asyncio.run() already
+    # cancels the serve loop and runs the `finally: aclose()` (draining
+    # in-flight jobs) before re-raising.
+    asyncio.run(main())

@@ -27,9 +27,25 @@ from repro.serve.server import ReproServer
 
 
 @contextmanager
-def in_process_service(cache=None, max_workers: int = 4):
-    """Yields ``(service, client)`` with guaranteed teardown."""
-    service = ExplorationService(cache=cache, max_workers=max_workers)
+def in_process_service(
+    cache=None,
+    max_workers: int = 4,
+    resilience=None,
+    journal_dir=None,
+):
+    """Yields ``(service, client)`` with guaranteed teardown.
+
+    ``resilience`` and ``journal_dir`` forward to
+    :class:`ExplorationService` — pass a
+    :class:`~repro.serve.resilience.ResilienceConfig` to shrink
+    admission capacity or speed up breaker cooldowns for a test.
+    """
+    service = ExplorationService(
+        cache=cache,
+        max_workers=max_workers,
+        resilience=resilience,
+        journal_dir=journal_dir,
+    )
     try:
         yield service, InProcessClient(service)
     finally:

@@ -123,6 +123,7 @@ class EventEngine:
         controller = self.controller
         hard_total, budget_reason = sim._budget()
         deadline = sim._deadline()
+        cancel = sim.config.cancel
         warmup_barrier = sim.config.warmup_cycles - 1
         clients = sim.clients
         pending = sim._pending
@@ -141,6 +142,12 @@ class EventEngine:
                 return sim._collect(
                     cycle, truncation=("max_wall_s", cycle)
                 )
+            if (
+                cancel is not None
+                and cycle < hard_total
+                and cancel.cancelled
+            ):
+                return sim._collect(cycle, truncation=("cancelled", cycle))
             if cycle >= hard_total:
                 break
             target = self._skip_target(cycle, hard_total, warmup_barrier)

@@ -56,6 +56,13 @@ class SimulationConfig:
             Inherently nondeterministic — use for hang protection in
             sweeps, not for reproducible experiments.  None (default)
             means no deadline.
+        cancel: Cooperative cancellation token — any object with a
+            boolean ``cancelled`` attribute, typically a
+            :class:`~repro.serve.resilience.CancelToken`.  Checked at
+            the same watchdog cadence as ``max_wall_s``; when it fires
+            the run stops and returns a truncated-but-valid result
+            with ``truncation_reason == "cancelled"``.  None (default)
+            adds no per-cycle work.
         backend: Execution core.  ``"cycle"`` (default) is the stepped
             loop (naive or fast-forward per ``fast_forward``);
             ``"event"`` selects the event-driven engine
@@ -77,6 +84,7 @@ class SimulationConfig:
     max_cycles: int | None = None
     max_wall_s: float | None = None
     backend: str = "cycle"
+    cancel: object = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -239,6 +247,7 @@ class MemorySystemSimulator:
         """Reference loop: every cycle stepped, no skipping."""
         hard_total, budget_reason = self._budget()
         deadline = self._deadline()
+        cancel = self.config.cancel
         checker = self.invariant_checker
         for cycle in range(hard_total):
             self._drive_clients(cycle)
@@ -249,13 +258,20 @@ class MemorySystemSimulator:
             if cycle == self.config.warmup_cycles - 1:
                 self._reset_measurement()
             if (
-                deadline is not None
+                (deadline is not None or cancel is not None)
                 and (cycle & 511) == 511
-                and time.perf_counter() > deadline
             ):
-                return self._collect(
-                    cycle + 1, truncation=("max_wall_s", cycle + 1)
-                )
+                if (
+                    deadline is not None
+                    and time.perf_counter() > deadline
+                ):
+                    return self._collect(
+                        cycle + 1, truncation=("max_wall_s", cycle + 1)
+                    )
+                if cancel is not None and cancel.cancelled:
+                    return self._collect(
+                        cycle + 1, truncation=("cancelled", cycle + 1)
+                    )
         if budget_reason is not None:
             return self._collect(
                 hard_total, truncation=(budget_reason, hard_total)
@@ -268,6 +284,7 @@ class MemorySystemSimulator:
         accrual and one clock jump."""
         hard_total, budget_reason = self._budget()
         deadline = self._deadline()
+        cancel = self.config.cancel
         warmup_barrier = self.config.warmup_cycles - 1
         clients = self.clients
         controller = self.controller
@@ -288,6 +305,12 @@ class MemorySystemSimulator:
                 and time.perf_counter() > deadline
             ):
                 return self._collect(cycle, truncation=("max_wall_s", cycle))
+            if (
+                cancel is not None
+                and cycle < hard_total
+                and cancel.cancelled
+            ):
+                return self._collect(cycle, truncation=("cancelled", cycle))
             if cycle >= hard_total:
                 break
             target = self._next_event_cycle(

@@ -7,6 +7,7 @@ Usage::
     python -m repro.verify fuzz --property pacing_plan --case '{...}'
     python -m repro.verify fuzz --budget 200 --trace-dir traces/
     python -m repro.verify diff --seed 0 --cases 5
+    python -m repro.verify chaos --profile smoke --out chaos.jsonl
     python -m repro.verify properties
 
 ``fuzz`` runs the seeded fuzz harness (failing cases are shrunk and
@@ -120,6 +121,21 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.verify import chaos
+
+    report = chaos.run_chaos(
+        profile=args.profile,
+        seed=args.seed,
+        scenarios=args.scenario or None,
+        out=args.out,
+    )
+    print(report.summary())
+    if report.ledger_path:
+        print(f"chaos ledger: {report.ledger_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_properties(args: argparse.Namespace) -> int:
     from repro.verify.fuzz import PROPERTIES
 
@@ -171,6 +187,28 @@ def build_parser() -> argparse.ArgumentParser:
     diff_cmd.add_argument("--seed", type=int, default=0)
     diff_cmd.add_argument("--cases", type=int, default=5)
     diff_cmd.set_defaults(func=_cmd_diff)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="induce failures (killed/frozen workers, torn files, "
+        "floods, breaker trips) and assert the recovery invariants",
+    )
+    chaos_cmd.add_argument(
+        "--profile",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="smoke = kill + flood (CI gate); full = every scenario",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument(
+        "--scenario",
+        action="append",
+        help="run just this scenario (repeatable, overrides --profile)",
+    )
+    chaos_cmd.add_argument(
+        "--out", help="write the JSONL chaos ledger here"
+    )
+    chaos_cmd.set_defaults(func=_cmd_chaos)
 
     props_cmd = sub.add_parser(
         "properties", help="list registered fuzz properties"

@@ -134,3 +134,74 @@ class TestWorkersCommand:
             ]
         )
         assert code == 2
+
+
+class TestInterrupt:
+    """Ctrl-C during the long-running commands: one line, exit 130."""
+
+    def _interrupt(self, argv, ready_line, timeout_s=20.0):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            start_new_session=True,  # isolate from pytest's signals
+        )
+        try:
+            deadline = time.monotonic() + timeout_s
+            banner = ""
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline().decode()
+                banner += line
+                if ready_line in line:
+                    break
+            else:
+                raise AssertionError(
+                    f"never saw {ready_line!r} in {banner!r}"
+                )
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=timeout_s)
+            return proc.returncode, stderr.decode()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+    def test_serve_sigint_exits_130_without_traceback(self):
+        code, stderr = self._interrupt(
+            ["serve", "--port", "0"], "listening on http://"
+        )
+        assert code == 130
+        assert "repro: interrupted" in stderr
+        assert "Traceback" not in stderr
+
+    def test_workers_sigint_exits_130_without_traceback(self, tmp_path):
+        from repro.core.executor import WorkQueue
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.reset()  # empty, not done: workers idle until signalled
+        code, stderr = self._interrupt(
+            [
+                "workers",
+                "start",
+                "--queue",
+                str(tmp_path / "q"),
+                "--n",
+                "2",
+                "--max-idle-s",
+                "60",
+            ],
+            "starting 2 worker(s)",
+        )
+        assert code == 130
+        assert "repro: interrupted" in stderr
+        assert "Traceback" not in stderr

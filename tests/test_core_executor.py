@@ -19,6 +19,7 @@ from repro.core.executor import (
     SerialExecutor,
     WorkQueue,
     WorkQueueExecutor,
+    chunk_file_name,
     coerce_executor,
 )
 from repro.core.parallel import ParallelConfig, PointOutcome
@@ -200,6 +201,65 @@ class TestWorkQueuePrimitives:
         assert status["leased"] == 1
         assert status["completed"] == 0
         assert not status["done"]
+
+
+class TestLeaseClockSkew:
+    """Lease aging under wall-clock skew (NFS queues, multi-node).
+
+    ``expired_leases`` anchors ages to the observer's monotonic clock;
+    lease mtimes written by skewed claimants must neither trigger
+    instant steals (slow clock) nor immortal leases (fast clock).
+    """
+
+    def _claimed(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.reset()
+        queue.publish_chunk(0, [0], ["a"], None)
+        chunk = queue.claim_next("skewed", lease_timeout_s=30.0)
+        return queue, chunk
+
+    def test_backdated_lease_expires_on_first_sighting(self, tmp_path):
+        queue, chunk = self._claimed(tmp_path)
+        stale = time.time() - 100
+        os.utime(chunk["_lease_path"], (stale, stale))
+        name = os.path.basename(chunk["_lease_path"])
+        assert queue.expired_leases(lease_timeout_s=1.0) == [name]
+
+    def test_future_dated_lease_still_expires(self, tmp_path):
+        # A dead claimant whose clock ran fast leaves an mtime in the
+        # observer's future; raw `now - mtime` would never expire it.
+        queue, chunk = self._claimed(tmp_path)
+        ahead = time.time() + 1000
+        os.utime(chunk["_lease_path"], (ahead, ahead))
+        name = os.path.basename(chunk["_lease_path"])
+        assert queue.expired_leases(lease_timeout_s=0.05) == []
+        time.sleep(0.15)  # age grows by *monotonic* elapsed time
+        assert queue.expired_leases(lease_timeout_s=0.05) == [name]
+
+    def test_renewal_resets_the_observed_age(self, tmp_path):
+        queue, chunk = self._claimed(tmp_path)
+        old = time.time() - 1.9
+        os.utime(chunk["_lease_path"], (old, old))
+        # First sighting: 1.9s of a 2.0s budget already gone.
+        assert queue.expired_leases(lease_timeout_s=2.0) == []
+        queue.renew_lease(chunk["_lease_path"])
+        time.sleep(0.3)
+        # Without the renewal re-anchor this would read 1.9 + 0.3s.
+        assert queue.expired_leases(lease_timeout_s=2.0) == []
+
+    def test_claim_restarts_the_lease_clock(self, tmp_path):
+        # The pending->leases rename keeps the chunk file's publish
+        # mtime; a chunk claimed long after publication must not look
+        # instantly expired to a fresh observer.
+        queue = WorkQueue(tmp_path / "q")
+        queue.reset()
+        queue.publish_chunk(0, [0], ["a"], None)
+        pending = queue.directory("pending") / chunk_file_name(0)
+        stale = time.time() - 100
+        os.utime(pending, (stale, stale))
+        chunk = queue.claim_next("late", lease_timeout_s=1.0)
+        assert chunk is not None
+        assert queue.expired_leases(lease_timeout_s=1.0) == []
 
 
 class TestWorkQueueExecutor:

@@ -118,6 +118,61 @@ class TestManyClients:
         finally:
             unregister_workload("t_gated")
 
+    def test_sse_client_disconnect_mid_stream_is_reaped(self):
+        # A subscriber that vanishes mid-stream must not leak its
+        # connection (the keepalive write surfaces the dead peer) and
+        # must not disturb the job it was watching.
+        import http.client
+        import time
+
+        register_workload("t_gated", gated_workload, replace=True)
+        try:
+            with running_server() as (server, client):
+                reset_gate("sse-gone")
+                submitted = client.submit(
+                    {
+                        "kind": "sweep",
+                        "workload": "t_gated",
+                        "axes": {"x": [1, 2], "gate": ["sse-gone"]},
+                    }
+                )
+                job_id = submitted["job_id"]
+                connection = http.client.HTTPConnection(
+                    client.host, client.port, timeout=10.0
+                )
+                connection.request("GET", f"/v1/jobs/{job_id}/events")
+                response = connection.getresponse()
+                assert response.status == 200
+                # Read one line to prove the stream is live, then
+                # vanish while the job is still gated.
+                assert response.readline()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if server.sse_streams == 1:
+                        break
+                    time.sleep(0.01)
+                assert server.sse_streams == 1
+                # Both holders of the socket: the response's makefile
+                # keeps the fd alive past connection.close().
+                response.close()
+                connection.close()
+                while time.monotonic() < deadline:
+                    if server.sse_streams == 0:
+                        break
+                    time.sleep(0.02)
+                assert server.sse_streams == 0
+
+                open_gate("sse-gone")
+                final = client.wait(job_id, timeout_s=30.0)
+                assert final["status"] == "done"
+                # A fresh subscriber still gets the full history.
+                events = list(client.events(job_id, timeout_s=30.0))
+                kinds = [event["kind"] for event in events]
+                assert kinds[0] == "run_start"
+                assert kinds[-1] == "run_end"
+        finally:
+            unregister_workload("t_gated")
+
     def test_health_stays_responsive_while_job_runs(self):
         register_workload("t_gated", gated_workload, replace=True)
         try:

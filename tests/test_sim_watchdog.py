@@ -88,6 +88,44 @@ class TestMaxWall:
         assert not result.truncated
 
 
+class TestCancellation:
+    def test_cancelled_token_truncates_naive_path(self):
+        from repro.serve.resilience import CancelToken
+
+        token = CancelToken()
+        token.cancel("test asked nicely")
+        result = _build(False, cancel=token).run()
+        assert result.truncated
+        assert result.truncation_reason == "cancelled"
+        assert result.truncated_at_cycle < 4_300
+
+    def test_cancelled_token_truncates_fast_path(self):
+        from repro.serve.resilience import CancelToken
+
+        token = CancelToken()
+        token.cancel("test asked nicely")
+        result = _build(True, cancel=token).run()
+        assert result.truncated
+        assert result.truncation_reason == "cancelled"
+
+    def test_duck_typed_token_is_accepted(self):
+        # Any object with a boolean `cancelled` attribute works; the
+        # simulator must not depend on the serve layer's token class.
+        class _Flag:
+            cancelled = True
+
+        result = _build(False, cancel=_Flag()).run()
+        assert result.truncation_reason == "cancelled"
+
+    def test_uncancelled_token_changes_nothing(self):
+        from repro.serve.resilience import CancelToken
+
+        clean = _build(True).run()
+        watched = _build(True, cancel=CancelToken()).run()
+        assert not watched.truncated
+        assert result_fingerprint(clean) == result_fingerprint(watched)
+
+
 class TestFingerprintExclusion:
     def test_truncation_fields_not_fingerprinted(self):
         # The fingerprint is the bit-identity surface; wall-clock

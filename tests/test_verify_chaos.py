@@ -1,0 +1,128 @@
+"""Tests for the chaos harness plumbing (`repro verify chaos`).
+
+The scenarios themselves are the product — each one induces a failure
+and asserts the recovery invariants — so these tests run the two
+fastest subprocess-free scenarios end to end and then check the
+harness contract around them: ledger structure, profile/scenario
+resolution, crash containment, and the CLI exit code.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify import chaos
+from repro.verify.cli import main as verify_main
+
+
+class TestRegistry:
+    def test_profiles_only_name_registered_scenarios(self):
+        names = set(chaos.scenario_names())
+        for profile, members in chaos.PROFILES.items():
+            assert set(members) <= names, profile
+
+    def test_smoke_is_a_strict_subset_of_full(self):
+        assert set(chaos.PROFILES["smoke"]) < set(chaos.PROFILES["full"])
+
+    def test_unknown_profile_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos profile"):
+            chaos.run_chaos(profile="nope")
+
+    def test_unknown_scenario_is_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown chaos scenario"
+        ):
+            chaos.run_chaos(scenarios=["torn_files", "volcano"])
+
+
+class TestRunAndLedger:
+    def test_scenarios_pass_and_ledger_is_structured(self, tmp_path):
+        ledger = tmp_path / "chaos.jsonl"
+        report = chaos.run_chaos(
+            scenarios=["torn_files", "deadline_cancel"],
+            seed=7,
+            out=ledger,
+            tmp_dir=tmp_path / "scratch",
+        )
+        assert report.ok
+        assert report.seed == 7
+        assert [result.name for result in report.results] == [
+            "torn_files",
+            "deadline_cancel",
+        ]
+        assert all(result.elapsed_s >= 0 for result in report.results)
+        assert report.ledger_path == str(ledger)
+
+        records = [
+            json.loads(line)
+            for line in ledger.read_text().splitlines()
+            if line
+        ]
+        assert [record["kind"] for record in records] == [
+            "chaos",
+            "scenario",
+            "scenario",
+            "summary",
+        ]
+        header = records[0]
+        assert header["scenarios"] == ["torn_files", "deadline_cancel"]
+        assert header["seed"] == 7
+        for record in records[1:3]:
+            assert record["ok"] is True
+            assert record["failures"] == []
+            assert isinstance(record["details"], dict)
+        assert records[-1] == {
+            "kind": "summary",
+            "ok": True,
+            "passed": 2,
+            "failed": 0,
+        }
+
+    def test_scenario_crash_becomes_a_failed_verdict(self, monkeypatch):
+        def _explode(seed, tmp_dir):
+            raise RuntimeError("harness bug")
+
+        monkeypatch.setitem(chaos._SCENARIOS, "explode", _explode)
+        report = chaos.run_chaos(scenarios=["explode"])
+        assert not report.ok
+        (result,) = report.results
+        assert "scenario crashed: RuntimeError: harness bug" in (
+            result.failures
+        )
+
+    def test_summary_names_failures(self):
+        report = chaos.ChaosReport(profile="smoke", seed=0)
+        report.results.append(
+            chaos.ScenarioResult(
+                name="torn_files",
+                ok=False,
+                elapsed_s=0.1,
+                failures=["lost a record"],
+            )
+        )
+        text = report.summary()
+        assert "0/1 scenarios survived" in text
+        assert "torn_files: FAILED" in text
+        assert "lost a record" in text
+
+
+class TestCli:
+    def test_chaos_subcommand_writes_ledger(self, tmp_path, capsys):
+        ledger = tmp_path / "out.jsonl"
+        code = verify_main(
+            [
+                "chaos",
+                "--scenario",
+                "torn_files",
+                "--seed",
+                "3",
+                "--out",
+                str(ledger),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 scenarios survived" in captured
+        assert str(ledger) in captured
+        assert ledger.exists()
