@@ -40,6 +40,11 @@ implementations and writes ``BENCH_perf.json``:
   be identical; the section reports the telemetry overhead ratio (the
   documented budget is < 5% — telemetry is per-chunk/per-event, never
   per-simulated-cycle).
+* **obs_tracing** — the same ledgered sweep with a trace context bound
+  vs without one.  The point results must be bit-identical (tracing is
+  identity metadata, never data); the section reports the tracing
+  overhead ratio (documented budget: < 5% over the untraced ledgered
+  run).
 * **serve_cache** — the E10 MPEG2 exploration submitted twice to an
   in-process exploration service: cold (full execution) vs warm (a
   content-addressed cache hit).  The responses must be byte-identical
@@ -526,6 +531,61 @@ def bench_sweep_telemetry(
     )
 
 
+def bench_obs_tracing(report: PerfReport, cycles: int = 400) -> None:
+    """Trace-context propagation on vs off over a ledgered sweep.
+
+    Both runs carry a full ledger — the delta isolates what the trace
+    context itself costs: minting child contexts per span/chunk and
+    stamping three id fields onto every event.  Budget: < 5% over the
+    untraced ledgered run, and the sweep results (reduced to
+    ``result_fingerprint`` by the evaluation function) must be
+    bit-identical — tracing is identity metadata, never data.
+    """
+    import itertools
+    import os as _os
+    import shutil
+    import tempfile
+
+    from repro.obs.ledger import RunLedger
+    from repro.obs.tracectx import TraceContext
+
+    sweep = Sweep(axes={"seed": list(range(24)), "cycles": [cycles]})
+    tmpdir = tempfile.mkdtemp(prefix="bench-tracing-")
+    counter = itertools.count()
+
+    def run_with_ledger(trace):
+        path = _os.path.join(
+            tmpdir, f"sweep-{next(counter)}.ledger.jsonl"
+        )
+        ledger = RunLedger(path, trace=trace)
+        try:
+            return sweep.run(
+                evaluate_telemetry_point, skip_errors=True, ledger=ledger
+            )
+        finally:
+            ledger.close()
+
+    off_s, off_result = measure(lambda: run_with_ledger(None), repeat=3)
+    on_s, on_result = measure(
+        lambda: run_with_ledger(TraceContext.root()), repeat=3
+    )
+    shutil.rmtree(tmpdir, ignore_errors=True)
+    identical = [
+        (p.parameters, p.result) for p in off_result.points
+    ] == [(p.parameters, p.result) for p in on_result.points]
+    if not identical:
+        raise AssertionError("trace context changed the sweep results")
+    report.add(
+        "obs_tracing",
+        points=sweep.n_points,
+        cycles_per_point=cycles,
+        untraced_seconds=off_s,
+        traced_seconds=on_s,
+        tracing_overhead_ratio=on_s / off_s,
+        identical=identical,
+    )
+
+
 def bench_distributed(report: PerfReport, smoke: bool = False) -> None:
     """Work-queue executor vs the serial reference, plus kill/resume.
 
@@ -989,6 +1049,7 @@ def run(
         cycles=400 if smoke else 4_000,
         ledger_out=ledger_out,
     )
+    bench_obs_tracing(report, cycles=400 if smoke else 4_000)
     bench_serve(report)
     bench_serve_overload(report)
     bench_distributed(report, smoke=smoke)
@@ -1026,6 +1087,11 @@ def test_perf_smoke() -> None:
     # progress on; the smoke assertion is looser to absorb CI noise on
     # a sub-second sweep.
     assert telemetry["telemetry_overhead_ratio"] < 1.5, telemetry
+    tracing = report.sections["obs_tracing"]
+    assert tracing["identical"]
+    # The documented budget is < 5% over an untraced ledgered sweep;
+    # the smoke bound is looser for the same sub-second-noise reason.
+    assert tracing["tracing_overhead_ratio"] < 1.5, tracing
     serve = report.sections["serve_cache"]
     assert serve["identical"]
     assert serve["executions"] == 1

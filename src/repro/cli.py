@@ -10,14 +10,16 @@ Usage::
     python -m repro.cli experiments
     python -m repro.cli verify fuzz --seed 0 --budget 200
     python -m repro.cli trace --out mpeg2.trace.json
-    python -m repro.cli metrics [--json]
+    python -m repro.cli trace --merge run.jsonl q/ledgers/*.jsonl --out merged.json
+    python -m repro.cli metrics [--format json|prom|md]
     python -m repro.cli metrics --merge a.json b.json
-    python -m repro.cli report sweep.ledger.jsonl [--html report.html]
+    python -m repro.cli report sweep.ledger.jsonl [--format json|prom|md]
     python -m repro.cli report --check-regression --history BENCH_history.jsonl
     python -m repro.cli serve --port 8765 --cache-path results.jsonl
     python -m repro.cli client submit --job-file job.json --wait
     python -m repro.cli workers start --queue /shared/queue --n 2
-    python -m repro.cli workers status --queue /shared/queue
+    python -m repro.cli workers status --queue /shared/queue [--format prom]
+    python -m repro.cli top --url http://127.0.0.1:8765
 
 Each subcommand prints the corresponding reproduction table; `explore`
 runs a live design-space sweep for the given requirements; `trace` and
@@ -177,6 +179,8 @@ def _obs_run(args: argparse.Namespace, *, trace: bool):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.merge:
+        return _merge_trace(args)
     obs, result = _obs_run(args, trace=True)
     obs.trace.write(args.out)
     dropped = obs.trace.dropped_events
@@ -189,19 +193,81 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _merge_trace(args: argparse.Namespace) -> int:
+    """Assemble per-process ledgers/traces into one Chrome trace."""
+    from repro.obs.tracemerge import write_merged_trace
+
+    document = write_merged_trace(args.merge, args.out)
+    other = document["otherData"]
+    print(
+        f"merged {len(other['inputs'])} file(s) into {args.out}: "
+        f"{len(document['traceEvents'])} events, "
+        f"trace ids {', '.join(other['trace_ids']) or '(none)'}"
+        + " — open with https://ui.perfetto.dev"
+    )
+    if other["orphan_parents"]:
+        print(
+            f"warning: {len(other['orphan_parents'])} orphan parent "
+            f"span(s): {', '.join(other['orphan_parents'])}",
+            file=sys.stderr,
+        )
+        if args.strict:
+            return 1
+    return 0
+
+
+def _snapshot_markdown(snapshot: dict) -> str:
+    """Small Markdown rendering of a metrics snapshot (--format md)."""
+    lines = ["# Metrics", ""]
+    counters = dict(snapshot.get("counters", {}))
+    counters.update(snapshot.get("gauges", {}))
+    if counters:
+        lines += ["| metric | value |", "|---|---|"]
+        lines += [
+            f"| {name} | {value} |" for name, value in sorted(counters.items())
+        ]
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines += [
+            "",
+            "| histogram | n | mean | p50 | p95 | max |",
+            "|---|---|---|---|---|---|",
+        ]
+        for name, hist in sorted(histograms.items()):
+            lines.append(
+                f"| {name} | {hist.get('count', 0)} "
+                f"| {hist.get('mean', 0.0):.2f} | {hist.get('p50', 0)} "
+                f"| {hist.get('p95', 0)} | {hist.get('max', 0)} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _render_snapshot(snapshot: dict, fmt: str) -> str:
+    import json
+
+    if fmt == "prom":
+        from repro.obs.expo import render_prometheus
+
+        return render_prometheus(snapshot)
+    if fmt == "md":
+        return _snapshot_markdown(snapshot)
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
     if args.merge:
         return _merge_metrics(args)
+    fmt = args.format or ("json" if args.json else None)
     obs, result = _obs_run(args, trace=False)
     snapshot = obs.metrics.snapshot()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write(_render_snapshot(snapshot, fmt or "json"))
         print(f"wrote metrics snapshot to {args.out}")
-    if args.json:
-        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    if fmt is not None:
+        print(_render_snapshot(snapshot, fmt), end="")
     else:
         print(result.summary())
         for name, value in snapshot["counters"].items():
@@ -261,18 +327,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "repro report needs a LEDGER file and/or --check-regression"
         )
     if args.ledger is not None:
+        import json
+
         summary = summarize_ledger(load_ledger(args.ledger))
-        markdown = render_markdown(summary, top=args.top)
+        fmt = args.format or "md"
+        if fmt == "json":
+            rendered = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        elif fmt == "prom":
+            # The ledger's aggregated metrics snapshot plus run-level
+            # gauges, in the same exposition format `/v1/metrics`
+            # serves.
+            from repro.obs.expo import render_prometheus
+
+            extra = [
+                {"name": "report.events", "value": summary["n_events"]},
+                {"name": "report.wall_s", "value": summary["wall_s"]},
+            ]
+            for kind, count in summary["resilience"].items():
+                extra.append(
+                    {
+                        "name": "report.resilience",
+                        "value": count,
+                        "type": "counter",
+                        "labels": {"kind": kind},
+                    }
+                )
+            rendered = render_prometheus(
+                summary.get("metrics") or {}, extra=extra
+            )
+        else:
+            rendered = render_markdown(summary, top=args.top)
         if args.out:
             with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(markdown)
+                handle.write(rendered)
             print(f"wrote {args.out}")
         if args.html:
             with open(args.html, "w", encoding="utf-8") as handle:
                 handle.write(render_html(summary, top=args.top))
             print(f"wrote {args.html}")
         if not args.out and not args.html:
-            print(markdown, end="")
+            print(rendered, end="")
     if args.check_regression:
         verdict = check_regression(
             load_history(args.history),
@@ -373,9 +467,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace",
         help="run the MPEG2-decoder workload and write a Chrome "
-        "trace-event JSON (Perfetto-loadable)",
+        "trace-event JSON (Perfetto-loadable), or --merge distributed "
+        "ledgers into one",
     )
     trace.add_argument("--out", default="mpeg2.trace.json")
+    trace.add_argument(
+        "--merge",
+        nargs="+",
+        metavar="LEDGER",
+        help="skip the workload: merge these ledger JSONL / trace JSON "
+        "files (coordinator + workers of a distributed run) into one "
+        "Chrome trace at --out, with cross-process span parenting",
+    )
+    trace.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --merge: exit 1 if any span references a parent no "
+        "input defines (broken cross-process parent chain)",
+    )
     _add_obs_workload_args(trace)
     trace.set_defaults(func=_cmd_trace)
 
@@ -384,9 +493,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the MPEG2-decoder workload and print/export the "
         "metrics snapshot",
     )
-    metrics.add_argument("--out", help="write the snapshot JSON here")
+    metrics.add_argument("--out", help="write the snapshot here")
     metrics.add_argument(
-        "--json", action="store_true", help="print the snapshot as JSON"
+        "--json", action="store_true",
+        help="print the snapshot as JSON (same as --format json)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("json", "prom", "md"),
+        default=None,
+        help="output format: json (snapshot), prom (Prometheus text "
+        "exposition), md (Markdown tables); default is the plain text "
+        "summary",
     )
     metrics.add_argument(
         "--merge",
@@ -406,8 +524,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "ledger", nargs="?", help="run-ledger JSONL file to summarize"
     )
-    report.add_argument("--out", help="write the Markdown report here")
+    report.add_argument("--out", help="write the rendered report here")
     report.add_argument("--html", help="write a self-contained HTML here")
+    report.add_argument(
+        "--format",
+        choices=("md", "json", "prom"),
+        default=None,
+        help="report format: md (default), json (the summary dict), "
+        "prom (ledger metrics as Prometheus text)",
+    )
     report.add_argument(
         "--top", type=int, default=10,
         help="slowest chunks / quarantines to list (default 10)",
@@ -529,7 +654,39 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--queue", required=True, help="work-queue directory"
     )
+    status.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="json (default) or prom (Prometheus text: chunk counts, "
+        "lease ages, worker heartbeat ages)",
+    )
     status.set_defaults(func=_cmd_workers_status)
+
+    top = sub.add_parser(
+        "top",
+        help="live TTY dashboard over a running `repro serve` "
+        "instance (jobs, queue depth, breakers, latency); degrades "
+        "to periodic plain text when stdout is not a TTY",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="service base URL (default http://127.0.0.1:8765)",
+    )
+    top.add_argument(
+        "--interval-s", type=float, default=1.0,
+        help="seconds between polls (default 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (scripting/CI)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 
@@ -661,10 +818,28 @@ def _cmd_workers_status(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"no work-queue directory at {args.queue}"
         )
-    print(
-        json.dumps(
-            WorkQueue(args.queue).status(), indent=2, sort_keys=True
-        )
+    status = WorkQueue(args.queue).status()
+    if getattr(args, "format", "json") == "prom":
+        from repro.obs.expo import render_prometheus, workqueue_samples
+
+        print(render_prometheus({}, extra=workqueue_samples(status)), end="")
+    else:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import top_loop
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url)
+    iterations = 1 if args.once else args.iterations
+    top_loop(
+        client.metrics_text,
+        sys.stdout,
+        interval_s=args.interval_s,
+        iterations=iterations,
+        title=f"repro top — {args.url}",
     )
     return 0
 

@@ -281,7 +281,12 @@ class WorkQueue:
     # -- chunks --------------------------------------------------------------
 
     def publish_chunk(
-        self, index: int, indices: list, items: list, keys: list | None
+        self,
+        index: int,
+        indices: list,
+        items: list,
+        keys: list | None,
+        trace: dict | None = None,
     ) -> None:
         document = {
             "chunk": index,
@@ -291,6 +296,11 @@ class WorkQueue:
             ),
             "keys": list(keys) if keys is not None else None,
         }
+        if trace is not None:
+            # The chunk's own trace context: the worker binds it
+            # verbatim, so its ledger spans parent into the
+            # coordinator's trace across the process boundary.
+            document["trace"] = dict(trace)
         atomic_write_json(
             self.directory(PENDING) / chunk_file_name(index), document
         )
@@ -507,6 +517,15 @@ class WorkQueue:
         manifest = self.manifest() or {}
         if lease_timeout_s is None:
             lease_timeout_s = manifest.get("lease_timeout_s", 30.0)
+        now = time.time()
+        lease_ages = {}
+        if self.directory(LEASES).exists():
+            for name in sorted(os.listdir(self.directory(LEASES))):
+                try:
+                    mtime = (self.directory(LEASES) / name).stat().st_mtime
+                except OSError:
+                    continue
+                lease_ages[name] = round(max(0.0, now - mtime), 3)
         pending = (
             sorted(os.listdir(self.directory(PENDING)))
             if self.directory(PENDING).exists()
@@ -540,6 +559,7 @@ class WorkQueue:
             "completed": len(results),
             "done": self.done(),
             "segment_records": segment_records,
+            "lease_ages": lease_ages,
             "workers": self.worker_records(),
         }
 
@@ -710,6 +730,33 @@ class WorkQueueExecutor(Executor):
                 )
         if not remaining:
             return [outcomes[index] for index in range(len(items))]
+        # With a trace context bound on the ledger, the whole queue
+        # round runs under a "queue map" span and every chunk gets its
+        # own child context shipped inside its chunk file — the worker
+        # binds it verbatim, which is what parents worker-side spans
+        # into this coordinator's trace (docs/OBSERVABILITY.md).
+        map_span = None
+        map_trace = None
+        if (
+            ledger is not None
+            and getattr(ledger, "trace_context", None) is not None
+        ):
+            map_span = ledger.span("queue map", n_items=len(remaining))
+            map_span.__enter__()
+            map_trace = ledger.trace_context
+        try:
+            return self._run_queue(
+                fn, items, catch, keys, remaining, outcomes,
+                ledger, progress, cancel, map_trace,
+            )
+        finally:
+            if map_span is not None:
+                map_span.__exit__(None, None, None)
+
+    def _run_queue(
+        self, fn, items, catch, keys, remaining, outcomes,
+        ledger, progress, cancel, map_trace,
+    ) -> list:
         queue_id = uuid.uuid4().hex[:12]
         chunk_size = self.chunk_size
         if chunk_size is None:
@@ -731,6 +778,11 @@ class WorkQueueExecutor(Executor):
                 [keys[index] for index in indices]
                 if keys is not None
                 else None,
+                trace=(
+                    map_trace.child().to_dict()
+                    if map_trace is not None
+                    else None
+                ),
             )
         atomic_write_json(
             self.queue.root / MANIFEST,

@@ -425,7 +425,10 @@ def _serial_chunked(
         start = time.perf_counter()
         outcomes = _run_chunk(fn, chunk, catch)
         elapsed = time.perf_counter() - start
-        if telemetry:
+        if telemetry and (noted is None or index not in noted):
+            # Mirror _note_chunk's dedup: a serial fallback re-runs
+            # chunks a failed pool attempt already recorded, and
+            # re-recording them would skew the chunk_us histogram.
             GLOBAL_METRICS.histogram("parallel_map.chunk_us").record(
                 elapsed * 1e6
             )
@@ -495,12 +498,18 @@ def _pool_map(
                 continue
             if telemetry:
                 elapsed, snapshot, outcomes = payload
-                GLOBAL_METRICS.histogram("parallel_map.chunk_us").record(
-                    elapsed * 1e6
-                )
-                # Fold the worker's own metrics into this process's
-                # registry — the whole point of shipping the snapshot.
-                fold_snapshot(GLOBAL_METRICS, snapshot)
+                if noted is None or index not in noted:
+                    # A retried pool attempt re-delivers chunks the
+                    # failed attempt already reported; folding their
+                    # snapshots (or re-recording chunk_us) again would
+                    # double-count worker-side counters.
+                    GLOBAL_METRICS.histogram(
+                        "parallel_map.chunk_us"
+                    ).record(elapsed * 1e6)
+                    # Fold the worker's own metrics into this process's
+                    # registry — the whole point of shipping the
+                    # snapshot.
+                    fold_snapshot(GLOBAL_METRICS, snapshot)
             else:
                 elapsed = 0.0
                 outcomes = payload

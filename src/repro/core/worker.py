@@ -48,6 +48,11 @@ from repro.core.executor import WorkQueue
 from repro.core.parallel import PointOutcome
 from repro.core.store import ResultStore, decode_outcome, encode_outcome
 
+#: Queue subdirectory holding per-process worker ledgers for traced
+#: runs (`repro trace --merge` collects them alongside the
+#: coordinator's).
+LEDGERS_DIR = "ledgers"
+
 
 def evaluate_chunk(
     queue: WorkQueue,
@@ -141,6 +146,7 @@ def worker_loop(
         fn, catch = queue.load_task()
         chunks_done = 0
         last_beat = 0.0
+        trace_ledger = None  # opened lazily on the first traced chunk
 
         def beat() -> None:
             # Throttled: at most one heartbeat write per heartbeat_s,
@@ -171,10 +177,50 @@ def worker_loop(
                     time.sleep(poll_s)
                     continue
                 idle_since = time.monotonic()
-                outcomes, sources, elapsed = evaluate_chunk(
-                    queue, chunk, fn, catch, worker_id, segment,
-                    heartbeat=beat,
-                )
+                trace = chunk.get("trace")
+                if trace is None:
+                    outcomes, sources, elapsed = evaluate_chunk(
+                        queue, chunk, fn, catch, worker_id, segment,
+                        heartbeat=beat,
+                    )
+                else:
+                    # Traced chunk: bind its context *verbatim* (not a
+                    # child) so this span's id is the one the
+                    # coordinator minted — a stolen chunk re-emits
+                    # under the same identity, which is what keeps a
+                    # SIGKILL'd worker's spans free of orphan parents
+                    # in the merged trace.
+                    if trace_ledger is None:
+                        from repro.obs.ledger import RunLedger
+
+                        ledger_dir = queue.root / LEDGERS_DIR
+                        ledger_dir.mkdir(parents=True, exist_ok=True)
+                        trace_ledger = RunLedger(
+                            ledger_dir / f"worker-{worker_id}.jsonl"
+                        )
+                    name = f"chunk {chunk['chunk']}"
+                    with trace_ledger.bind_trace(trace):
+                        start_id = trace_ledger.event(
+                            "span_start",
+                            name=name,
+                            worker=worker_id,
+                            index=chunk["chunk"],
+                            size=len(chunk.get("indices", [])),
+                        )
+                        outcomes, sources, elapsed = evaluate_chunk(
+                            queue, chunk, fn, catch, worker_id, segment,
+                            heartbeat=beat,
+                        )
+                        trace_ledger.event(
+                            "span_end",
+                            name=name,
+                            span=start_id,
+                            s=round(elapsed, 6),
+                            failed=sum(
+                                1 for o in outcomes if not o.ok
+                            ),
+                        )
+                    trace_ledger.flush()
                 queue.publish_result(
                     chunk, worker_id, outcomes, sources, elapsed
                 )
@@ -184,6 +230,8 @@ def worker_loop(
                 last_beat = time.monotonic()
                 if once:
                     break
+        if trace_ledger is not None:
+            trace_ledger.close()
         return chunks_done
     finally:
         if previous_handler is not None:

@@ -34,6 +34,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.progress import ProgressReporter
 from repro.obs.trace import TraceRecorder
+from repro.obs.tracectx import TraceContext, coerce_trace
 
 __all__ = [
     "BoundedHistogram",
@@ -45,7 +46,9 @@ __all__ = [
     "Observability",
     "ProgressReporter",
     "RunLedger",
+    "TraceContext",
     "TraceRecorder",
+    "coerce_trace",
     "fold_snapshot",
     "merge_snapshots",
 ]

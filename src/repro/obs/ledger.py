@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import coerce_trace
 
 #: Event kinds that force a flush to disk when emitted.
 FLUSH_KINDS = frozenset(
@@ -101,6 +102,34 @@ def git_provenance(cwd: str | Path | None = None) -> dict:
         return {}
 
 
+def _stamp_trace(record: dict, stack: list) -> None:
+    """Stamp the innermost bound trace context onto one event record.
+
+    No-op on an empty stack, so a traceless ledger emits byte-identical
+    records to the pre-tracing format (pinned by the ledger tests).
+    """
+    if not stack:
+        return
+    context = stack[-1]
+    record["trace_id"] = context.trace_id
+    record["span_id"] = context.span_id
+    if context.parent_span_id is not None:
+        record["parent_span_id"] = context.parent_span_id
+
+
+@contextmanager
+def _span_context(stack: list):
+    """Push a child of the current context for one span's duration."""
+    parent = stack[-1] if stack else None
+    if parent is not None:
+        stack.append(parent.child())
+    try:
+        yield
+    finally:
+        if parent is not None:
+            stack.pop()
+
+
 class RunLedger:
     """Append-only JSONL event stream for one (or one resumed) run.
 
@@ -115,12 +144,14 @@ class RunLedger:
         resumed: Whether this ledger continued an existing file.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, trace=None) -> None:
         self.path = Path(path)
         self._handle = None
         self._unflushed = 0
         self._needs_newline = False
         self.resumed = False
+        context = coerce_trace(trace)
+        self._trace_stack: list = [] if context is None else [context]
         run_id = None
         next_id = 0
         if self.path.exists() and self.path.stat().st_size > 0:
@@ -175,6 +206,7 @@ class RunLedger:
             "kind": kind,
         }
         record.update(fields)
+        _stamp_trace(record, self._trace_stack)
         handle = self._open()
         handle.write(json.dumps(record, default=str) + "\n")
         self._unflushed += 1
@@ -184,18 +216,44 @@ class RunLedger:
 
     @contextmanager
     def span(self, name: str, **fields):
-        """Named phase: ``span_start``/``span_end`` with wall duration."""
-        start_id = self.event("span_start", name=name, **fields)
-        started = time.perf_counter()
+        """Named phase: ``span_start``/``span_end`` with wall duration.
+
+        With a trace context bound, the span runs under a fresh child
+        context — both span events (and everything emitted inside)
+        carry the child's ``span_id``, parented to the enclosing span.
+        """
+        with _span_context(self._trace_stack):
+            start_id = self.event("span_start", name=name, **fields)
+            started = time.perf_counter()
+            try:
+                yield start_id
+            finally:
+                self.event(
+                    "span_end",
+                    name=name,
+                    span=start_id,
+                    s=round(time.perf_counter() - started, 6),
+                )
+
+    # -- trace context -------------------------------------------------------
+
+    @property
+    def trace_context(self):
+        """The innermost bound :class:`TraceContext`, or None."""
+        return self._trace_stack[-1] if self._trace_stack else None
+
+    @contextmanager
+    def bind_trace(self, context):
+        """Bind ``context`` (context/dict/None) for the enclosed block."""
+        context = coerce_trace(context)
+        if context is None:
+            yield None
+            return
+        self._trace_stack.append(context)
         try:
-            yield start_id
+            yield context
         finally:
-            self.event(
-                "span_end",
-                name=name,
-                span=start_id,
-                s=round(time.perf_counter() - started, 6),
-            )
+            self._trace_stack.pop()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -239,11 +297,15 @@ class MemoryLedger:
     (CPython list appends are atomic).
     """
 
-    def __init__(self, run_id: str = "mem", subscriber=None) -> None:
+    def __init__(
+        self, run_id: str = "mem", subscriber=None, trace=None
+    ) -> None:
         self.run_id = run_id
         self.events: list = []
         self._subscriber = subscriber
         self._next_id = 0
+        context = coerce_trace(trace)
+        self._trace_stack: list = [] if context is None else [context]
 
     def event(self, kind: str, **fields) -> int:
         if not kind:
@@ -257,6 +319,7 @@ class MemoryLedger:
             "kind": kind,
         }
         record.update(fields)
+        _stamp_trace(record, self._trace_stack)
         self.events.append(record)
         if self._subscriber is not None:
             self._subscriber(record)
@@ -264,17 +327,36 @@ class MemoryLedger:
 
     @contextmanager
     def span(self, name: str, **fields):
-        start_id = self.event("span_start", name=name, **fields)
-        started = time.perf_counter()
+        with _span_context(self._trace_stack):
+            start_id = self.event("span_start", name=name, **fields)
+            started = time.perf_counter()
+            try:
+                yield start_id
+            finally:
+                self.event(
+                    "span_end",
+                    name=name,
+                    span=start_id,
+                    s=round(time.perf_counter() - started, 6),
+                )
+
+    @property
+    def trace_context(self):
+        """The innermost bound :class:`TraceContext`, or None."""
+        return self._trace_stack[-1] if self._trace_stack else None
+
+    @contextmanager
+    def bind_trace(self, context):
+        """Bind ``context`` (context/dict/None) for the enclosed block."""
+        context = coerce_trace(context)
+        if context is None:
+            yield None
+            return
+        self._trace_stack.append(context)
         try:
-            yield start_id
+            yield context
         finally:
-            self.event(
-                "span_end",
-                name=name,
-                span=start_id,
-                s=round(time.perf_counter() - started, 6),
-            )
+            self._trace_stack.pop()
 
     def flush(self) -> None:
         pass

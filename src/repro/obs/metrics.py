@@ -132,6 +132,12 @@ class BoundedHistogram:
         return self.exact_limit + self.bins_per_octave * 1100
 
     def record(self, value) -> None:
+        if not math.isfinite(value):
+            # inf/nan would otherwise crash frexp-based binning (or
+            # silently poison `total`); reject them at the door.
+            raise ConfigurationError(
+                f"histogram values must be finite, got {value}"
+            )
         if value < 0:
             raise ConfigurationError(
                 f"histogram values must be >= 0, got {value}"

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import coerce_trace
 
 
 class TraceRecorder:
@@ -45,6 +46,19 @@ class TraceRecorder:
         self.events: list = []
         self.dropped_events = 0
         self._tracks: dict = {}
+        self.context = None
+
+    def set_context(self, context) -> None:
+        """Attach a distributed trace context (context/dict/None).
+
+        Every event emitted afterwards carries ``trace_id``/``span_id``
+        in its args, and :meth:`to_dict` exposes the context in
+        ``otherData`` — which is how ``repro trace --merge`` stitches a
+        simulator timeline into its parent distributed trace.  Without
+        a context the output is byte-identical to the pre-tracing
+        format.
+        """
+        self.context = coerce_trace(context)
 
     # -- time base -----------------------------------------------------------
 
@@ -85,6 +99,10 @@ class TraceRecorder:
         if len(self.events) >= self.max_events:
             self.dropped_events += 1
             return
+        if self.context is not None:
+            args = event.setdefault("args", {})
+            args["trace_id"] = self.context.trace_id
+            args["span_id"] = self.context.span_id
         self.events.append(event)
 
     def instant(self, track: str, name: str, cycle: int, **args) -> None:
@@ -152,13 +170,16 @@ class TraceRecorder:
             }
         ]
         events.extend(self.events)
+        other = {
+            "clock_hz": self.clock_hz,
+            "dropped_events": self.dropped_events,
+        }
+        if self.context is not None:
+            other["trace"] = self.context.to_dict()
         return {
             "traceEvents": events,
             "displayTimeUnit": "ns",
-            "otherData": {
-                "clock_hz": self.clock_hz,
-                "dropped_events": self.dropped_events,
-            },
+            "otherData": other,
         }
 
     def write(self, path: str) -> None:

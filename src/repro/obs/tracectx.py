@@ -1,0 +1,99 @@
+"""Trace-context propagation for distributed runs.
+
+A :class:`TraceContext` is the W3C-style ``trace_id`` / ``span_id`` /
+``parent_span_id`` triple that correlates one logical request across
+every process that touches it: the service mints a root context at job
+submission, the executor derives a child per work-queue chunk and ships
+it inside the chunk document, and the worker binds that child verbatim
+so its ledger spans parent correctly into the coordinator's — see
+docs/OBSERVABILITY.md ("Trace context").
+
+Contexts are immutable values, deliberately dumb: no clocks, no
+thread-locals, no globals.  Whoever holds a context decides where it
+flows (ledger events, TraceRecorder metadata, chunk files); code that
+was handed ``None`` emits exactly the bytes it emitted before this
+module existed, which is how the zero-overhead-when-off contract is
+kept.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _new_id(bits: int) -> str:
+    """A random lowercase-hex id of ``bits`` bits (multiple of 4)."""
+    return uuid.uuid4().hex[: bits // 4]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity within a distributed trace.
+
+    Attributes:
+        trace_id: 128-bit hex id shared by every span of one request.
+        span_id: 64-bit hex id of this span.
+        parent_span_id: ``span_id`` of the enclosing span, or None for
+            the root.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.trace_id or not self.span_id:
+            raise ConfigurationError(
+                "trace_id and span_id must be non-empty"
+            )
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """Mint a fresh trace with this context as its root span."""
+        return cls(trace_id=_new_id(128), span_id=_new_id(64))
+
+    def child(self) -> "TraceContext":
+        """A new span under this one, in the same trace."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_id(64),
+            parent_span_id=self.span_id,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form for chunk files and event records."""
+        document = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_span_id is not None:
+            document["parent_span_id"] = self.parent_span_id
+        return document
+
+    @classmethod
+    def from_dict(cls, document) -> "TraceContext | None":
+        """Rebuild a context from :meth:`to_dict` output (None-safe)."""
+        if not document:
+            return None
+        if not isinstance(document, dict):
+            raise ConfigurationError(
+                "trace context must be a JSON object, got "
+                f"{type(document).__name__}"
+            )
+        try:
+            return cls(
+                trace_id=document["trace_id"],
+                span_id=document["span_id"],
+                parent_span_id=document.get("parent_span_id"),
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"trace context missing field {error.args[0]!r}"
+            ) from None
+
+
+def coerce_trace(context) -> TraceContext | None:
+    """Accept a TraceContext, a to_dict() mapping, or None."""
+    if context is None or isinstance(context, TraceContext):
+        return context
+    return TraceContext.from_dict(context)

@@ -150,8 +150,16 @@ def summarize_ledger(events: list) -> dict:
         elif kind == "metrics":
             metrics_snapshot = event.get("snapshot")
     chunks.sort(key=lambda c: c["s"], reverse=True)
+    trace_ids = sorted(
+        {e.get("trace_id") for e in events if e.get("trace_id")}
+    )
     return {
         "run_ids": sorted({e.get("run") for e in events if e.get("run")}),
+        # Distributed-trace identity: one id for a traced run (the link
+        # into the `repro trace --merge` output), empty when tracing
+        # was off.
+        "trace_ids": trace_ids,
+        "trace_id": trace_ids[0] if len(trace_ids) == 1 else None,
         "n_events": len(events),
         "wall_s": round(t1 - t0, 6),
         "started_at": t0,
@@ -212,6 +220,12 @@ def render_markdown(summary: dict, top: int = 10) -> str:
         f"{summary['n_events']} events over {summary['wall_s']:.3f} s"
         + (f", {summary['resumes']} resume(s)" if summary["resumes"] else "")
     )
+    if summary.get("trace_ids"):
+        lines.append(
+            f"trace {', '.join(summary['trace_ids'])} — assemble the "
+            "full distributed timeline with `repro trace --merge "
+            "LEDGER...`"
+        )
     env = summary["provenance"].get("environment", {})
     git = summary["provenance"].get("git", {})
     if env or git:

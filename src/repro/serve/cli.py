@@ -75,6 +75,12 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="directory for per-job sweep checkpoints: cancelled jobs "
         "leave a resumable journal here",
     )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="do not mint trace contexts at job submission (ledger "
+        "events lose their trace_id/span_id stamps)",
+    )
 
 
 def _resilience_from_args(args: argparse.Namespace):
@@ -113,6 +119,7 @@ def run_serve(args: argparse.Namespace) -> int:
         ready=ready,
         resilience=_resilience_from_args(args),
         journal_dir=args.journal_dir,
+        tracing=not args.no_tracing,
     )
     return 0
 
@@ -176,6 +183,10 @@ def build_client_parser() -> argparse.ArgumentParser:
             command.add_argument("--out", help="write the response here")
 
     sub.add_parser("stats", help="service counters and cache stats")
+    sub.add_parser(
+        "metrics",
+        help="Prometheus exposition text from GET /v1/metrics",
+    )
     sub.add_parser("healthz", help="liveness check")
     sub.add_parser(
         "readyz",
@@ -214,6 +225,8 @@ def client_main(argv=None) -> int:
             _emit(client.cancel(args.job_id), args.out)
         elif args.command == "stats":
             _emit(client.stats(), None)
+        elif args.command == "metrics":
+            sys.stdout.write(client.metrics_text())
         elif args.command == "healthz":
             _emit(client.healthz(), None)
         elif args.command == "readyz":

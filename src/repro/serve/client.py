@@ -176,6 +176,10 @@ class InProcessClient(_ClientCore):
                 return
             time.sleep(0.01)
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition text (no transport involved)."""
+        return self.service.metrics_text()
+
 
 class ServeClient(_ClientCore):
     """HTTP client for a live ``repro serve`` instance."""
@@ -214,6 +218,23 @@ class ServeClient(_ClientCore):
             except json.JSONDecodeError:
                 decoded = {"raw": raw.decode("utf-8", "replace")}
             return response.status, decoded
+        finally:
+            connection.close()
+
+    def metrics_text(self) -> str:
+        """Raw body of ``GET /v1/metrics`` (Prometheus text format)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServeClientError(
+                    response.status, json.loads(raw or b"{}")
+                )
+            return raw.decode("utf-8")
         finally:
             connection.close()
 

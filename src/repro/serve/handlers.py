@@ -52,14 +52,16 @@ import itertools
 import json
 import re
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import CancelledError, ConfigurationError, ReproError
 from repro.obs.ledger import MemoryLedger
-from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
 from repro.obs.progress import ProgressReporter
+from repro.obs.tracectx import TraceContext
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import RequestCoalescer
 from repro.serve.resilience import (
@@ -122,6 +124,7 @@ class JobRecord:
     followers: list = field(default_factory=list)
     done_event: threading.Event = field(default_factory=threading.Event)
     cancel_token: CancelToken | None = None
+    trace: TraceContext | None = None
 
     @property
     def finished(self) -> bool:
@@ -161,6 +164,7 @@ class ExplorationService:
         max_wait_s: float = MAX_WAIT_S,
         resilience: ResilienceConfig | None | bool = None,
         journal_dir=None,
+        tracing: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -177,6 +181,11 @@ class ExplorationService:
         )
         self.breakers = CircuitBreaker(resilience) if resilience else None
         self.journal_dir = Path(journal_dir) if journal_dir else None
+        self.tracing = bool(tracing)
+        # Per-instance registry for service telemetry (job latency
+        # histograms); always enabled — unlike GLOBAL_METRICS it never
+        # sits on a hot evaluation path, only on job boundaries.
+        self.metrics = MetricsRegistry(enabled=True)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -245,6 +254,13 @@ class ExplorationService:
                     job.cancel_token = CancelToken(
                         deadline_s=spec.deadline_s
                     )
+                    if self.tracing:
+                        # Root of the distributed trace: every ledger
+                        # event, work-queue chunk and simulator trace
+                        # event this job fans out to carries this
+                        # trace_id.  Identity only — never part of the
+                        # fingerprint or the result document.
+                        job.trace = TraceContext.root()
                     execute = True
             self._jobs[job.job_id] = job
             self.stats["submitted"] += 1
@@ -392,6 +408,7 @@ class ExplorationService:
     def _execute(self, job: JobRecord) -> None:
         key = self._breaker_key(job.spec)
         token = job.cancel_token
+        started = None
         try:
             if token is not None and token.cancelled:
                 # Cancelled (or deadline-expired) while queued behind
@@ -399,7 +416,8 @@ class ExplorationService:
                 self._resolve_cancelled(job)
                 return
             job.status = "running"
-            tap = MemoryLedger(run_id=job.job_id)
+            started = time.perf_counter()
+            tap = MemoryLedger(run_id=job.job_id, trace=job.trace)
             job.events = tap.events
             try:
                 document = self._run_spec(job, tap)
@@ -430,6 +448,10 @@ class ExplorationService:
                 self.stats["executions"] += 1
             self._resolve(job, text=text)
         finally:
+            if started is not None:
+                self.metrics.histogram(f"serve.job_ms.{key}").record(
+                    (time.perf_counter() - started) * 1e3
+                )
             if self.admission is not None:
                 self.admission.release(key)
                 if GLOBAL_METRICS.enabled:
@@ -703,10 +725,16 @@ class ExplorationService:
                 http_status=409,
             )
         events = self.job_events(job)
+        trace = job.trace
+        if trace is None and job.coalesced_with is not None:
+            primary = self._jobs.get(job.coalesced_with)
+            if primary is not None:
+                trace = primary.trace
         return ok_envelope(
             job_id=job.job_id,
             status=job.status,
             cached=job.cached,
+            trace_id=trace.trace_id if trace is not None else None,
             markdown=job_report_markdown(events, top=top),
         )
 
@@ -745,6 +773,118 @@ class ExplorationService:
             **counters,
         )
 
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the full service telemetry surface.
+
+        Scrape-time assembly: the per-instance registry contributes the
+        job-latency histograms; everything else (queue depth, breaker
+        states, cache ratio, job counts) is sampled from the live
+        snapshots so the gauges can never drift from the actual state.
+        Served at ``GET /v1/metrics`` and by ``repro metrics``.
+        """
+        from repro.obs.expo import render_prometheus
+
+        with self._lock:
+            counters = dict(self.stats)
+            jobs_by_status: dict = {}
+            workload_keys = set()
+            for job in self._jobs.values():
+                status = job.status
+                jobs_by_status[status] = jobs_by_status.get(status, 0) + 1
+                workload_keys.add(self._breaker_key(job.spec))
+        extra = [
+            {
+                "name": f"serve.{name}",
+                "value": counters[name],
+                "type": "counter",
+            }
+            for name in sorted(counters)
+        ]
+        for status in sorted(jobs_by_status):
+            extra.append(
+                {
+                    "name": "serve.jobs",
+                    "value": jobs_by_status[status],
+                    "labels": {"status": status},
+                }
+            )
+        extra.append(
+            {"name": "serve.in_flight", "value": self.coalescer.in_flight}
+        )
+        extra.append(
+            {
+                "name": "serve.coalesced",
+                "value": self.coalescer.coalesced,
+                "type": "counter",
+            }
+        )
+        cache = self.cache.stats()
+        lookups = cache["hits"] + cache["misses"]
+        extra.append(
+            {"name": "serve.cache_entries", "value": cache["entries"]}
+        )
+        extra.append(
+            {
+                "name": "serve.cache_hit_ratio",
+                "value": (cache["hits"] / lookups) if lookups else 0.0,
+            }
+        )
+        if self.admission is not None:
+            snapshot = self.admission.snapshot()
+            extra.append(
+                {"name": "serve.queue_depth", "value": snapshot["depth"]}
+            )
+            extra.append(
+                {
+                    "name": "serve.queue_depth_limit",
+                    "value": snapshot["max_depth"],
+                }
+            )
+            for key in sorted(snapshot["per_workload"]):
+                extra.append(
+                    {
+                        "name": "serve.workload_depth",
+                        "value": snapshot["per_workload"][key],
+                        "labels": {"workload": key},
+                    }
+                )
+        if self.breakers is not None:
+            snapshot = self.breakers.snapshot()
+            extra.append(
+                {
+                    "name": "serve.breaker_opened",
+                    "value": snapshot["opened"],
+                    "type": "counter",
+                }
+            )
+            extra.append(
+                {
+                    "name": "serve.breaker_rejected",
+                    "value": snapshot["rejected"],
+                    "type": "counter",
+                }
+            )
+            # The snapshot only lists workloads with failure history;
+            # every workload the service has seen still gets a series
+            # (healthy reads as closed=1).
+            for key in sorted(workload_keys | set(snapshot["states"])):
+                # One-hot per state so dashboards can sum/alert without
+                # decoding an enum value.
+                state = snapshot["states"].get(key, "closed")
+                for candidate in ("closed", "open", "half_open"):
+                    extra.append(
+                        {
+                            "name": "serve.breaker_state",
+                            "value": 1 if state == candidate else 0,
+                            "labels": {"workload": key, "state": candidate},
+                        }
+                    )
+        return render_prometheus(
+            self.metrics.snapshot(),
+            extra=extra,
+            labels_from={"serve.job_ms": "workload"},
+        )
+
 
 # -- routing -----------------------------------------------------------------
 
@@ -754,7 +894,13 @@ _JOB_PATH = re.compile(
 )
 
 #: Paths that exist (for 405-vs-404 discrimination).
-_KNOWN_FIXED_PATHS = {"/v1/jobs", "/v1/healthz", "/v1/readyz", "/v1/stats"}
+_KNOWN_FIXED_PATHS = {
+    "/v1/jobs",
+    "/v1/healthz",
+    "/v1/readyz",
+    "/v1/stats",
+    "/v1/metrics",
+}
 
 
 def parse_wait_s(query: str) -> float | None:

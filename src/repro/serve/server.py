@@ -123,6 +123,10 @@ class ReproServer:
         try:
             if method == "GET" and path.split("?")[0].endswith("/events"):
                 await self._stream_events(writer, path)
+            elif path.split("?")[0] == "/v1/metrics":
+                # Raw Prometheus text, not a JSON envelope — rendered
+                # here at the transport layer, like SSE.
+                await self._write_metrics(writer, method)
             else:
                 status, payload = route(self.service, method, path, body)
                 await self._write_json(writer, status, payload)
@@ -158,6 +162,24 @@ class ReproServer:
             except json.JSONDecodeError as error:
                 raise _BadRequest(f"body is not JSON: {error}") from None
         return method, target, body
+
+    async def _write_metrics(self, writer, method: str) -> None:
+        from repro.obs.expo import CONTENT_TYPE
+
+        if method != "GET":
+            await self._write_json(
+                writer,
+                405,
+                error_envelope(
+                    "method_not_allowed",
+                    f"method {method} not allowed on /v1/metrics",
+                ),
+            )
+            return
+        body = self.service.metrics_text().encode("utf-8")
+        writer.write(_http_payload(200, body, CONTENT_TYPE))
+        await writer.drain()
+        writer.close()
 
     async def _write_json(self, writer, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -225,6 +247,7 @@ def run_server(
     ready=None,
     resilience=None,
     journal_dir=None,
+    tracing: bool = True,
 ) -> None:
     """Blocking entry point behind ``repro serve``.
 
@@ -242,6 +265,7 @@ def run_server(
         max_workers=max_workers,
         resilience=resilience,
         journal_dir=journal_dir,
+        tracing=tracing,
     )
     server = ReproServer(service=service, host=host, port=port)
 

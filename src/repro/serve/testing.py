@@ -32,6 +32,7 @@ def in_process_service(
     max_workers: int = 4,
     resilience=None,
     journal_dir=None,
+    tracing: bool = True,
 ):
     """Yields ``(service, client)`` with guaranteed teardown.
 
@@ -39,12 +40,15 @@ def in_process_service(
     :class:`ExplorationService` — pass a
     :class:`~repro.serve.resilience.ResilienceConfig` to shrink
     admission capacity or speed up breaker cooldowns for a test.
+    ``tracing=False`` disables trace-context minting, for pinning the
+    off-by-default byte-identity contract.
     """
     service = ExplorationService(
         cache=cache,
         max_workers=max_workers,
         resilience=resilience,
         journal_dir=journal_dir,
+        tracing=tracing,
     )
     try:
         yield service, InProcessClient(service)

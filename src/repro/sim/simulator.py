@@ -85,6 +85,14 @@ class SimulationConfig:
     max_wall_s: float | None = None
     backend: str = "cycle"
     cancel: object = field(default=None, compare=False)
+    #: Distributed trace context (a
+    #: :class:`~repro.obs.tracectx.TraceContext` or its dict form)
+    #: forwarded to an attached observability's trace recorder, so the
+    #: simulator timeline joins the job's end-to-end trace.  Excluded
+    #: from equality/fingerprints (``compare=False``) for the same
+    #: reason as ``cancel``: where a run is traced must not change what
+    #: it computes.
+    trace: object = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -152,6 +160,10 @@ class MemorySystemSimulator:
         if self.obs is not None:
             self.controller.obs = self.obs
             self.obs.bind(self)
+            if self.config.trace is not None:
+                recorder = getattr(self.obs, "trace", None)
+                if recorder is not None:
+                    recorder.set_context(self.config.trace)
         if self.config.check_invariants != "off":
             # Imported lazily: repro.verify depends on this module.
             from repro.verify.invariants import LiveInvariantChecker

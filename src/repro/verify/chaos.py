@@ -182,8 +182,13 @@ def _first_result(queue, n_chunks: int, timeout_s: float) -> bool:
 @scenario("kill_worker")
 def _kill_worker(seed: int, tmp_dir: Path) -> ScenarioResult:
     """SIGKILL a worker mid-map; the respawn + lease-steal path must
-    deliver every outcome bit-identically."""
+    deliver every outcome bit-identically — and the distributed trace
+    must still merge without orphan parents, because the stolen chunk
+    re-emits its span under the same shipped context."""
     from repro.core.executor import WorkQueueExecutor
+    from repro.obs.ledger import RunLedger
+    from repro.obs.tracectx import TraceContext
+    from repro.obs.tracemerge import load_trace_file, orphan_parents
 
     check = _Check()
     seeds = [seed + index for index in range(8)]
@@ -196,13 +201,17 @@ def _kill_worker(seed: int, tmp_dir: Path) -> ScenarioResult:
         poll_s=0.02,
         timeout_s=120.0,
     )
+    coordinator_ledger_path = tmp_dir / "coordinator.jsonl"
+    ledger = RunLedger(coordinator_ledger_path, trace=TraceContext.root())
     start = time.perf_counter()
     outcomes: list = []
     errors: list = []
 
     def run_map() -> None:
         try:
-            outcomes.extend(executor.map(chaos_sim_point, seeds))
+            outcomes.extend(
+                executor.map(chaos_sim_point, seeds, ledger=ledger)
+            )
         except Exception as error:  # noqa: BLE001 - reported as a failure
             errors.append(error)
 
@@ -218,7 +227,11 @@ def _kill_worker(seed: int, tmp_dir: Path) -> ScenarioResult:
                 killed = True
         thread.join(timeout=120.0)
     finally:
+        worker_ledgers = sorted(
+            (executor.queue.root / "ledgers").glob("*.jsonl")
+        )
         executor.close()
+        ledger.close()
     check.that(killed, "never got to kill a worker mid-run")
     check.that(not errors, f"map raised: {errors!r}")
     check.that(not thread.is_alive(), "map did not finish after the kill")
@@ -226,6 +239,32 @@ def _kill_worker(seed: int, tmp_dir: Path) -> ScenarioResult:
         [o.value for o in outcomes if o.ok] == expected
         and all(o.ok for o in outcomes),
         "outcomes differ from the undisturbed serial baseline",
+    )
+    # Even with a worker SIGKILL'd mid-chunk, the per-process ledgers
+    # must stitch into one tree: every parent_span_id referenced by a
+    # surviving span resolves somewhere in the merged record set.
+    check.that(
+        len(worker_ledgers) >= 1,
+        "traced map left no worker ledgers behind",
+    )
+    event_lists = [
+        load_trace_file(path)[1]
+        for path in [coordinator_ledger_path, *worker_ledgers]
+    ]
+    orphans = orphan_parents(event_lists)
+    check.that(
+        not orphans,
+        f"merged trace has orphan parent spans: {sorted(orphans)}",
+    )
+    trace_ids = {
+        event.get("trace_id")
+        for events in event_lists
+        for event in events
+        if event.get("trace_id")
+    }
+    check.that(
+        len(trace_ids) == 1,
+        f"expected one trace id across all ledgers, saw {len(trace_ids)}",
     )
     return ScenarioResult(
         name="kill_worker",
@@ -235,6 +274,8 @@ def _kill_worker(seed: int, tmp_dir: Path) -> ScenarioResult:
             "items": len(seeds),
             "requeued": executor.stats["requeued"],
             "respawns": executor.stats["respawns"],
+            "worker_ledgers": len(worker_ledgers),
+            "orphan_parents": len(orphans),
         },
         failures=check.failures,
     )

@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 from repro.serve.testing import running_server
 from repro.serve.workloads import register_workload, unregister_workload
 from tests.serve_helpers import gated_workload, open_gate, reset_gate
+
+
+def _sleepy_workload(x: float = 0.0, delay_s: float = 0.01) -> dict:
+    time.sleep(delay_s)
+    return {"x": x}
 
 #: Three distinct jobs — threads pick round-robin, so every fingerprint
 #: is requested several times concurrently.
@@ -117,6 +123,99 @@ class TestManyClients:
                 assert kinds[-1] == "run_end"
         finally:
             unregister_workload("t_gated")
+
+    def test_sse_events_share_one_trace_id_in_order(self):
+        # A traced job's whole event stream carries exactly the trace
+        # id minted at submission, with ids strictly increasing — the
+        # ordering contract repro trace --merge relies on.
+        register_workload("t_gated", gated_workload, replace=True)
+        try:
+            with running_server() as (server, client):
+                reset_gate("sse-trace")
+                submitted = client.submit(
+                    {
+                        "kind": "sweep",
+                        "workload": "t_gated",
+                        "axes": {"x": [1, 2], "gate": ["sse-trace"]},
+                    }
+                )
+                job_id = submitted["job_id"]
+                collected: list = []
+
+                def consume() -> None:
+                    collected.extend(client.events(job_id, timeout_s=60.0))
+
+                consumer = threading.Thread(target=consume)
+                consumer.start()
+                open_gate("sse-trace")
+                consumer.join(timeout=60.0)
+                assert not consumer.is_alive()
+                kinds = [event["kind"] for event in collected]
+                assert kinds[0] == "run_start"
+                assert kinds[-1] == "run_end"
+                ids = [event["id"] for event in collected]
+                assert ids == sorted(ids)
+                trace_ids = {
+                    event.get("trace_id")
+                    for event in collected
+                    if event.get("trace_id")
+                }
+                assert len(trace_ids) == 1
+                report = client.report(job_id)
+                assert report["trace_id"] == trace_ids.pop()
+        finally:
+            unregister_workload("t_gated")
+
+    def test_sse_terminates_for_cancelled_traced_job(self):
+        # Cancellation mid-fanout must still close every subscriber's
+        # stream, with the cancelled event present and ordered after
+        # run_start — an SSE consumer must never hang on a dead job.
+        register_workload("t_sleepy", _sleepy_workload, replace=True)
+        try:
+            with running_server() as (server, client):
+                submitted = client.submit(
+                    {
+                        "kind": "sweep",
+                        "workload": "t_sleepy",
+                        "axes": {
+                            "x": [float(i) for i in range(200)],
+                            "delay_s": [0.01],
+                        },
+                    }
+                )
+                job_id = submitted["job_id"]
+                collected: list = []
+
+                def consume() -> None:
+                    collected.extend(client.events(job_id, timeout_s=60.0))
+
+                consumer = threading.Thread(target=consume)
+                consumer.start()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    progress = client.status(job_id).get("progress")
+                    if progress and progress.get("done", 0) >= 1:
+                        break
+                    time.sleep(0.005)
+                assert client.cancel(job_id)["cancelled"] is True
+                final = client.wait(job_id, timeout_s=30.0)
+                assert final["status"] == "cancelled"
+                consumer.join(timeout=60.0)
+                assert not consumer.is_alive(), (
+                    "SSE stream did not terminate after cancellation"
+                )
+                kinds = [event["kind"] for event in collected]
+                assert kinds[0] == "run_start"
+                assert "cancelled" in kinds
+                assert kinds.index("cancelled") > 0
+                trace_ids = {
+                    event.get("trace_id")
+                    for event in collected
+                    if event.get("trace_id")
+                }
+                assert len(trace_ids) == 1
+        finally:
+            unregister_workload("t_sleepy")
 
     def test_sse_client_disconnect_mid_stream_is_reaped(self):
         # A subscriber that vanishes mid-stream must not leak its
